@@ -1,0 +1,294 @@
+(* tbaac — the MiniM3 whole-program optimizer driver.
+
+   Subcommands mirror the pipeline: check (front end), ir (lowering),
+   aliases (the three TBAA analyses and the static metrics), optimize
+   (RLE / devirt+inline with a chosen oracle), run (simulated execution
+   with the machine counters), and experiment (regenerate the paper's
+   tables and figures). Programs come from a file or, with --workload,
+   from the built-in benchmark suite. *)
+
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Common arguments                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let source_of ~file ~workload =
+  match (file, workload) with
+  | Some path, None -> Ok (path, read_file path)
+  | None, Some name -> (
+    match Workloads.Suite.find name with
+    | w -> Ok (name, w.Workloads.Workload.source)
+    | exception Not_found ->
+      Error
+        (Printf.sprintf "unknown workload %S (try: %s)" name
+           (String.concat ", "
+              (List.map
+                 (fun (w : Workloads.Workload.t) -> w.Workloads.Workload.name)
+                 Workloads.Suite.all))))
+  | Some _, Some _ -> Error "give either FILE or --workload, not both"
+  | None, None -> Error "a FILE argument or --workload NAME is required"
+
+let file_arg =
+  Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"MiniM3 source file.")
+
+let workload_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "workload"; "w" ] ~docv:"NAME"
+        ~doc:"Use a built-in benchmark program instead of a file.")
+
+let analysis_conv =
+  Arg.enum
+    [ ("typedecl", Opt.Pipeline.Otype_decl);
+      ("fieldtypedecl", Opt.Pipeline.Ofield_type_decl);
+      ("smfieldtyperefs", Opt.Pipeline.Osm_field_type_refs) ]
+
+let analysis_arg =
+  Arg.(
+    value
+    & opt analysis_conv Opt.Pipeline.Osm_field_type_refs
+    & info [ "analysis"; "a" ] ~docv:"ANALYSIS"
+        ~doc:
+          "Alias analysis: $(b,typedecl), $(b,fieldtypedecl) or \
+           $(b,smfieldtyperefs).")
+
+let world_conv =
+  Arg.enum [ ("closed", Tbaa.World.Closed); ("open", Tbaa.World.Open) ]
+
+let world_arg =
+  Arg.(
+    value
+    & opt world_conv Tbaa.World.Closed
+    & info [ "world" ] ~docv:"WORLD"
+        ~doc:"Closed-world (whole program) or open-world (incomplete program) analysis.")
+
+let or_die = function
+  | Ok v -> v
+  | Error msg ->
+    prerr_endline ("tbaac: " ^ msg);
+    exit 1
+
+let with_source file workload k =
+  let name, src = or_die (source_of ~file ~workload) in
+  try k name src with
+  | Support.Diag.Compile_error d ->
+    prerr_endline (Support.Diag.to_string d);
+    exit 1
+
+(* ------------------------------------------------------------------ *)
+(* Subcommands                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let check_cmd =
+  let run file workload =
+    with_source file workload (fun name src ->
+        let p = Minim3.Typecheck.check_string ~file:name src in
+        Printf.printf "%s: OK (%d types, %d globals, %d procedures)\n"
+          (Support.Ident.name p.Minim3.Tast.module_name)
+          (List.length p.Minim3.Tast.type_names)
+          (List.length p.Minim3.Tast.globals)
+          (List.length p.Minim3.Tast.procs))
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Parse and typecheck a MiniM3 program.")
+    Term.(const run $ file_arg $ workload_arg)
+
+let format_cmd =
+  let run file workload =
+    with_source file workload (fun name src ->
+        print_string (Minim3.Ast_pp.reprint ~file:name src))
+  in
+  Cmd.v
+    (Cmd.info "format" ~doc:"Parse a program and reprint it with normalized layout.")
+    Term.(const run $ file_arg $ workload_arg)
+
+let ir_cmd =
+  let run file workload =
+    with_source file workload (fun name src ->
+        let program = Ir.Lower.lower_string ~file:name src in
+        Format.printf "%a@." Ir.Cfg.pp_program program)
+  in
+  Cmd.v
+    (Cmd.info "ir" ~doc:"Lower a program and dump its IR.")
+    Term.(const run $ file_arg $ workload_arg)
+
+let aliases_cmd =
+  let run file workload world show_trt =
+    with_source file workload (fun name src ->
+        let program = Ir.Lower.lower_string ~file:name src in
+        let a = Tbaa.Analysis.analyze ~world program in
+        let facts = a.Tbaa.Analysis.facts in
+        Printf.printf "heap memory references: %d\n"
+          (List.length facts.Tbaa.Facts.memrefs);
+        List.iter
+          (fun (o : Tbaa.Oracle.t) ->
+            let c = Tbaa.Alias_pairs.count o facts in
+            Printf.printf
+              "%-16s local pairs: %6d (%.1f/ref)   global pairs: %6d (%.1f/ref)\n"
+              o.Tbaa.Oracle.name c.Tbaa.Alias_pairs.local_pairs
+              (Tbaa.Alias_pairs.average_local c)
+              c.Tbaa.Alias_pairs.global_pairs
+              (Tbaa.Alias_pairs.average_global c))
+          (Tbaa.Analysis.oracles a);
+        if show_trt then begin
+          let tenv = facts.Tbaa.Facts.tenv in
+          Printf.printf "\nTypeRefsTable (pointer types):\n";
+          for t = 0 to Minim3.Types.count tenv - 1 do
+            if Minim3.Types.is_pointer tenv t && t <> Minim3.Types.tid_null then begin
+              let refs = a.Tbaa.Analysis.type_refs_table t in
+              Printf.printf "  %-28s -> { %s }\n"
+                (Minim3.Types.to_string tenv t)
+                (String.concat ", "
+                   (List.map (Minim3.Types.to_string tenv) refs))
+            end
+          done
+        end)
+  in
+  let trt_arg =
+    Arg.(value & flag & info [ "type-refs" ] ~doc:"Also print the TypeRefsTable.")
+  in
+  Cmd.v
+    (Cmd.info "aliases"
+       ~doc:"Run the three alias analyses and report the static alias-pair metric.")
+    Term.(const run $ file_arg $ workload_arg $ world_arg $ trt_arg)
+
+let optimize_cmd =
+  let run file workload analysis world minv pre copyprop =
+    with_source file workload (fun name src ->
+        let program = Ir.Lower.lower_string ~file:name src in
+        let result =
+          Opt.Pipeline.run program
+            { Opt.Pipeline.oracle_kind = analysis; world;
+              devirt_inline = minv; rle = true; pre; copyprop }
+        in
+        (match result.Opt.Pipeline.devirt_stats with
+        | Some d ->
+          Printf.printf "devirtualized: %d resolved, %d kept virtual\n"
+            d.Opt.Devirt.resolved d.Opt.Devirt.unresolved
+        | None -> ());
+        (match result.Opt.Pipeline.inline_stats with
+        | Some i -> Printf.printf "inlined: %d call sites\n" i.Opt.Inline.inlined
+        | None -> ());
+        (match result.Opt.Pipeline.pre_stats with
+        | Some p ->
+          Printf.printf "PRE: %d loads inserted, %d edges split\n"
+            p.Opt.Pre.inserted p.Opt.Pre.edges_split
+        | None -> ());
+        (match result.Opt.Pipeline.copyprop_stats with
+        | Some c -> Printf.printf "copy propagation: %d uses rewritten\n"
+            c.Opt.Copyprop.replaced
+        | None -> ());
+        (match result.Opt.Pipeline.rle_stats with
+        | Some s ->
+          Printf.printf
+            "RLE (%s): %d hoisted, %d eliminated, %d shortened (%d removed)\n"
+            (Opt.Pipeline.oracle_name analysis)
+            s.Opt.Rle.hoisted s.Opt.Rle.eliminated s.Opt.Rle.shortened
+            (Opt.Rle.removed s)
+        | None -> ()))
+  in
+  let minv_arg =
+    Arg.(
+      value & flag
+      & info [ "minv" ]
+          ~doc:"Also run method invocation resolution and inlining first.")
+  in
+  let pre_arg =
+    Arg.(
+      value & flag
+      & info [ "pre" ] ~doc:"Also run partial redundancy elimination (extension).")
+  in
+  let copyprop_arg =
+    Arg.(
+      value & flag
+      & info [ "copyprop" ]
+          ~doc:"Also run copy propagation and a second RLE pass (extension).")
+  in
+  Cmd.v
+    (Cmd.info "optimize" ~doc:"Run the optimizer and report what it did.")
+    Term.(
+      const run $ file_arg $ workload_arg $ analysis_arg $ world_arg $ minv_arg
+      $ pre_arg $ copyprop_arg)
+
+let run_cmd =
+  let run file workload optimize analysis quiet =
+    with_source file workload (fun name src ->
+        let program = Ir.Lower.lower_string ~file:name src in
+        if optimize then begin
+          let a = Tbaa.Analysis.analyze program in
+          ignore (Opt.Rle.run program (Opt.Pipeline.select a analysis))
+        end;
+        ignore (Opt.Local_cse.run program);
+        let o = Sim.Interp.run program in
+        if not quiet then print_string o.Sim.Interp.output;
+        let c = o.Sim.Interp.counters in
+        Printf.eprintf
+          "instructions: %d\nheap loads: %d\nother loads: %d\nstores: %d\n\
+           calls: %d\nallocations: %d\ncycles: %d\ncache: %d hits, %d misses\n\
+           soft faults: %d\n"
+          c.Sim.Interp.instrs c.Sim.Interp.heap_loads c.Sim.Interp.other_loads
+          c.Sim.Interp.stores c.Sim.Interp.calls c.Sim.Interp.allocations
+          o.Sim.Interp.cycles o.Sim.Interp.cache_hits o.Sim.Interp.cache_misses
+          o.Sim.Interp.soft_faults)
+  in
+  let optimize_arg =
+    Arg.(value & flag & info [ "optimize"; "O" ] ~doc:"Apply TBAA + RLE first.")
+  in
+  let quiet_arg =
+    Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Suppress the program's output.")
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Execute a program on the simulator and print counters.")
+    Term.(const run $ file_arg $ workload_arg $ optimize_arg $ analysis_arg $ quiet_arg)
+
+let experiment_cmd =
+  let names =
+    [ ("table4", fun () -> Harness.Experiments.Table4.render ());
+      ("table5", fun () -> Harness.Experiments.Table5.render ());
+      ("table6", fun () -> Harness.Experiments.Table6.render ());
+      ("figure8", fun () -> Harness.Experiments.Figure8.render ());
+      ("figure9", fun () -> Harness.Experiments.Figure9.render ());
+      ("figure10", fun () -> Harness.Experiments.Figure10.render ());
+      ("figure11", fun () -> Harness.Experiments.Figure11.render ());
+      ("figure12", fun () -> Harness.Experiments.Figure12.render ());
+      ("abl-merge", fun () -> Harness.Experiments.Ablation_merge.render ());
+      ("abl-modref", fun () -> Harness.Experiments.Ablation_modref.render ()) ]
+  in
+  let run which =
+    match which with
+    | "all" -> Harness.Experiments.run_all Format.std_formatter
+    | name -> (
+      match List.assoc_opt name names with
+      | Some render -> print_endline (render ())
+      | None ->
+        prerr_endline
+          ("tbaac: unknown experiment (try: all, "
+          ^ String.concat ", " (List.map fst names)
+          ^ ")");
+        exit 1)
+  in
+  let which_arg =
+    Arg.(value & pos 0 string "all" & info [] ~docv:"EXPERIMENT" ~doc:"Experiment id or 'all'.")
+  in
+  Cmd.v
+    (Cmd.info "experiment"
+       ~doc:"Regenerate a table or figure from the paper's evaluation.")
+    Term.(const run $ which_arg)
+
+let main =
+  Cmd.group
+    (Cmd.info "tbaac" ~version:"1.0.0"
+       ~doc:"Type-based alias analysis for MiniM3 (Diwan, McKinley & Moss, PLDI 1998)")
+    [ check_cmd; format_cmd; ir_cmd; aliases_cmd; optimize_cmd; run_cmd;
+      experiment_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/limit_study.ml: Ir List Opt Printf Sim Support Tbaa Workloads

@@ -1,0 +1,1 @@
+examples/limit_study.mli:

@@ -1,0 +1,1 @@
+examples/list_package.ml: Ir List Lower Opt Printf Sim String Tbaa

@@ -1,0 +1,1 @@
+examples/open_world.ml: Ir List Lower Opt Printf Sim Tbaa

@@ -1,0 +1,1 @@
+examples/optimize_pipeline.ml: Opt Printf Sim String Tbaa Workloads

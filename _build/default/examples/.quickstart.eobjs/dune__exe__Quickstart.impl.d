@@ -1,0 +1,1 @@
+examples/quickstart.ml: Apath Cfg Ident Ir List Lower Minim3 Printf Reg Sim String Support Tbaa Types

@@ -1,0 +1,1 @@
+lib/core/address_taken.ml: Facts Ident Ir List Minim3 Support Types World

@@ -1,0 +1,1 @@
+lib/core/address_taken.mli: Facts Ident Ir Minim3 Support Types World

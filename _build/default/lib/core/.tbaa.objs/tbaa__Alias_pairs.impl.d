@@ -1,0 +1,1 @@
+lib/core/alias_pairs.ml: Array Facts Ident Oracle Support

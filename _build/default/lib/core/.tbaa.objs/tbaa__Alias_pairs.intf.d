@@ -1,0 +1,1 @@
+lib/core/alias_pairs.mli: Facts Oracle

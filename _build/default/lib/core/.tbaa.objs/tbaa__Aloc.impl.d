@@ -1,0 +1,1 @@
+lib/core/aloc.ml: Format Ident Int Minim3 Set Support Types

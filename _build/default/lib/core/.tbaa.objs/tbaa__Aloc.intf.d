@@ -1,0 +1,1 @@
+lib/core/aloc.mli: Format Ident Minim3 Set Support Types

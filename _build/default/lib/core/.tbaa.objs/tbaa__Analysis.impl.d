@@ -1,0 +1,1 @@
+lib/core/analysis.ml: Facts Field_type_decl Minim3 Oracle Sm_type_refs Type_decl Types World

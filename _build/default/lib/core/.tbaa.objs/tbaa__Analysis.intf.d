@@ -1,0 +1,1 @@
+lib/core/analysis.mli: Facts Ir Minim3 Oracle Types World

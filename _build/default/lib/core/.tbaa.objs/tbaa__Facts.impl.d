@@ -1,0 +1,1 @@
+lib/core/facts.ml: Apath Ast Callgraph Cfg Ident Instr Ir List Minim3 Reg Support Types Vec

@@ -1,0 +1,1 @@
+lib/core/facts.mli: Ident Ir Minim3 Support Types

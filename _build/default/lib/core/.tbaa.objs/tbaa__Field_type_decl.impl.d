@@ -1,0 +1,1 @@
+lib/core/field_type_decl.ml: Address_taken Apath Facts Ident Ir Kills Option Oracle Reg Support Type_decl

@@ -1,0 +1,1 @@
+lib/core/field_type_decl.mli: Address_taken Apath Facts Ir Minim3 Oracle Types World

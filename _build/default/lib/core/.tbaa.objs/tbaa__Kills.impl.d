@@ -1,0 +1,1 @@
+lib/core/kills.ml: Address_taken Aloc Apath Ident Ir Reg Support

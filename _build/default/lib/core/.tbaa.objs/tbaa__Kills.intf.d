@@ -1,0 +1,1 @@
+lib/core/kills.mli: Address_taken Aloc Apath Ir Minim3 Types

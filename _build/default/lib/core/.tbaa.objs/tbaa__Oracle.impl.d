@@ -1,0 +1,1 @@
+lib/core/oracle.ml: Aloc Apath Ir List Minim3 Reg Types

@@ -1,0 +1,1 @@
+lib/core/oracle.mli: Aloc Apath Ir Minim3 Reg Types

@@ -1,0 +1,1 @@
+lib/core/sm_type_refs.ml: Address_taken Array Bitset Facts Field_type_decl Kills List Minim3 Oracle Support Type_decl Types Union_find World

@@ -1,0 +1,1 @@
+lib/core/sm_type_refs.mli: Facts Minim3 Oracle Types World

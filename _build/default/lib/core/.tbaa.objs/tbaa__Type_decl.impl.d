@@ -1,0 +1,1 @@
+lib/core/type_decl.ml: Address_taken Apath Facts Ir Kills Minim3 Oracle Reg Types

@@ -1,0 +1,1 @@
+lib/core/type_decl.mli: Facts Ir Minim3 Oracle Types World

@@ -1,0 +1,32 @@
+open Support
+open Minim3
+
+type ctx = {
+  facts : Facts.t;
+  world : World.t;
+  compat : Types.tid -> Types.tid -> bool;
+}
+
+let make ~facts ~world ~compat = { facts; world; compat }
+
+let open_world_hit ctx tid =
+  match ctx.world with
+  | World.Closed -> false
+  | World.Open -> List.mem tid ctx.facts.Facts.byref_formal_tids
+
+let field_taken ctx f ~recv ~content =
+  List.exists
+    (fun (fa : Facts.field_addr) ->
+      Ident.equal fa.Facts.fa_field f && ctx.compat fa.Facts.fa_recv recv)
+    ctx.facts.Facts.field_addrs
+  || open_world_hit ctx content
+
+let elem_taken ctx ~array_ty ~elem =
+  List.exists
+    (fun (ea : Facts.elem_addr) -> ctx.compat ea.Facts.ea_array array_ty)
+    ctx.facts.Facts.elem_addrs
+  || open_world_hit ctx elem
+
+let var_taken ctx v =
+  List.exists (fun u -> Ir.Reg.var_equal u v) ctx.facts.Facts.var_addrs
+  || open_world_hit ctx v.Ir.Reg.v_ty

@@ -1,0 +1,35 @@
+(** The paper's AddressTaken predicate.
+
+    In Modula-3 (and MiniM3) addresses arise in exactly two ways: VAR
+    (by-reference) actuals and WITH bindings over designators. The facts
+    pass records every such occurrence; this module answers the queries
+    FieldTypeDecl's cases 3–4 make, relative to a type-compatibility core
+    (so the same machinery serves TypeDecl-based and TypeRefs-based
+    oracles).
+
+    Under the open-world assumption (§4) AddressTaken additionally holds
+    whenever the queried thing's type is the *identical* type of some
+    by-reference formal — unavailable callers may pass anything of that
+    type by reference. (Identity rather than compatibility because Modula-3
+    requires VAR actuals to match formals exactly.) *)
+
+open Support
+open Minim3
+
+type ctx
+
+val make :
+  facts:Facts.t ->
+  world:World.t ->
+  compat:(Types.tid -> Types.tid -> bool) ->
+  ctx
+
+val field_taken : ctx -> Ident.t -> recv:Types.tid -> content:Types.tid -> bool
+(** Was the address of field [f] of any object compatible with [recv]
+    taken? *)
+
+val elem_taken : ctx -> array_ty:Types.tid -> elem:Types.tid -> bool
+(** Was the address of an element of any array compatible with [array_ty]
+    taken? *)
+
+val var_taken : ctx -> Ir.Reg.var -> bool

@@ -1,0 +1,26 @@
+open Support
+
+type counts = { references : int; local_pairs : int; global_pairs : int }
+
+let count (oracle : Oracle.t) (facts : Facts.t) =
+  let refs = Array.of_list facts.Facts.memrefs in
+  let n = Array.length refs in
+  let local = ref 0 and global = ref 0 in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let a = refs.(i) and b = refs.(j) in
+      if oracle.Oracle.may_alias a.Facts.mr_path b.Facts.mr_path then begin
+        incr global;
+        if Ident.equal a.Facts.mr_proc b.Facts.mr_proc then incr local
+      end
+    done
+  done;
+  { references = n; local_pairs = !local; global_pairs = !global }
+
+let average_local c =
+  if c.references = 0 then 0.0
+  else 2.0 *. float_of_int c.local_pairs /. float_of_int c.references
+
+let average_global c =
+  if c.references = 0 then 0.0
+  else 2.0 *. float_of_int c.global_pairs /. float_of_int c.references

@@ -1,0 +1,21 @@
+(** The static alias-pair metric of the paper's Table 5.
+
+    References are heap memory reference *occurrences* (each load or store
+    site counts once). Local pairs are unordered pairs of distinct
+    occurrences in the same procedure that may alias; global pairs drop the
+    same-procedure restriction. A reference trivially aliases itself, so
+    the (i, i) pair is excluded, but two distinct occurrences of the same
+    path do count. *)
+
+type counts = {
+  references : int;
+  local_pairs : int;
+  global_pairs : int;
+}
+
+val count : Oracle.t -> Facts.t -> counts
+
+val average_local : counts -> float
+(** Local alias pairs per reference (the paper reports 0.3 – 20.8). *)
+
+val average_global : counts -> float

@@ -1,0 +1,22 @@
+open Minim3
+
+type t = {
+  facts : Facts.t;
+  world : World.t;
+  type_decl : Oracle.t;
+  field_type_decl : Oracle.t;
+  sm_field_type_refs : Oracle.t;
+  type_refs_table : Types.tid -> Types.tid list;
+}
+
+let analyze ?(world = World.Closed) program =
+  let facts = Facts.collect program in
+  let sm = Sm_type_refs.build ~facts ~world () in
+  { facts;
+    world;
+    type_decl = Type_decl.oracle ~facts ~world;
+    field_type_decl = Field_type_decl.oracle ~facts ~world;
+    sm_field_type_refs = Sm_type_refs.oracle ~facts ~world ();
+    type_refs_table = Sm_type_refs.type_refs sm }
+
+let oracles t = [ t.type_decl; t.field_type_decl; t.sm_field_type_refs ]

@@ -1,0 +1,20 @@
+(** Top-level entry point: collect program facts once and build the
+    paper's three alias oracles over them. *)
+
+open Minim3
+
+type t = {
+  facts : Facts.t;
+  world : World.t;
+  type_decl : Oracle.t;
+  field_type_decl : Oracle.t;
+  sm_field_type_refs : Oracle.t;
+  type_refs_table : Types.tid -> Types.tid list;
+      (** The SMTypeRefs TypeRefsTable, also used by method resolution. *)
+}
+
+val analyze : ?world:World.t -> Ir.Cfg.program -> t
+
+val oracles : t -> Oracle.t list
+(** The three oracles in increasing precision order:
+    TypeDecl, FieldTypeDecl, SMFieldTypeRefs. *)

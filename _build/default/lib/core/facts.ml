@@ -1,0 +1,130 @@
+open Support
+open Minim3
+open Ir
+
+type field_addr = {
+  fa_field : Ident.t;
+  fa_recv : Types.tid;
+  fa_content : Types.tid;
+}
+
+type elem_addr = { ea_array : Types.tid; ea_elem : Types.tid }
+
+type memref = { mr_proc : Ident.t; mr_path : Apath.t; mr_is_store : bool }
+
+type t = {
+  tenv : Types.env;
+  assignments : (Types.tid * Types.tid) list;
+  field_addrs : field_addr list;
+  elem_addrs : elem_addr list;
+  var_addrs : Reg.var list;
+  byref_formal_tids : Types.tid list;
+  memrefs : memref list;
+}
+
+let prefix_ty ap =
+  match Apath.prefix ap with
+  | Some p -> Apath.ty p
+  | None -> ap.Apath.base.Reg.v_ty
+
+(* A flow of a value of type [src] into a location of declared type [dst]
+   merges the two types when they are distinct pointer types; NIL carries no
+   referent so it never causes a merge. *)
+let record_assignment tenv acc ~dst ~src =
+  if
+    dst <> src && src <> Types.tid_null
+    && Types.is_pointer tenv dst && Types.is_pointer tenv src
+  then (dst, src) :: acc
+  else acc
+
+let collect (program : Cfg.program) : t =
+  let tenv = program.Cfg.tenv in
+  let assignments = ref [] in
+  let field_addrs = ref [] in
+  let elem_addrs = ref [] in
+  let var_addrs = ref [] in
+  let byref = ref [] in
+  let memrefs = ref [] in
+  let assign ~dst ~src =
+    assignments := record_assignment tenv !assignments ~dst ~src
+  in
+  List.iter
+    (fun proc ->
+      List.iter
+        (fun p ->
+          match p.Reg.v_kind with
+          | Reg.Vparam Ast.By_ref ->
+            if not (List.mem p.Reg.v_ty !byref) then byref := p.Reg.v_ty :: !byref
+          | _ -> ())
+        proc.Cfg.pr_params;
+      Vec.iter
+        (fun block ->
+          List.iter
+            (fun instr ->
+              (match instr with
+              | Instr.Iload (_, ap) ->
+                memrefs :=
+                  { mr_proc = proc.Cfg.pr_name; mr_path = ap; mr_is_store = false }
+                  :: !memrefs
+              | Instr.Istore (ap, _) ->
+                memrefs :=
+                  { mr_proc = proc.Cfg.pr_name; mr_path = ap; mr_is_store = true }
+                  :: !memrefs
+              | _ -> ());
+              match instr with
+              | Instr.Iassign (v, Instr.Ratom a) ->
+                assign ~dst:v.Reg.v_ty ~src:(Reg.atom_ty a)
+              | Instr.Iassign (_, _) -> ()
+              | Instr.Iload (v, ap) -> assign ~dst:v.Reg.v_ty ~src:(Apath.ty ap)
+              | Instr.Istore (ap, a) ->
+                assign ~dst:(Apath.ty ap) ~src:(Reg.atom_ty a)
+              | Instr.Inew (v, t, _) -> assign ~dst:v.Reg.v_ty ~src:t
+              | Instr.Iaddr (_, ap) -> (
+                match Apath.last ap with
+                | Some (Apath.Sfield (f, content)) ->
+                  field_addrs :=
+                    { fa_field = f; fa_recv = prefix_ty ap; fa_content = content }
+                    :: !field_addrs
+                | Some (Apath.Sindex (_, elem)) ->
+                  elem_addrs :=
+                    { ea_array = prefix_ty ap; ea_elem = elem } :: !elem_addrs
+                | Some (Apath.Sderef _) ->
+                  (* The address of p^ is p's value: the location was already
+                     pointer-reachable, no new fact. *)
+                  ()
+                | None -> var_addrs := ap.Apath.base :: !var_addrs)
+              | Instr.Icall (dst, target, args) ->
+                let bind_callee callee =
+                  match Cfg.find_proc_opt program callee with
+                  | None -> ()
+                  | Some cp ->
+                    (* Virtual calls carry the receiver as the first actual;
+                       formals line up positionally in both cases. *)
+                    let formals = cp.Cfg.pr_params in
+                    List.iteri
+                      (fun i formal ->
+                        match List.nth_opt args i with
+                        | Some a -> (
+                          match formal.Reg.v_kind with
+                          | Reg.Vparam Ast.By_ref -> ()  (* aliasing, not a flow *)
+                          | _ -> assign ~dst:formal.Reg.v_ty ~src:(Reg.atom_ty a))
+                        | None -> ())
+                      formals;
+                    (match (dst, cp.Cfg.pr_ret) with
+                    | Some d, Some r -> assign ~dst:d.Reg.v_ty ~src:r
+                    | _ -> ())
+                in
+                List.iter bind_callee (Callgraph.callees_of_target program target)
+              | Instr.Ibuiltin _ -> ())
+            block.Cfg.b_instrs;
+          match block.Cfg.b_term with
+          | Instr.Treturn (Some a) -> (
+            match proc.Cfg.pr_ret with
+            | Some r -> assign ~dst:r ~src:(Reg.atom_ty a)
+            | None -> ())
+          | _ -> ())
+        proc.Cfg.pr_blocks)
+    program.Cfg.prog_procs;
+  { tenv; assignments = !assignments; field_addrs = !field_addrs;
+    elem_addrs = !elem_addrs; var_addrs = !var_addrs;
+    byref_formal_tids = !byref; memrefs = List.rev !memrefs }

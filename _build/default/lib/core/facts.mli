@@ -1,0 +1,45 @@
+(** Program facts the alias analyses consume, collected in one linear pass
+    over the IR (the paper's complexity argument, §2.5, rests on this pass
+    being linear in the number of instructions).
+
+    - every implicit or explicit pointer assignment, as a (destination type,
+      source type) pair — explicit [a := b], allocation, argument binding,
+      and return-value binding;
+    - every address-taking occurrence (the [Iaddr] instructions lowered from
+      VAR actuals and WITH-over-designator), split by what was taken:
+      an object/record field, an array element, or a whole variable;
+    - the types of by-reference formals (the open-world AddressTaken rule);
+    - every heap memory reference (the [Apath.t] of each load and store),
+      for the static alias-pair metric. *)
+
+open Support
+open Minim3
+
+type field_addr = {
+  fa_field : Ident.t;
+  fa_recv : Types.tid;  (* type of the object/record the field was taken from *)
+  fa_content : Types.tid;  (* the field's own type *)
+}
+
+type elem_addr = {
+  ea_array : Types.tid;  (* array type subscripted *)
+  ea_elem : Types.tid;
+}
+
+type memref = {
+  mr_proc : Ident.t;
+  mr_path : Ir.Apath.t;
+  mr_is_store : bool;
+}
+
+type t = {
+  tenv : Types.env;
+  assignments : (Types.tid * Types.tid) list;  (* (dst, src), dst <> src *)
+  field_addrs : field_addr list;
+  elem_addrs : elem_addr list;
+  var_addrs : Ir.Reg.var list;  (* whole variables whose address is taken *)
+  byref_formal_tids : Types.tid list;  (* distinct referent types of VAR formals *)
+  memrefs : memref list;  (* heap references, in program order *)
+}
+
+val collect : Ir.Cfg.program -> t

@@ -1,0 +1,59 @@
+open Support
+open Ir
+
+(* Table 2, case by case. [ftd] asks: may the two paths denote the same
+   location (when used as lvalues) / the same object (when they are the
+   pointer-valued prefixes reached by recursion)? The recursion bottoms out
+   at bare variables, where case 7's TypeDecl applies — two distinct
+   variables of compatible type may hold the same pointer. *)
+let rec ftd ~compat ~at ap1 ap2 =
+  if Apath.equal ap1 ap2 then true (* case 1 *)
+  else
+    let pre ap = Option.value (Apath.prefix ap) ~default:(Apath.of_var ap.Apath.base) in
+    match (Apath.last ap1, Apath.last ap2) with
+    | Some (Apath.Sfield (f, _)), Some (Apath.Sfield (g, _)) ->
+      (* case 2: same field on possibly-identical objects *)
+      Ident.equal f g && ftd ~compat ~at (pre ap1) (pre ap2)
+    | Some (Apath.Sfield (f, content)), Some (Apath.Sderef t) ->
+      (* case 3: a dereference reaches a field only if that field's address
+         was taken somewhere and the types are compatible *)
+      Address_taken.field_taken at f ~recv:(Kills.prefix_ty ap1) ~content
+      && compat content t
+    | Some (Apath.Sderef t), Some (Apath.Sfield (f, content)) ->
+      Address_taken.field_taken at f ~recv:(Kills.prefix_ty ap2) ~content
+      && compat content t
+    | Some (Apath.Sderef t), Some (Apath.Sindex (_, elem)) ->
+      (* case 4: likewise for array elements *)
+      Address_taken.elem_taken at ~array_ty:(Kills.prefix_ty ap2) ~elem
+      && compat elem t
+    | Some (Apath.Sindex (_, elem)), Some (Apath.Sderef t) ->
+      Address_taken.elem_taken at ~array_ty:(Kills.prefix_ty ap1) ~elem
+      && compat elem t
+    | Some (Apath.Sfield _), Some (Apath.Sindex _)
+    | Some (Apath.Sindex _), Some (Apath.Sfield _) ->
+      (* case 5: a subscripted expression cannot alias a qualified one *)
+      false
+    | Some (Apath.Sindex _), Some (Apath.Sindex _) ->
+      (* case 6: same array reachable? subscripts are ignored *)
+      ftd ~compat ~at (pre ap1) (pre ap2)
+    | _ ->
+      (* case 7: everything else, including two dereferences and bare
+         variables, falls back to type compatibility *)
+      compat (Apath.ty ap1) (Apath.ty ap2)
+
+let may_alias_with ~compat ~at ap1 ap2 =
+  let m1 = Apath.is_memory_ref ap1 and m2 = Apath.is_memory_ref ap2 in
+  if not (m1 || m2) then Reg.var_equal ap1.Apath.base ap2.Apath.base
+  else if not (m1 && m2) then false
+  else ftd ~compat ~at ap1 ap2
+
+let oracle ~(facts : Facts.t) ~world : Oracle.t =
+  let env = facts.Facts.tenv in
+  let compat = Type_decl.compat env in
+  let at = Address_taken.make ~facts ~world ~compat in
+  { Oracle.name = "FieldTypeDecl";
+    compat;
+    may_alias = may_alias_with ~compat ~at;
+    store_class = Kills.store_class;
+    class_kills = Kills.class_kills ~compat ~at;
+    addr_taken_var = Address_taken.var_taken at }

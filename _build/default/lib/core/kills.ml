@@ -1,0 +1,47 @@
+open Support
+open Ir
+
+let prefix_ty ap =
+  match Apath.prefix ap with
+  | Some p -> Apath.ty p
+  | None -> ap.Apath.base.Reg.v_ty
+
+let store_class ap =
+  match Apath.last ap with
+  | Some (Apath.Sfield (f, content)) -> Aloc.Lfield (f, prefix_ty ap, content)
+  | Some (Apath.Sindex (_, elem)) -> Aloc.Lelem (prefix_ty ap, elem)
+  | Some (Apath.Sderef t) -> Aloc.Ltarget t
+  | None -> Aloc.Lvar (ap.Apath.base.Reg.v_id, ap.Apath.base.Reg.v_ty)
+
+let class_kills ~compat ~at cls ap =
+  match (cls, Apath.last ap) with
+  | _, None ->
+    (* A bare variable's slot: only a store classed as that same variable
+       (or a dereference, when the variable's address escaped) touches it.
+       Clients handle register kills separately; keep derefs conservative. *)
+    (match cls with
+    | Aloc.Lvar (id, _) -> id = ap.Apath.base.Reg.v_id
+    | Aloc.Ltarget t ->
+      Address_taken.var_taken at ap.Apath.base
+      && compat t ap.Apath.base.Reg.v_ty
+    | Aloc.Lfield _ | Aloc.Lelem _ -> false)
+  | Aloc.Lfield (f, recv, _), Some (Apath.Sfield (g, _)) ->
+    Ident.equal f g && compat recv (prefix_ty ap)
+  | Aloc.Lfield (f, recv, content), Some (Apath.Sderef t) ->
+    Address_taken.field_taken at f ~recv ~content && compat content t
+  | Aloc.Lfield _, Some (Apath.Sindex _) -> false
+  | Aloc.Lelem (arr, _), Some (Apath.Sindex _) -> compat arr (prefix_ty ap)
+  | Aloc.Lelem (arr, elem), Some (Apath.Sderef t) ->
+    Address_taken.elem_taken at ~array_ty:arr ~elem && compat elem t
+  | Aloc.Lelem _, Some (Apath.Sfield _) -> false
+  | Aloc.Ltarget t, Some (Apath.Sderef u) -> compat t u
+  | Aloc.Ltarget t, Some (Apath.Sfield (g, c)) ->
+    Address_taken.field_taken at g ~recv:(prefix_ty ap) ~content:c && compat t c
+  | Aloc.Ltarget t, Some (Apath.Sindex (_, e)) ->
+    Address_taken.elem_taken at ~array_ty:(prefix_ty ap) ~elem:e && compat t e
+  | Aloc.Lvar (_, vty), Some (Apath.Sderef t) ->
+    (* A write to a variable's own slot is visible through a dereference
+       only when the types agree; the class is only generated for variables
+       whose address escaped, so no further AddressTaken check is needed. *)
+    compat vty t
+  | Aloc.Lvar _, Some (Apath.Sfield _ | Apath.Sindex _) -> false

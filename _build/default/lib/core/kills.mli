@@ -1,0 +1,24 @@
+(** Shared store-abstraction and kill logic (the glue between an alias
+    analysis and its mod-ref / availability clients).
+
+    [class_kills] mirrors FieldTypeDecl's case analysis with the store side
+    abstracted to a location class: a field store can only change a field
+    of the same name on a compatible receiver (case 2 collapsed to its type
+    test), a dereference store can change a field/element only if that
+    field/element's address was taken (cases 3–4), field and element
+    locations never collide (case 5), and so on. *)
+
+open Minim3
+open Ir
+
+val prefix_ty : Apath.t -> Types.tid
+(** Static type of the path minus its last selector. *)
+
+val store_class : Apath.t -> Aloc.t
+
+val class_kills :
+  compat:(Types.tid -> Types.tid -> bool) ->
+  at:Address_taken.ctx ->
+  Aloc.t ->
+  Apath.t ->
+  bool

@@ -1,0 +1,17 @@
+open Minim3
+open Ir
+
+type t = {
+  name : string;
+  compat : Types.tid -> Types.tid -> bool;
+  may_alias : Apath.t -> Apath.t -> bool;
+  store_class : Apath.t -> Aloc.t;
+  class_kills : Aloc.t -> Apath.t -> bool;
+  addr_taken_var : Reg.var -> bool;
+}
+
+let kills_load t ~store ~load =
+  List.exists (fun prefix -> t.may_alias store prefix) (Apath.prefixes load)
+  (* A store through a dereference can also overwrite the load's *base
+     variable* when that variable's address escaped. *)
+  || t.class_kills (t.store_class store) (Apath.of_var load.Apath.base)

@@ -1,0 +1,29 @@
+(** The alias-oracle interface every analysis implements and every client
+    (RLE, mod-ref, the static metrics) consumes. *)
+
+open Minim3
+open Ir
+
+type t = {
+  name : string;
+  compat : Types.tid -> Types.tid -> bool;
+      (** The analysis' type-overlap core — the paper's
+          [Subtypes(t1) ∩ Subtypes(t2) ≠ ∅] for TypeDecl/FieldTypeDecl, the
+          TypeRefsTable intersection for SMFieldTypeRefs. *)
+  may_alias : Apath.t -> Apath.t -> bool;
+      (** May the two access paths denote the same memory location? Bare
+          variables only alias themselves; a bare variable never aliases a
+          selector path (variable slots are not heap locations). *)
+  store_class : Apath.t -> Aloc.t;
+      (** Abstract the location a store to this path writes. *)
+  class_kills : Aloc.t -> Apath.t -> bool;
+      (** May a write to a location of this class change the contents of the
+          given path (queried prefix-by-prefix by clients)? *)
+  addr_taken_var : Reg.var -> bool;
+      (** Was this variable's own slot ever exposed by address-taking? *)
+}
+
+val kills_load : t -> store:Apath.t -> load:Apath.t -> bool
+(** Convenience for intraprocedural kills: does a store through [store]
+    possibly change the value of the memory expression [load]? True iff the
+    store location may alias any selector-prefix of [load]. *)

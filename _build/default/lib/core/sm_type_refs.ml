@@ -1,0 +1,112 @@
+open Support
+open Minim3
+
+type variant = Grouped | Per_type
+
+type t = {
+  env : Types.env;
+  variant : variant;
+  group_of : int -> int list;  (* the set this type was merged into *)
+  trt_cache : Bitset.t option array;  (* TypeRefsTable(t) as a bitset *)
+}
+
+(* Open-world forced merges: unavailable structurally-typed code can
+   reconstruct any unbranded type and assign between subtype-related ones. *)
+let open_world_pairs env =
+  let acc = ref [] in
+  let unbranded t =
+    match Types.desc env t with
+    | Types.Dobject { Types.obj_brand = None; _ } -> true
+    | _ -> false
+  in
+  for s = 0 to Types.count env - 1 do
+    if unbranded s then
+      for u = 0 to Types.count env - 1 do
+        if s <> u && unbranded u && Types.subtype env s u then acc := (u, s) :: !acc
+      done
+  done;
+  !acc
+
+let merge_pairs (facts : Facts.t) world =
+  let base = facts.Facts.assignments in
+  match world with
+  | World.Closed -> base
+  | World.Open -> base @ open_world_pairs facts.Facts.tenv
+
+let build ?(variant = Grouped) ~(facts : Facts.t) ~world () =
+  let env = facts.Facts.tenv in
+  let n = Types.count env in
+  let pairs = merge_pairs facts world in
+  let group_of =
+    match variant with
+    | Grouped ->
+      (* Figure 2 steps 1-2: union-find over the type table. *)
+      let uf = Union_find.create n in
+      List.iter (fun (dst, src) -> Union_find.union uf dst src) pairs;
+      fun t -> Union_find.group uf t
+    | Per_type ->
+      (* Footnote 2: directed reachability — reach(T) accumulates the types
+         assigned (transitively) into T, without symmetrizing. *)
+      let reach = Array.init n (fun i -> Bitset.of_list n [ i ]) in
+      let changed = ref true in
+      while !changed do
+        changed := false;
+        List.iter
+          (fun (dst, src) ->
+            let before = Bitset.cardinal reach.(dst) in
+            Bitset.union_into ~dst:reach.(dst) reach.(src);
+            if Bitset.cardinal reach.(dst) <> before then changed := true)
+          pairs
+      done;
+      fun t -> Bitset.elements reach.(t)
+  in
+  { env; variant; group_of; trt_cache = Array.make n None }
+
+(* Figure 2 step 3: TypeRefsTable (t) = group (t) ∩ Subtypes (t). *)
+let trt t tid =
+  if tid < 0 || tid >= Array.length t.trt_cache then
+    invalid_arg "Sm_type_refs: bad tid";
+  match t.trt_cache.(tid) with
+  | Some s -> s
+  | None ->
+    let n = Array.length t.trt_cache in
+    let subs = Bitset.of_list n (Types.subtypes t.env tid) in
+    let grp = Bitset.of_list n (t.group_of tid) in
+    Bitset.inter_into ~dst:grp subs;
+    t.trt_cache.(tid) <- Some grp;
+    grp
+
+let type_refs t tid = Bitset.elements (trt t tid)
+
+let compat t t1 t2 =
+  if t1 = Types.tid_null || t2 = Types.tid_null then false
+  else begin
+    let a = Bitset.copy (trt t t1) in
+    Bitset.inter_into ~dst:a (trt t t2);
+    not (Bitset.is_empty a)
+  end
+
+let oracle ?(variant = Grouped) ~facts ~world () : Oracle.t =
+  let t = build ~variant ~facts ~world () in
+  let compat = compat t in
+  let at = Address_taken.make ~facts ~world ~compat in
+  { Oracle.name =
+      (match variant with
+      | Grouped -> "SMFieldTypeRefs"
+      | Per_type -> "SMFieldTypeRefs(per-type)");
+    compat;
+    may_alias = Field_type_decl.may_alias_with ~compat ~at;
+    store_class = Kills.store_class;
+    class_kills = Kills.class_kills ~compat ~at;
+    addr_taken_var = Address_taken.var_taken at }
+
+let oracle_no_fields ?(variant = Grouped) ~facts ~world () : Oracle.t =
+  let t = build ~variant ~facts ~world () in
+  let compat = compat t in
+  let at = Address_taken.make ~facts ~world ~compat in
+  { Oracle.name = "SMTypeRefs";
+    compat;
+    may_alias = Type_decl.may_alias_with ~compat;
+    store_class = Kills.store_class;
+    class_kills = Kills.class_kills ~compat ~at;
+    addr_taken_var = Address_taken.var_taken at }

@@ -1,0 +1,13 @@
+(* Closed- vs open-world analysis (paper §4).
+
+   Closed world: the whole program is available. Open world: unavailable
+   type-safe code may exist; AddressTaken additionally holds for anything
+   whose type matches a by-reference formal, and unbranded subtype-related
+   types are conservatively merged because unavailable code could
+   reconstruct them (Modula-3 structural equivalence) and assign between
+   them. BRANDED types observe name equivalence and cannot be reconstructed
+   outside the program, so they are exempt. *)
+
+type t = Closed | Open
+
+let to_string = function Closed -> "closed" | Open -> "open"

@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: Format List Opt Printf Runner Sim Suite Support Table Tbaa Workload Workloads

@@ -1,0 +1,1 @@
+lib/harness/runner.ml: Hashtbl List Opt Option Printf Sim String Tbaa Workload Workloads

@@ -1,0 +1,71 @@
+open Workloads
+
+type config = {
+  rle : Opt.Pipeline.oracle_kind option;
+  minv : bool;
+  world : Tbaa.World.t;
+  pre : bool;
+  copyprop : bool;
+}
+
+let base =
+  { rle = None; minv = false; world = Tbaa.World.Closed; pre = false;
+    copyprop = false }
+
+let rle_with kind = { base with rle = Some kind }
+
+let config_name c =
+  let rle =
+    match c.rle with
+    | None -> "base"
+    | Some k -> "rle:" ^ Opt.Pipeline.oracle_name k
+  in
+  let minv = if c.minv then "+minv" else "" in
+  let world =
+    match c.world with Tbaa.World.Closed -> "" | Tbaa.World.Open -> "+open"
+  in
+  let ext =
+    (if c.pre then "+pre" else "") ^ if c.copyprop then "+cp" else ""
+  in
+  rle ^ minv ^ world ^ ext
+
+let prepare w config =
+  let program = Workload.lower w in
+  ignore
+    (Opt.Pipeline.run program
+       { Opt.Pipeline.oracle_kind =
+           Option.value config.rle ~default:Opt.Pipeline.Osm_field_type_refs;
+         world = config.world;
+         devirt_inline = config.minv;
+         rle = config.rle <> None;
+         pre = config.pre;
+         copyprop = config.copyprop });
+  ignore (Opt.Local_cse.run program);
+  program
+
+let memo : (string * string, Sim.Interp.outcome) Hashtbl.t = Hashtbl.create 64
+
+let run w config =
+  let key = (w.Workload.name, config_name config) in
+  match Hashtbl.find_opt memo key with
+  | Some outcome -> outcome
+  | None ->
+    let outcome = Sim.Interp.run (prepare w config) in
+    Hashtbl.replace memo key outcome;
+    outcome
+
+let percent_of_base w config =
+  let b = run w base in
+  let c = run w config in
+  100.0 *. float_of_int c.Sim.Interp.cycles /. float_of_int b.Sim.Interp.cycles
+
+let check_outputs_agree w configs =
+  let b = run w base in
+  List.iter
+    (fun c ->
+      let o = run w c in
+      if not (String.equal o.Sim.Interp.output b.Sim.Interp.output) then
+        failwith
+          (Printf.sprintf "%s: configuration %s changed the program output"
+             w.Workload.name (config_name c)))
+    configs

@@ -1,0 +1,33 @@
+(** Shared (memoized) execution of benchmark configurations.
+
+    A configuration describes what the whole-program optimizer did before
+    the simulated run. Every configuration — including the base — finishes
+    with the block-local trivial-alias load CSE ({!Opt.Local_cse}), because
+    the paper normalizes against GCC, which already eliminates redundant
+    loads with no intervening memory writes. *)
+
+type config = {
+  rle : Opt.Pipeline.oracle_kind option;  (* None = no RLE *)
+  minv : bool;  (* method resolution + inlining (§3.7) *)
+  world : Tbaa.World.t;
+  pre : bool;  (* + partial redundancy elimination (extension) *)
+  copyprop : bool;  (* + copy propagation and a second RLE (extension) *)
+}
+
+val base : config
+val rle_with : Opt.Pipeline.oracle_kind -> config
+val config_name : config -> string
+
+val prepare : Workloads.Workload.t -> config -> Ir.Cfg.program
+(** Lower a fresh copy and apply the configuration's passes (uncached). *)
+
+val run : Workloads.Workload.t -> config -> Sim.Interp.outcome
+(** Memoized simulated execution. *)
+
+val percent_of_base : Workloads.Workload.t -> config -> float
+(** Simulated running time as percent of the base configuration (the
+    paper's Figures 8, 11, 12 y-axis). *)
+
+val check_outputs_agree : Workloads.Workload.t -> config list -> unit
+(** Raises [Failure] if any configuration changes the program's output —
+    the harness-level semantics check. *)

@@ -1,0 +1,1 @@
+lib/ir/apath.ml: Format Hashtbl Ident List Minim3 Reg Support Types

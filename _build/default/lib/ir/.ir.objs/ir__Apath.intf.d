@@ -1,0 +1,1 @@
+lib/ir/apath.mli: Format Hashtbl Ident Minim3 Reg Support Types

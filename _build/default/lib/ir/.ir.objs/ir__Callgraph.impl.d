@@ -1,0 +1,1 @@
+lib/ir/callgraph.ml: Cfg Hashtbl Ident Instr List Minim3 Option Support Types

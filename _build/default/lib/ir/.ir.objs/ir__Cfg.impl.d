@@ -1,0 +1,1 @@
+lib/ir/cfg.ml: Array Format Ident Instr List Minim3 Reg Support Types Vec

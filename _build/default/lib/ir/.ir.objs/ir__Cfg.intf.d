@@ -1,0 +1,1 @@
+lib/ir/cfg.mli: Format Ident Instr Minim3 Reg Support Types Vec

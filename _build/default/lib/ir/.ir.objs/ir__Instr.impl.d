@@ -1,0 +1,1 @@
+lib/ir/instr.ml: Apath Ast Format Ident List Minim3 Option Reg Support Tast Types

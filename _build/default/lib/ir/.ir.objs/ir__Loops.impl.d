@@ -1,0 +1,1 @@
+lib/ir/loops.ml: Array Bitset Cfg Dom Hashtbl Instr Int List Option Support Vec

@@ -1,0 +1,1 @@
+lib/ir/lower.ml: Apath Ast Cfg Diag Ident Instr List Minim3 Option Reg Support Tast Typecheck Types Vec

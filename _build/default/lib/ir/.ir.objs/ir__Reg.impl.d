@@ -1,0 +1,1 @@
+lib/ir/reg.ml: Ast Format Hashtbl Ident Int Minim3 Support Types

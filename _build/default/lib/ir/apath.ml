@@ -1,0 +1,90 @@
+open Support
+open Minim3
+
+type selector =
+  | Sfield of Ident.t * Types.tid
+  | Sderef of Types.tid
+  | Sindex of Reg.atom * Types.tid
+
+type t = { base : Reg.var; sels : selector list }
+
+let of_var base = { base; sels = [] }
+let extend t sel = { t with sels = t.sels @ [ sel ] }
+
+let selector_result = function
+  | Sfield (_, ty) | Sderef ty | Sindex (_, ty) -> ty
+
+let ty t =
+  match List.rev t.sels with
+  | [] -> t.base.Reg.v_ty
+  | last :: _ -> selector_result last
+
+let length t = List.length t.sels
+let is_memory_ref t = t.sels <> []
+
+let prefix t =
+  match t.sels with
+  | [] -> None
+  | sels -> (
+    match List.rev sels with
+    | _ :: rest -> Some { t with sels = List.rev rest }
+    | [] -> None)
+
+let last t = match List.rev t.sels with [] -> None | s :: _ -> Some s
+
+let prefixes t =
+  let rec go acc kept = function
+    | [] -> List.rev acc
+    | s :: rest ->
+      let kept = kept @ [ s ] in
+      go ({ t with sels = kept } :: acc) kept rest
+  in
+  go [] [] t.sels
+
+let sel_equal a b =
+  match (a, b) with
+  | Sfield (f, _), Sfield (g, _) -> Ident.equal f g
+  | Sderef _, Sderef _ -> true
+  | Sindex (i, _), Sindex (j, _) -> Reg.atom_equal i j
+  | (Sfield _ | Sderef _ | Sindex _), _ -> false
+
+let equal a b =
+  Reg.var_equal a.base b.base
+  && List.length a.sels = List.length b.sels
+  && List.for_all2 sel_equal a.sels b.sels
+
+let sel_hash = function
+  | Sfield (f, _) -> 3 + (17 * Ident.hash f)
+  | Sderef _ -> 5
+  | Sindex (Reg.Avar v, _) -> 7 + (17 * Reg.var_hash v)
+  | Sindex (Reg.Aint n, _) -> 11 + (17 * n)
+  | Sindex (_, _) -> 13
+
+let hash t =
+  List.fold_left (fun h s -> (h * 31) + sel_hash s) (Reg.var_hash t.base) t.sels
+
+let vars_used t =
+  let idx =
+    List.filter_map
+      (function Sindex (Reg.Avar v, _) -> Some v | _ -> None)
+      t.sels
+  in
+  t.base :: idx
+
+let pp ppf t =
+  Reg.pp_var ppf t.base;
+  List.iter
+    (function
+      | Sfield (f, _) -> Format.fprintf ppf ".%a" Ident.pp f
+      | Sderef _ -> Format.pp_print_string ppf "^"
+      | Sindex (i, _) -> Format.fprintf ppf "[%a]" Reg.pp_atom i)
+    t.sels
+
+let to_string t = Format.asprintf "%a" pp t
+
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)

@@ -1,0 +1,60 @@
+(** Access paths — the unit of memory reference the paper's analyses reason
+    about.
+
+    An access path is a base variable followed by a string of selectors:
+    [Sfield] (the paper's Qualify, [p.f]), [Sderef] (Dereference, [p^]) and
+    [Sindex] (Subscript, [p\[i\]]). Every selector records the static type of
+    the value it produces, so [Type (AP)] and the per-prefix types the alias
+    analyses consult are available without re-running type inference. *)
+
+open Support
+open Minim3
+
+type selector =
+  | Sfield of Ident.t * Types.tid  (* field name, field content type *)
+  | Sderef of Types.tid  (* referent type *)
+  | Sindex of Reg.atom * Types.tid  (* index atom, element type *)
+
+type t = { base : Reg.var; sels : selector list }
+
+val of_var : Reg.var -> t
+val extend : t -> selector -> t
+
+val ty : t -> Types.tid
+(** The paper's [Type (AP)]: the static type of the value the path denotes.
+    For an empty path this is the base variable's type. *)
+
+val length : t -> int
+(** Number of selectors. *)
+
+val is_memory_ref : t -> bool
+(** True when the path has at least one selector, i.e. denotes a memory
+    location rather than a register. *)
+
+val prefixes : t -> t list
+(** All prefixes with at least one selector, shortest first, including the
+    path itself: the prefixes of [a.b^] are [a.b] and [a.b^]. These are the
+    locations whose contents determine the path's value. *)
+
+val prefix : t -> t option
+(** The path minus its last selector, or [None] for a bare variable. *)
+
+val last : t -> selector option
+
+val equal : t -> t -> bool
+(** Syntactic equality: same base variable, same selectors, index atoms
+    equal. This is the equality under which RLE recognizes redundant
+    loads. *)
+
+val hash : t -> int
+
+val vars_used : t -> Reg.var list
+(** The base variable and every variable appearing in an index position —
+    redefining any of them changes what the path denotes. *)
+
+val selector_result : selector -> Types.tid
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+module Tbl : Hashtbl.S with type key = t

@@ -1,0 +1,63 @@
+open Support
+open Minim3
+
+let callees_of_target program = function
+  | Instr.Cdirect p -> [ p ]
+  | Instr.Cvirtual (m, recv_ty) ->
+    let tenv = program.Cfg.tenv in
+    Types.subtypes tenv recv_ty
+    |> List.filter_map (fun t ->
+           if Types.is_object tenv t then Types.method_impl tenv t m else None)
+    |> List.sort_uniq Ident.compare
+
+let callees program proc =
+  let acc = ref Ident.Set.empty in
+  Cfg.iter_instrs proc (fun _ instr ->
+      match instr with
+      | Instr.Icall (_, target, _) ->
+        List.iter
+          (fun p -> acc := Ident.Set.add p !acc)
+          (callees_of_target program target)
+      | _ -> ());
+  !acc
+
+let transitive_closure program =
+  let direct = Hashtbl.create 32 in
+  List.iter
+    (fun proc ->
+      Hashtbl.replace direct proc.Cfg.pr_name (callees program proc))
+    program.Cfg.prog_procs;
+  let closure = Hashtbl.create 32 in
+  List.iter
+    (fun proc -> Hashtbl.replace closure proc.Cfg.pr_name
+        (Option.value (Hashtbl.find_opt direct proc.Cfg.pr_name)
+           ~default:Ident.Set.empty))
+    program.Cfg.prog_procs;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun proc ->
+        let name = proc.Cfg.pr_name in
+        let cur = Hashtbl.find closure name in
+        let expanded =
+          Ident.Set.fold
+            (fun callee acc ->
+              match Hashtbl.find_opt closure callee with
+              | Some s -> Ident.Set.union acc s
+              | None -> acc)
+            cur cur
+        in
+        if not (Ident.Set.equal expanded cur) then begin
+          Hashtbl.replace closure name expanded;
+          changed := true
+        end)
+      program.Cfg.prog_procs
+  done;
+  closure
+
+let is_recursive program name =
+  let closure = transitive_closure program in
+  match Hashtbl.find_opt closure name with
+  | Some s -> Ident.Set.mem name s
+  | None -> false

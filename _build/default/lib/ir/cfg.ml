@@ -1,0 +1,90 @@
+open Support
+open Minim3
+
+type block = {
+  b_id : int;
+  mutable b_instrs : Instr.t list;
+  mutable b_term : Instr.terminator;
+}
+
+type proc = {
+  pr_name : Ident.t;
+  pr_params : Reg.var list;
+  pr_ret : Types.tid option;
+  pr_blocks : block Vec.t;
+  mutable pr_entry : int;
+  mutable pr_locals : Reg.var list;
+}
+
+type program = {
+  tenv : Types.env;
+  prog_globals : Reg.var list;
+  mutable prog_procs : proc list;
+  prog_main : Ident.t;
+  mutable next_var_id : int;
+}
+
+let new_block proc term =
+  let b = { b_id = Vec.length proc.pr_blocks; b_instrs = []; b_term = term } in
+  ignore (Vec.push proc.pr_blocks b);
+  b
+
+let block proc id = Vec.get proc.pr_blocks id
+let n_blocks proc = Vec.length proc.pr_blocks
+
+let successors = function
+  | Instr.Tjump l -> [ l ]
+  | Instr.Tbranch (_, t, f) -> if t = f then [ t ] else [ t; f ]
+  | Instr.Treturn _ -> []
+
+let predecessors proc =
+  let preds = Array.make (n_blocks proc) [] in
+  Vec.iter
+    (fun b ->
+      List.iter (fun s -> preds.(s) <- b.b_id :: preds.(s)) (successors b.b_term))
+    proc.pr_blocks;
+  Array.map List.rev preds
+
+let reverse_postorder proc =
+  let visited = Array.make (n_blocks proc) false in
+  let order = ref [] in
+  let rec dfs id =
+    if not visited.(id) then begin
+      visited.(id) <- true;
+      List.iter dfs (successors (block proc id).b_term);
+      order := id :: !order
+    end
+  in
+  dfs proc.pr_entry;
+  !order
+
+let find_proc program name =
+  List.find (fun p -> Ident.equal p.pr_name name) program.prog_procs
+
+let find_proc_opt program name =
+  List.find_opt (fun p -> Ident.equal p.pr_name name) program.prog_procs
+
+let fresh_var program ~name ~ty ~kind =
+  let id = program.next_var_id in
+  program.next_var_id <- id + 1;
+  { Reg.v_id = id; v_name = Ident.intern name; v_ty = ty; v_kind = kind }
+
+let iter_instrs proc f =
+  Vec.iter (fun b -> List.iter (f b) b.b_instrs) proc.pr_blocks
+
+let instr_count proc =
+  Vec.fold_left (fun acc b -> acc + List.length b.b_instrs + 1) 0 proc.pr_blocks
+
+let pp_proc ppf proc =
+  Format.fprintf ppf "@[<v>procedure %a (entry B%d)@," Ident.pp proc.pr_name
+    proc.pr_entry;
+  Vec.iter
+    (fun b ->
+      Format.fprintf ppf "B%d:@," b.b_id;
+      List.iter (fun i -> Format.fprintf ppf "  %a@," Instr.pp i) b.b_instrs;
+      Format.fprintf ppf "  %a@," Instr.pp_terminator b.b_term)
+    proc.pr_blocks;
+  Format.fprintf ppf "@]"
+
+let pp_program ppf program =
+  List.iter (fun p -> Format.fprintf ppf "%a@." pp_proc p) program.prog_procs

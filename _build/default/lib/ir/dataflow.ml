@@ -1,0 +1,106 @@
+open Support
+
+type confluence = Must | May
+
+type result = { inn : Bitset.t array; out : Bitset.t array }
+
+let run ~proc ~universe ~confluence ~gen ~kill ~entry_fact =
+  let n = Cfg.n_blocks proc in
+  let rpo = Cfg.reverse_postorder proc in
+  let preds = Cfg.predecessors proc in
+  let top () =
+    let s = Bitset.create universe in
+    (match confluence with
+    | Must -> Bitset.fill s
+    | May -> ());
+    s
+  in
+  let inn = Array.init n (fun _ -> top ()) in
+  let out = Array.init n (fun _ -> top ()) in
+  let entry = proc.Cfg.pr_entry in
+  inn.(entry) <- Bitset.copy entry_fact;
+  let transfer b =
+    let o = Bitset.copy inn.(b) in
+    Bitset.diff_into ~dst:o (kill b);
+    Bitset.union_into ~dst:o (gen b);
+    o
+  in
+  List.iter (fun b -> out.(b) <- transfer b) rpo;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun b ->
+        if b <> entry then begin
+          let meet = top () in
+          List.iter
+            (fun p ->
+              match confluence with
+              | Must -> Bitset.inter_into ~dst:meet out.(p)
+              | May -> Bitset.union_into ~dst:meet out.(p))
+            preds.(b);
+          if not (Bitset.equal meet inn.(b)) then begin
+            inn.(b) <- meet;
+            let o = transfer b in
+            if not (Bitset.equal o out.(b)) then begin
+              out.(b) <- o;
+              changed := true
+            end
+          end
+        end)
+      rpo
+  done;
+  { inn; out }
+
+let run_backward ~proc ~universe ~confluence ~gen ~kill ~exit_fact =
+  let n = Cfg.n_blocks proc in
+  let rpo = Cfg.reverse_postorder proc in
+  let po = List.rev rpo in
+  let top () =
+    let s = Bitset.create universe in
+    (match confluence with
+    | Must -> Bitset.fill s
+    | May -> ());
+    s
+  in
+  let inn = Array.init n (fun _ -> top ()) in
+  let out = Array.init n (fun _ -> top ()) in
+  let transfer b =
+    let i = Bitset.copy out.(b) in
+    Bitset.diff_into ~dst:i (kill b);
+    Bitset.union_into ~dst:i (gen b);
+    i
+  in
+  (* Blocks without successors seed from the exit fact. *)
+  List.iter
+    (fun b ->
+      if Cfg.successors (Cfg.block proc b).Cfg.b_term = [] then
+        out.(b) <- Bitset.copy exit_fact;
+      inn.(b) <- transfer b)
+    po;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun b ->
+        let succs = Cfg.successors (Cfg.block proc b).Cfg.b_term in
+        if succs <> [] then begin
+          let meet = top () in
+          List.iter
+            (fun s ->
+              match confluence with
+              | Must -> Bitset.inter_into ~dst:meet inn.(s)
+              | May -> Bitset.union_into ~dst:meet inn.(s))
+            succs;
+          if not (Bitset.equal meet out.(b)) then begin
+            out.(b) <- meet;
+            let i = transfer b in
+            if not (Bitset.equal i inn.(b)) then begin
+              inn.(b) <- i;
+              changed := true
+            end
+          end
+        end)
+      po
+  done;
+  { inn; out }

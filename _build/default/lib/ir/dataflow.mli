@@ -1,0 +1,40 @@
+(** Generic forward bit-vector dataflow over a procedure CFG.
+
+    Instantiated by the available-loads analysis behind RLE. The client
+    provides per-block transfer functions as gen/kill sets over a fixed
+    expression universe; the framework iterates to the maximum fixed point
+    with intersection ("must" analyses) or union ("may") as confluence. *)
+
+open Support
+
+type confluence = Must  (** intersection over predecessors *) | May  (** union *)
+
+type result = {
+  inn : Bitset.t array;  (* fact at block entry, per block id *)
+  out : Bitset.t array;  (* fact at block exit *)
+}
+
+val run :
+  proc:Cfg.proc ->
+  universe:int ->
+  confluence:confluence ->
+  gen:(int -> Bitset.t) ->
+  kill:(int -> Bitset.t) ->
+  entry_fact:Bitset.t ->
+  result
+(** [gen b]/[kill b] are per-block-id transfer sets; the block transfer is
+    [out = (inn - kill) ∪ gen]. For [Must] analyses unreachable blocks keep
+    the full set; the entry block starts at [entry_fact]. *)
+
+val run_backward :
+  proc:Cfg.proc ->
+  universe:int ->
+  confluence:confluence ->
+  gen:(int -> Bitset.t) ->
+  kill:(int -> Bitset.t) ->
+  exit_fact:Bitset.t ->
+  result
+(** Backward analysis (e.g. liveness): [inn] is the fact at block entry,
+    [out] at block exit; [out] of a block is the meet over its successors'
+    [inn], blocks with no successor start from [exit_fact], and the block
+    transfer is [inn = (out - kill) ∪ gen]. *)

@@ -1,0 +1,76 @@
+open Support
+
+type t = {
+  doms : Bitset.t option array;  (* per block: set of dominators; None = unreachable *)
+  idoms : int option array;
+}
+
+let compute proc =
+  let n = Cfg.n_blocks proc in
+  let rpo = Cfg.reverse_postorder proc in
+  let preds = Cfg.predecessors proc in
+  let doms : Bitset.t option array = Array.make n None in
+  let entry = proc.Cfg.pr_entry in
+  let full () =
+    let s = Bitset.create n in
+    Bitset.fill s;
+    s
+  in
+  List.iter (fun b -> doms.(b) <- Some (full ())) rpo;
+  let entry_set = Bitset.create n in
+  Bitset.add entry_set entry;
+  doms.(entry) <- Some entry_set;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun b ->
+        if b <> entry then begin
+          let inter = full () in
+          let has_pred = ref false in
+          List.iter
+            (fun p ->
+              match doms.(p) with
+              | Some dp ->
+                has_pred := true;
+                Bitset.inter_into ~dst:inter dp
+              | None -> ())
+            preds.(b);
+          if !has_pred then begin
+            Bitset.add inter b;
+            match doms.(b) with
+            | Some old when Bitset.equal old inter -> ()
+            | _ ->
+              doms.(b) <- Some inter;
+              changed := true
+          end
+        end)
+      rpo
+  done;
+  (* Immediate dominators: the unique strict dominator dominated by all other
+     strict dominators. *)
+  let idoms = Array.make n None in
+  List.iter
+    (fun b ->
+      if b <> entry then
+        match doms.(b) with
+        | None -> ()
+        | Some db ->
+          let strict = List.filter (fun d -> d <> b) (Bitset.elements db) in
+          let is_idom c =
+            List.for_all
+              (fun d ->
+                d = c
+                ||
+                match doms.(c) with Some dc -> Bitset.mem dc d | None -> false)
+              strict
+          in
+          idoms.(b) <- List.find_opt is_idom strict)
+    rpo;
+  { doms; idoms }
+
+let dominates t a b =
+  match t.doms.(b) with Some db -> Bitset.mem db a | None -> false
+
+let idom t b = t.idoms.(b)
+let reachable t b = t.doms.(b) <> None

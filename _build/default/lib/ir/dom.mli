@@ -1,0 +1,16 @@
+(** Dominator computation (iterative bit-vector algorithm over reverse
+    postorder). Only blocks reachable from the entry participate;
+    unreachable blocks dominate nothing and are dominated by nothing. *)
+
+type t
+
+val compute : Cfg.proc -> t
+
+val dominates : t -> int -> int -> bool
+(** [dominates t a b]: does block [a] dominate block [b]? Reflexive on
+    reachable blocks. *)
+
+val idom : t -> int -> int option
+(** Immediate dominator; [None] for the entry and unreachable blocks. *)
+
+val reachable : t -> int -> bool

@@ -1,0 +1,99 @@
+(* IR instructions.
+
+   Memory traffic is explicit: the only instructions that touch the heap (or
+   memory-resident stack aggregates) are [Iload], [Istore] and the implicit
+   dope-vector reads inside open-array subscripts and [Bnumber]. Everything
+   else operates on registers. This is the representation over which RLE and
+   the alias oracles work. *)
+
+open Support
+open Minim3
+
+type rvalue =
+  | Ratom of Reg.atom
+  | Rbinop of Ast.binop * Reg.atom * Reg.atom
+  | Runop of Ast.unop * Reg.atom
+
+type target =
+  | Cdirect of Ident.t  (* procedure name *)
+  | Cvirtual of Ident.t * Types.tid  (* method name, static receiver type *)
+
+type t =
+  | Iassign of Reg.var * rvalue  (* register move/ALU *)
+  | Iload of Reg.var * Apath.t  (* v := mem[AP] *)
+  | Istore of Apath.t * Reg.atom  (* mem[AP] := atom *)
+  | Iaddr of Reg.var * Apath.t  (* v := address of AP (VAR actual / WITH) *)
+  | Inew of Reg.var * Types.tid * Reg.atom option  (* allocation; open-array length *)
+  | Icall of Reg.var option * target * Reg.atom list
+  | Ibuiltin of Reg.var option * Tast.builtin * Reg.atom list
+
+type terminator =
+  | Tjump of int  (* block id *)
+  | Tbranch of Reg.atom * int * int  (* then-block, else-block *)
+  | Treturn of Reg.atom option
+
+let defined_var = function
+  | Iassign (v, _) | Iload (v, _) | Iaddr (v, _) | Inew (v, _, _) -> Some v
+  | Icall (v, _, _) | Ibuiltin (v, _, _) -> v
+  | Istore _ -> None
+
+let atoms_used = function
+  | Iassign (_, Ratom a) -> [ a ]
+  | Iassign (_, Rbinop (_, a, b)) -> [ a; b ]
+  | Iassign (_, Runop (_, a)) -> [ a ]
+  | Iload (_, ap) | Iaddr (_, ap) ->
+    List.map (fun v -> Reg.Avar v) (Apath.vars_used ap)
+  | Istore (ap, a) -> a :: List.map (fun v -> Reg.Avar v) (Apath.vars_used ap)
+  | Inew (_, _, len) -> Option.to_list len
+  | Icall (_, _, args) -> args
+  | Ibuiltin (_, _, args) -> args
+
+let vars_used i =
+  List.filter_map (function Reg.Avar v -> Some v | _ -> None) (atoms_used i)
+
+let pp_target ppf = function
+  | Cdirect p -> Ident.pp ppf p
+  | Cvirtual (m, _) -> Format.fprintf ppf "virtual:%a" Ident.pp m
+
+let pp ppf = function
+  | Iassign (v, Ratom a) ->
+    Format.fprintf ppf "%a := %a" Reg.pp_var v Reg.pp_atom a
+  | Iassign (v, Rbinop (op, a, b)) ->
+    Format.fprintf ppf "%a := %a %s %a" Reg.pp_var v Reg.pp_atom a
+      (Ast.binop_to_string op) Reg.pp_atom b
+  | Iassign (v, Runop (op, a)) ->
+    Format.fprintf ppf "%a := %s %a" Reg.pp_var v (Ast.unop_to_string op)
+      Reg.pp_atom a
+  | Iload (v, ap) -> Format.fprintf ppf "%a := load %a" Reg.pp_var v Apath.pp ap
+  | Istore (ap, a) -> Format.fprintf ppf "store %a := %a" Apath.pp ap Reg.pp_atom a
+  | Iaddr (v, ap) -> Format.fprintf ppf "%a := addr %a" Reg.pp_var v Apath.pp ap
+  | Inew (v, _, None) -> Format.fprintf ppf "%a := new" Reg.pp_var v
+  | Inew (v, _, Some len) ->
+    Format.fprintf ppf "%a := new[%a]" Reg.pp_var v Reg.pp_atom len
+  | Icall (dst, tgt, args) ->
+    let pp_dst ppf = function
+      | Some v -> Format.fprintf ppf "%a := " Reg.pp_var v
+      | None -> ()
+    in
+    Format.fprintf ppf "%acall %a(%a)" pp_dst dst pp_target tgt
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+         Reg.pp_atom)
+      args
+  | Ibuiltin (dst, _, args) ->
+    let pp_dst ppf = function
+      | Some v -> Format.fprintf ppf "%a := " Reg.pp_var v
+      | None -> ()
+    in
+    Format.fprintf ppf "%abuiltin(%a)" pp_dst dst
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+         Reg.pp_atom)
+      args
+
+let pp_terminator ppf = function
+  | Tjump l -> Format.fprintf ppf "jump B%d" l
+  | Tbranch (a, t, f) ->
+    Format.fprintf ppf "branch %a ? B%d : B%d" Reg.pp_atom a t f
+  | Treturn None -> Format.pp_print_string ppf "return"
+  | Treturn (Some a) -> Format.fprintf ppf "return %a" Reg.pp_atom a

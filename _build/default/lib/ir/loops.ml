@@ -1,0 +1,69 @@
+open Support
+
+type loop = { header : int; body : Bitset.t; latches : int list }
+
+let find proc dom =
+  let n = Cfg.n_blocks proc in
+  let preds = Cfg.predecessors proc in
+  (* Collect back edges grouped by header. *)
+  let by_header = Hashtbl.create 8 in
+  Vec.iter
+    (fun b ->
+      List.iter
+        (fun s ->
+          if Dom.reachable dom b.Cfg.b_id && Dom.dominates dom s b.Cfg.b_id then
+            Hashtbl.replace by_header s
+              (b.Cfg.b_id :: Option.value (Hashtbl.find_opt by_header s) ~default:[]))
+        (Cfg.successors b.Cfg.b_term))
+    proc.Cfg.pr_blocks;
+  let loops =
+    Hashtbl.fold
+      (fun header latches acc ->
+        let body = Bitset.create n in
+        Bitset.add body header;
+        let rec walk b =
+          if not (Bitset.mem body b) then begin
+            Bitset.add body b;
+            List.iter walk preds.(b)
+          end
+        in
+        List.iter walk latches;
+        { header; body; latches } :: acc)
+      by_header []
+  in
+  List.sort (fun a b -> Int.compare (Bitset.cardinal a.body) (Bitset.cardinal b.body)) loops
+
+let ensure_preheader proc loop =
+  let preds = Cfg.predecessors proc in
+  let outside =
+    List.filter (fun p -> not (Bitset.mem loop.body p)) preds.(loop.header)
+  in
+  match outside with
+  | [ p ] when
+      (* A unique outside predecessor whose only successor is the header can
+         serve as the preheader directly. *)
+      Cfg.successors (Cfg.block proc p).Cfg.b_term = [ loop.header ] ->
+    p
+  | _ ->
+    let pre = Cfg.new_block proc (Instr.Tjump loop.header) in
+    let retarget t =
+      match t with
+      | Instr.Tjump l when l = loop.header -> Instr.Tjump pre.Cfg.b_id
+      | Instr.Tbranch (a, x, y) ->
+        let x = if x = loop.header then pre.Cfg.b_id else x in
+        let y = if y = loop.header then pre.Cfg.b_id else y in
+        Instr.Tbranch (a, x, y)
+      | t -> t
+    in
+    List.iter
+      (fun p ->
+        let b = Cfg.block proc p in
+        b.Cfg.b_term <- retarget b.Cfg.b_term)
+      outside;
+    (* Entry adjustment if the loop header was the procedure entry. *)
+    if proc.Cfg.pr_entry = loop.header then proc.Cfg.pr_entry <- pre.Cfg.b_id;
+    pre.Cfg.b_id
+
+let executes_every_iteration _proc dom loop b =
+  Bitset.mem loop.body b
+  && List.for_all (fun latch -> Dom.dominates dom b latch) loop.latches

@@ -1,0 +1,21 @@
+(** Lowering from the typed AST to the mid-level IR.
+
+    Design points that matter to the paper's experiments:
+
+    - Access paths are preserved whole: a source expression [a.b^.c\[i\]]
+      lowers to a single [Iload] carrying the full selector string (after
+      flattening index subexpressions), exactly the unit the paper's RLE
+      hoists and CSEs. When the source names an intermediate pointer in a
+      variable, the path is split accordingly — which is what produces the
+      "Breakup" category of missed redundancies, since RLE does no copy
+      propagation.
+    - By-reference formals and WITH aliases hold addresses; their uses go
+      through an explicit [Sderef], and the corresponding [Iaddr]
+      instructions are the ground truth for AddressTaken.
+    - Short-circuit AND/OR lower to control flow.
+    - Global initializers run at the head of the synthesized main. *)
+
+val lower_program : Minim3.Tast.program -> Cfg.program
+
+val lower_string : ?file:string -> string -> Cfg.program
+(** Parse, check, lower. *)

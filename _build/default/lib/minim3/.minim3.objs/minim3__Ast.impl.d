@@ -1,0 +1,1 @@
+lib/minim3/ast.ml: Ident Loc Support

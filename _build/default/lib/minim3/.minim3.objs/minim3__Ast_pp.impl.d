@@ -1,0 +1,1 @@
+lib/minim3/ast_pp.ml: Ast Buffer Format Ident List Parser String Support

@@ -1,0 +1,1 @@
+lib/minim3/ast_pp.mli: Ast Format

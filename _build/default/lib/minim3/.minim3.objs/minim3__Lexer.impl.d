@@ -1,0 +1,1 @@
+lib/minim3/lexer.ml: Buffer Diag List Loc String Support Token

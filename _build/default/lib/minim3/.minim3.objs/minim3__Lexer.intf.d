@@ -1,0 +1,1 @@
+lib/minim3/lexer.mli: Support Token

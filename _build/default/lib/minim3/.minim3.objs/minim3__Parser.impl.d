@@ -1,0 +1,1 @@
+lib/minim3/parser.ml: Array Ast Diag Format Ident Lexer List Loc Support Token

@@ -1,0 +1,1 @@
+lib/minim3/parser.mli: Ast

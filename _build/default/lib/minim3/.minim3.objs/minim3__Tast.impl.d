@@ -1,0 +1,1 @@
+lib/minim3/tast.ml: Ast Ident List Loc Support Types

@@ -1,0 +1,1 @@
+lib/minim3/token.ml: Printf

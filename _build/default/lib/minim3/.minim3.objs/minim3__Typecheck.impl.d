@@ -1,0 +1,1 @@
+lib/minim3/typecheck.ml: Array Ast Diag Ident List Loc Option Parser Support Tast Types

@@ -1,0 +1,1 @@
+lib/minim3/typecheck.mli: Ast Tast

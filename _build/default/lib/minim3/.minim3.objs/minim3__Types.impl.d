@@ -1,0 +1,1 @@
+lib/minim3/types.ml: Array Ast Format Hashtbl Ident List Support

@@ -1,0 +1,1 @@
+lib/minim3/types.mli: Ast Format Ident Support

@@ -1,0 +1,221 @@
+open Support
+
+let pf = Format.fprintf
+
+let escape_char c =
+  match c with
+  | '\n' -> "\\n"
+  | '\t' -> "\\t"
+  | '\\' -> "\\\\"
+  | '\'' -> "\\'"
+  | c -> String.make 1 c
+
+let escape_string s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let rec pp_ty ppf (t : Ast.ty_expr) =
+  match t.Ast.t_desc with
+  | Ast.Tname n -> Ident.pp ppf n
+  | Ast.Tint -> Format.pp_print_string ppf "INTEGER"
+  | Ast.Tbool -> Format.pp_print_string ppf "BOOLEAN"
+  | Ast.Tchar -> Format.pp_print_string ppf "CHAR"
+  | Ast.Troot -> Format.pp_print_string ppf "ROOT"
+  | Ast.Tarray (Some n, elem) -> pf ppf "ARRAY [0..%d] OF %a" (n - 1) pp_ty elem
+  | Ast.Tarray (None, elem) -> pf ppf "ARRAY OF %a" pp_ty elem
+  | Ast.Trecord fields ->
+    pf ppf "RECORD@[<v 2>";
+    List.iter (fun f -> pf ppf "@ %a" pp_field f) fields;
+    pf ppf "@]@ END"
+  | Ast.Tref (None, target) -> pf ppf "REF %a" pp_ty target
+  | Ast.Tref (Some brand, target) ->
+    pf ppf "BRANDED \"%s\" REF %a" (escape_string brand) pp_ty target
+  | Ast.Tobject od -> pp_object ppf od
+
+and pp_field ppf (f : Ast.field_decl) =
+  pf ppf "%a: %a;" Ident.pp f.Ast.f_name pp_ty f.Ast.f_ty
+
+and pp_object ppf (od : Ast.object_decl) =
+  (match od.Ast.o_brand with
+  | Some b -> pf ppf "BRANDED \"%s\" " (escape_string b)
+  | None -> ());
+  (match od.Ast.o_super with
+  | Some s -> pf ppf "%a " pp_ty s
+  | None -> ());
+  pf ppf "OBJECT@[<v 2>";
+  List.iter (fun f -> pf ppf "@ %a" pp_field f) od.Ast.o_fields;
+  if od.Ast.o_methods <> [] then begin
+    pf ppf "@]@ METHODS@[<v 2>";
+    List.iter
+      (fun (m : Ast.method_decl) ->
+        pf ppf "@ %a (%a)%a%a;" Ident.pp m.Ast.m_name pp_params m.Ast.m_params
+          pp_ret m.Ast.m_ret
+          (fun ppf impl ->
+            match impl with
+            | Some p -> pf ppf " := %a" Ident.pp p
+            | None -> ())
+          m.Ast.m_impl)
+      od.Ast.o_methods
+  end;
+  if od.Ast.o_overrides <> [] then begin
+    pf ppf "@]@ OVERRIDES@[<v 2>";
+    List.iter
+      (fun (m, p, _) -> pf ppf "@ %a := %a;" Ident.pp m Ident.pp p)
+      od.Ast.o_overrides
+  end;
+  pf ppf "@]@ END"
+
+and pp_params ppf params =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+    (fun ppf (p : Ast.param_decl) ->
+      (match p.Ast.p_mode with
+      | Ast.By_ref -> Format.pp_print_string ppf "VAR "
+      | Ast.By_value -> ());
+      pf ppf "%a: %a" Ident.pp p.Ast.p_name pp_ty p.Ast.p_ty)
+    ppf params
+
+and pp_ret ppf = function
+  | Some t -> pf ppf ": %a" pp_ty t
+  | None -> ()
+
+(* Expressions are printed fully parenthesized: round-trip equality is
+   semantic, not token-identical. *)
+let rec pp_expr ppf (e : Ast.expr) =
+  match e.Ast.e_desc with
+  | Ast.Int_lit n -> if n < 0 then pf ppf "(%d)" n else Format.pp_print_int ppf n
+  | Ast.Bool_lit true -> Format.pp_print_string ppf "TRUE"
+  | Ast.Bool_lit false -> Format.pp_print_string ppf "FALSE"
+  | Ast.Char_lit c -> pf ppf "'%s'" (escape_char c)
+  | Ast.String_lit s -> pf ppf "\"%s\"" (escape_string s)
+  | Ast.Nil -> Format.pp_print_string ppf "NIL"
+  | Ast.Name n -> Ident.pp ppf n
+  | Ast.Field (b, f) -> pf ppf "%a.%a" pp_expr b Ident.pp f
+  | Ast.Deref b -> pf ppf "%a^" pp_expr b
+  | Ast.Index (b, i) -> pf ppf "%a[%a]" pp_expr b pp_expr i
+  | Ast.Binop (op, a, b) ->
+    pf ppf "(%a %s %a)" pp_expr a (Ast.binop_to_string op) pp_expr b
+  | Ast.Unop (Ast.Neg, a) -> pf ppf "(-%a)" pp_expr a
+  | Ast.Unop (Ast.Not, a) -> pf ppf "(NOT %a)" pp_expr a
+  | Ast.Call (callee, args) -> pf ppf "%a (%a)" pp_expr callee pp_args args
+  | Ast.New (t, []) -> pf ppf "NEW (%a)" pp_ty t
+  | Ast.New (t, args) -> pf ppf "NEW (%a, %a)" pp_ty t pp_args args
+
+and pp_args ppf args =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+    pp_expr ppf args
+
+let rec pp_stmt ppf (s : Ast.stmt) =
+  match s.Ast.s_desc with
+  | Ast.Assign (lhs, rhs) -> pf ppf "%a := %a;" pp_expr lhs pp_expr rhs
+  | Ast.Call_stmt e -> pf ppf "%a;" pp_expr e
+  | Ast.If (branches, else_) ->
+    List.iteri
+      (fun i (cond, body) ->
+        pf ppf "%s %a THEN@[<v 2>" (if i = 0 then "IF" else "ELSIF") pp_expr cond;
+        pp_stmts ppf body;
+        pf ppf "@]@ ")
+      branches;
+    if else_ <> [] then begin
+      pf ppf "ELSE@[<v 2>";
+      pp_stmts ppf else_;
+      pf ppf "@]@ "
+    end;
+    pf ppf "END;"
+  | Ast.While (cond, body) ->
+    pf ppf "WHILE %a DO@[<v 2>" pp_expr cond;
+    pp_stmts ppf body;
+    pf ppf "@]@ END;"
+  | Ast.Repeat (body, cond) ->
+    pf ppf "REPEAT@[<v 2>";
+    pp_stmts ppf body;
+    pf ppf "@]@ UNTIL %a;" pp_expr cond
+  | Ast.Loop body ->
+    pf ppf "LOOP@[<v 2>";
+    pp_stmts ppf body;
+    pf ppf "@]@ END;"
+  | Ast.For (v, lo, hi, step, body) ->
+    pf ppf "FOR %a := %a TO %a" Ident.pp v pp_expr lo pp_expr hi;
+    if step <> 1 then pf ppf " BY %d" step;
+    pf ppf " DO@[<v 2>";
+    pp_stmts ppf body;
+    pf ppf "@]@ END;"
+  | Ast.Exit -> Format.pp_print_string ppf "EXIT;"
+  | Ast.Return None -> Format.pp_print_string ppf "RETURN;"
+  | Ast.Return (Some e) -> pf ppf "RETURN %a;" pp_expr e
+  | Ast.With (binds, body) ->
+    pf ppf "WITH %a DO@[<v 2>"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+         (fun ppf (n, e) -> pf ppf "%a = %a" Ident.pp n pp_expr e))
+      binds;
+    pp_stmts ppf body;
+    pf ppf "@]@ END;"
+
+and pp_stmts ppf stmts = List.iter (fun s -> pf ppf "@ %a" pp_stmt s) stmts
+
+let pp_proc ppf (p : Ast.proc_decl) =
+  pf ppf "@[<v 0>PROCEDURE %a (%a)%a =@ " Ident.pp p.Ast.pr_name pp_params
+    p.Ast.pr_params pp_ret p.Ast.pr_ret;
+  if p.Ast.pr_consts <> [] then begin
+    pf ppf "CONST@[<v 2>";
+    List.iter
+      (fun (c : Ast.const_decl) ->
+        pf ppf "@ %a = %a;" Ident.pp c.Ast.c_name pp_expr c.Ast.c_value)
+      p.Ast.pr_consts;
+    pf ppf "@]@ "
+  end;
+  if p.Ast.pr_locals <> [] then begin
+    pf ppf "VAR@[<v 2>";
+    List.iter
+      (fun (v : Ast.var_decl) ->
+        pf ppf "@ %a: %a%a;" Ident.pp v.Ast.v_name pp_ty v.Ast.v_ty
+          (fun ppf init ->
+            match init with
+            | Some e -> pf ppf " := %a" pp_expr e
+            | None -> ())
+          v.Ast.v_init)
+      p.Ast.pr_locals;
+    pf ppf "@]@ "
+  end;
+  pf ppf "BEGIN@[<v 2>";
+  pp_stmts ppf p.Ast.pr_body;
+  pf ppf "@]@ END %a;@]" Ident.pp p.Ast.pr_name
+
+let pp_module ppf (m : Ast.module_) =
+  pf ppf "@[<v 0>MODULE %a;@ " Ident.pp m.Ast.mod_name;
+  List.iter
+    (fun decl ->
+      match decl with
+      | Ast.Dtype (name, ty, _) ->
+        pf ppf "@ TYPE@ @[<v 2>  %a = %a;@]@ " Ident.pp name pp_ty ty
+      | Ast.Dconst c ->
+        pf ppf "@ CONST@ @[<v 2>  %a = %a;@]@ " Ident.pp c.Ast.c_name pp_expr
+          c.Ast.c_value
+      | Ast.Dvar v ->
+        pf ppf "@ VAR@ @[<v 2>  %a: %a%a;@]@ " Ident.pp v.Ast.v_name pp_ty
+          v.Ast.v_ty
+          (fun ppf init ->
+            match init with
+            | Some e -> pf ppf " := %a" pp_expr e
+            | None -> ())
+          v.Ast.v_init
+      | Ast.Dproc p -> pf ppf "@ %a@ " pp_proc p)
+    m.Ast.mod_decls;
+  pf ppf "@ BEGIN@[<v 2>";
+  pp_stmts ppf m.Ast.mod_body;
+  pf ppf "@]@ END %a.@]@." Ident.pp m.Ast.mod_name
+
+let module_to_string m = Format.asprintf "%a" pp_module m
+
+let reprint ~file src = module_to_string (Parser.parse_module ~file src)

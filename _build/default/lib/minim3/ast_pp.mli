@@ -1,0 +1,17 @@
+(** Pretty-printer from the raw AST back to MiniM3 concrete syntax.
+
+    The output parses back to an equivalent module (same token-level
+    semantics; layout normalized, expressions fully parenthesized). Round
+    trips are checked both as a fixed point of [print ∘ parse] and
+    semantically — the reprinted program must behave identically on the
+    simulator. *)
+
+val pp_ty : Format.formatter -> Ast.ty_expr -> unit
+val pp_expr : Format.formatter -> Ast.expr -> unit
+val pp_stmt : Format.formatter -> Ast.stmt -> unit
+val pp_module : Format.formatter -> Ast.module_ -> unit
+
+val module_to_string : Ast.module_ -> string
+
+val reprint : file:string -> string -> string
+(** Parse then print. *)

@@ -1,0 +1,180 @@
+open Support
+
+type t = {
+  file : string;
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable bol : int;  (* offset of the start of the current line *)
+}
+
+let create ~file src = { file; src; pos = 0; line = 1; bol = 0 }
+
+let loc t = Loc.make ~file:t.file ~line:t.line ~col:(t.pos - t.bol + 1)
+
+let peek t = if t.pos < String.length t.src then Some t.src.[t.pos] else None
+
+let peek2 t =
+  if t.pos + 1 < String.length t.src then Some t.src.[t.pos + 1] else None
+
+let advance t =
+  (match peek t with
+  | Some '\n' ->
+    t.line <- t.line + 1;
+    t.bol <- t.pos + 1
+  | _ -> ());
+  t.pos <- t.pos + 1
+
+let is_digit c = c >= '0' && c <= '9'
+let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_alnum c = is_alpha c || is_digit c
+
+let rec skip_comment t depth start_loc =
+  match (peek t, peek2 t) with
+  | None, _ -> Diag.errorf_at start_loc "unterminated comment"
+  | Some '*', Some ')' ->
+    advance t;
+    advance t;
+    if depth > 1 then skip_comment t (depth - 1) start_loc
+  | Some '(', Some '*' ->
+    advance t;
+    advance t;
+    skip_comment t (depth + 1) start_loc
+  | Some _, _ ->
+    advance t;
+    skip_comment t depth start_loc
+
+let rec skip_ws t =
+  match (peek t, peek2 t) with
+  | Some (' ' | '\t' | '\r' | '\n'), _ ->
+    advance t;
+    skip_ws t
+  | Some '(', Some '*' ->
+    let start = loc t in
+    advance t;
+    advance t;
+    skip_comment t 1 start;
+    skip_ws t
+  | _ -> ()
+
+let lex_escape t start_loc =
+  match peek t with
+  | Some 'n' -> advance t; '\n'
+  | Some 't' -> advance t; '\t'
+  | Some '\\' -> advance t; '\\'
+  | Some '\'' -> advance t; '\''
+  | Some '"' -> advance t; '"'
+  | Some c -> Diag.errorf_at start_loc "unknown escape '\\%c'" c
+  | None -> Diag.errorf_at start_loc "unterminated escape"
+
+let lex_char t start_loc =
+  advance t;
+  (* past the opening quote *)
+  let c =
+    match peek t with
+    | Some '\\' ->
+      advance t;
+      lex_escape t start_loc
+    | Some c when c <> '\'' ->
+      advance t;
+      c
+    | _ -> Diag.errorf_at start_loc "malformed character literal"
+  in
+  match peek t with
+  | Some '\'' ->
+    advance t;
+    Token.CHARLIT c
+  | _ -> Diag.errorf_at start_loc "character literal missing closing quote"
+
+let lex_string t start_loc =
+  advance t;
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek t with
+    | None | Some '\n' -> Diag.errorf_at start_loc "unterminated string literal"
+    | Some '"' ->
+      advance t;
+      Token.STRING (Buffer.contents buf)
+    | Some '\\' ->
+      advance t;
+      Buffer.add_char buf (lex_escape t start_loc);
+      go ()
+    | Some c ->
+      advance t;
+      Buffer.add_char buf c;
+      go ()
+  in
+  go ()
+
+let lex_number t =
+  let start = t.pos in
+  while (match peek t with Some c -> is_digit c | None -> false) do
+    advance t
+  done;
+  let text = String.sub t.src start (t.pos - start) in
+  match int_of_string_opt text with
+  | Some n -> Token.INT n
+  | None -> Diag.errorf_at (loc t) "integer literal out of range: %s" text
+
+let lex_word t =
+  let start = t.pos in
+  while (match peek t with Some c -> is_alnum c | None -> false) do
+    advance t
+  done;
+  let text = String.sub t.src start (t.pos - start) in
+  match List.assoc_opt text Token.keyword_table with
+  | Some kw -> kw
+  | None -> Token.IDENT text
+
+let next t =
+  skip_ws t;
+  let l = loc t in
+  let tok =
+    match peek t with
+    | None -> Token.EOF
+    | Some c when is_digit c -> lex_number t
+    | Some c when is_alpha c -> lex_word t
+    | Some '\'' -> lex_char t l
+    | Some '"' -> lex_string t l
+    | Some c ->
+      let two target result =
+        advance t;
+        if peek t = Some target then begin
+          advance t;
+          result
+        end
+        else None
+      in
+      let simple tok =
+        advance t;
+        tok
+      in
+      (match c with
+      | ';' -> simple Token.SEMI
+      | ',' -> simple Token.COMMA
+      | ':' -> ( match two '=' (Some Token.ASSIGN) with Some tk -> tk | None -> Token.COLON)
+      | '=' -> simple Token.EQ
+      | '#' -> simple Token.NE
+      | '<' -> (match two '=' (Some Token.LE) with Some tk -> tk | None -> Token.LT)
+      | '>' -> (match two '=' (Some Token.GE) with Some tk -> tk | None -> Token.GT)
+      | '+' -> simple Token.PLUS
+      | '-' -> simple Token.MINUS
+      | '*' -> simple Token.STAR
+      | '(' -> simple Token.LPAREN
+      | ')' -> simple Token.RPAREN
+      | '[' -> simple Token.LBRACKET
+      | ']' -> simple Token.RBRACKET
+      | '^' -> simple Token.CARET
+      | '.' -> (match two '.' (Some Token.DOTDOT) with Some tk -> tk | None -> Token.DOT)
+      | c -> Diag.errorf_at l "unexpected character '%c'" c)
+  in
+  (tok, l)
+
+let tokenize ~file src =
+  let t = create ~file src in
+  let rec go acc =
+    let tok, l = next t in
+    let acc = (tok, l) :: acc in
+    match tok with Token.EOF -> List.rev acc | _ -> go acc
+  in
+  go []

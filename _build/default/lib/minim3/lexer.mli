@@ -1,0 +1,20 @@
+(** Hand-written lexer for MiniM3.
+
+    Comments are Modula-3 style [(* ... *)] and nest. Character literals use
+    single quotes with [\n], [\t], [\\], [\'] escapes; string literals (used
+    only as arguments to the Print builtin) use double quotes with the same
+    escapes. *)
+
+type t
+
+val create : file:string -> string -> t
+(** [create ~file source] positions the lexer at the start of [source];
+    [file] is used in diagnostics only. *)
+
+val next : t -> Token.t * Support.Loc.t
+(** The next token and the location where it starts. Returns [EOF]
+    indefinitely at end of input. Raises {!Support.Diag.Compile_error} on
+    malformed input. *)
+
+val tokenize : file:string -> string -> (Token.t * Support.Loc.t) list
+(** The whole token stream including the final [EOF]. *)

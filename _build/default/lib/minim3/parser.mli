@@ -1,0 +1,12 @@
+(** Recursive-descent parser for MiniM3.
+
+    The grammar is LL(2) — one token of lookahead everywhere except
+    distinguishing a supertype name from a plain type name in
+    [T = Super OBJECT ... END]. *)
+
+val parse_module : file:string -> string -> Ast.module_
+(** Parse a full compilation unit. Raises {!Support.Diag.Compile_error} on
+    syntax errors, with the offending location. *)
+
+val parse_expr_string : string -> Ast.expr
+(** Parse a single expression (testing convenience). *)

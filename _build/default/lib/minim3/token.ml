@@ -1,0 +1,60 @@
+(* Lexical tokens of MiniM3, a type-safe Modula-3 subset.
+
+   The subset keeps every construct the paper's analyses consult: object
+   types with inheritance and methods, records, fixed and open arrays, REF
+   (optionally BRANDED) types, VAR parameters and WITH (the two
+   address-taking constructs), and pointer assignment. *)
+
+type t =
+  (* literals and names *)
+  | IDENT of string
+  | INT of int
+  | CHARLIT of char
+  | STRING of string
+  (* keywords *)
+  | MODULE | TYPE | CONST | VAR | PROCEDURE | BEGIN | END
+  | IF | THEN | ELSE | ELSIF | WHILE | DO | FOR | TO | BY
+  | REPEAT | UNTIL | LOOP | EXIT | RETURN | WITH
+  | OBJECT | METHODS | OVERRIDES | RECORD | ARRAY | OF | REF | BRANDED
+  | NEW | NIL | TRUE | FALSE | ROOT
+  | DIV | MOD | AND | OR | NOT
+  (* punctuation and operators *)
+  | SEMI | COMMA | COLON | ASSIGN | EQ | NE | LT | LE | GT | GE
+  | PLUS | MINUS | STAR | LPAREN | RPAREN | LBRACKET | RBRACKET
+  | CARET | DOT | DOTDOT
+  | EOF
+
+let keyword_table : (string * t) list =
+  [ ("MODULE", MODULE); ("TYPE", TYPE); ("CONST", CONST); ("VAR", VAR);
+    ("PROCEDURE", PROCEDURE); ("BEGIN", BEGIN); ("END", END); ("IF", IF);
+    ("THEN", THEN); ("ELSE", ELSE); ("ELSIF", ELSIF); ("WHILE", WHILE);
+    ("DO", DO); ("FOR", FOR); ("TO", TO); ("BY", BY); ("REPEAT", REPEAT);
+    ("UNTIL", UNTIL); ("LOOP", LOOP); ("EXIT", EXIT); ("RETURN", RETURN);
+    ("WITH", WITH); ("OBJECT", OBJECT); ("METHODS", METHODS);
+    ("OVERRIDES", OVERRIDES); ("RECORD", RECORD); ("ARRAY", ARRAY);
+    ("OF", OF); ("REF", REF); ("BRANDED", BRANDED); ("NEW", NEW);
+    ("NIL", NIL); ("TRUE", TRUE); ("FALSE", FALSE); ("ROOT", ROOT);
+    ("DIV", DIV); ("MOD", MOD); ("AND", AND); ("OR", OR); ("NOT", NOT) ]
+
+let to_string = function
+  | IDENT s -> s
+  | INT n -> string_of_int n
+  | CHARLIT c -> Printf.sprintf "'%c'" c
+  | STRING s -> Printf.sprintf "%S" s
+  | MODULE -> "MODULE" | TYPE -> "TYPE" | CONST -> "CONST" | VAR -> "VAR"
+  | PROCEDURE -> "PROCEDURE" | BEGIN -> "BEGIN" | END -> "END"
+  | IF -> "IF" | THEN -> "THEN" | ELSE -> "ELSE" | ELSIF -> "ELSIF"
+  | WHILE -> "WHILE" | DO -> "DO" | FOR -> "FOR" | TO -> "TO" | BY -> "BY"
+  | REPEAT -> "REPEAT" | UNTIL -> "UNTIL" | LOOP -> "LOOP" | EXIT -> "EXIT"
+  | RETURN -> "RETURN" | WITH -> "WITH" | OBJECT -> "OBJECT"
+  | METHODS -> "METHODS" | OVERRIDES -> "OVERRIDES" | RECORD -> "RECORD"
+  | ARRAY -> "ARRAY" | OF -> "OF" | REF -> "REF" | BRANDED -> "BRANDED"
+  | NEW -> "NEW" | NIL -> "NIL" | TRUE -> "TRUE" | FALSE -> "FALSE"
+  | ROOT -> "ROOT" | DIV -> "DIV" | MOD -> "MOD" | AND -> "AND" | OR -> "OR"
+  | NOT -> "NOT" | SEMI -> ";" | COMMA -> "," | COLON -> ":"
+  | ASSIGN -> ":=" | EQ -> "=" | NE -> "#" | LT -> "<" | LE -> "<="
+  | GT -> ">" | GE -> ">=" | PLUS -> "+" | MINUS -> "-" | STAR -> "*"
+  | LPAREN -> "(" | RPAREN -> ")" | LBRACKET -> "[" | RBRACKET -> "]"
+  | CARET -> "^" | DOT -> "." | DOTDOT -> ".." | EOF -> "<eof>"
+
+let equal (a : t) (b : t) = a = b

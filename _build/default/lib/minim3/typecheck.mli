@@ -1,0 +1,22 @@
+(** MiniM3 type checker and elaborator.
+
+    Checks a parsed module against Modula-3-style rules and produces the
+    typed program ({!Tast.program}) the rest of the pipeline consumes:
+
+    - names resolved (locals/params/globals/consts/procedures/methods);
+    - every expression annotated with its {!Types.tid};
+    - [p.f] and [p\[i\]] through a REF desugared into explicit dereference;
+    - VAR actuals and WITH-over-designator marked as address-taking;
+    - VAR (by-reference) actuals required to have *identical* type to the
+      formal, as Modula-3 requires — the open-world AddressTaken rule
+      depends on this;
+    - assignments restricted to scalar types (the paper assumes aggregate
+      assignments are broken into component accesses);
+    - the module body packaged as a procedure named ["@main"].
+
+    All violations raise {!Support.Diag.Compile_error}. *)
+
+val check_module : Ast.module_ -> Tast.program
+
+val check_string : ?file:string -> string -> Tast.program
+(** Parse then check. *)

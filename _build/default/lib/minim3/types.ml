@@ -1,0 +1,279 @@
+open Support
+
+type tid = int
+
+type field = { fld_name : Ident.t; fld_ty : tid }
+
+type method_sig = {
+  ms_name : Ident.t;
+  ms_params : (Ast.param_mode * tid) list;
+  ms_ret : tid option;
+  ms_impl : Ident.t option;
+}
+
+type obj_info = {
+  obj_name : Ident.t;
+  obj_uid : int;
+  obj_super : tid option;
+  obj_brand : string option;
+  obj_fields : field array;
+  obj_methods : method_sig array;
+  obj_overrides : (Ident.t * Ident.t) array;
+}
+
+type desc =
+  | Dint
+  | Dbool
+  | Dchar
+  | Dnull
+  | Dunit
+  | Darray of int option * tid
+  | Drecord of field array
+  | Dref of { target : tid; brand : string option }
+  | Dobject of obj_info
+
+(* Structural key used to hash-cons non-object descs. Objects are nominal so
+   they never enter this table. *)
+type key =
+  | Kprim of int
+  | Karray of int option * tid
+  | Krecord of (int * tid) list  (* field ident ids *)
+  | Kref of tid * string option
+
+type env = {
+  mutable descs : desc array;
+  mutable len : int;
+  cons : (key, tid) Hashtbl.t;
+  mutable next_uid : int;
+}
+
+let tid_unit = 0
+let tid_int = 1
+let tid_bool = 2
+let tid_char = 3
+let tid_null = 4
+let tid_root = 5
+
+let root_info =
+  { obj_name = Ident.intern "ROOT"; obj_uid = 0; obj_super = None;
+    obj_brand = None; obj_fields = [||]; obj_methods = [||]; obj_overrides = [||] }
+
+let create () =
+  let descs = Array.make 64 Dunit in
+  descs.(tid_unit) <- Dunit;
+  descs.(tid_int) <- Dint;
+  descs.(tid_bool) <- Dbool;
+  descs.(tid_char) <- Dchar;
+  descs.(tid_null) <- Dnull;
+  descs.(tid_root) <- Dobject root_info;
+  let env = { descs; len = 6; cons = Hashtbl.create 64; next_uid = 1 } in
+  Hashtbl.add env.cons (Kprim tid_unit) tid_unit;
+  Hashtbl.add env.cons (Kprim tid_int) tid_int;
+  Hashtbl.add env.cons (Kprim tid_bool) tid_bool;
+  Hashtbl.add env.cons (Kprim tid_char) tid_char;
+  Hashtbl.add env.cons (Kprim tid_null) tid_null;
+  env
+
+let count env = env.len
+
+let desc env tid =
+  if tid < 0 || tid >= env.len then invalid_arg "Types.desc: bad tid";
+  env.descs.(tid)
+
+let push env d =
+  if env.len = Array.length env.descs then begin
+    let bigger = Array.make (2 * env.len) Dunit in
+    Array.blit env.descs 0 bigger 0 env.len;
+    env.descs <- bigger
+  end;
+  env.descs.(env.len) <- d;
+  env.len <- env.len + 1;
+  env.len - 1
+
+let key_of_desc = function
+  | Dunit -> Kprim tid_unit
+  | Dint -> Kprim tid_int
+  | Dbool -> Kprim tid_bool
+  | Dchar -> Kprim tid_char
+  | Dnull -> Kprim tid_null
+  | Darray (n, t) -> Karray (n, t)
+  | Drecord fields ->
+    Krecord (Array.to_list (Array.map (fun f -> (Ident.id f.fld_name, f.fld_ty)) fields))
+  | Dref { target; brand } -> Kref (target, brand)
+  | Dobject _ -> invalid_arg "Types.intern: use new_object for object types"
+
+let intern env d =
+  let key = key_of_desc d in
+  match Hashtbl.find_opt env.cons key with
+  | Some tid -> tid
+  | None ->
+    let tid = push env d in
+    Hashtbl.add env.cons key tid;
+    tid
+
+let new_object env ~name ~super ~brand ~fields ~methods ~overrides =
+  (match super with
+  | Some s -> (
+    match desc env s with
+    | Dobject _ -> ()
+    | _ -> invalid_arg "Types.new_object: supertype is not an object type")
+  | None -> ());
+  let info =
+    { obj_name = name; obj_uid = env.next_uid; obj_super = super;
+      obj_brand = brand; obj_fields = fields; obj_methods = methods;
+      obj_overrides = overrides }
+  in
+  env.next_uid <- env.next_uid + 1;
+  push env (Dobject info)
+
+let reserve_ref env ~brand = push env (Dref { target = tid_unit; brand })
+
+let patch_ref env tid ~target =
+  match desc env tid with
+  | Dref { brand; _ } -> env.descs.(tid) <- Dref { target; brand }
+  | _ -> invalid_arg "Types.patch_ref: not a ref tid"
+
+let reserve_object env ~name =
+  let info =
+    { obj_name = name; obj_uid = env.next_uid; obj_super = Some tid_root;
+      obj_brand = None; obj_fields = [||]; obj_methods = [||];
+      obj_overrides = [||] }
+  in
+  env.next_uid <- env.next_uid + 1;
+  push env (Dobject info)
+
+let patch_object env tid ~super ~brand ~fields ~methods ~overrides =
+  match desc env tid with
+  | Dobject info ->
+    env.descs.(tid) <-
+      Dobject { info with obj_super = super; obj_brand = brand;
+                obj_fields = fields; obj_methods = methods;
+                obj_overrides = overrides }
+  | _ -> invalid_arg "Types.patch_object: not an object tid"
+
+let is_object env t = match desc env t with Dobject _ -> true | _ -> false
+let is_ref env t = match desc env t with Dref _ -> true | _ -> false
+
+let is_pointer env t =
+  match desc env t with Dobject _ | Dref _ | Dnull -> true | _ -> false
+
+let is_scalar env t =
+  match desc env t with
+  | Dint | Dbool | Dchar | Dnull | Dref _ | Dobject _ -> true
+  | Dunit | Darray _ | Drecord _ -> false
+
+let rec super_chain env t acc =
+  match desc env t with
+  | Dobject { obj_super = Some s; _ } -> super_chain env s (s :: acc)
+  | _ -> acc
+
+let subtype env s t =
+  if s = t then true
+  else
+    match (desc env s, desc env t) with
+    | Dnull, (Dref _ | Dobject _) -> true
+    | Dobject _, Dobject _ -> List.mem t (super_chain env s [])
+    | _ -> false
+
+let subtypes env t =
+  (* NIL inhabits every pointer type but denotes no location, so it is not a
+     member of the paper's Subtypes(T) — including it would make every pair
+     of pointer types overlap on {NULL} and TypeDecl trivially imprecise. *)
+  let acc = ref [] in
+  for u = env.len - 1 downto 0 do
+    if u <> tid_null && subtype env u t then acc := u :: !acc
+  done;
+  !acc
+
+let rec object_fields env t =
+  match desc env t with
+  | Dobject info ->
+    let inherited =
+      match info.obj_super with Some s -> object_fields env s | None -> []
+    in
+    inherited @ Array.to_list info.obj_fields
+  | _ -> invalid_arg "Types.object_fields: not an object type"
+
+let find_field env t name =
+  match desc env t with
+  | Drecord fields ->
+    Array.fold_left
+      (fun acc f -> if Ident.equal f.fld_name name then Some f else acc)
+      None fields
+  | Dobject _ ->
+    List.find_opt (fun f -> Ident.equal f.fld_name name) (object_fields env t)
+  | _ -> None
+
+let rec lookup_method env t m =
+  match desc env t with
+  | Dobject info -> (
+    let own =
+      Array.fold_left
+        (fun acc ms -> if Ident.equal ms.ms_name m then Some ms else acc)
+        None info.obj_methods
+    in
+    match own with
+    | Some ms -> Some (t, ms)
+    | None -> (
+      match info.obj_super with
+      | Some s -> lookup_method env s m
+      | None -> None))
+  | _ -> None
+
+let rec method_impl env t m =
+  match desc env t with
+  | Dobject info -> (
+    let override =
+      Array.fold_left
+        (fun acc (name, proc) -> if Ident.equal name m then Some proc else acc)
+        None info.obj_overrides
+    in
+    match override with
+    | Some proc -> Some proc
+    | None -> (
+      let own_default =
+        Array.fold_left
+          (fun acc ms -> if Ident.equal ms.ms_name m then ms.ms_impl else acc)
+          None info.obj_methods
+      in
+      match own_default with
+      | Some proc -> Some proc
+      | None -> (
+        match info.obj_super with
+        | Some s -> method_impl env s m
+        | None -> None)))
+  | _ -> None
+
+let rec methods_visible env t =
+  match desc env t with
+  | Dobject info ->
+    let inherited =
+      match info.obj_super with Some s -> methods_visible env s | None -> []
+    in
+    let own = Array.to_list (Array.map (fun ms -> ms.ms_name) info.obj_methods) in
+    inherited @ List.filter (fun m -> not (List.memq m inherited)) own
+  | _ -> []
+
+let equal (_ : env) (a : tid) (b : tid) = a = b
+
+let rec pp env ppf t =
+  match desc env t with
+  | Dunit -> Format.pp_print_string ppf "<unit>"
+  | Dint -> Format.pp_print_string ppf "INTEGER"
+  | Dbool -> Format.pp_print_string ppf "BOOLEAN"
+  | Dchar -> Format.pp_print_string ppf "CHAR"
+  | Dnull -> Format.pp_print_string ppf "NULL"
+  | Darray (Some n, t) -> Format.fprintf ppf "ARRAY [0..%d] OF %a" (n - 1) (pp env) t
+  | Darray (None, t) -> Format.fprintf ppf "ARRAY OF %a" (pp env) t
+  | Drecord fields ->
+    Format.fprintf ppf "RECORD %a END"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+         (fun ppf f -> Format.fprintf ppf "%a: %a" Ident.pp f.fld_name (pp env) f.fld_ty))
+      (Array.to_list fields)
+  | Dref { target; brand = None } -> Format.fprintf ppf "REF %a" (pp env) target
+  | Dref { target; brand = Some b } ->
+    Format.fprintf ppf "BRANDED %S REF %a" b (pp env) target
+  | Dobject info -> Ident.pp ppf info.obj_name
+
+let to_string env t = Format.asprintf "%a" (pp env) t

@@ -1,0 +1,1 @@
+lib/opt/copyprop.ml: Apath Array Bitset Cfg Dataflow Hashtbl Instr Ir List Option Reg Support Vec

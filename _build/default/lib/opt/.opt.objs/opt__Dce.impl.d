@@ -1,0 +1,1 @@
+lib/opt/dce.ml: Apath Array Bitset Cfg Dataflow Hashtbl Instr Ir List Option Reg Support Vec

@@ -1,0 +1,1 @@
+lib/opt/devirt.ml: Cfg Ident Instr Ir List Minim3 Support Types Vec

@@ -1,0 +1,1 @@
+lib/opt/devirt.mli: Ir Minim3 Types

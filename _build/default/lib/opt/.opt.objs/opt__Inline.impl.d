@@ -1,0 +1,1 @@
+lib/opt/inline.ml: Apath Ast Callgraph Cfg Hashtbl Ident Instr Ir List Minim3 Option Reg Support Vec

@@ -1,0 +1,1 @@
+lib/opt/local_cse.ml: Apath Cfg Instr Ir List Minim3 Reg Support Types Vec

@@ -1,0 +1,1 @@
+lib/opt/local_cse.mli: Ir

@@ -1,0 +1,1 @@
+lib/opt/modref.ml: Aloc Apath Callgraph Cfg Hashtbl Ident Instr Ir List Option Oracle Reg Support Tbaa

@@ -1,0 +1,1 @@
+lib/opt/modref.mli: Aloc Ident Ir Oracle Support Tbaa

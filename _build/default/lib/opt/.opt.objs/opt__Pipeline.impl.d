@@ -1,0 +1,1 @@
+lib/opt/pipeline.ml: Analysis Copyprop Devirt Inline Pre Rle Tbaa World

@@ -1,0 +1,1 @@
+lib/opt/pipeline.mli: Analysis Copyprop Devirt Inline Ir Oracle Pre Rle Tbaa World

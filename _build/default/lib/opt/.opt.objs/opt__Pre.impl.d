@@ -1,0 +1,1 @@
+lib/opt/pre.ml: Apath Array Bitset Cfg Dataflow Dom Hashtbl Instr Ir List Minim3 Modref Option Reg Rle Support Types Vec

@@ -1,0 +1,1 @@
+lib/opt/pre.mli: Ir Modref Oracle Tbaa

@@ -1,0 +1,1 @@
+lib/opt/rle.ml: Aloc Apath Array Bitset Cfg Dataflow Dom Instr Ir List Loops Minim3 Modref Oracle Reg Support Tbaa Types Vec

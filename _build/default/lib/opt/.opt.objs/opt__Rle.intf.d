@@ -1,0 +1,1 @@
+lib/opt/rle.mli: Ir Modref Oracle Tbaa

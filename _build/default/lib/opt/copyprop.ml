@@ -1,0 +1,170 @@
+open Support
+open Ir
+
+type stats = { mutable replaced : int }
+
+(* A copy is a register-to-register [Iassign (v, Ratom (Avar u))]. The
+   dataflow fact is the set of copies whose equality still holds. *)
+
+let eligible_var excluded (v : Reg.var) =
+  v.Reg.v_kind <> Reg.Vglobal && not (Hashtbl.mem excluded v.Reg.v_id)
+
+let run_proc program proc stats =
+  ignore program;
+  (* Variables whose bare address escapes can be written through pointers;
+     exclude them entirely. *)
+  let excluded = Hashtbl.create 8 in
+  Cfg.iter_instrs proc (fun _ i ->
+      match i with
+      | Instr.Iaddr (_, ap) when ap.Apath.sels = [] ->
+        Hashtbl.replace excluded ap.Apath.base.Reg.v_id ()
+      | _ -> ());
+  (* Universe of copy occurrences. *)
+  let copies = Vec.create () in
+  Cfg.iter_instrs proc (fun _ i ->
+      match i with
+      | Instr.Iassign (v, Instr.Ratom (Reg.Avar u))
+        when (not (Reg.var_equal v u))
+             && eligible_var excluded v && eligible_var excluded u ->
+        ignore (Vec.push copies (v, u))
+      | _ -> ());
+  let n = Vec.length copies in
+  if n = 0 then ()
+  else begin
+    let kills_of_def (d : Reg.var) =
+      let s = Bitset.create n in
+      Vec.iteri
+        (fun i (v, u) ->
+          if Reg.var_equal d v || Reg.var_equal d u then Bitset.add s i)
+        copies;
+      s
+    in
+    let copy_id_of instr =
+      match instr with
+      | Instr.Iassign (v, Instr.Ratom (Reg.Avar u))
+        when (not (Reg.var_equal v u))
+             && eligible_var excluded v && eligible_var excluded u ->
+        (* occurrences are interned in program order; find the matching id *)
+        let found = ref None in
+        Vec.iteri
+          (fun i (v', u') ->
+            if !found = None && Reg.var_equal v v' && Reg.var_equal u u' then
+              found := Some i)
+          copies;
+        !found
+      | _ -> None
+    in
+    let nb = Cfg.n_blocks proc in
+    let gen = Array.init nb (fun _ -> Bitset.create n) in
+    let kill = Array.init nb (fun _ -> Bitset.create n) in
+    let transfer instr ~gen ~kill =
+      (match Instr.defined_var instr with
+      | Some d ->
+        let ks = kills_of_def d in
+        Bitset.diff_into ~dst:gen ks;
+        Bitset.union_into ~dst:kill ks
+      | None -> ());
+      match copy_id_of instr with
+      | Some c ->
+        Bitset.add gen c;
+        Bitset.remove kill c
+      | None -> ()
+    in
+    Vec.iter
+      (fun b ->
+        List.iter
+          (fun i -> transfer i ~gen:gen.(b.Cfg.b_id) ~kill:kill.(b.Cfg.b_id))
+          b.Cfg.b_instrs)
+      proc.Cfg.pr_blocks;
+    let result =
+      Dataflow.run ~proc ~universe:n ~confluence:Dataflow.Must
+        ~gen:(fun b -> gen.(b))
+        ~kill:(fun b -> kill.(b))
+        ~entry_fact:(Bitset.create n)
+    in
+    (* Rewrite pass: canonicalize each used variable through the available
+       copies (transitively, with a bound against cycles). *)
+    Vec.iter
+      (fun b ->
+        let fact = Bitset.copy result.Dataflow.inn.(b.Cfg.b_id) in
+        let source_of v =
+          let found = ref None in
+          Vec.iteri
+            (fun i (v', u') ->
+              if !found = None && Bitset.mem fact i && Reg.var_equal v v' then
+                found := Some u')
+            copies;
+          !found
+        in
+        let canonical v =
+          let rec go v steps =
+            if steps = 0 then v
+            else
+              match source_of v with
+              | Some u -> go u (steps - 1)
+              | None -> v
+          in
+          go v 8
+        in
+        let subst_var v =
+          let c = canonical v in
+          if not (Reg.var_equal c v) then stats.replaced <- stats.replaced + 1;
+          c
+        in
+        let subst_atom = function
+          | Reg.Avar v -> Reg.Avar (subst_var v)
+          | a -> a
+        in
+        let subst_sel = function
+          | Apath.Sindex (a, t) -> Apath.Sindex (subst_atom a, t)
+          | s -> s
+        in
+        let subst_path (ap : Apath.t) =
+          { Apath.base = subst_var ap.Apath.base;
+            sels = List.map subst_sel ap.Apath.sels }
+        in
+        let subst_rvalue = function
+          | Instr.Ratom a -> Instr.Ratom (subst_atom a)
+          | Instr.Rbinop (op, a, b') -> Instr.Rbinop (op, subst_atom a, subst_atom b')
+          | Instr.Runop (op, a) -> Instr.Runop (op, subst_atom a)
+        in
+        let rewritten =
+          List.map
+            (fun instr ->
+              let instr' =
+                match instr with
+                | Instr.Iassign (v, Instr.Ratom (Reg.Avar u))
+                  when (not (Reg.var_equal v u))
+                       && eligible_var excluded v && eligible_var excluded u ->
+                  (* Leave copy instructions intact: rewriting their source
+                     would orphan them in the copy universe; [canonical]
+                     already follows chains transitively. *)
+                  instr
+                | Instr.Iassign (v, rv) -> Instr.Iassign (v, subst_rvalue rv)
+                | Instr.Iload (v, ap) -> Instr.Iload (v, subst_path ap)
+                | Instr.Istore (ap, a) -> Instr.Istore (subst_path ap, subst_atom a)
+                | Instr.Iaddr (v, ap) -> Instr.Iaddr (v, subst_path ap)
+                | Instr.Inew (v, t, len) ->
+                  Instr.Inew (v, t, Option.map subst_atom len)
+                | Instr.Icall (d, tgt, args) ->
+                  Instr.Icall (d, tgt, List.map subst_atom args)
+                | Instr.Ibuiltin (d, bi, args) ->
+                  Instr.Ibuiltin (d, bi, List.map subst_atom args)
+              in
+              transfer instr' ~gen:fact ~kill:(Bitset.create n);
+              instr')
+            b.Cfg.b_instrs
+        in
+        b.Cfg.b_instrs <- rewritten;
+        b.Cfg.b_term <-
+          (match b.Cfg.b_term with
+          | Instr.Tbranch (a, t, f) -> Instr.Tbranch (subst_atom a, t, f)
+          | Instr.Treturn a -> Instr.Treturn (Option.map subst_atom a)
+          | t -> t))
+      proc.Cfg.pr_blocks
+  end
+
+let run program =
+  let stats = { replaced = 0 } in
+  List.iter (fun proc -> run_proc program proc stats) program.Cfg.prog_procs;
+  stats

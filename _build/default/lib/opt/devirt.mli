@@ -1,0 +1,16 @@
+(** Type-based method invocation resolution (paper §3.7; Diwan, Moss &
+    McKinley, OOPSLA '96).
+
+    A virtual call on a receiver of static type [T] dispatches to
+    [method_impl] of the receiver's dynamic type. The dynamic type must lie
+    in the analysis' TypeRefsTable for [T] (the types an access path of
+    declared type [T] can actually reference, per selective type merging).
+    When every candidate resolves to the same procedure the call site is
+    rewritten to a direct call — which is also what unlocks inlining. *)
+
+open Minim3
+
+type stats = { mutable resolved : int; mutable unresolved : int }
+
+val run :
+  Ir.Cfg.program -> type_refs:(Types.tid -> Types.tid list) -> stats

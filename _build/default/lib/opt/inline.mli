@@ -1,0 +1,14 @@
+(** Procedure inlining of direct calls (paper §3.7 pairs it with method
+    resolution).
+
+    A direct call is inlined when the callee is known, non-recursive, not
+    the synthesized main, and no larger than [max_size] IR instructions;
+    growth of the caller is capped so pathological call chains cannot
+    explode. Cloned by-reference formals become address temporaries, so
+    every AddressTaken and access-path fact remains representable. Calls
+    exposed by earlier inlining are themselves considered (the scan visits
+    blocks appended during surgery). *)
+
+type stats = { mutable inlined : int }
+
+val run : ?max_size:int -> ?max_growth:int -> Ir.Cfg.program -> stats

@@ -1,0 +1,91 @@
+open Support
+open Ir
+open Tbaa
+
+type summary = { mods : Aloc.Set.t; refs : Aloc.Set.t }
+
+type t = {
+  program : Cfg.program;
+  summaries : (Ident.t, summary) Hashtbl.t;
+  kill_all : bool;
+}
+
+let empty = { mods = Aloc.Set.empty; refs = Aloc.Set.empty }
+
+(* Direct (one-procedure) effects. A register assignment is externally
+   visible only when the target is a global or a variable whose address
+   escaped. *)
+let direct_summary (oracle : Oracle.t) proc =
+  let mods = ref Aloc.Set.empty and refs = ref Aloc.Set.empty in
+  Cfg.iter_instrs proc (fun _ instr ->
+      match instr with
+      | Instr.Istore (ap, _) ->
+        mods := Aloc.Set.add (oracle.Oracle.store_class ap) !mods
+      | Instr.Iload (_, ap) ->
+        refs := Aloc.Set.add (oracle.Oracle.store_class ap) !refs
+      | Instr.Iassign (v, _) | Instr.Inew (v, _, _) ->
+        if
+          v.Reg.v_kind = Reg.Vglobal || oracle.Oracle.addr_taken_var v
+        then mods := Aloc.Set.add (Aloc.Lvar (v.Reg.v_id, v.Reg.v_ty)) !mods
+      | Instr.Iaddr _ | Instr.Icall _ -> ()
+      | Instr.Ibuiltin (Some v, _, _) ->
+        if v.Reg.v_kind = Reg.Vglobal || oracle.Oracle.addr_taken_var v then
+          mods := Aloc.Set.add (Aloc.Lvar (v.Reg.v_id, v.Reg.v_ty)) !mods
+      | Instr.Ibuiltin (None, _, _) -> ());
+  (* Reads of globals also count as refs. *)
+  Cfg.iter_instrs proc (fun _ instr ->
+      List.iter
+        (fun v ->
+          if v.Reg.v_kind = Reg.Vglobal then
+            refs := Aloc.Set.add (Aloc.Lvar (v.Reg.v_id, v.Reg.v_ty)) !refs)
+        (Instr.vars_used instr));
+  { mods = !mods; refs = !refs }
+
+let compute program oracle =
+  let closure = Callgraph.transitive_closure program in
+  let direct = Hashtbl.create 32 in
+  List.iter
+    (fun proc ->
+      Hashtbl.replace direct proc.Cfg.pr_name (direct_summary oracle proc))
+    program.Cfg.prog_procs;
+  let summaries = Hashtbl.create 32 in
+  List.iter
+    (fun proc ->
+      let name = proc.Cfg.pr_name in
+      let reach =
+        Ident.Set.add name
+          (Option.value (Hashtbl.find_opt closure name) ~default:Ident.Set.empty)
+      in
+      let merged =
+        Ident.Set.fold
+          (fun callee acc ->
+            match Hashtbl.find_opt direct callee with
+            | Some s ->
+              { mods = Aloc.Set.union acc.mods s.mods;
+                refs = Aloc.Set.union acc.refs s.refs }
+            | None -> acc)
+          reach empty
+      in
+      Hashtbl.replace summaries name merged)
+    program.Cfg.prog_procs;
+  { program; summaries; kill_all = false }
+
+let conservative program =
+  { program; summaries = Hashtbl.create 1; kill_all = true }
+
+let summary t name = Option.value (Hashtbl.find_opt t.summaries name) ~default:empty
+
+let call_kills t (oracle : Oracle.t) target ap =
+  if t.kill_all then true
+  else
+  let callees = Callgraph.callees_of_target t.program target in
+  let prefixes = Apath.prefixes ap in
+  let base = Apath.of_var ap.Apath.base in
+  List.exists
+    (fun callee ->
+      let s = summary t callee in
+      Aloc.Set.exists
+        (fun cls ->
+          List.exists (fun p -> oracle.Oracle.class_kills cls p) (base :: prefixes))
+        s.mods)
+    callees

@@ -1,0 +1,31 @@
+(** Interprocedural mod-ref analysis (paper §3.4.1: "RLE is preceded by a
+    mod-ref analysis which summarizes the access paths that are referenced
+    and modified by each call").
+
+    Each procedure is summarized by the abstract location classes it may
+    write ([mods]) and read ([refs]), closed transitively over the call
+    graph (virtual calls contribute every possible implementation). Only
+    externally visible effects enter a summary: heap stores, writes through
+    by-reference formals, and global-variable assignments — never a
+    procedure's own registers. *)
+
+open Support
+open Tbaa
+
+type summary = { mods : Aloc.Set.t; refs : Aloc.Set.t }
+
+type t
+
+val compute : Ir.Cfg.program -> Oracle.t -> t
+
+val conservative : Ir.Cfg.program -> t
+(** No summaries: every call may write anything (the ABL3 ablation —
+    what RLE looks like without interprocedural mod-ref). *)
+
+val summary : t -> Ident.t -> summary
+(** Empty for unknown procedures. *)
+
+val call_kills : t -> Oracle.t -> Ir.Instr.target -> Ir.Apath.t -> bool
+(** May executing this call change the value of the given memory
+    expression? True iff some possible callee's mod set may write any
+    selector-prefix of the path. *)

@@ -1,0 +1,77 @@
+open Tbaa
+
+type oracle_kind = Otype_decl | Ofield_type_decl | Osm_field_type_refs
+
+type config = {
+  oracle_kind : oracle_kind;
+  world : World.t;
+  devirt_inline : bool;
+  rle : bool;
+  pre : bool;
+  copyprop : bool;
+}
+
+type result = {
+  analysis : Analysis.t;
+  rle_stats : Rle.stats option;
+  devirt_stats : Devirt.stats option;
+  inline_stats : Inline.stats option;
+  pre_stats : Pre.stats option;
+  copyprop_stats : Copyprop.stats option;
+}
+
+let oracle_name = function
+  | Otype_decl -> "TypeDecl"
+  | Ofield_type_decl -> "FieldTypeDecl"
+  | Osm_field_type_refs -> "SMFieldTypeRefs"
+
+let select (a : Analysis.t) = function
+  | Otype_decl -> a.Analysis.type_decl
+  | Ofield_type_decl -> a.Analysis.field_type_decl
+  | Osm_field_type_refs -> a.Analysis.sm_field_type_refs
+
+let default =
+  { oracle_kind = Osm_field_type_refs; world = World.Closed;
+    devirt_inline = false; rle = true; pre = false; copyprop = false }
+
+let run program config =
+  let devirt_stats, inline_stats =
+    if config.devirt_inline then begin
+      let pre = Analysis.analyze ~world:config.world program in
+      let ds = Devirt.run program ~type_refs:pre.Analysis.type_refs_table in
+      let is = Inline.run program in
+      (* Inlining exposes receivers with narrower type contexts; resolving
+         again is cheap and is what the paper's Minv+Inlining leg does. *)
+      let post = Analysis.analyze ~world:config.world program in
+      let ds2 = Devirt.run program ~type_refs:post.Analysis.type_refs_table in
+      ds.Devirt.resolved <- ds.Devirt.resolved + ds2.Devirt.resolved;
+      (Some ds, Some is)
+    end
+    else (None, None)
+  in
+  let analysis = Analysis.analyze ~world:config.world program in
+  let oracle = select analysis config.oracle_kind in
+  let pre_stats =
+    if config.pre then Some (Pre.run program oracle) else None
+  in
+  let rle_stats =
+    if config.rle then Some (Rle.run program oracle) else None
+  in
+  let copyprop_stats =
+    if config.copyprop then begin
+      let cp = Copyprop.run program in
+      (* a second RLE harvest over the canonicalized paths *)
+      if config.rle then begin
+        let again = Rle.run program oracle in
+        match rle_stats with
+        | Some s ->
+          s.Rle.hoisted <- s.Rle.hoisted + again.Rle.hoisted;
+          s.Rle.eliminated <- s.Rle.eliminated + again.Rle.eliminated;
+          s.Rle.shortened <- s.Rle.shortened + again.Rle.shortened
+        | None -> ()
+      end;
+      Some cp
+    end
+    else None
+  in
+  { analysis; rle_stats; devirt_stats; inline_stats; pre_stats; copyprop_stats }

@@ -1,0 +1,39 @@
+(** The whole-program-optimizer pipeline, mirroring the paper's WPO.
+
+    Order of passes, when enabled: method invocation resolution (devirt,
+    using the TypeRefsTable), inlining, then — over *re-collected* facts,
+    since inlining changes the program — redundant load elimination with
+    the chosen alias oracle. *)
+
+open Tbaa
+
+type oracle_kind = Otype_decl | Ofield_type_decl | Osm_field_type_refs
+
+type config = {
+  oracle_kind : oracle_kind;
+  world : World.t;
+  devirt_inline : bool;  (* paper's "Minv + Inlining" leg *)
+  rle : bool;
+  pre : bool;  (* partial redundancy elimination (paper's future work) *)
+  copyprop : bool;  (* copy propagation + a second RLE pass *)
+}
+
+type result = {
+  analysis : Analysis.t;  (* analysis of the final program *)
+  rle_stats : Rle.stats option;
+  devirt_stats : Devirt.stats option;
+  inline_stats : Inline.stats option;
+  pre_stats : Pre.stats option;
+  copyprop_stats : Copyprop.stats option;
+}
+
+val oracle_name : oracle_kind -> string
+
+val select : Analysis.t -> oracle_kind -> Oracle.t
+
+val run : Ir.Cfg.program -> config -> result
+(** Mutates [program] in place. *)
+
+val default : config
+(** SMFieldTypeRefs + RLE, closed world, no inlining — the paper's primary
+    configuration. *)

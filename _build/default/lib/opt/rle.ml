@@ -1,0 +1,360 @@
+open Support
+open Minim3
+open Ir
+open Tbaa
+
+type stats = {
+  mutable hoisted : int;
+  mutable eliminated : int;
+  mutable shortened : int;
+}
+
+let removed s = s.hoisted + s.eliminated + s.shortened
+
+(* Does defining variable [v] invalidate the memory expression [ap]?
+   Directly when [v] is the base or an index of the path; indirectly when
+   [v] is memory-resident for others (a global or address-taken variable)
+   and a location of its class may underlie the path. *)
+let def_kills (oracle : Oracle.t) v ap =
+  List.exists (Reg.var_equal v) (Apath.vars_used ap)
+  || (v.Reg.v_kind = Reg.Vglobal || oracle.Oracle.addr_taken_var v)
+     && (let cls = Aloc.Lvar (v.Reg.v_id, v.Reg.v_ty) in
+         List.exists
+           (fun p -> oracle.Oracle.class_kills cls p)
+           (Apath.of_var ap.Apath.base :: Apath.prefixes ap))
+
+let instr_kills (oracle : Oracle.t) modref instr ap =
+  let dst_kills = function Some v -> def_kills oracle v ap | None -> false in
+  match instr with
+  | Instr.Iassign (v, _) | Instr.Iaddr (v, _) | Instr.Inew (v, _, _)
+  | Instr.Iload (v, _) ->
+    def_kills oracle v ap
+  | Instr.Istore (sap, _) -> Oracle.kills_load oracle ~store:sap ~load:ap
+  | Instr.Icall (dst, target, _) ->
+    dst_kills dst || Modref.call_kills modref oracle target ap
+  | Instr.Ibuiltin (dst, _, _) -> dst_kills dst
+
+(* The memory *expressions* RLE tracks are the scalar-typed prefixes of a
+   path: those denote one word the machine actually reads (a pointer or a
+   scalar). Aggregate-typed prefixes (an inline record, the array behind a
+   dope) are address arithmetic, not loads. *)
+let scalar_prefixes tenv ap =
+  List.filter (fun p -> Types.is_scalar tenv (Apath.ty p)) (Apath.prefixes ap)
+
+(* ------------------------------------------------------------------ *)
+(* Loop-invariant load motion (Figure 6)                               *)
+(* ------------------------------------------------------------------ *)
+
+(* The hoistable unit is the longest *prefix* of a loaded path that is
+   invariant: in the paper's example a.b^[i] is variant in i, but a.b^ is
+   invariant and moves to the preheader. *)
+
+let loop_instrs proc (loop : Loops.loop) =
+  Bitset.fold
+    (fun bid acc -> List.rev_append (Cfg.block proc bid).Cfg.b_instrs acc)
+    loop.Loops.body []
+
+let defs_in_loop instrs v =
+  List.exists
+    (fun i ->
+      match Instr.defined_var i with
+      | Some d -> Reg.var_equal d v
+      | None -> false)
+    instrs
+
+let hoist_loops program oracle modref proc stats =
+  let dom = Dom.compute proc in
+  let loops = Loops.find proc dom in
+  List.iter
+    (fun loop ->
+      let body_instrs = loop_instrs proc loop in
+      let prefix_invariant p =
+        (not (List.exists (fun u -> defs_in_loop body_instrs u) (Apath.vars_used p)))
+        && not
+             (List.exists
+                (fun i ->
+                  match i with
+                  | Instr.Iload _ -> false  (* loads don't write memory *)
+                  | _ -> instr_kills oracle modref i p)
+                body_instrs)
+      in
+      let longest_invariant_prefix ap =
+        List.fold_left
+          (fun best p -> if prefix_invariant p then Some p else best)
+          None
+          (scalar_prefixes program.Cfg.tenv ap)
+      in
+      (* Collect candidates before mutating: (block, instr, prefix). *)
+      let candidates = ref [] in
+      Bitset.iter
+        (fun bid ->
+          if Loops.executes_every_iteration proc dom loop bid then
+            List.iter
+              (fun i ->
+                match i with
+                | Instr.Iload (v, ap) -> (
+                  match longest_invariant_prefix ap with
+                  | Some p ->
+                    (* If the whole path moves, its destination must have no
+                       other definition in the loop. *)
+                    let whole = Apath.equal p ap in
+                    let v_ok =
+                      (not whole)
+                      || List.length
+                           (List.filter
+                              (fun j ->
+                                match Instr.defined_var j with
+                                | Some d -> Reg.var_equal d v
+                                | None -> false)
+                              body_instrs)
+                         = 1
+                    in
+                    if v_ok then candidates := (bid, i, p) :: !candidates
+                  | None -> ())
+                | _ -> ())
+              (Cfg.block proc bid).Cfg.b_instrs)
+        loop.Loops.body;
+      if !candidates <> [] then begin
+        let pre = Loops.ensure_preheader proc loop in
+        let pre_block = Cfg.block proc pre in
+        (* Share one preheader load per distinct hoisted prefix. *)
+        let hoisted_homes : Reg.var Apath.Tbl.t = Apath.Tbl.create 8 in
+        let home_for p =
+          match Apath.Tbl.find_opt hoisted_homes p with
+          | Some v -> v
+          | None ->
+            let v =
+              Cfg.fresh_var program ~name:"licm" ~ty:(Apath.ty p) ~kind:Reg.Vtemp
+            in
+            Apath.Tbl.add hoisted_homes p v;
+            pre_block.Cfg.b_instrs <- pre_block.Cfg.b_instrs @ [ Instr.Iload (v, p) ];
+            v
+        in
+        List.iter
+          (fun (bid, instr, p) ->
+            match instr with
+            | Instr.Iload (v, ap) ->
+              let b = Cfg.block proc bid in
+              let t = home_for p in
+              let replacement =
+                if Apath.equal p ap then Instr.Iassign (v, Instr.Ratom (Reg.Avar t))
+                else begin
+                  let nsels =
+                    List.filteri
+                      (fun k _ -> k >= Apath.length p)
+                      ap.Apath.sels
+                  in
+                  Instr.Iload (v, { Apath.base = t; sels = nsels })
+                end
+              in
+              b.Cfg.b_instrs <-
+                List.map (fun i -> if i == instr then replacement else i) b.Cfg.b_instrs;
+              stats.hoisted <- stats.hoisted + 1
+            | _ -> assert false)
+          (List.rev !candidates)
+      end)
+    loops
+
+(* ------------------------------------------------------------------ *)
+(* Redundant-load CSE over available expressions (Figure 7)            *)
+(* ------------------------------------------------------------------ *)
+
+(* Universe: every selector-prefix of every loaded or stored path. A load of
+   a.b^.c performs three memory reads (a.b, a.b^, and .c), so it generates
+   availability for all three prefixes; the rewrite materializes each prefix
+   value in that expression's home temporary so later occurrences can reuse
+   the longest available prefix. A store generates its proper prefixes (it
+   reads them to navigate) and its own path (store-to-load forwarding). *)
+
+let cse program oracle modref proc stats =
+  let tenv = program.Cfg.tenv in
+  let ids = Apath.Tbl.create 64 in
+  let exprs = Vec.create () in
+  let intern ap =
+    match Apath.Tbl.find_opt ids ap with
+    | Some i -> i
+    | None ->
+      let i = Vec.push exprs ap in
+      Apath.Tbl.add ids ap i;
+      i
+  in
+  Cfg.iter_instrs proc (fun _ i ->
+      match i with
+      | Instr.Iload (_, ap) | Instr.Istore (ap, _) ->
+        List.iter (fun p -> ignore (intern p)) (scalar_prefixes tenv ap)
+      | _ -> ());
+  let n = Vec.length exprs in
+  if n = 0 then ()
+  else begin
+    let kill_set_of instr =
+      let s = Bitset.create n in
+      Vec.iteri
+        (fun i ap -> if instr_kills oracle modref instr ap then Bitset.add s i)
+        exprs;
+      s
+    in
+    (* Expressions an instruction makes available, honoring the
+       self-dependence guard on the defined variable. *)
+    let gens_of instr =
+      match instr with
+      | Instr.Iload (v, ap) ->
+        List.filter_map
+          (fun p ->
+            if List.exists (Reg.var_equal v) (Apath.vars_used p) then None
+            else Some (intern p))
+          (scalar_prefixes tenv ap)
+      | Instr.Istore (ap, _) -> List.map intern (scalar_prefixes tenv ap)
+      | _ -> []
+    in
+    let nb = Cfg.n_blocks proc in
+    let gen = Array.init nb (fun _ -> Bitset.create n) in
+    let kill = Array.init nb (fun _ -> Bitset.create n) in
+    let simulate instr ~gen ~kill =
+      let ks = kill_set_of instr in
+      Bitset.diff_into ~dst:gen ks;
+      Bitset.union_into ~dst:kill ks;
+      List.iter
+        (fun e ->
+          Bitset.add gen e;
+          Bitset.remove kill e)
+        (gens_of instr)
+    in
+    Vec.iter
+      (fun b ->
+        List.iter
+          (fun i -> simulate i ~gen:gen.(b.Cfg.b_id) ~kill:kill.(b.Cfg.b_id))
+          b.Cfg.b_instrs)
+      proc.Cfg.pr_blocks;
+    let result =
+      Dataflow.run ~proc ~universe:n ~confluence:Dataflow.Must
+        ~gen:(fun b -> gen.(b))
+        ~kill:(fun b -> kill.(b))
+        ~entry_fact:(Bitset.create n)
+    in
+    let home = Array.make n None in
+    let home_temp e =
+      match home.(e) with
+      | Some v -> v
+      | None ->
+        let ap = Vec.get exprs e in
+        let v =
+          Cfg.fresh_var program ~name:"rle" ~ty:(Apath.ty ap) ~kind:Reg.Vtemp
+        in
+        home.(e) <- Some v;
+        v
+    in
+    let prefix_of_len ap k =
+      { ap with Apath.sels = List.filteri (fun i _ -> i < k) ap.Apath.sels }
+    in
+    let sels_between ap from_len to_len =
+      List.filteri (fun i _ -> i >= from_len && i < to_len) ap.Apath.sels
+    in
+    (* Walk the scalar-prefix lengths of [ap] up to [upto], loading each
+       segment into its home, starting from the longest available prefix.
+       Returns the emitted loads and the (base, consumed) for the rest. *)
+    let build_segments avail ap lens =
+      let avail_len =
+        List.fold_left
+          (fun best k ->
+            if Bitset.mem avail (intern (prefix_of_len ap k)) then max best k
+            else best)
+          0 lens
+      in
+      let start_base =
+        if avail_len = 0 then ap.Apath.base
+        else home_temp (intern (prefix_of_len ap avail_len))
+      in
+      let loads, final_base, consumed =
+        List.fold_left
+          (fun (acc, base, consumed) k ->
+            if k <= avail_len then (acc, base, consumed)
+            else begin
+              let h = home_temp (intern (prefix_of_len ap k)) in
+              let load =
+                Instr.Iload (h, { Apath.base = base; sels = sels_between ap consumed k })
+              in
+              (load :: acc, h, k)
+            end)
+          ([], start_base, avail_len) lens
+      in
+      (List.rev loads, final_base, consumed, avail_len)
+    in
+    (* Rewrite one memory instruction into a chain that reuses the longest
+       available prefix and materializes every scalar prefix's home. *)
+    let rewrite_chain avail instr =
+      match instr with
+      | Instr.Iload (v, ap)
+        when List.exists (Reg.var_equal v) (Apath.vars_used ap) ->
+        [ instr ]  (* self-dependent loads are left untouched *)
+      | Instr.Iload (v, ap) ->
+        let m = Apath.length ap in
+        let lens = List.map Apath.length (scalar_prefixes tenv ap) in
+        let full = intern ap in
+        if Bitset.mem avail full then begin
+          stats.eliminated <- stats.eliminated + 1;
+          [ Instr.Iassign (v, Instr.Ratom (Reg.Avar (home_temp full))) ]
+        end
+        else begin
+          let loads, _, _, avail_len = build_segments avail ap lens in
+          if avail_len > 0 then stats.shortened <- stats.shortened + 1;
+          ignore m;
+          loads @ [ Instr.Iassign (v, Instr.Ratom (Reg.Avar (home_temp full))) ]
+        end
+      | Instr.Istore (ap, a) ->
+        let m = Apath.length ap in
+        let proper =
+          List.filter (fun k -> k < m)
+            (List.map Apath.length (scalar_prefixes tenv ap))
+        in
+        let nav, final_base, consumed, avail_len = build_segments avail ap proper in
+        if avail_len > 0 then stats.shortened <- stats.shortened + 1;
+        nav
+        @ [ Instr.Istore
+              ({ Apath.base = final_base; sels = sels_between ap consumed m }, a);
+            Instr.Iassign (home_temp (intern ap), Instr.Ratom a) ]
+      | _ -> [ instr ]
+    in
+    Vec.iter
+      (fun b ->
+        let avail = Bitset.copy result.Dataflow.inn.(b.Cfg.b_id) in
+        let rewritten =
+          List.concat_map
+            (fun instr ->
+              let out = rewrite_chain avail instr in
+              let ks = kill_set_of instr in
+              Bitset.diff_into ~dst:avail ks;
+              List.iter (Bitset.add avail) (gens_of instr);
+              out)
+            b.Cfg.b_instrs
+        in
+        b.Cfg.b_instrs <- rewritten)
+      proc.Cfg.pr_blocks
+  end
+
+let run_proc program oracle modref proc =
+  let stats = { hoisted = 0; eliminated = 0; shortened = 0 } in
+  (* Iterate hoisting so loads escape nested loops level by level; each
+     round recomputes dominators over the preheaders of the previous one. *)
+  let rec rounds budget prev =
+    hoist_loops program oracle modref proc stats;
+    if stats.hoisted > prev && budget > 0 then rounds (budget - 1) stats.hoisted
+  in
+  rounds 4 0;
+  cse program oracle modref proc stats;
+  stats
+
+let run ?modref program oracle =
+  let modref =
+    match modref with
+    | Some m -> m
+    | None -> Modref.compute program oracle
+  in
+  let total = { hoisted = 0; eliminated = 0; shortened = 0 } in
+  List.iter
+    (fun proc ->
+      let s = run_proc program oracle modref proc in
+      total.hoisted <- total.hoisted + s.hoisted;
+      total.eliminated <- total.eliminated + s.eliminated;
+      total.shortened <- total.shortened + s.shortened)
+    program.Cfg.prog_procs;
+  total

@@ -1,0 +1,41 @@
+(** Redundant load elimination (paper §3.4.1, Figures 6–7).
+
+    Two phases per procedure, both driven by the alias oracle and the
+    interprocedural mod-ref summaries:
+
+    - {b loop-invariant load motion}: a load whose access path is invariant
+      in a loop (its base and index variables are not redefined and no
+      store or call in the loop may write any prefix of the path) and whose
+      block executes on every iteration is moved to the loop preheader;
+    - {b redundant-load CSE}: a forward must-availability analysis over the
+      procedure's distinct load expressions; a load whose expression is
+      available is replaced by a register copy from the expression's home
+      temporary. A store makes its own path available (store-to-load
+      forwarding), exactly like GCC's baseline behaviour the paper
+      normalizes against.
+
+    Like the paper's implementation, this does no partial redundancy
+    elimination and no copy propagation — those two gaps are what the
+    Conditional and Breakup categories of Figure 10 measure. *)
+
+open Tbaa
+
+type stats = {
+  mutable hoisted : int;  (* loads (or load prefixes) moved to preheaders *)
+  mutable eliminated : int;  (* loads replaced by register copies *)
+  mutable shortened : int;  (* loads whose available prefix was reused *)
+}
+
+val instr_kills : Oracle.t -> Modref.t -> Ir.Instr.t -> Ir.Apath.t -> bool
+(** May executing this instruction change the value of the given memory
+    expression? (Exposed for the limit-study classifier, which replays
+    RLE's availability reasoning.) *)
+
+val removed : stats -> int
+(** Total loads removed statically — the paper's Table 6 number. *)
+
+val run_proc : Ir.Cfg.program -> Oracle.t -> Modref.t -> Ir.Cfg.proc -> stats
+
+val run : ?modref:Modref.t -> Ir.Cfg.program -> Oracle.t -> stats
+(** Run over every procedure. Computes mod-ref summaries unless an
+    explicit [modref] (e.g. {!Modref.conservative}) is supplied. *)

@@ -1,0 +1,1 @@
+lib/sim/classify.ml: Apath Array Bitset Cfg Dataflow Hashtbl Ident Instr Interp Ir Limit List Minim3 Opt Option Reg Support Vec

@@ -1,0 +1,1 @@
+lib/sim/classify.mli: Ir Limit Opt Oracle Tbaa

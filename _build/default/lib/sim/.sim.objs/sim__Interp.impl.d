@@ -1,0 +1,1 @@
+lib/sim/interp.ml: Apath Array Ast Buffer Cache Cfg Char Cost Hashtbl Ident Instr Ir Layout List Minim3 Option Reg Support Tast Types Value Vec

@@ -1,0 +1,1 @@
+lib/sim/interp.mli: Apath Cfg Ident Ir Support Value

@@ -1,0 +1,1 @@
+lib/sim/layout.ml: Array Hashtbl Ident List Minim3 Support Types

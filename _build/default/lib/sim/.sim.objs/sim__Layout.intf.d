@@ -1,0 +1,1 @@
+lib/sim/layout.mli: Ident Minim3 Support Types

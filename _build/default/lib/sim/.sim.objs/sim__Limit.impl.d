@@ -1,0 +1,1 @@
+lib/sim/limit.ml: Hashtbl Interp Ir List Value

@@ -1,0 +1,1 @@
+lib/sim/limit.mli: Interp

@@ -1,0 +1,32 @@
+(** Alpha-21064-flavoured cycle costs.
+
+    Absolute fidelity is not the goal (the paper reports percentages of a
+    base run, not cycles); what matters is the relative weight of memory
+    traffic versus everything else: loads dominate, misses are an order of
+    magnitude above hits, and register-to-register moves are free (the
+    paper's back end runs GCC's register allocator, which coalesces the
+    copies RLE introduces). *)
+
+val move : int  (** register copy — coalesced away *)
+
+val alu : int
+val branch : int
+val jump : int
+val load_hit : int
+val load_miss : int
+val store_hit : int
+val store_miss : int
+val addr : int  (** address materialization *)
+
+val call : int  (** direct-call overhead, plus {!arg} per argument *)
+
+val arg : int
+val dispatch : int  (** extra indirection of a virtual call *)
+
+val ret : int
+val alloc_base : int  (** allocator fast path *)
+
+val alloc_per_slot : int
+val builtin_io : int  (** one Print* call *)
+
+val builtin_pure : int  (** Ord/Chr/Abs/Min/Max/Number *)

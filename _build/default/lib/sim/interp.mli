@@ -1,0 +1,77 @@
+(** The IR interpreter and machine simulator.
+
+    Executes a lowered (and possibly optimized) program while counting
+    instructions, heap loads, other (stack/global) loads, and stores; runs
+    every data reference through the cache model; and charges an Alpha-like
+    cycle cost (see {!Cost}). The observable behaviour of a program is its
+    printed output plus its termination state — the semantics-preservation
+    tests compare these across optimization configurations.
+
+    The language is given *total* semantics so that every optimizer
+    equivalence holds even on faulting paths: a NIL dereference resolves to
+    a per-type "null zone" — a real, persistent heap block standing in for
+    the object behind NIL — so loads and stores through NIL behave like
+    ordinary memory (store-to-load forwarding included); out-of-range
+    subscripts clamp; x DIV 0 = 0; a virtual call on a NIL receiver
+    dispatches through the static receiver type (matching what a
+    devirtualized site does). Each such event increments [soft_faults];
+    the stock benchmarks trigger none.
+
+    For the limit study, every heap load can be reported through [on_load]
+    together with its static site: the access-path position that issued it
+    (a multi-selector load performs one read per selector) or the implicit
+    read it models — an open-array dope access, NUMBER, or a method
+    dispatch table lookup. *)
+
+open Support
+open Ir
+
+type site_kind =
+  | Sexplicit of Apath.t * int
+      (** the full path of the load/store and the 0-based selector index
+          this read resolves *)
+  | Sdope of Apath.t  (** open-array dope read during subscripting *)
+  | Snumber  (** dope read by the NUMBER builtin *)
+  | Sdispatch  (** method-table read for a virtual call *)
+
+type site = {
+  site_id : int;
+  site_proc : Ident.t;
+  site_block : int;
+  site_index : int;  (** instruction index within the block *)
+  site_kind : site_kind;
+}
+
+type load_event = {
+  le_site : site;
+  le_addr : int;
+  le_value : Value.t;
+  le_activation : int;
+  le_heap : bool;
+}
+
+type counters = {
+  mutable instrs : int;
+  mutable heap_loads : int;
+  mutable other_loads : int;
+  mutable stores : int;
+  mutable calls : int;
+  mutable allocations : int;
+}
+
+type outcome = {
+  output : string;
+  counters : counters;
+  cycles : int;
+  soft_faults : int;
+  cache_hits : int;
+  cache_misses : int;
+  halted : bool;  (** the program ran Halt() or exhausted its fuel *)
+}
+
+val run :
+  ?fuel:int ->
+  ?on_load:(load_event -> unit) ->
+  Cfg.program ->
+  outcome
+(** [fuel] bounds executed instructions (default 50 million). *)

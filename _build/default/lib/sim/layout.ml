@@ -1,0 +1,66 @@
+open Support
+open Minim3
+
+type t = { env : Types.env; sizes : (Types.tid, int) Hashtbl.t }
+
+let object_header = 1
+let open_array_dope = 1
+
+let create env = { env; sizes = Hashtbl.create 64 }
+
+let rec size t tid =
+  match Hashtbl.find_opt t.sizes tid with
+  | Some s -> s
+  | None ->
+    let s =
+      match Types.desc t.env tid with
+      | Types.Dint | Types.Dbool | Types.Dchar | Types.Dnull | Types.Dref _
+      | Types.Dobject _ ->
+        1
+      | Types.Dunit -> invalid_arg "Layout.size: unit has no layout"
+      | Types.Darray (Some n, elem) -> n * size t elem
+      | Types.Darray (None, _) ->
+        invalid_arg "Layout.size: open arrays have no inline size"
+      | Types.Drecord fields ->
+        Array.fold_left (fun acc f -> acc + size t f.Types.fld_ty) 0 fields
+    in
+    Hashtbl.replace t.sizes tid s;
+    s
+
+let field_offset t tid fname =
+  match Types.desc t.env tid with
+  | Types.Drecord fields ->
+    let rec go off i =
+      if i >= Array.length fields then
+        invalid_arg "Layout.field_offset: no such record field"
+      else if Ident.equal fields.(i).Types.fld_name fname then off
+      else go (off + size t fields.(i).Types.fld_ty) (i + 1)
+    in
+    go 0 0
+  | Types.Dobject _ ->
+    let fields = Types.object_fields t.env tid in
+    let rec go off = function
+      | [] -> invalid_arg "Layout.field_offset: no such object field"
+      | f :: rest ->
+        if Ident.equal f.Types.fld_name fname then off
+        else go (off + size t f.Types.fld_ty) rest
+    in
+    go object_header fields
+  | _ -> invalid_arg "Layout.field_offset: not a record or object type"
+
+let alloc_size t tid ~length =
+  match Types.desc t.env tid with
+  | Types.Dobject _ ->
+    object_header
+    + List.fold_left
+        (fun acc f -> acc + size t f.Types.fld_ty)
+        0
+        (Types.object_fields t.env tid)
+  | Types.Dref { target; _ } -> (
+    match Types.desc t.env target with
+    | Types.Darray (None, elem) -> (
+      match length with
+      | Some n when n >= 0 -> open_array_dope + (n * size t elem)
+      | _ -> invalid_arg "Layout.alloc_size: open array needs a length")
+    | _ -> size t target)
+  | _ -> invalid_arg "Layout.alloc_size: not an allocatable type"

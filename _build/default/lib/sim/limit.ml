@@ -1,0 +1,68 @@
+type site_stat = {
+  ss_site : Interp.site;
+  mutable ss_loads : int;
+  mutable ss_redundant : int;
+  mutable ss_breakup_prev : int;
+}
+
+type last_load = { ll_value : Value.t; ll_activation : int; ll_site : Interp.site }
+
+type t = {
+  last : (int, last_load) Hashtbl.t;
+  stats : (int, site_stat) Hashtbl.t;
+  mutable heap_loads : int;
+  mutable redundant : int;
+}
+
+let create () =
+  { last = Hashtbl.create 4096; stats = Hashtbl.create 256; heap_loads = 0;
+    redundant = 0 }
+
+let site_expr (s : Interp.site) =
+  match s.Interp.site_kind with
+  | Interp.Sexplicit (ap, k) ->
+    let sels = List.filteri (fun i _ -> i < k) ap.Ir.Apath.sels in
+    Some { ap with Ir.Apath.sels = sels }
+  | Interp.Sdope _ | Interp.Snumber | Interp.Sdispatch -> None
+
+let on_load t (e : Interp.load_event) =
+  if e.Interp.le_heap then begin
+    t.heap_loads <- t.heap_loads + 1;
+    let stat =
+      match Hashtbl.find_opt t.stats e.Interp.le_site.Interp.site_id with
+      | Some s -> s
+      | None ->
+        let s =
+          { ss_site = e.Interp.le_site; ss_loads = 0; ss_redundant = 0;
+            ss_breakup_prev = 0 }
+        in
+        Hashtbl.add t.stats e.Interp.le_site.Interp.site_id s;
+        s
+    in
+    stat.ss_loads <- stat.ss_loads + 1;
+    (match Hashtbl.find_opt t.last e.Interp.le_addr with
+    | Some prev
+      when Value.equal prev.ll_value e.Interp.le_value
+           && prev.ll_activation = e.Interp.le_activation ->
+      t.redundant <- t.redundant + 1;
+      stat.ss_redundant <- stat.ss_redundant + 1;
+      let differs =
+        match (site_expr prev.ll_site, site_expr e.Interp.le_site) with
+        | Some a, Some b -> not (Ir.Apath.equal a b)
+        | _ -> false
+      in
+      if differs then stat.ss_breakup_prev <- stat.ss_breakup_prev + 1
+    | _ -> ());
+    Hashtbl.replace t.last e.Interp.le_addr
+      { ll_value = e.Interp.le_value; ll_activation = e.Interp.le_activation;
+        ll_site = e.Interp.le_site }
+  end
+
+let total_heap_loads t = t.heap_loads
+let total_redundant t = t.redundant
+
+let redundant_fraction t =
+  if t.heap_loads = 0 then 0.0
+  else float_of_int t.redundant /. float_of_int t.heap_loads
+
+let sites t = Hashtbl.fold (fun _ s acc -> s :: acc) t.stats []

@@ -1,0 +1,1 @@
+lib/support/ident.mli: Format Hashtbl Map Set

@@ -1,0 +1,95 @@
+type t = { mutable bits : Bytes.t; universe : int }
+
+(* One byte per 8 elements; trailing bits of the last byte stay zero so that
+   [equal]/[cardinal] can work bytewise. *)
+
+let bytes_for n = (n + 7) / 8
+
+let create n =
+  if n < 0 then invalid_arg "Bitset.create";
+  { bits = Bytes.make (bytes_for n) '\000'; universe = n }
+
+let universe t = t.universe
+
+let check t i =
+  if i < 0 || i >= t.universe then invalid_arg "Bitset: element out of universe"
+
+let mem t i =
+  check t i;
+  Char.code (Bytes.get t.bits (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let add t i =
+  check t i;
+  let b = i lsr 3 in
+  Bytes.set t.bits b (Char.chr (Char.code (Bytes.get t.bits b) lor (1 lsl (i land 7))))
+
+let remove t i =
+  check t i;
+  let b = i lsr 3 in
+  Bytes.set t.bits b
+    (Char.chr (Char.code (Bytes.get t.bits b) land lnot (1 lsl (i land 7)) land 0xff))
+
+let copy t = { bits = Bytes.copy t.bits; universe = t.universe }
+let clear t = Bytes.fill t.bits 0 (Bytes.length t.bits) '\000'
+
+let fill t =
+  Bytes.fill t.bits 0 (Bytes.length t.bits) '\255';
+  (* Zero the padding bits beyond [universe]. *)
+  for i = t.universe to (Bytes.length t.bits * 8) - 1 do
+    let b = i lsr 3 in
+    Bytes.set t.bits b
+      (Char.chr (Char.code (Bytes.get t.bits b) land lnot (1 lsl (i land 7)) land 0xff))
+  done
+
+let popcount_byte c =
+  let rec go n acc = if n = 0 then acc else go (n lsr 1) (acc + (n land 1)) in
+  go (Char.code c) 0
+
+let cardinal t =
+  let n = ref 0 in
+  Bytes.iter (fun c -> n := !n + popcount_byte c) t.bits;
+  !n
+
+let is_empty t = Bytes.for_all (fun c -> c = '\000') t.bits
+
+let same_universe a b =
+  if a.universe <> b.universe then invalid_arg "Bitset: universe mismatch"
+
+let equal a b =
+  same_universe a b;
+  Bytes.equal a.bits b.bits
+
+let map2_into ~dst src f =
+  same_universe dst src;
+  for i = 0 to Bytes.length dst.bits - 1 do
+    let c = f (Char.code (Bytes.get dst.bits i)) (Char.code (Bytes.get src.bits i)) in
+    Bytes.set dst.bits i (Char.chr (c land 0xff))
+  done
+
+let union_into ~dst src = map2_into ~dst src (fun a b -> a lor b)
+let inter_into ~dst src = map2_into ~dst src (fun a b -> a land b)
+let diff_into ~dst src = map2_into ~dst src (fun a b -> a land lnot b)
+
+let iter f t =
+  for i = 0 to t.universe - 1 do
+    if mem t i then f i
+  done
+
+let fold f t init =
+  let acc = ref init in
+  iter (fun i -> acc := f i !acc) t;
+  !acc
+
+let elements t = List.rev (fold (fun i acc -> i :: acc) t [])
+
+let of_list n xs =
+  let t = create n in
+  List.iter (add t) xs;
+  t
+
+let pp ppf t =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       Format.pp_print_int)
+    (elements t)

@@ -1,0 +1,35 @@
+(** Fixed-universe bit-vector sets.
+
+    The dataflow framework (available loads) and the alias-pair counters use
+    these for dense sets over small integer universes. All binary operations
+    require both operands to come from universes of the same width. *)
+
+type t
+
+val create : int -> t
+(** [create n] is the empty set over universe [0 .. n-1]. *)
+
+val universe : t -> int
+val mem : t -> int -> bool
+val add : t -> int -> unit
+val remove : t -> int -> unit
+val copy : t -> t
+val clear : t -> unit
+val fill : t -> unit
+(** Make the set the full universe. *)
+
+val cardinal : t -> int
+val is_empty : t -> bool
+val equal : t -> t -> bool
+
+val union_into : dst:t -> t -> unit
+(** [union_into ~dst src] sets [dst := dst ∪ src]. *)
+
+val inter_into : dst:t -> t -> unit
+val diff_into : dst:t -> t -> unit
+
+val iter : (int -> unit) -> t -> unit
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+val elements : t -> int list
+val of_list : int -> int list -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,24 @@
+type severity = Error | Warning
+
+type t = { severity : severity; loc : Loc.t; message : string }
+
+exception Compile_error of t
+
+let raise_error loc message =
+  raise (Compile_error { severity = Error; loc; message })
+
+let error ?(loc = Loc.dummy) fmt =
+  Format.kasprintf (fun message -> raise_error loc message) fmt
+
+let errorf_at loc fmt = Format.kasprintf (fun message -> raise_error loc message) fmt
+
+let pp ppf t =
+  let tag = match t.severity with Error -> "error" | Warning -> "warning" in
+  Format.fprintf ppf "%a: %s: %s" Loc.pp t.loc tag t.message
+
+let to_string t = Format.asprintf "%a" pp t
+
+let () =
+  Printexc.register_printer (function
+    | Compile_error d -> Some (to_string d)
+    | _ -> None)

@@ -1,0 +1,21 @@
+(** Compiler diagnostics.
+
+    All front-end and analysis errors are reported through this module so
+    that tests can assert on structured errors rather than strings. *)
+
+type severity = Error | Warning
+
+type t = { severity : severity; loc : Loc.t; message : string }
+
+exception Compile_error of t
+(** Raised by phases that cannot continue. *)
+
+val error : ?loc:Loc.t -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** [error ~loc fmt ...] raises {!Compile_error} with a formatted message. *)
+
+val errorf_at : Loc.t -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** Like {!error} with a mandatory location. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

@@ -1,0 +1,43 @@
+type t = { name : string; id : int }
+
+let table : (string, t) Hashtbl.t = Hashtbl.create 1024
+let counter = ref 0
+
+let intern name =
+  match Hashtbl.find_opt table name with
+  | Some t -> t
+  | None ->
+    let t = { name; id = !counter } in
+    incr counter;
+    Hashtbl.add table name t;
+    t
+
+let name t = t.name
+let id t = t.id
+let equal a b = a.id = b.id
+let compare a b = Int.compare a.id b.id
+let hash t = t.id
+let pp ppf t = Format.pp_print_string ppf t.name
+
+let fresh_counter = ref 0
+
+let rec fresh base =
+  incr fresh_counter;
+  let candidate = Printf.sprintf "%s$%d" base !fresh_counter in
+  if Hashtbl.mem table candidate then fresh base else intern candidate
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Map = Map.Make (Ord)
+module Set = Set.Make (Ord)
+
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)

@@ -1,0 +1,48 @@
+type t = { parent : int array; rank : int array }
+
+let create n = { parent = Array.init n (fun i -> i); rank = Array.make n 0 }
+let size t = Array.length t.parent
+
+let rec find t x =
+  let p = t.parent.(x) in
+  if p = x then x
+  else begin
+    let root = find t p in
+    t.parent.(x) <- root;
+    root
+  end
+
+let union t a b =
+  let ra = find t a and rb = find t b in
+  if ra <> rb then
+    if t.rank.(ra) < t.rank.(rb) then t.parent.(ra) <- rb
+    else if t.rank.(ra) > t.rank.(rb) then t.parent.(rb) <- ra
+    else begin
+      t.parent.(rb) <- ra;
+      t.rank.(ra) <- t.rank.(ra) + 1
+    end
+
+let same t a b = find t a = find t b
+
+let group t x =
+  let root = find t x in
+  let acc = ref [] in
+  for i = size t - 1 downto 0 do
+    if find t i = root then acc := i :: !acc
+  done;
+  !acc
+
+let groups t =
+  let by_root = Hashtbl.create 16 in
+  for i = size t - 1 downto 0 do
+    let r = find t i in
+    let members = Option.value (Hashtbl.find_opt by_root r) ~default:[] in
+    Hashtbl.replace by_root r (i :: members)
+  done;
+  let reps = ref [] in
+  for i = size t - 1 downto 0 do
+    if find t i = i then reps := i :: !reps
+  done;
+  List.map (fun r -> Hashtbl.find by_root r) !reps
+
+let copy t = { parent = Array.copy t.parent; rank = Array.copy t.rank }

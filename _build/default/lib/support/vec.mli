@@ -1,0 +1,21 @@
+(** Growable arrays (OCaml 5.1 predates stdlib [Dynarray]).
+
+    Used for CFG block tables and other append-heavy compiler structures. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val get : 'a t -> int -> 'a
+val set : 'a t -> int -> 'a -> unit
+
+val push : 'a t -> 'a -> int
+(** Append, returning the new element's index. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+val fold_left : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+val to_list : 'a t -> 'a list
+val of_list : 'a list -> 'a t
+val map_to_list : ('a -> 'b) -> 'a t -> 'b list
+val exists : ('a -> bool) -> 'a t -> bool

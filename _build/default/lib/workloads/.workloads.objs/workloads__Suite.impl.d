@@ -1,0 +1,1 @@
+lib/workloads/suite.ml: List W_dformat W_dom W_format W_ktree W_m2tom3 W_m3cg W_postcard W_pp W_slisp W_write_pickle Workload

@@ -1,0 +1,1 @@
+lib/workloads/w_m2tom3.ml: Workload

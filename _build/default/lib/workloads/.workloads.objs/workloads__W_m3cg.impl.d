@@ -1,0 +1,1 @@
+lib/workloads/w_m3cg.ml: Workload

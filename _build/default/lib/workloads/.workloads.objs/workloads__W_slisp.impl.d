@@ -1,0 +1,1 @@
+lib/workloads/w_slisp.ml: Workload

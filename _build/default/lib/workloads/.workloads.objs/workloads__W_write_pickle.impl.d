@@ -1,0 +1,1 @@
+lib/workloads/w_write_pickle.ml: Workload

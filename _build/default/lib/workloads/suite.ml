@@ -1,0 +1,10 @@
+(* Registry of the ten benchmark programs, in the paper's Table 4/5 order. *)
+
+let all : Workload.t list =
+  [ W_format.workload; W_dformat.workload; W_write_pickle.workload;
+    W_ktree.workload; W_slisp.workload; W_pp.workload; W_dom.workload;
+    W_postcard.workload; W_m2tom3.workload; W_m3cg.workload ]
+
+let dynamic = List.filter (fun (w : Workload.t) -> w.Workload.dynamic) all
+
+let find name = List.find (fun (w : Workload.t) -> w.Workload.name = name) all

@@ -1,0 +1,210 @@
+(* "dformat" — a device-independent text formatter: styled runs of text are
+   rendered through a device abstraction (an object hierarchy with dynamic
+   dispatch), mirroring the second Liskov & Guttag formatter. *)
+
+let source =
+  {|
+MODULE Dformat;
+
+CONST
+  RunCount = 1500;
+  PageWidth = 48;
+
+TYPE
+  CharVec = REF ARRAY OF CHAR;
+
+  (* A styled run of text. *)
+  Run = OBJECT
+    text: CharVec;
+    len: INTEGER;
+    style: INTEGER;  (* 0 plain, 1 bold, 2 underline, 3 verbatim *)
+    next: Run;
+  END;
+
+  (* Output devices: a plain device prints characters; a markup device
+     brackets styled runs; a counting device only measures. *)
+  Device = OBJECT
+    column: INTEGER;
+    emitted: INTEGER;
+  METHODS
+    putc (c: CHAR) := PlainPutc;
+    open (style: INTEGER) := PlainOpen;
+    close (style: INTEGER) := PlainClose;
+  END;
+
+  MarkupDevice = Device OBJECT
+  OVERRIDES
+    putc := MarkupPutc;
+    open := MarkupOpen;
+    close := MarkupClose;
+  END;
+
+  CountingDevice = Device OBJECT
+  OVERRIDES
+    putc := CountPutc;
+  END;
+
+VAR
+  seed: INTEGER;
+  runs: Run;
+  lastRun: Run;
+  plain: Device;
+  markup: MarkupDevice;
+  counter: CountingDevice;
+  checksum: INTEGER;
+
+PROCEDURE Rand (range: INTEGER): INTEGER =
+  BEGIN
+    seed := (seed * 25173 + 13849) MOD 65536;
+    RETURN seed MOD range;
+  END Rand;
+
+(* --- devices -------------------------------------------------------- *)
+
+PROCEDURE PlainPutc (self: Device; c: CHAR) =
+  BEGIN
+    PrintChar (c);
+    self.emitted := self.emitted + 1;
+    IF c = '\n' THEN
+      self.column := 0;
+    ELSE
+      self.column := self.column + 1;
+    END;
+  END PlainPutc;
+
+PROCEDURE PlainOpen (self: Device; style: INTEGER) =
+  BEGIN
+    self.emitted := self.emitted + style * 0;
+  END PlainOpen;
+
+PROCEDURE PlainClose (self: Device; style: INTEGER) =
+  BEGIN
+    self.emitted := self.emitted + style * 0;
+  END PlainClose;
+
+PROCEDURE MarkupPutc (self: Device; c: CHAR) =
+  BEGIN
+    PrintChar (c);
+    self.emitted := self.emitted + 1;
+    IF c = '\n' THEN
+      self.column := 0;
+    ELSE
+      self.column := self.column + 1;
+    END;
+  END MarkupPutc;
+
+PROCEDURE MarkupOpen (self: Device; style: INTEGER) =
+  BEGIN
+    IF style = 1 THEN
+      PrintChar ('*');
+      self.emitted := self.emitted + 1;
+    ELSIF style = 2 THEN
+      PrintChar ('_');
+      self.emitted := self.emitted + 1;
+    END;
+  END MarkupOpen;
+
+PROCEDURE MarkupClose (self: Device; style: INTEGER) =
+  BEGIN
+    IF style = 1 THEN
+      PrintChar ('*');
+      self.emitted := self.emitted + 1;
+    ELSIF style = 2 THEN
+      PrintChar ('_');
+      self.emitted := self.emitted + 1;
+    END;
+  END MarkupClose;
+
+PROCEDURE CountPutc (self: Device; c: CHAR) =
+  BEGIN
+    self.emitted := self.emitted + 1;
+    IF c = '\n' THEN
+      self.column := 0;
+    ELSE
+      self.column := self.column + 1;
+    END;
+  END CountPutc;
+
+(* --- document ------------------------------------------------------- *)
+
+PROCEDURE MakeRun (len: INTEGER; style: INTEGER): Run =
+  VAR r: Run;
+  BEGIN
+    r := NEW (Run);
+    r.text := NEW (CharVec, len);
+    r.len := len;
+    r.style := style;
+    r.next := NIL;
+    FOR i := 0 TO len - 1 DO
+      r.text[i] := Chr (Ord ('a') + Rand (26));
+    END;
+    RETURN r;
+  END MakeRun;
+
+PROCEDURE BuildDocument () =
+  VAR r: Run;
+  BEGIN
+    FOR i := 1 TO RunCount DO
+      r := MakeRun (1 + Rand (8), Rand (4));
+      IF runs = NIL THEN
+        runs := r;
+      ELSE
+        lastRun.next := r;
+      END;
+      lastRun := r;
+    END;
+  END BuildDocument;
+
+(* Render a run on a device, breaking the line when the page width would
+   overflow. Verbatim runs (style 3) never break. *)
+PROCEDURE RenderRun (d: Device; r: Run) =
+  BEGIN
+    IF (r.style # 3) AND ((d.column + r.len + 1) > PageWidth) THEN
+      d.putc ('\n');
+    END;
+    d.open (r.style);
+    FOR i := 0 TO r.len - 1 DO
+      d.putc (r.text[i]);
+      checksum := checksum + Ord (r.text[i]);
+    END;
+    d.close (r.style);
+    IF r.style # 3 THEN
+      d.putc (' ');
+    END;
+  END RenderRun;
+
+PROCEDURE RenderAll (d: Device) =
+  VAR r: Run;
+  BEGIN
+    r := runs;
+    WHILE r # NIL DO
+      RenderRun (d, r);
+      r := r.next;
+    END;
+    d.putc ('\n');
+  END RenderAll;
+
+BEGIN
+  seed := 91;
+  runs := NIL;
+  lastRun := NIL;
+  checksum := 0;
+  BuildDocument ();
+  counter := NEW (CountingDevice);
+  RenderAll (counter);
+  Print ("measured="); PrintInt (counter.emitted); PrintLn ();
+  markup := NEW (MarkupDevice);
+  RenderAll (markup);
+  plain := NEW (Device);
+  RenderAll (plain);
+  Print ("plain="); PrintInt (plain.emitted); PrintLn ();
+  Print ("markup="); PrintInt (markup.emitted); PrintLn ();
+  Print ("checksum="); PrintInt (checksum); PrintLn ();
+END Dformat.
+|}
+
+let workload =
+  { Workload.name = "dformat";
+    description = "device-independent styled-text formatter";
+    source;
+    dynamic = true }

@@ -1,0 +1,179 @@
+(* "dom" — a distributed-object substrate (after Nayeri et al.'s system for
+   building distributed applications): object descriptors, proxies,
+   dispatchers and marshalling buffers. Interactive in the paper, so it
+   contributes only to the static metrics; the main body is a minimal
+   self-check. *)
+
+let source =
+  {|
+MODULE Dom;
+
+CONST
+  MaxArgs = 4;
+
+TYPE
+  IntVec = REF ARRAY OF INTEGER;
+
+  (* Marshalled request buffer. *)
+  Buffer = OBJECT
+    words: IntVec;
+    used: INTEGER;
+    next: Buffer;  (* free list *)
+  END;
+
+  (* Remote object descriptor. *)
+  ObjDesc = OBJECT
+    oid: INTEGER;
+    generation: INTEGER;
+  METHODS
+    invoke (method: INTEGER; args: Buffer): INTEGER := InvokeLocal;
+  END;
+
+  Proxy = ObjDesc OBJECT
+    hop: INTEGER;  (* forwarding distance *)
+  OVERRIDES
+    invoke := InvokeProxy;
+  END;
+
+  Replica = ObjDesc OBJECT
+    copies: INTEGER;
+  OVERRIDES
+    invoke := InvokeReplica;
+  END;
+
+  (* Dispatch table entry. *)
+  Binding = RECORD
+    method: INTEGER;
+    cost: INTEGER;
+  END;
+
+  Dispatcher = OBJECT
+    table: ARRAY [0..7] OF Binding;
+    served: INTEGER;
+    target: ObjDesc;
+    next: Dispatcher;
+  END;
+
+  BufferPool = OBJECT
+    free: Buffer;
+    created: INTEGER;
+    reused: INTEGER;
+  END;
+
+VAR
+  pool: BufferPool;
+  dispatchers: Dispatcher;
+  invocations: INTEGER;
+
+(* --- buffer pool -------------------------------------------------------- *)
+
+PROCEDURE GetBuffer (p: BufferPool): Buffer =
+  VAR b: Buffer;
+  BEGIN
+    IF p.free # NIL THEN
+      b := p.free;
+      p.free := b.next;
+      b.used := 0;
+      p.reused := p.reused + 1;
+      RETURN b;
+    END;
+    b := NEW (Buffer);
+    b.words := NEW (IntVec, MaxArgs);
+    b.used := 0;
+    b.next := NIL;
+    p.created := p.created + 1;
+    RETURN b;
+  END GetBuffer;
+
+PROCEDURE PutBuffer (p: BufferPool; b: Buffer) =
+  BEGIN
+    b.next := p.free;
+    p.free := b;
+  END PutBuffer;
+
+PROCEDURE Marshal (b: Buffer; word: INTEGER) =
+  BEGIN
+    IF b.used < Number (b.words) THEN
+      b.words[b.used] := word;
+      b.used := b.used + 1;
+    END;
+  END Marshal;
+
+(* --- invocation --------------------------------------------------------- *)
+
+PROCEDURE InvokeLocal (self: ObjDesc; method: INTEGER; args: Buffer): INTEGER =
+  VAR acc: INTEGER;
+  BEGIN
+    acc := self.oid * 7 + method;
+    FOR i := 0 TO args.used - 1 DO
+      acc := acc + args.words[i];
+    END;
+    invocations := invocations + 1;
+    RETURN acc;
+  END InvokeLocal;
+
+PROCEDURE InvokeProxy (self: Proxy; method: INTEGER; args: Buffer): INTEGER =
+  BEGIN
+    (* a proxy charges a forwarding cost, then behaves like the local case *)
+    RETURN InvokeLocal (self, method, args) + self.hop;
+  END InvokeProxy;
+
+PROCEDURE InvokeReplica (self: Replica; method: INTEGER; args: Buffer): INTEGER =
+  BEGIN
+    RETURN InvokeLocal (self, method, args) * self.copies;
+  END InvokeReplica;
+
+(* --- dispatcher registry -------------------------------------------------- *)
+
+PROCEDURE Register (target: ObjDesc): Dispatcher =
+  VAR d: Dispatcher;
+  BEGIN
+    d := NEW (Dispatcher);
+    d.target := target;
+    d.served := 0;
+    FOR i := 0 TO 7 DO
+      d.table[i].method := i;
+      d.table[i].cost := i * 3;
+    END;
+    d.next := dispatchers;
+    dispatchers := d;
+    RETURN d;
+  END Register;
+
+PROCEDURE Dispatch (d: Dispatcher; method: INTEGER; args: Buffer): INTEGER =
+  VAR cost: INTEGER;
+  BEGIN
+    cost := d.table[method MOD 8].cost;
+    d.served := d.served + 1;
+    RETURN d.target.invoke (method, args) + cost;
+  END Dispatch;
+
+BEGIN
+  pool := NEW (BufferPool);
+  invocations := 0;
+  WITH local = NEW (ObjDesc), proxy = NEW (Proxy), rep = NEW (Replica) DO
+    local.oid := 1;
+    proxy.oid := 2;
+    proxy.hop := 5;
+    rep.oid := 3;
+    rep.copies := 2;
+    WITH d1 = Register (local), d2 = Register (proxy), d3 = Register (rep) DO
+      WITH b = GetBuffer (pool) DO
+        Marshal (b, 10);
+        Marshal (b, 20);
+        PrintInt (Dispatch (d1, 1, b)); PrintChar (' ');
+        PrintInt (Dispatch (d2, 2, b)); PrintChar (' ');
+        PrintInt (Dispatch (d3, 3, b)); PrintLn ();
+        PutBuffer (pool, b);
+      END;
+    END;
+  END;
+  PrintInt (invocations); PrintLn ();
+END Dom.
+|}
+
+let workload =
+  { Workload.name = "dom";
+    description = "distributed-object substrate (static metrics only)";
+    source;
+    dynamic = false }

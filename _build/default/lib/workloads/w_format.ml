@@ -1,0 +1,201 @@
+(* "format" — a line-filling text formatter (the paper's smallest benchmark,
+   a 395-line Liskov & Guttag exercise). Array- and list-heavy: words are
+   open character arrays threaded on a list, lines collect words and are
+   justified to a fixed width. *)
+
+let source =
+  {|
+MODULE Format;
+
+CONST
+  LineWidth = 60;
+  WordCount = 2600;
+
+TYPE
+  CharVec = REF ARRAY OF CHAR;
+  Word = OBJECT
+    text: CharVec;
+    len: INTEGER;
+    next: Word;
+  END;
+  Line = OBJECT
+    first: Word;     (* words of this line, linked via next *)
+    count: INTEGER;  (* number of words *)
+    width: INTEGER;  (* total characters excluding separators *)
+    next: Line;
+  END;
+
+VAR
+  seed: INTEGER;
+  firstWord: Word;
+  lastWord: Word;
+  firstLine: Line;
+  lastLine: Line;
+  lineCount: INTEGER;
+  checksum: INTEGER;
+
+PROCEDURE Rand (range: INTEGER): INTEGER =
+  BEGIN
+    seed := (seed * 25173 + 13849) MOD 65536;
+    RETURN seed MOD range;
+  END Rand;
+
+PROCEDURE MakeWord (len: INTEGER): Word =
+  VAR w: Word;
+  BEGIN
+    w := NEW (Word);
+    w.text := NEW (CharVec, len);
+    w.len := len;
+    w.next := NIL;
+    FOR i := 0 TO len - 1 DO
+      w.text[i] := Chr (Ord ('a') + Rand (26));
+    END;
+    RETURN w;
+  END MakeWord;
+
+PROCEDURE AppendWord (w: Word) =
+  BEGIN
+    IF firstWord = NIL THEN
+      firstWord := w;
+    ELSE
+      lastWord.next := w;
+    END;
+    lastWord := w;
+  END AppendWord;
+
+PROCEDURE BuildDocument () =
+  VAR len: INTEGER;
+  BEGIN
+    FOR i := 1 TO WordCount DO
+      len := 2 + Rand (9);
+      AppendWord (MakeWord (len));
+    END;
+  END BuildDocument;
+
+PROCEDURE NewLine (): Line =
+  VAR l: Line;
+  BEGIN
+    l := NEW (Line);
+    l.first := NIL;
+    l.count := 0;
+    l.width := 0;
+    l.next := NIL;
+    IF firstLine = NIL THEN
+      firstLine := l;
+    ELSE
+      lastLine.next := l;
+    END;
+    lastLine := l;
+    lineCount := lineCount + 1;
+    RETURN l;
+  END NewLine;
+
+(* Greedy line filling: a word joins the current line when it fits with
+   one separating space per word already present. *)
+PROCEDURE FillLines () =
+  VAR w: Word; rest: Word; cur: Line; needed: INTEGER; tail: Word;
+  BEGIN
+    cur := NewLine ();
+    w := firstWord;
+    WHILE w # NIL DO
+      rest := w.next;
+      w.next := NIL;
+      needed := cur.width + cur.count + w.len;
+      IF (cur.count > 0) AND (needed > LineWidth) THEN
+        cur := NewLine ();
+      END;
+      IF cur.first = NIL THEN
+        cur.first := w;
+      ELSE
+        tail := cur.first;
+        WHILE tail.next # NIL DO
+          tail := tail.next;
+        END;
+        tail.next := w;
+      END;
+      cur.count := cur.count + 1;
+      cur.width := cur.width + w.len;
+      w := rest;
+    END;
+  END FillLines;
+
+(* Justification: distribute the slack as extra spaces between words, the
+   leftmost gaps absorbing the remainder. *)
+PROCEDURE GapWidth (l: Line; gapIndex: INTEGER): INTEGER =
+  VAR slack: INTEGER; gaps: INTEGER; base: INTEGER; extra: INTEGER;
+  BEGIN
+    gaps := l.count - 1;
+    IF gaps <= 0 THEN RETURN 0; END;
+    slack := LineWidth - l.width;
+    base := slack DIV gaps;
+    extra := slack MOD gaps;
+    IF gapIndex < extra THEN
+      RETURN base + 1;
+    END;
+    RETURN base;
+  END GapWidth;
+
+PROCEDURE EmitWord (w: Word) =
+  BEGIN
+    FOR i := 0 TO w.len - 1 DO
+      PrintChar (w.text[i]);
+      checksum := checksum + Ord (w.text[i]);
+    END;
+  END EmitWord;
+
+PROCEDURE RenderLine (l: Line; justify: BOOLEAN) =
+  VAR w: Word; gap: INTEGER; spaces: INTEGER;
+  BEGIN
+    w := l.first;
+    gap := 0;
+    WHILE w # NIL DO
+      EmitWord (w);
+      IF w.next # NIL THEN
+        IF justify THEN
+          spaces := GapWidth (l, gap);
+        ELSE
+          spaces := 1;
+        END;
+        FOR k := 1 TO spaces DO
+          PrintChar (' ');
+        END;
+        checksum := checksum + spaces;
+      END;
+      gap := gap + 1;
+      w := w.next;
+    END;
+    PrintLn ();
+  END RenderLine;
+
+PROCEDURE Render () =
+  VAR l: Line;
+  BEGIN
+    l := firstLine;
+    WHILE l # NIL DO
+      (* the last line of a paragraph is never justified *)
+      RenderLine (l, l.next # NIL);
+      l := l.next;
+    END;
+  END Render;
+
+BEGIN
+  seed := 4711;
+  firstWord := NIL;
+  lastWord := NIL;
+  firstLine := NIL;
+  lastLine := NIL;
+  lineCount := 0;
+  checksum := 0;
+  BuildDocument ();
+  FillLines ();
+  Render ();
+  Print ("lines="); PrintInt (lineCount); PrintLn ();
+  Print ("checksum="); PrintInt (checksum); PrintLn ();
+END Format.
+|}
+
+let workload =
+  { Workload.name = "format";
+    description = "line-filling and justifying text formatter";
+    source;
+    dynamic = true }

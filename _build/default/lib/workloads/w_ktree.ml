@@ -1,0 +1,210 @@
+(* "k-tree" — manages integer sequences with k-ary trees (after Rodney
+   Bates's K-trees). Internal nodes hold their children in open arrays, so
+   every child access goes through a dope vector — which is why the paper
+   found k-tree's residual redundant loads dominated by Encapsulation. *)
+
+let source =
+  {|
+MODULE Ktree;
+
+CONST
+  Fanout = 4;
+  LeafCap = 8;
+  BuildSize = 2000;
+  Lookups = 4000;
+
+TYPE
+  IntVec = REF ARRAY OF INTEGER;
+  NodeVec = REF ARRAY OF Node;
+
+  (* A sequence node: leaves carry elements, internal nodes carry children;
+     every node caches the size of the sequence below it. *)
+  Node = OBJECT
+    size: INTEGER;
+  METHODS
+    get (index: INTEGER): INTEGER := GetAbstract;
+    set (index: INTEGER; value: INTEGER) := SetAbstract;
+    total (): INTEGER := TotalAbstract;
+  END;
+
+  Leaf = Node OBJECT
+    elems: IntVec;
+    used: INTEGER;
+  OVERRIDES
+    get := GetLeaf;
+    set := SetLeaf;
+    total := TotalLeaf;
+  END;
+
+  Inner = Node OBJECT
+    kids: NodeVec;
+    arity: INTEGER;
+  OVERRIDES
+    get := GetInner;
+    set := SetInner;
+    total := TotalInner;
+  END;
+
+VAR
+  seed: INTEGER;
+  root: Node;
+  checksum: INTEGER;
+
+PROCEDURE Rand (range: INTEGER): INTEGER =
+  BEGIN
+    seed := (seed * 25173 + 13849) MOD 65536;
+    RETURN seed MOD range;
+  END Rand;
+
+(* --- abstract defaults ------------------------------------------------ *)
+
+PROCEDURE GetAbstract (self: Node; index: INTEGER): INTEGER =
+  BEGIN
+    RETURN index * 0;
+  END GetAbstract;
+
+PROCEDURE SetAbstract (self: Node; index: INTEGER; value: INTEGER) =
+  BEGIN
+  END SetAbstract;
+
+PROCEDURE TotalAbstract (self: Node): INTEGER =
+  BEGIN
+    RETURN 0;
+  END TotalAbstract;
+
+(* --- leaves ------------------------------------------------------------ *)
+
+PROCEDURE GetLeaf (self: Leaf; index: INTEGER): INTEGER =
+  BEGIN
+    IF (index >= 0) AND (index < self.used) THEN
+      RETURN self.elems[index];
+    END;
+    RETURN 0;
+  END GetLeaf;
+
+PROCEDURE SetLeaf (self: Leaf; index: INTEGER; value: INTEGER) =
+  BEGIN
+    IF (index >= 0) AND (index < self.used) THEN
+      self.elems[index] := value;
+    END;
+  END SetLeaf;
+
+PROCEDURE TotalLeaf (self: Leaf): INTEGER =
+  VAR s: INTEGER;
+  BEGIN
+    s := 0;
+    FOR i := 0 TO self.used - 1 DO
+      s := s + self.elems[i];
+    END;
+    RETURN s;
+  END TotalLeaf;
+
+(* --- internal nodes ------------------------------------------------------ *)
+
+PROCEDURE GetInner (self: Inner; index: INTEGER): INTEGER =
+  VAR k: INTEGER; kid: Node; rest: INTEGER;
+  BEGIN
+    k := 0;
+    rest := index;
+    WHILE k < self.arity DO
+      kid := self.kids[k];
+      IF rest < kid.size THEN
+        RETURN kid.get (rest);
+      END;
+      rest := rest - kid.size;
+      k := k + 1;
+    END;
+    RETURN 0;
+  END GetInner;
+
+PROCEDURE SetInner (self: Inner; index: INTEGER; value: INTEGER) =
+  VAR k: INTEGER; kid: Node; rest: INTEGER;
+  BEGIN
+    k := 0;
+    rest := index;
+    WHILE k < self.arity DO
+      kid := self.kids[k];
+      IF rest < kid.size THEN
+        kid.set (rest, value);
+        RETURN;
+      END;
+      rest := rest - kid.size;
+      k := k + 1;
+    END;
+  END SetInner;
+
+PROCEDURE TotalInner (self: Inner): INTEGER =
+  VAR s: INTEGER;
+  BEGIN
+    s := 0;
+    FOR k := 0 TO self.arity - 1 DO
+      s := s + self.kids[k].total ();
+    END;
+    RETURN s;
+  END TotalInner;
+
+(* --- construction ---------------------------------------------------------- *)
+
+PROCEDURE BuildLeaf (count: INTEGER; base: INTEGER): Leaf =
+  VAR l: Leaf;
+  BEGIN
+    l := NEW (Leaf);
+    l.elems := NEW (IntVec, LeafCap);
+    l.used := count;
+    l.size := count;
+    FOR i := 0 TO count - 1 DO
+      l.elems[i] := base + i;
+    END;
+    RETURN l;
+  END BuildLeaf;
+
+(* Build a balanced tree over [base .. base+count-1]. *)
+PROCEDURE Build (count: INTEGER; base: INTEGER): Node =
+  VAR
+    node: Inner; share: INTEGER; extra: INTEGER; give: INTEGER;
+    offset: INTEGER; arity: INTEGER;
+  BEGIN
+    IF count <= LeafCap THEN
+      RETURN BuildLeaf (count, base);
+    END;
+    node := NEW (Inner);
+    arity := Fanout;
+    node.kids := NEW (NodeVec, arity);
+    node.arity := arity;
+    node.size := count;
+    share := count DIV arity;
+    extra := count MOD arity;
+    offset := 0;
+    FOR k := 0 TO arity - 1 DO
+      give := share;
+      IF k < extra THEN
+        give := give + 1;
+      END;
+      node.kids[k] := Build (give, base + offset);
+      offset := offset + give;
+    END;
+    RETURN node;
+  END Build;
+
+BEGIN
+  seed := 3163;
+  checksum := 0;
+  root := Build (BuildSize, 1);
+  Print ("size=");  PrintInt (root.size);     PrintLn ();
+  Print ("total="); PrintInt (root.total ()); PrintLn ();
+  FOR i := 1 TO Lookups DO
+    checksum := checksum + root.get (Rand (BuildSize));
+  END;
+  FOR i := 1 TO Lookups DIV 4 DO
+    root.set (Rand (BuildSize), Rand (1000));
+  END;
+  Print ("after="); PrintInt (root.total ()); PrintLn ();
+  Print ("checksum="); PrintInt (checksum); PrintLn ();
+END Ktree.
+|}
+
+let workload =
+  { Workload.name = "ktree";
+    description = "integer sequences managed with k-ary trees";
+    source;
+    dynamic = true }

@@ -1,0 +1,178 @@
+(* "m2tom3" — a token-level Modula-2 to Modula-3 converter: a generated
+   token stream is rewritten with keyword mapping tables, declaration
+   reshaping, and an output buffer, like the paper's largest-input
+   benchmark. *)
+
+let source =
+  {|
+MODULE M2toM3;
+
+CONST
+  TokCount = 9000;
+  KwCount = 16;
+  (* token kinds *)
+  KKw = 0;
+  KIdent = 1;
+  KNumber = 2;
+  KPunct = 3;
+
+TYPE
+  IntVec = REF ARRAY OF INTEGER;
+
+  Token = RECORD
+    kind: INTEGER;
+    code: INTEGER;   (* keyword index, ident seed, number, or punct code *)
+  END;
+
+  TokVec = REF ARRAY OF Token;
+
+  (* A keyword mapping entry: Modula-2 keyword -> Modula-3 spelling, plus a
+     flag for keywords that change statement structure. *)
+  KwEntry = RECORD
+    m2: INTEGER;       (* keyword code *)
+    m3: INTEGER;       (* replacement code *)
+    restructure: BOOLEAN;
+  END;
+
+  KwTable = ARRAY [0..15] OF KwEntry;
+
+  Stats = OBJECT
+    keywords: INTEGER;
+    idents: INTEGER;
+    numbers: INTEGER;
+    puncts: INTEGER;
+    restructured: INTEGER;
+  END;
+
+VAR
+  seed: INTEGER;
+  input: TokVec;
+  output: TokVec;
+  outUsed: INTEGER;
+  table: KwTable;
+  stats: Stats;
+  checksum: INTEGER;
+
+PROCEDURE Rand (range: INTEGER): INTEGER =
+  BEGIN
+    seed := (seed * 25173 + 13849) MOD 65536;
+    RETURN seed MOD range;
+  END Rand;
+
+PROCEDURE InitTable () =
+  BEGIN
+    FOR i := 0 TO KwCount - 1 DO
+      table[i].m2 := i;
+      table[i].m3 := (i * 3 + 1) MOD 64;
+      table[i].restructure := (i MOD 5) = 0;
+    END;
+  END InitTable;
+
+PROCEDURE GenInput () =
+  VAR r: INTEGER;
+  BEGIN
+    input := NEW (TokVec, TokCount);
+    FOR k := 0 TO TokCount - 1 DO
+      r := Rand (10);
+      IF r < 3 THEN
+        input[k].kind := KKw;
+        input[k].code := Rand (KwCount);
+      ELSIF r < 7 THEN
+        input[k].kind := KIdent;
+        input[k].code := Rand (500);
+      ELSIF r < 9 THEN
+        input[k].kind := KNumber;
+        input[k].code := Rand (10000);
+      ELSE
+        input[k].kind := KPunct;
+        input[k].code := Rand (12);
+      END;
+    END;
+  END GenInput;
+
+PROCEDURE Emit (kind: INTEGER; code: INTEGER) =
+  BEGIN
+    IF outUsed < Number (output) THEN
+      output[outUsed].kind := kind;
+      output[outUsed].code := code;
+      outUsed := outUsed + 1;
+    END;
+  END Emit;
+
+(* Translate one keyword: map its spelling; restructuring keywords emit an
+   extra punctuation token (Modula-3 needs more ENDs than Modula-2). *)
+PROCEDURE TranslateKw (code: INTEGER) =
+  VAR mapped: INTEGER;
+  BEGIN
+    mapped := table[code].m3;
+    Emit (KKw, mapped);
+    stats.keywords := stats.keywords + 1;
+    IF table[code].restructure THEN
+      Emit (KPunct, 11);
+      stats.restructured := stats.restructured + 1;
+    END;
+  END TranslateKw;
+
+(* Identifiers with reserved-looking seeds are renamed (suffix added). *)
+PROCEDURE TranslateIdent (code: INTEGER) =
+  BEGIN
+    IF (code MOD 17) = 0 THEN
+      Emit (KIdent, code + 1000);
+    ELSE
+      Emit (KIdent, code);
+    END;
+    stats.idents := stats.idents + 1;
+  END TranslateIdent;
+
+PROCEDURE Translate () =
+  VAR kind: INTEGER; code: INTEGER;
+  BEGIN
+    output := NEW (TokVec, TokCount * 2);
+    outUsed := 0;
+    FOR k := 0 TO Number (input) - 1 DO
+      kind := input[k].kind;
+      code := input[k].code;
+      IF kind = KKw THEN
+        TranslateKw (code);
+      ELSIF kind = KIdent THEN
+        TranslateIdent (code);
+      ELSIF kind = KNumber THEN
+        Emit (KNumber, code);
+        stats.numbers := stats.numbers + 1;
+      ELSE
+        Emit (KPunct, code);
+        stats.puncts := stats.puncts + 1;
+      END;
+    END;
+  END Translate;
+
+PROCEDURE Checksum () =
+  BEGIN
+    FOR k := 0 TO outUsed - 1 DO
+      checksum := (checksum * 31 + output[k].kind * 7 + output[k].code) MOD 999983;
+    END;
+  END Checksum;
+
+BEGIN
+  seed := 5150;
+  checksum := 0;
+  stats := NEW (Stats);
+  InitTable ();
+  GenInput ();
+  Translate ();
+  Checksum ();
+  Print ("out=");          PrintInt (outUsed);            PrintLn ();
+  Print ("keywords=");     PrintInt (stats.keywords);     PrintLn ();
+  Print ("idents=");       PrintInt (stats.idents);       PrintLn ();
+  Print ("numbers=");      PrintInt (stats.numbers);      PrintLn ();
+  Print ("puncts=");       PrintInt (stats.puncts);       PrintLn ();
+  Print ("restructured="); PrintInt (stats.restructured); PrintLn ();
+  Print ("checksum=");     PrintInt (checksum);           PrintLn ();
+END M2toM3.
+|}
+
+let workload =
+  { Workload.name = "m2tom3";
+    description = "token-level Modula-2 to Modula-3 source converter";
+    source;
+    dynamic = true }

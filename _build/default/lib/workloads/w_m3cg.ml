@@ -1,0 +1,402 @@
+(* "m3cg" — a code generator: expression/statement trees are compiled to a
+   stack-machine instruction vector, a peephole pass cleans the code, a
+   tiny register allocator assigns the stack slots, and a final pass
+   "emits" (checksums) the result. The biggest program in the suite, as in
+   the paper. *)
+
+let source =
+  {|
+MODULE M3cg;
+
+CONST
+  FunCount = 300;
+  MaxDepth = 5;
+  CodeCap = 900;
+  RegCount = 8;
+  (* opcodes *)
+  OpPush = 1;    (* push constant *)
+  OpLoad = 2;    (* push variable *)
+  OpStore = 3;   (* pop into variable *)
+  OpAdd = 4;
+  OpSub = 5;
+  OpMul = 6;
+  OpNeg = 7;
+  OpJz = 8;      (* jump if zero *)
+  OpJmp = 9;
+  OpRet = 10;
+  OpNop = 11;
+
+TYPE
+  (* --- source trees ------------------------------------------------- *)
+  Expr = OBJECT
+  METHODS
+    gen (cg: Codegen) := GenAbstract;
+    depth (): INTEGER := DepthAbstract;
+  END;
+
+  Const = Expr OBJECT
+    value: INTEGER;
+  OVERRIDES
+    gen := GenConst;
+    depth := DepthLeaf;
+  END;
+
+  Local = Expr OBJECT
+    slot: INTEGER;
+  OVERRIDES
+    gen := GenLocal;
+    depth := DepthLeaf;
+  END;
+
+  Unary = Expr OBJECT
+    sub: Expr;
+  OVERRIDES
+    gen := GenUnary;
+    depth := DepthUnary;
+  END;
+
+  Binary = Expr OBJECT
+    op: INTEGER;  (* OpAdd/OpSub/OpMul *)
+    left, right: Expr;
+  OVERRIDES
+    gen := GenBinary;
+    depth := DepthBinary;
+  END;
+
+  Cond = Expr OBJECT
+    test, then, else: Expr;
+  OVERRIDES
+    gen := GenCond;
+    depth := DepthCond;
+  END;
+
+  (* --- generated code ------------------------------------------------- *)
+  Instr = RECORD
+    op: INTEGER;
+    arg: INTEGER;
+  END;
+
+  Code = REF ARRAY OF Instr;
+
+  Codegen = OBJECT
+    code: Code;
+    used: INTEGER;
+    maxStack: INTEGER;
+    curStack: INTEGER;
+    labels: INTEGER;
+  END;
+
+  Fun = OBJECT
+    body: Expr;
+    cg: Codegen;
+    next: Fun;
+  END;
+
+  (* A debug-only code buffer, used exclusively through its own type and
+     never stored into a Codegen-typed location: selective merging keeps
+     it out of TypeRefs(Codegen) (m3cg is the paper's other program where
+     SMFieldTypeRefs improves on FieldTypeDecl). *)
+  DebugCodegen = Codegen OBJECT
+    verbosity: INTEGER;
+  END;
+
+VAR
+  seed: INTEGER;
+  funs: Fun;
+  lastFun: Fun;
+  emitted: INTEGER;
+  removedNops: INTEGER;
+  foldedPairs: INTEGER;
+  checksum: INTEGER;
+  regs: ARRAY [0..7] OF INTEGER;
+
+PROCEDURE Rand (range: INTEGER): INTEGER =
+  BEGIN
+    seed := (seed * 25173 + 13849) MOD 65536;
+    RETURN seed MOD range;
+  END Rand;
+
+(* --- depth methods (used by the allocator) ----------------------------- *)
+
+PROCEDURE DepthAbstract (self: Expr): INTEGER = BEGIN RETURN 0; END DepthAbstract;
+PROCEDURE DepthLeaf (self: Expr): INTEGER = BEGIN RETURN 1; END DepthLeaf;
+
+PROCEDURE DepthUnary (self: Unary): INTEGER =
+  BEGIN RETURN self.sub.depth (); END DepthUnary;
+
+PROCEDURE DepthBinary (self: Binary): INTEGER =
+  VAR l: INTEGER; r: INTEGER;
+  BEGIN
+    l := self.left.depth ();
+    r := self.right.depth ();
+    RETURN Max (l, r + 1);
+  END DepthBinary;
+
+PROCEDURE DepthCond (self: Cond): INTEGER =
+  BEGIN
+    RETURN Max (self.test.depth (),
+                Max (self.then.depth (), self.else.depth ()));
+  END DepthCond;
+
+(* --- emission ------------------------------------------------------------ *)
+
+PROCEDURE Emit (cg: Codegen; op: INTEGER; arg: INTEGER) =
+  BEGIN
+    IF cg.used < Number (cg.code) THEN
+      cg.code[cg.used].op := op;
+      cg.code[cg.used].arg := arg;
+      cg.used := cg.used + 1;
+    END;
+    IF (op = OpPush) OR (op = OpLoad) THEN
+      cg.curStack := cg.curStack + 1;
+      IF cg.curStack > cg.maxStack THEN
+        cg.maxStack := cg.curStack;
+      END;
+    ELSIF (op = OpAdd) OR (op = OpSub) OR (op = OpMul) OR (op = OpStore) THEN
+      cg.curStack := cg.curStack - 1;
+    END;
+  END Emit;
+
+PROCEDURE GenAbstract (self: Expr; cg: Codegen) =
+  BEGIN
+    Emit (cg, OpNop, 0);
+  END GenAbstract;
+
+PROCEDURE GenConst (self: Const; cg: Codegen) =
+  BEGIN
+    Emit (cg, OpPush, self.value);
+  END GenConst;
+
+PROCEDURE GenLocal (self: Local; cg: Codegen) =
+  BEGIN
+    Emit (cg, OpLoad, self.slot);
+  END GenLocal;
+
+PROCEDURE GenUnary (self: Unary; cg: Codegen) =
+  BEGIN
+    self.sub.gen (cg);
+    Emit (cg, OpNeg, 0);
+  END GenUnary;
+
+PROCEDURE GenBinary (self: Binary; cg: Codegen) =
+  BEGIN
+    self.left.gen (cg);
+    self.right.gen (cg);
+    Emit (cg, self.op, 0);
+  END GenBinary;
+
+PROCEDURE GenCond (self: Cond; cg: Codegen) =
+  VAR elseLabel: INTEGER; endLabel: INTEGER;
+  BEGIN
+    elseLabel := cg.labels;
+    endLabel := cg.labels + 1;
+    cg.labels := cg.labels + 2;
+    self.test.gen (cg);
+    Emit (cg, OpJz, elseLabel);
+    cg.curStack := cg.curStack - 1;
+    self.then.gen (cg);
+    Emit (cg, OpJmp, endLabel);
+    (* the two arms balance the stack; model the join *)
+    cg.curStack := cg.curStack - 1;
+    self.else.gen (cg);
+  END GenCond;
+
+(* --- peephole: drop nops, fold push/neg pairs ---------------------------- *)
+
+PROCEDURE Peephole (cg: Codegen) =
+  VAR w: INTEGER; op: INTEGER;
+  BEGIN
+    w := 0;
+    FOR r := 0 TO cg.used - 1 DO
+      op := cg.code[r].op;
+      IF op = OpNop THEN
+        removedNops := removedNops + 1;
+      ELSIF (op = OpNeg) AND (w > 0) AND (cg.code[w - 1].op = OpPush) THEN
+        cg.code[w - 1].arg := 0 - cg.code[w - 1].arg;
+        foldedPairs := foldedPairs + 1;
+      ELSE
+        cg.code[w].op := op;
+        cg.code[w].arg := cg.code[r].arg;
+        w := w + 1;
+      END;
+    END;
+    cg.used := w;
+  END Peephole;
+
+(* --- a tiny register allocator: map stack depths to registers ------------- *)
+
+PROCEDURE Allocate (cg: Codegen) =
+  VAR depth: INTEGER; op: INTEGER;
+  BEGIN
+    depth := 0;
+    FOR k := 0 TO cg.used - 1 DO
+      op := cg.code[k].op;
+      IF (op = OpPush) OR (op = OpLoad) THEN
+        regs[depth MOD RegCount] := regs[depth MOD RegCount] + 1;
+        depth := depth + 1;
+      ELSIF (op = OpAdd) OR (op = OpSub) OR (op = OpMul) OR (op = OpStore) THEN
+        IF depth > 0 THEN depth := depth - 1; END;
+      END;
+    END;
+  END Allocate;
+
+(* --- evaluation of the generated code (the "emit" checksum) -------------- *)
+
+PROCEDURE RunCode (cg: Codegen): INTEGER =
+  VAR
+    stack: ARRAY [0..31] OF INTEGER;
+    sp: INTEGER; pc: INTEGER; op: INTEGER; a: INTEGER; b: INTEGER;
+  BEGIN
+    sp := 0;
+    pc := 0;
+    WHILE pc < cg.used DO
+      op := cg.code[pc].op;
+      IF op = OpPush THEN
+        IF sp < 32 THEN stack[sp] := cg.code[pc].arg; END;
+        sp := sp + 1;
+      ELSIF op = OpLoad THEN
+        IF sp < 32 THEN stack[sp] := regs[cg.code[pc].arg MOD RegCount]; END;
+        sp := sp + 1;
+      ELSIF (op = OpAdd) OR (op = OpSub) OR (op = OpMul) THEN
+        IF sp >= 2 THEN
+          a := stack[sp - 2];
+          b := stack[sp - 1];
+          IF op = OpAdd THEN
+            stack[sp - 2] := (a + b) MOD 999983;
+          ELSIF op = OpSub THEN
+            stack[sp - 2] := a - b;
+          ELSE
+            stack[sp - 2] := (a * b) MOD 999983;
+          END;
+          sp := sp - 1;
+        END;
+      ELSIF op = OpNeg THEN
+        IF sp >= 1 THEN
+          stack[sp - 1] := 0 - stack[sp - 1];
+        END;
+      ELSIF op = OpJz THEN
+        (* structured input: treat as a stack pop *)
+        IF sp >= 1 THEN sp := sp - 1; END;
+      END;
+      pc := pc + 1;
+    END;
+    IF sp > 0 THEN
+      IF sp > 32 THEN sp := 32; END;
+      RETURN stack[sp - 1];
+    END;
+    RETURN 0;
+  END RunCode;
+
+(* --- driver ------------------------------------------------------------------ *)
+
+PROCEDURE BuildExpr (depth: INTEGER): Expr =
+  VAR
+    choice: INTEGER; c: Const; l: Local; u: Unary; b: Binary; q: Cond;
+  BEGIN
+    IF depth <= 0 THEN
+      choice := Rand (2);
+    ELSE
+      choice := Rand (6);
+    END;
+    IF choice = 0 THEN
+      c := NEW (Const);
+      c.value := Rand (100);
+      RETURN c;
+    ELSIF choice = 1 THEN
+      l := NEW (Local);
+      l.slot := Rand (RegCount);
+      RETURN l;
+    ELSIF choice = 2 THEN
+      u := NEW (Unary);
+      u.sub := BuildExpr (depth - 1);
+      RETURN u;
+    ELSIF choice = 5 THEN
+      q := NEW (Cond);
+      q.test := BuildExpr (depth - 1);
+      q.then := BuildExpr (depth - 1);
+      q.else := BuildExpr (depth - 1);
+      RETURN q;
+    END;
+    b := NEW (Binary);
+    b.op := OpAdd + Rand (3);
+    b.left := BuildExpr (depth - 1);
+    b.right := BuildExpr (depth - 1);
+    RETURN b;
+  END BuildExpr;
+
+PROCEDURE CompileFun (f: Fun) =
+  BEGIN
+    f.cg := NEW (Codegen);
+    f.cg.code := NEW (Code, CodeCap);
+    f.cg.used := 0;
+    f.cg.maxStack := 0;
+    f.cg.curStack := 0;
+    f.cg.labels := 0;
+    f.body.gen (f.cg);
+    Emit (f.cg, OpRet, 0);
+    Peephole (f.cg);
+    Allocate (f.cg);
+    emitted := emitted + f.cg.used;
+  END CompileFun;
+
+PROCEDURE DebugNote (dbg: DebugCodegen; op: INTEGER) =
+  BEGIN
+    IF dbg.verbosity > 0 THEN
+      IF dbg.used < Number (dbg.code) THEN
+        dbg.code[dbg.used].op := op;
+        dbg.code[dbg.used].arg := dbg.verbosity;
+        dbg.used := dbg.used + 1;
+      END;
+    END;
+  END DebugNote;
+
+PROCEDURE CompileAll () =
+  VAR f: Fun;
+  BEGIN
+    f := funs;
+    WHILE f # NIL DO
+      CompileFun (f);
+      checksum := (checksum * 31 + RunCode (f.cg)) MOD 999983;
+      checksum := (checksum + f.cg.maxStack) MOD 999983;
+      f := f.next;
+    END;
+  END CompileAll;
+
+BEGIN
+  seed := 8191;
+  emitted := 0;
+  removedNops := 0;
+  foldedPairs := 0;
+  checksum := 0;
+  FOR r := 0 TO RegCount - 1 DO
+    regs[r] := r * 11;
+  END;
+  FOR i := 1 TO FunCount DO
+    WITH f = NEW (Fun) DO
+      f.body := BuildExpr (MaxDepth);
+      f.next := funs;
+      funs := f;
+    END;
+  END;
+  lastFun := funs;
+  CompileAll ();
+  WITH dbg = NEW (DebugCodegen) DO
+    dbg.code := NEW (Code, 16);
+    dbg.used := 0;
+    dbg.verbosity := 1;
+    DebugNote (dbg, OpNop);
+    DebugNote (dbg, OpRet);
+    checksum := (checksum + dbg.used) MOD 999983;
+  END;
+  Print ("emitted=");  PrintInt (emitted);      PrintLn ();
+  Print ("nops=");     PrintInt (removedNops);  PrintLn ();
+  Print ("folded=");   PrintInt (foldedPairs);  PrintLn ();
+  Print ("checksum="); PrintInt (checksum);     PrintLn ();
+END M3cg.
+|}
+
+let workload =
+  { Workload.name = "m3cg";
+    description = "stack-machine code generator with peephole and allocator";
+    source;
+    dynamic = true }

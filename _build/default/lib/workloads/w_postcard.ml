@@ -1,0 +1,197 @@
+(* "postcard" — a mail handling core (the paper's graphical mail reader,
+   without the GUI): messages, folders, filters and a summary view.
+   Interactive in the paper, so it contributes only to the static
+   metrics; the main body is a minimal self-check. *)
+
+let source =
+  {|
+MODULE Postcard;
+
+TYPE
+  CharVec = REF ARRAY OF CHAR;
+
+  Message = OBJECT
+    id: INTEGER;
+    sender: INTEGER;
+    size: INTEGER;
+    flags: INTEGER;  (* bit 0 read, bit 1 flagged *)
+    subject: CharVec;
+    next: Message;
+  END;
+
+  Folder = OBJECT
+    name: INTEGER;
+    head: Message;
+    count: INTEGER;
+    unread: INTEGER;
+    next: Folder;
+  END;
+
+  (* Filters select messages; subclasses refine the predicate. *)
+  Filter = OBJECT
+    matched: INTEGER;
+  METHODS
+    matches (m: Message): BOOLEAN := MatchAll;
+  END;
+
+  SenderFilter = Filter OBJECT
+    wanted: INTEGER;
+  OVERRIDES
+    matches := MatchSender;
+  END;
+
+  UnreadFilter = Filter OBJECT
+  OVERRIDES
+    matches := MatchUnread;
+  END;
+
+  (* Used only through SizeFilter-typed paths — never assigned into a
+     Filter-typed location, so selective type merging can prove its
+     [matched] field apart from the generic filters' (the paper's
+     postcard is where SMFieldTypeRefs beats FieldTypeDecl). *)
+  SizeFilter = Filter OBJECT
+    threshold: INTEGER;
+  END;
+
+  Mailbox = OBJECT
+    folders: Folder;
+    total: INTEGER;
+  END;
+
+VAR
+  box: Mailbox;
+  nextId: INTEGER;
+
+PROCEDURE MatchAll (self: Filter; m: Message): BOOLEAN =
+  BEGIN
+    RETURN m.id >= 0;
+  END MatchAll;
+
+PROCEDURE MatchSender (self: SenderFilter; m: Message): BOOLEAN =
+  BEGIN
+    RETURN m.sender = self.wanted;
+  END MatchSender;
+
+PROCEDURE MatchUnread (self: UnreadFilter; m: Message): BOOLEAN =
+  BEGIN
+    RETURN (m.flags MOD 2) = 0;
+  END MatchUnread;
+
+PROCEDURE NewFolder (name: INTEGER): Folder =
+  VAR f: Folder;
+  BEGIN
+    f := NEW (Folder);
+    f.name := name;
+    f.head := NIL;
+    f.count := 0;
+    f.unread := 0;
+    f.next := box.folders;
+    box.folders := f;
+    RETURN f;
+  END NewFolder;
+
+PROCEDURE Deliver (f: Folder; sender: INTEGER; size: INTEGER): Message =
+  VAR m: Message;
+  BEGIN
+    m := NEW (Message);
+    m.id := nextId;
+    nextId := nextId + 1;
+    m.sender := sender;
+    m.size := size;
+    m.flags := 0;
+    m.subject := NEW (CharVec, 8);
+    FOR i := 0 TO 7 DO
+      m.subject[i] := Chr (Ord ('a') + ((sender + i) MOD 26));
+    END;
+    m.next := f.head;
+    f.head := m;
+    f.count := f.count + 1;
+    f.unread := f.unread + 1;
+    box.total := box.total + 1;
+    RETURN m;
+  END Deliver;
+
+PROCEDURE MarkRead (f: Folder; m: Message) =
+  BEGIN
+    IF (m.flags MOD 2) = 0 THEN
+      m.flags := m.flags + 1;
+      f.unread := f.unread - 1;
+    END;
+  END MarkRead;
+
+PROCEDURE RunFilter (f: Folder; filt: Filter): INTEGER =
+  VAR m: Message; hits: INTEGER;
+  BEGIN
+    hits := 0;
+    m := f.head;
+    WHILE m # NIL DO
+      IF filt.matches (m) THEN
+        hits := hits + 1;
+        filt.matched := filt.matched + 1;
+      END;
+      m := m.next;
+    END;
+    RETURN hits;
+  END RunFilter;
+
+PROCEDURE CheckSize (sf: SizeFilter; m: Message): BOOLEAN =
+  BEGIN
+    IF m.size > sf.threshold THEN
+      sf.matched := sf.matched + 1;
+      RETURN TRUE;
+    END;
+    RETURN FALSE;
+  END CheckSize;
+
+PROCEDURE Summarize (): INTEGER =
+  VAR f: Folder; acc: INTEGER;
+  BEGIN
+    acc := 0;
+    f := box.folders;
+    WHILE f # NIL DO
+      acc := acc + f.count * 100 + f.unread;
+      f := f.next;
+    END;
+    RETURN acc;
+  END Summarize;
+
+BEGIN
+  box := NEW (Mailbox);
+  box.total := 0;
+  nextId := 0;
+  WITH inbox = NewFolder (1), archive = NewFolder (2) DO
+    WITH m1 = Deliver (inbox, 7, 120), m2 = Deliver (inbox, 9, 80) DO
+      MarkRead (inbox, m1);
+      IF m2.size > 100 THEN
+        MarkRead (inbox, m2);
+      END;
+    END;
+    WITH m3 = Deliver (archive, 7, 300) DO
+      MarkRead (archive, m3);
+    END;
+    WITH bySender = NEW (SenderFilter), unread = NEW (UnreadFilter) DO
+      bySender.wanted := 7;
+      PrintInt (RunFilter (inbox, bySender)); PrintChar (' ');
+      PrintInt (RunFilter (archive, bySender)); PrintChar (' ');
+      PrintInt (RunFilter (inbox, unread)); PrintChar (' ');
+      PrintInt (bySender.matched + unread.matched); PrintLn ();
+    END;
+    WITH big = NEW (SizeFilter) DO
+      big.threshold := 100;
+      WITH m4 = Deliver (inbox, 3, 250) DO
+        IF CheckSize (big, m4) THEN
+          MarkRead (inbox, m4);
+        END;
+      END;
+      PrintInt (big.matched); PrintLn ();
+    END;
+  END;
+  PrintInt (Summarize ()); PrintLn ();
+END Postcard.
+|}
+
+let workload =
+  { Workload.name = "postcard";
+    description = "mail folders, messages and filters (static metrics only)";
+    source;
+    dynamic = false }

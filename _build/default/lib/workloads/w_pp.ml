@@ -1,0 +1,215 @@
+(* "pp" — a pretty printer: a token stream describing nested blocks and
+   statements is rendered with an indentation engine (box stack, line
+   buffer, width-driven breaking), like the Modula-3 pretty printer in the
+   paper's suite. *)
+
+let source =
+  {|
+MODULE Pp;
+
+CONST
+  TokCount = 4200;
+  Width = 40;
+  Indent = 2;
+  TokOpen = 0;    (* open a block *)
+  TokClose = 1;   (* close a block *)
+  TokWord = 2;    (* an identifier-like word *)
+  TokBreak = 3;   (* statement separator *)
+
+TYPE
+  IntVec = REF ARRAY OF INTEGER;
+  CharVec = REF ARRAY OF CHAR;
+
+  Token = RECORD
+    kind: INTEGER;
+    value: INTEGER;  (* word seed *)
+  END;
+
+  TokVec = REF ARRAY OF Token;
+
+  Printer = OBJECT
+    line: CharVec;    (* current line buffer *)
+    used: INTEGER;
+    depth: INTEGER;
+    stack: IntVec;    (* indentation stack *)
+    top: INTEGER;
+    lines: INTEGER;
+    chars: INTEGER;
+  END;
+
+VAR
+  seed: INTEGER;
+  toks: TokVec;
+  printer: Printer;
+  checksum: INTEGER;
+
+PROCEDURE Rand (range: INTEGER): INTEGER =
+  BEGIN
+    seed := (seed * 25173 + 13849) MOD 65536;
+    RETURN seed MOD range;
+  END Rand;
+
+(* --- input generation: a structurally balanced token stream ------------- *)
+
+PROCEDURE GenTokens () =
+  VAR depth: INTEGER; k: INTEGER; r: INTEGER;
+  BEGIN
+    toks := NEW (TokVec, TokCount);
+    depth := 0;
+    k := 0;
+    WHILE k < TokCount - 1 DO
+      r := Rand (10);
+      IF (r < 2) AND (depth < 6) THEN
+        toks[k].kind := TokOpen;
+        toks[k].value := 0;
+        depth := depth + 1;
+      ELSIF (r < 3) AND (depth > 0) THEN
+        toks[k].kind := TokClose;
+        toks[k].value := 0;
+        depth := depth - 1;
+      ELSIF r < 8 THEN
+        toks[k].kind := TokWord;
+        toks[k].value := 2 + Rand (8);
+      ELSE
+        toks[k].kind := TokBreak;
+        toks[k].value := 0;
+      END;
+      k := k + 1;
+    END;
+    (* close anything left open with the final tokens *)
+    WHILE (depth > 0) AND (k < TokCount) DO
+      toks[k].kind := TokClose;
+      toks[k].value := 0;
+      depth := depth - 1;
+      k := k + 1;
+    END;
+    WHILE k < TokCount DO
+      toks[k].kind := TokBreak;
+      toks[k].value := 0;
+      k := k + 1;
+    END;
+  END GenTokens;
+
+(* --- the engine ----------------------------------------------------------- *)
+
+PROCEDURE NewPrinter (): Printer =
+  VAR p: Printer;
+  BEGIN
+    p := NEW (Printer);
+    p.line := NEW (CharVec, Width + 8);
+    p.used := 0;
+    p.depth := 0;
+    p.stack := NEW (IntVec, 64);
+    p.top := 0;
+    p.lines := 0;
+    p.chars := 0;
+    RETURN p;
+  END NewPrinter;
+
+PROCEDURE Flush (p: Printer) =
+  BEGIN
+    FOR i := 0 TO p.used - 1 DO
+      PrintChar (p.line[i]);
+      checksum := checksum + Ord (p.line[i]);
+    END;
+    PrintLn ();
+    p.chars := p.chars + p.used;
+    p.lines := p.lines + 1;
+    p.used := 0;
+  END Flush;
+
+PROCEDURE PutChar (p: Printer; c: CHAR) =
+  BEGIN
+    IF p.used >= Width THEN
+      Flush (p);
+      StartLine (p);
+    END;
+    p.line[p.used] := c;
+    p.used := p.used + 1;
+  END PutChar;
+
+PROCEDURE StartLine (p: Printer) =
+  VAR ind: INTEGER;
+  BEGIN
+    ind := p.depth * Indent;
+    IF ind > Width - 8 THEN
+      ind := Width - 8;
+    END;
+    FOR i := 1 TO ind DO
+      p.line[p.used] := ' ';
+      p.used := p.used + 1;
+    END;
+  END StartLine;
+
+PROCEDURE PutWord (p: Printer; len: INTEGER; seedChar: INTEGER) =
+  BEGIN
+    IF p.used + len + 1 > Width THEN
+      Flush (p);
+      StartLine (p);
+    END;
+    FOR i := 0 TO len - 1 DO
+      PutChar (p, Chr (Ord ('a') + ((seedChar + i) MOD 26)));
+    END;
+    PutChar (p, ' ');
+  END PutWord;
+
+PROCEDURE OpenBlock (p: Printer) =
+  BEGIN
+    PutChar (p, '{');
+    Flush (p);
+    p.stack[p.top] := p.depth;
+    p.top := p.top + 1;
+    p.depth := p.depth + 1;
+    StartLine (p);
+  END OpenBlock;
+
+PROCEDURE CloseBlock (p: Printer) =
+  BEGIN
+    Flush (p);
+    IF p.top > 0 THEN
+      p.top := p.top - 1;
+      p.depth := p.stack[p.top];
+    END;
+    StartLine (p);
+    PutChar (p, '}');
+    Flush (p);
+    StartLine (p);
+  END CloseBlock;
+
+PROCEDURE Render () =
+  VAR kind: INTEGER;
+  BEGIN
+    StartLine (printer);
+    FOR k := 0 TO Number (toks) - 1 DO
+      kind := toks[k].kind;
+      IF kind = TokOpen THEN
+        OpenBlock (printer);
+      ELSIF kind = TokClose THEN
+        CloseBlock (printer);
+      ELSIF kind = TokWord THEN
+        PutWord (printer, toks[k].value, toks[k].value * 7);
+      ELSE
+        Flush (printer);
+        StartLine (printer);
+      END;
+    END;
+    Flush (printer);
+  END Render;
+
+BEGIN
+  seed := 1234;
+  checksum := 0;
+  GenTokens ();
+  printer := NewPrinter ();
+  Render ();
+  Print ("lines=");    PrintInt (printer.lines); PrintLn ();
+  Print ("chars=");    PrintInt (printer.chars); PrintLn ();
+  Print ("checksum="); PrintInt (checksum);      PrintLn ();
+END Pp.
+|}
+
+let workload =
+  { Workload.name = "pp";
+    description = "width-driven pretty printer with an indentation stack";
+    source;
+    dynamic = true }

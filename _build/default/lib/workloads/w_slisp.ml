@@ -1,0 +1,328 @@
+(* "slisp" — a small Lisp interpreter, the paper's most heap-intensive
+   benchmark (27% of instructions are heap loads). S-expressions are an
+   object hierarchy; car/cdr/eval/apply all dispatch dynamically; the
+   environment is an assoc list of pairs, so evaluation is one long chain
+   of pointer loads. *)
+
+let source =
+  {|
+MODULE Slisp;
+
+CONST
+  SymQuote = 1;
+  SymIf = 2;
+  SymLambda = 3;
+  SymN = 5;
+  SymTri = 6;
+  SymFib = 7;
+  SymA = 8;
+  SymB = 9;
+  PrimAdd = 10;
+  PrimSub = 11;
+  PrimMul = 12;
+  PrimLess = 13;
+  Rounds = 130;
+
+TYPE
+  Obj = OBJECT
+  METHODS
+    car (): Obj := CarDefault;
+    cdr (): Obj := CdrDefault;
+    num (): INTEGER := NumDefault;
+    symId (): INTEGER := SymDefault;
+    eval (env: Obj): Obj := EvalDefault;
+    apply (args: Obj; env: Obj): Obj := ApplyDefault;
+  END;
+
+  Num = Obj OBJECT
+    n: INTEGER;
+  OVERRIDES
+    num := NumNum;
+    eval := EvalNum;
+  END;
+
+  Sym = Obj OBJECT
+    id: INTEGER;
+  OVERRIDES
+    symId := SymSym;
+    eval := EvalSym;
+  END;
+
+  Pair = Obj OBJECT
+    head, tail: Obj;
+  OVERRIDES
+    car := CarPair;
+    cdr := CdrPair;
+    eval := EvalPair;
+  END;
+
+  Prim = Obj OBJECT
+    code: INTEGER;
+  OVERRIDES
+    apply := ApplyPrim;
+  END;
+
+  Closure = Obj OBJECT
+    params: Obj;  (* list of symbols *)
+    body: Obj;
+    home: Obj;    (* captured environment *)
+  OVERRIDES
+    apply := ApplyClosure;
+  END;
+
+VAR
+  seed: INTEGER;
+  nil: Obj;
+  genv: Obj;  (* global environment: list of (sym . value) pairs *)
+  evals: INTEGER;
+  checksum: INTEGER;
+
+(* --- constructors ------------------------------------------------------- *)
+
+PROCEDURE Cons (a: Obj; d: Obj): Pair =
+  VAR p: Pair;
+  BEGIN
+    p := NEW (Pair);
+    p.head := a;
+    p.tail := d;
+    RETURN p;
+  END Cons;
+
+PROCEDURE MkNum (value: INTEGER): Num =
+  VAR x: Num;
+  BEGIN
+    x := NEW (Num);
+    x.n := value;
+    RETURN x;
+  END MkNum;
+
+PROCEDURE MkSym (id: INTEGER): Sym =
+  VAR s: Sym;
+  BEGIN
+    s := NEW (Sym);
+    s.id := id;
+    RETURN s;
+  END MkSym;
+
+PROCEDURE MkPrim (code: INTEGER): Prim =
+  VAR p: Prim;
+  BEGIN
+    p := NEW (Prim);
+    p.code := code;
+    RETURN p;
+  END MkPrim;
+
+PROCEDURE List1 (a: Obj): Obj =
+  BEGIN RETURN Cons (a, nil); END List1;
+
+PROCEDURE List2 (a: Obj; b: Obj): Obj =
+  BEGIN RETURN Cons (a, Cons (b, nil)); END List2;
+
+PROCEDURE List3 (a: Obj; b: Obj; c: Obj): Obj =
+  BEGIN RETURN Cons (a, Cons (b, Cons (c, nil))); END List3;
+
+PROCEDURE List4 (a: Obj; b: Obj; c: Obj; d: Obj): Obj =
+  BEGIN RETURN Cons (a, Cons (b, Cons (c, Cons (d, nil)))); END List4;
+
+(* --- accessors ------------------------------------------------------------ *)
+
+PROCEDURE CarDefault (self: Obj): Obj = BEGIN RETURN nil; END CarDefault;
+PROCEDURE CdrDefault (self: Obj): Obj = BEGIN RETURN nil; END CdrDefault;
+PROCEDURE NumDefault (self: Obj): INTEGER = BEGIN RETURN 0; END NumDefault;
+PROCEDURE SymDefault (self: Obj): INTEGER = BEGIN RETURN -1; END SymDefault;
+
+PROCEDURE CarPair (self: Pair): Obj = BEGIN RETURN self.head; END CarPair;
+PROCEDURE CdrPair (self: Pair): Obj = BEGIN RETURN self.tail; END CdrPair;
+PROCEDURE NumNum (self: Num): INTEGER = BEGIN RETURN self.n; END NumNum;
+PROCEDURE SymSym (self: Sym): INTEGER = BEGIN RETURN self.id; END SymSym;
+
+(* --- environment ------------------------------------------------------------ *)
+
+PROCEDURE Lookup (env: Obj; id: INTEGER): Obj =
+  VAR walk: Obj; entry: Obj;
+  BEGIN
+    walk := env;
+    WHILE walk # nil DO
+      entry := walk.car ();
+      IF entry.car ().symId () = id THEN
+        RETURN entry.cdr ();
+      END;
+      walk := walk.cdr ();
+    END;
+    RETURN nil;
+  END Lookup;
+
+PROCEDURE Define (id: INTEGER; value: Obj) =
+  BEGIN
+    genv := Cons (Cons (MkSym (id), value), genv);
+  END Define;
+
+PROCEDURE Extend (params: Obj; args: Obj; env: Obj): Obj =
+  VAR out: Obj; p: Obj; a: Obj;
+  BEGIN
+    out := env;
+    p := params;
+    a := args;
+    WHILE p # nil DO
+      out := Cons (Cons (p.car (), a.car ()), out);
+      p := p.cdr ();
+      a := a.cdr ();
+    END;
+    RETURN out;
+  END Extend;
+
+(* --- evaluation --------------------------------------------------------------- *)
+
+PROCEDURE EvalDefault (self: Obj; env: Obj): Obj =
+  BEGIN RETURN self; END EvalDefault;
+
+PROCEDURE EvalNum (self: Num; env: Obj): Obj =
+  BEGIN
+    evals := evals + 1;
+    RETURN self;
+  END EvalNum;
+
+PROCEDURE EvalSym (self: Sym; env: Obj): Obj =
+  BEGIN
+    evals := evals + 1;
+    RETURN Lookup (env, self.id);
+  END EvalSym;
+
+PROCEDURE EvalList (exprs: Obj; env: Obj): Obj =
+  BEGIN
+    IF exprs = nil THEN
+      RETURN nil;
+    END;
+    RETURN Cons (exprs.car ().eval (env), EvalList (exprs.cdr (), env));
+  END EvalList;
+
+PROCEDURE Truthy (v: Obj): BOOLEAN =
+  BEGIN
+    RETURN v.num () # 0;
+  END Truthy;
+
+PROCEDURE EvalPair (self: Pair; env: Obj): Obj =
+  VAR opId: INTEGER; fn: Obj; clo: Closure;
+  BEGIN
+    evals := evals + 1;
+    opId := self.head.symId ();
+    IF opId = SymQuote THEN
+      RETURN self.tail.car ();
+    ELSIF opId = SymIf THEN
+      IF Truthy (self.tail.car ().eval (env)) THEN
+        RETURN self.tail.cdr ().car ().eval (env);
+      END;
+      RETURN self.tail.cdr ().cdr ().car ().eval (env);
+    ELSIF opId = SymLambda THEN
+      clo := NEW (Closure);
+      clo.params := self.tail.car ();
+      clo.body := self.tail.cdr ().car ();
+      clo.home := env;
+      RETURN clo;
+    END;
+    fn := self.head.eval (env);
+    RETURN fn.apply (EvalList (self.tail, env), env);
+  END EvalPair;
+
+PROCEDURE ApplyDefault (self: Obj; args: Obj; env: Obj): Obj =
+  BEGIN RETURN nil; END ApplyDefault;
+
+PROCEDURE ApplyPrim (self: Prim; args: Obj; env: Obj): Obj =
+  VAR x: INTEGER; y: INTEGER;
+  BEGIN
+    x := args.car ().num ();
+    y := args.cdr ().car ().num ();
+    IF self.code = PrimAdd THEN
+      RETURN MkNum (x + y);
+    ELSIF self.code = PrimSub THEN
+      RETURN MkNum (x - y);
+    ELSIF self.code = PrimMul THEN
+      RETURN MkNum ((x * y) MOD 65521);
+    ELSIF self.code = PrimLess THEN
+      IF x < y THEN RETURN MkNum (1); END;
+      RETURN MkNum (0);
+    END;
+    RETURN nil;
+  END ApplyPrim;
+
+PROCEDURE ApplyClosure (self: Closure; args: Obj; env: Obj): Obj =
+  BEGIN
+    RETURN self.body.eval (Extend (self.params, args, self.home));
+  END ApplyClosure;
+
+(* --- the interpreted programs ---------------------------------------------------- *)
+
+(* (lambda (n) (if (< n 1) 0 (+ n (tri (- n 1))))) *)
+PROCEDURE DefineTri () =
+  VAR body: Obj; lam: Obj;
+  BEGIN
+    body :=
+      List4 (MkSym (SymIf),
+             List3 (MkSym (PrimLess), MkSym (SymN), MkNum (1)),
+             MkNum (0),
+             List3 (MkSym (PrimAdd),
+                    MkSym (SymN),
+                    List2 (MkSym (SymTri),
+                           List3 (MkSym (PrimSub), MkSym (SymN), MkNum (1)))));
+    lam := List3 (MkSym (SymLambda), List1 (MkSym (SymN)), body);
+    Define (SymTri, lam.eval (genv));
+  END DefineTri;
+
+(* (lambda (n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2))))) *)
+PROCEDURE DefineFib () =
+  VAR body: Obj; lam: Obj;
+  BEGIN
+    body :=
+      List4 (MkSym (SymIf),
+             List3 (MkSym (PrimLess), MkSym (SymN), MkNum (2)),
+             MkSym (SymN),
+             List3 (MkSym (PrimAdd),
+                    List2 (MkSym (SymFib),
+                           List3 (MkSym (PrimSub), MkSym (SymN), MkNum (1))),
+                    List2 (MkSym (SymFib),
+                           List3 (MkSym (PrimSub), MkSym (SymN), MkNum (2)))));
+    lam := List3 (MkSym (SymLambda), List1 (MkSym (SymN)), body);
+    Define (SymFib, lam.eval (genv));
+  END DefineFib;
+
+PROCEDURE CallUnary (fnSym: INTEGER; arg: INTEGER): INTEGER =
+  VAR expr: Obj;
+  BEGIN
+    expr := List2 (MkSym (fnSym), MkNum (arg));
+    RETURN expr.eval (genv).num ();
+  END CallUnary;
+
+PROCEDURE Rand (range: INTEGER): INTEGER =
+  BEGIN
+    seed := (seed * 25173 + 13849) MOD 65536;
+    RETURN seed MOD range;
+  END Rand;
+
+BEGIN
+  seed := 77;
+  evals := 0;
+  checksum := 0;
+  nil := NEW (Obj);
+  genv := nil;
+  Define (PrimAdd, MkPrim (PrimAdd));
+  Define (PrimSub, MkPrim (PrimSub));
+  Define (PrimMul, MkPrim (PrimMul));
+  Define (PrimLess, MkPrim (PrimLess));
+  DefineTri ();
+  DefineFib ();
+  Print ("tri(24)="); PrintInt (CallUnary (SymTri, 24)); PrintLn ();
+  Print ("fib(11)="); PrintInt (CallUnary (SymFib, 11)); PrintLn ();
+  FOR round := 1 TO Rounds DO
+    checksum := checksum + CallUnary (SymTri, 10 + Rand (14));
+    checksum := checksum + CallUnary (SymFib, 8 + Rand (6));
+  END;
+  Print ("evals=");    PrintInt (evals);    PrintLn ();
+  Print ("checksum="); PrintInt (checksum); PrintLn ();
+END Slisp.
+|}
+
+let workload =
+  { Workload.name = "slisp";
+    description = "small Lisp interpreter over an object s-expression heap";
+    source;
+    dynamic = true }

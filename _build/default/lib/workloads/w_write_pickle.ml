@@ -1,0 +1,282 @@
+(* "write-pickle" — builds a subtype-rich expression AST, serializes it to a
+   flat integer array (the pickle), reads it back, and checks the two trees
+   evaluate identically. The cursor threading through Unpickle is a VAR
+   parameter, one of MiniM3's two address-taking constructs; the AST's
+   deep inheritance (Expr > Bin > Add/Mul) is exactly the shape selective
+   type merging is sensitive to. *)
+
+let source =
+  {|
+MODULE WritePickle;
+
+CONST
+  TreeCount = 700;
+  PickleCap = 2048;
+  TagNum = 1;
+  TagVar = 2;
+  TagNeg = 3;
+  TagAdd = 4;
+  TagMul = 5;
+
+TYPE
+  IntVec = REF ARRAY OF INTEGER;
+
+  Expr = OBJECT
+  METHODS
+    eval (): INTEGER := EvalZero;
+    pickle (buf: IntVec; VAR cursor: INTEGER) := PickleZero;
+  END;
+
+  Num = Expr OBJECT
+    value: INTEGER;
+  OVERRIDES
+    eval := EvalNum;
+    pickle := PickleNum;
+  END;
+
+  VarRef = Expr OBJECT
+    slot: INTEGER;
+  OVERRIDES
+    eval := EvalVar;
+    pickle := PickleVar;
+  END;
+
+  Neg = Expr OBJECT
+    sub: Expr;
+  OVERRIDES
+    eval := EvalNeg;
+    pickle := PickleNeg;
+  END;
+
+  Bin = Expr OBJECT
+    left, right: Expr;
+  END;
+
+  Add = Bin OBJECT
+  OVERRIDES
+    eval := EvalAdd;
+    pickle := PickleAdd;
+  END;
+
+  Mul = Bin OBJECT
+  OVERRIDES
+    eval := EvalMul;
+    pickle := PickleMul;
+  END;
+
+VAR
+  seed: INTEGER;
+  env: ARRAY [0..7] OF INTEGER;
+  total: INTEGER;
+  roundtrip: INTEGER;
+  pickleWords: INTEGER;
+
+PROCEDURE Rand (range: INTEGER): INTEGER =
+  BEGIN
+    seed := (seed * 25173 + 13849) MOD 65536;
+    RETURN seed MOD range;
+  END Rand;
+
+(* --- evaluation ------------------------------------------------------ *)
+
+PROCEDURE EvalZero (self: Expr): INTEGER =
+  BEGIN
+    RETURN 0;
+  END EvalZero;
+
+PROCEDURE EvalNum (self: Num): INTEGER =
+  BEGIN
+    RETURN self.value;
+  END EvalNum;
+
+PROCEDURE EvalVar (self: VarRef): INTEGER =
+  BEGIN
+    RETURN env[self.slot MOD 8];
+  END EvalVar;
+
+PROCEDURE EvalNeg (self: Neg): INTEGER =
+  BEGIN
+    RETURN 0 - self.sub.eval ();
+  END EvalNeg;
+
+PROCEDURE EvalAdd (self: Add): INTEGER =
+  BEGIN
+    RETURN self.left.eval () + self.right.eval ();
+  END EvalAdd;
+
+PROCEDURE EvalMul (self: Mul): INTEGER =
+  BEGIN
+    RETURN (self.left.eval () * self.right.eval ()) MOD 65521;
+  END EvalMul;
+
+(* --- pickling --------------------------------------------------------- *)
+
+PROCEDURE Put (buf: IntVec; VAR cursor: INTEGER; word: INTEGER) =
+  BEGIN
+    IF cursor < Number (buf) THEN
+      buf[cursor] := word;
+    END;
+    cursor := cursor + 1;
+  END Put;
+
+PROCEDURE PickleZero (self: Expr; buf: IntVec; VAR cursor: INTEGER) =
+  BEGIN
+    Put (buf, cursor, 0);
+  END PickleZero;
+
+PROCEDURE PickleNum (self: Num; buf: IntVec; VAR cursor: INTEGER) =
+  BEGIN
+    Put (buf, cursor, TagNum);
+    Put (buf, cursor, self.value);
+  END PickleNum;
+
+PROCEDURE PickleVar (self: VarRef; buf: IntVec; VAR cursor: INTEGER) =
+  BEGIN
+    Put (buf, cursor, TagVar);
+    Put (buf, cursor, self.slot);
+  END PickleVar;
+
+PROCEDURE PickleNeg (self: Neg; buf: IntVec; VAR cursor: INTEGER) =
+  BEGIN
+    Put (buf, cursor, TagNeg);
+    self.sub.pickle (buf, cursor);
+  END PickleNeg;
+
+PROCEDURE PickleAdd (self: Add; buf: IntVec; VAR cursor: INTEGER) =
+  BEGIN
+    Put (buf, cursor, TagAdd);
+    self.left.pickle (buf, cursor);
+    self.right.pickle (buf, cursor);
+  END PickleAdd;
+
+PROCEDURE PickleMul (self: Mul; buf: IntVec; VAR cursor: INTEGER) =
+  BEGIN
+    Put (buf, cursor, TagMul);
+    self.left.pickle (buf, cursor);
+    self.right.pickle (buf, cursor);
+  END PickleMul;
+
+(* --- unpickling ------------------------------------------------------- *)
+
+PROCEDURE Get (buf: IntVec; VAR cursor: INTEGER): INTEGER =
+  VAR w: INTEGER;
+  BEGIN
+    IF cursor < Number (buf) THEN
+      w := buf[cursor];
+    ELSE
+      w := 0;
+    END;
+    cursor := cursor + 1;
+    RETURN w;
+  END Get;
+
+PROCEDURE Unpickle (buf: IntVec; VAR cursor: INTEGER): Expr =
+  VAR tag: INTEGER; num: Num; vr: VarRef; neg: Neg; add: Add; mul: Mul;
+  BEGIN
+    tag := Get (buf, cursor);
+    IF tag = TagNum THEN
+      num := NEW (Num);
+      num.value := Get (buf, cursor);
+      RETURN num;
+    ELSIF tag = TagVar THEN
+      vr := NEW (VarRef);
+      vr.slot := Get (buf, cursor);
+      RETURN vr;
+    ELSIF tag = TagNeg THEN
+      neg := NEW (Neg);
+      neg.sub := Unpickle (buf, cursor);
+      RETURN neg;
+    ELSIF tag = TagAdd THEN
+      add := NEW (Add);
+      add.left := Unpickle (buf, cursor);
+      add.right := Unpickle (buf, cursor);
+      RETURN add;
+    ELSIF tag = TagMul THEN
+      mul := NEW (Mul);
+      mul.left := Unpickle (buf, cursor);
+      mul.right := Unpickle (buf, cursor);
+      RETURN mul;
+    END;
+    RETURN NEW (Expr);
+  END Unpickle;
+
+(* --- tree construction -------------------------------------------------- *)
+
+PROCEDURE Build (depth: INTEGER): Expr =
+  VAR choice: INTEGER; num: Num; vr: VarRef; neg: Neg; add: Add; mul: Mul;
+  BEGIN
+    IF depth <= 0 THEN
+      choice := Rand (2);
+    ELSE
+      choice := Rand (5);
+    END;
+    IF choice = 0 THEN
+      num := NEW (Num);
+      num.value := Rand (1000);
+      RETURN num;
+    ELSIF choice = 1 THEN
+      vr := NEW (VarRef);
+      vr.slot := Rand (8);
+      RETURN vr;
+    ELSIF choice = 2 THEN
+      neg := NEW (Neg);
+      neg.sub := Build (depth - 1);
+      RETURN neg;
+    ELSIF choice = 3 THEN
+      add := NEW (Add);
+      add.left := Build (depth - 1);
+      add.right := Build (depth - 1);
+      RETURN add;
+    END;
+    mul := NEW (Mul);
+    mul.left := Build (depth - 1);
+    mul.right := Build (depth - 1);
+    RETURN mul;
+  END Build;
+
+PROCEDURE RunOne () =
+  VAR
+    tree: Expr; back: Expr; buf: IntVec;
+    cursor: INTEGER; readCursor: INTEGER; a: INTEGER; b: INTEGER;
+  BEGIN
+    tree := Build (5);
+    buf := NEW (IntVec, PickleCap);
+    cursor := 0;
+    tree.pickle (buf, cursor);
+    pickleWords := pickleWords + cursor;
+    readCursor := 0;
+    back := Unpickle (buf, readCursor);
+    a := tree.eval ();
+    b := back.eval ();
+    total := total + a;
+    roundtrip := roundtrip + b;
+  END RunOne;
+
+BEGIN
+  seed := 20507;
+  total := 0;
+  roundtrip := 0;
+  pickleWords := 0;
+  FOR i := 0 TO 7 DO
+    env[i] := i * 37;
+  END;
+  FOR t := 1 TO TreeCount DO
+    RunOne ();
+  END;
+  Print ("total=");     PrintInt (total);      PrintLn ();
+  Print ("roundtrip="); PrintInt (roundtrip);  PrintLn ();
+  Print ("words=");     PrintInt (pickleWords); PrintLn ();
+  IF total = roundtrip THEN
+    Print ("pickle OK");
+  ELSE
+    Print ("pickle MISMATCH");
+  END;
+  PrintLn ();
+END WritePickle.
+|}
+
+let workload =
+  { Workload.name = "write_pickle";
+    description = "pickles and unpickles a subtype-rich expression AST";
+    source;
+    dynamic = true }

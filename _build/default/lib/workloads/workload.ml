@@ -1,0 +1,43 @@
+type t = {
+  name : string;
+  description : string;
+  source : string;
+  dynamic : bool;
+}
+
+(* Count the lines that carry code: not blank, not comment-only. Nested
+   comments are tracked the same way the lexer tracks them. *)
+let source_lines t =
+  let lines = String.split_on_char '\n' t.source in
+  let depth = ref 0 in
+  let count = ref 0 in
+  List.iter
+    (fun line ->
+      let has_code = ref false in
+      let n = String.length line in
+      let i = ref 0 in
+      while !i < n do
+        let two = !i + 1 < n in
+        if !depth > 0 then begin
+          if two && line.[!i] = '*' && line.[!i + 1] = ')' then begin
+            decr depth;
+            incr i
+          end
+          else if two && line.[!i] = '(' && line.[!i + 1] = '*' then begin
+            incr depth;
+            incr i
+          end
+        end
+        else if two && line.[!i] = '(' && line.[!i + 1] = '*' then begin
+          incr depth;
+          incr i
+        end
+        else if line.[!i] <> ' ' && line.[!i] <> '\t' && line.[!i] <> '\r' then
+          has_code := true;
+        incr i
+      done;
+      if !has_code then incr count)
+    lines;
+  !count
+
+let lower t = Ir.Lower.lower_string ~file:t.name t.source

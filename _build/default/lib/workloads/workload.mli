@@ -1,0 +1,16 @@
+(** Benchmark program descriptor. The registry of all ten programs lives in
+    {!Suite} (the individual [W_*] modules depend on this type, so the list
+    cannot live here). *)
+
+type t = {
+  name : string;
+  description : string;
+  source : string;
+  dynamic : bool;  (** participates in the simulated-execution experiments *)
+}
+
+val source_lines : t -> int
+(** Non-comment, non-blank source lines (Table 4's "Lines"). *)
+
+val lower : t -> Ir.Cfg.program
+(** Parse, check and lower a fresh copy of the program. *)

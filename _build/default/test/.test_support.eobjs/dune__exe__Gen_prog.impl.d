@@ -1,0 +1,1 @@
+test/gen_prog.ml: Buffer Fun Int64 List Printf Prng QCheck String Support

@@ -1,0 +1,1 @@
+test/test_frontend.ml: Alcotest Ast Ast_pp Diag Fmt Ident Ir Lexer List Loc Minim3 Option Parser Printf Sim String Support Tast Token Typecheck Types Workloads

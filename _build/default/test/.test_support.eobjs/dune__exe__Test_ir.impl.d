@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Apath Array Callgraph Cfg Dataflow Dom Ident Instr Ir List Loops Lower Minim3 Printf Reg Support Types Vec

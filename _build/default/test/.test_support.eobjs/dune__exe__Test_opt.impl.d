@@ -1,0 +1,1 @@
+test/test_opt.ml: Alcotest Cfg Ident Instr Ir Lower Opt Printf Sim Support Tbaa Workloads

@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Apath Gen_prog Hashtbl Ir List Lower Minim3 Opt QCheck QCheck_alcotest Sim String Tbaa

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Ir List Lower Minim3 Opt Sim Support Tbaa

@@ -1,0 +1,1 @@
+test/test_support.ml: Alcotest Bitset Fun Ident List Prng QCheck QCheck_alcotest String Support Table Union_find Vec

@@ -1,0 +1,1 @@
+test/test_tbaa.ml: Alcotest Apath Cfg Fun Ident Ir List Lower Minim3 Reg Support Tast Tbaa Typecheck Types

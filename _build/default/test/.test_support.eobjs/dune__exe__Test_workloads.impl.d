@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest List Opt Printf Sim String Tbaa Workloads

@@ -1,0 +1,688 @@
+(* Tests for the optimizer: mod-ref summaries, RLE (the paper's Figures 6
+   and 7 shapes), devirtualization, inlining, and the pipeline. *)
+
+open Support
+open Ir
+
+let lower src = Lower.lower_string ~file:"test" src
+
+let proc_named program name = Cfg.find_proc program (Ident.intern name)
+
+let analyze ?(world = Tbaa.World.Closed) program =
+  Tbaa.Analysis.analyze ~world program
+
+let run_out program = (Sim.Interp.run program).Sim.Interp.output
+
+let rle_with src oracle_of =
+  let program = lower src in
+  let before = run_out program in
+  let analysis = analyze program in
+  let stats = Opt.Rle.run program (oracle_of analysis) in
+  let after = run_out program in
+  (program, stats, before, after)
+
+let sm (a : Tbaa.Analysis.t) = a.Tbaa.Analysis.sm_field_type_refs
+let td (a : Tbaa.Analysis.t) = a.Tbaa.Analysis.type_decl
+
+(* --- mod-ref ----------------------------------------------------------- *)
+
+let test_modref_transitive () =
+  let program =
+    lower
+      {|
+MODULE M;
+TYPE Node = OBJECT val: INTEGER; END;
+VAR n: Node; g: INTEGER;
+PROCEDURE Deep () = BEGIN n.val := 1; END Deep;
+PROCEDURE Mid () = BEGIN Deep (); END Mid;
+PROCEDURE Top () = BEGIN Mid (); END Top;
+PROCEDURE Pure (x: INTEGER): INTEGER = BEGIN RETURN x + 1; END Pure;
+BEGIN END M.
+|}
+  in
+  let analysis = analyze program in
+  let oracle = sm analysis in
+  let modref = Opt.Modref.compute program oracle in
+  let mods name =
+    (Opt.Modref.summary modref (Ident.intern name)).Opt.Modref.mods
+  in
+  Alcotest.(check bool) "Deep writes a field class" false
+    (Tbaa.Aloc.Set.is_empty (mods "Deep"));
+  Alcotest.(check bool) "Top inherits Deep's effects" false
+    (Tbaa.Aloc.Set.is_empty (mods "Top"));
+  Alcotest.(check bool) "Pure writes nothing visible" true
+    (Tbaa.Aloc.Set.is_empty (mods "Pure"))
+
+let test_modref_kills_loads_across_calls () =
+  (* A call that writes val must kill availability of n.val; a pure call
+     must not. *)
+  let src writer =
+    Printf.sprintf
+      {|
+MODULE M;
+TYPE Node = OBJECT val: INTEGER; END;
+VAR n: Node; sink: INTEGER;
+PROCEDURE Touch () = BEGIN %s END Touch;
+PROCEDURE P () =
+  VAR a: INTEGER; b: INTEGER;
+  BEGIN
+    a := n.val;
+    Touch ();
+    b := n.val;
+    sink := a + b;
+  END P;
+BEGIN END M.
+|}
+      writer
+  in
+  let eliminated writer =
+    let program = lower (src writer) in
+    let analysis = analyze program in
+    let stats = Opt.Rle.run program (sm analysis) in
+    stats.Opt.Rle.eliminated
+  in
+  Alcotest.(check bool) "pure call: second load eliminated" true
+    (eliminated "sink := 0;" >= 1);
+  Alcotest.(check int) "writing call kills the load" 0
+    (eliminated "n.val := 9;")
+
+(* --- RLE: Figure 6 (loop-invariant motion) ----------------------------- *)
+
+let figure6_src =
+  {|
+MODULE M;
+TYPE
+  Arr = REF ARRAY OF INTEGER;
+  Box = OBJECT b: Arr; END;
+VAR a: Box; sink: INTEGER;
+PROCEDURE P (k: INTEGER) =
+  VAR s: INTEGER;
+  BEGIN
+    s := 0;
+    FOR i := 0 TO k - 1 DO
+      s := s + a.b[i];   (* a.b is loop invariant; a.b[i] is not *)
+    END;
+    sink := s;
+  END P;
+BEGIN
+  a := NEW (Box);
+  a.b := NEW (Arr, 10);
+  P (10);
+  PrintInt (sink);
+END M.
+|}
+
+let test_rle_hoists_invariant_prefix () =
+  let program, stats, before, after = rle_with figure6_src sm in
+  Alcotest.(check bool) "hoisted at least one prefix" true
+    (stats.Opt.Rle.hoisted >= 1);
+  Alcotest.(check string) "behaviour preserved" before after;
+  (* The load of a.b must now be outside the loop: run and compare heap
+     loads with the unoptimized program. *)
+  let fresh = lower figure6_src in
+  let base = (Sim.Interp.run fresh).Sim.Interp.counters.Sim.Interp.heap_loads in
+  let opt = (Sim.Interp.run program).Sim.Interp.counters.Sim.Interp.heap_loads in
+  Alcotest.(check bool) "fewer dynamic heap loads" true (opt < base)
+
+(* --- RLE: Figure 7 (redundant load CSE) -------------------------------- *)
+
+let figure7_src =
+  {|
+MODULE M;
+TYPE
+  Arr = REF ARRAY OF INTEGER;
+  Box = OBJECT b: Arr; END;
+VAR a: Box; sink: INTEGER;
+PROCEDURE P (i: INTEGER; j: INTEGER) =
+  VAR x: INTEGER; y: INTEGER;
+  BEGIN
+    x := a.b[i];
+    y := a.b[j];   (* the a.b prefix is redundant *)
+    sink := x + y;
+  END P;
+BEGIN
+  a := NEW (Box);
+  a.b := NEW (Arr, 10);
+  P (3, 4);
+  PrintInt (sink);
+END M.
+|}
+
+let test_rle_cse_prefix () =
+  let _, stats, before, after = rle_with figure7_src sm in
+  Alcotest.(check bool) "prefix reused" true (stats.Opt.Rle.shortened >= 1);
+  Alcotest.(check string) "behaviour preserved" before after
+
+let test_rle_cse_full () =
+  let src =
+    {|
+MODULE M;
+TYPE Node = OBJECT val: INTEGER; END;
+VAR n: Node; sink: INTEGER;
+PROCEDURE P () =
+  VAR a: INTEGER; b: INTEGER;
+  BEGIN
+    a := n.val;
+    b := n.val;
+    sink := a + b;
+  END P;
+BEGIN
+  n := NEW (Node);
+  n.val := 21;
+  P ();
+  PrintInt (sink);
+END M.
+|}
+  in
+  let _, stats, before, after = rle_with src sm in
+  Alcotest.(check bool) "eliminated the second load" true
+    (stats.Opt.Rle.eliminated >= 1);
+  Alcotest.(check string) "behaviour preserved" before after;
+  Alcotest.(check string) "output is 42" "42" after
+
+let test_rle_store_forwarding () =
+  let src =
+    {|
+MODULE M;
+TYPE Node = OBJECT val: INTEGER; END;
+VAR n: Node; sink: INTEGER;
+PROCEDURE P () =
+  BEGIN
+    n.val := 7;
+    sink := n.val;  (* forwarded from the store *)
+  END P;
+BEGIN
+  n := NEW (Node);
+  P ();
+  PrintInt (sink);
+END M.
+|}
+  in
+  let _, stats, _, after = rle_with src sm in
+  Alcotest.(check bool) "load forwarded" true (stats.Opt.Rle.eliminated >= 1);
+  Alcotest.(check string) "output is 7" "7" after
+
+let test_rle_killed_by_may_alias_store () =
+  (* Two compatible paths: a store through one kills the other. *)
+  let src =
+    {|
+MODULE M;
+TYPE Node = OBJECT val: INTEGER; END;
+VAR n: Node; m: Node; sink: INTEGER;
+PROCEDURE P () =
+  VAR a: INTEGER; b: INTEGER;
+  BEGIN
+    a := n.val;
+    m.val := 5;    (* may alias n.val *)
+    b := n.val;
+    sink := a + b;
+  END P;
+BEGIN
+  n := NEW (Node);
+  n.val := 3;
+  m := n;
+  P ();
+  PrintInt (sink);
+END M.
+|}
+  in
+  let _, stats, before, after = rle_with src sm in
+  Alcotest.(check int) "no elimination across the aliasing store" 0
+    stats.Opt.Rle.eliminated;
+  Alcotest.(check string) "behaviour preserved" before after;
+  (* a reads 3, the aliasing store makes b read 5: an unsound CSE would
+     print 6 instead. *)
+  Alcotest.(check string) "output reflects the store" "8" after
+
+let test_rle_not_killed_by_independent_store () =
+  (* SMFieldTypeRefs proves distinct-field stores independent. *)
+  let src =
+    {|
+MODULE M;
+TYPE Node = OBJECT val: INTEGER; other: INTEGER; END;
+VAR n: Node; m: Node; sink: INTEGER;
+PROCEDURE P () =
+  VAR a: INTEGER; b: INTEGER;
+  BEGIN
+    a := n.val;
+    m.other := 5;   (* different field: cannot alias n.val *)
+    b := n.val;
+    sink := a + b;
+  END P;
+BEGIN
+  n := NEW (Node);
+  m := NEW (Node);
+  P ();
+  PrintInt (sink);
+END M.
+|}
+  in
+  let _, stats, before, after = rle_with src sm in
+  Alcotest.(check bool) "eliminated across independent store" true
+    (stats.Opt.Rle.eliminated >= 1);
+  Alcotest.(check string) "behaviour preserved" before after
+
+let test_rle_precision_ordering_on_counts () =
+  (* A more precise oracle can only remove at least as many loads. *)
+  let removed oracle_of =
+    let program = lower figure6_src in
+    let analysis = analyze program in
+    Opt.Rle.removed (Opt.Rle.run program (oracle_of analysis))
+  in
+  Alcotest.(check bool) "SMFieldTypeRefs >= TypeDecl" true
+    (removed sm >= removed td)
+
+let test_rle_conditional_not_eliminated () =
+  (* Partial redundancy (the paper's Conditional category) must survive:
+     RLE only removes fully redundant loads. *)
+  let src =
+    {|
+MODULE M;
+TYPE Node = OBJECT val: INTEGER; END;
+VAR n: Node; sink: INTEGER;
+PROCEDURE P (c: BOOLEAN) =
+  VAR a: INTEGER; b: INTEGER;
+  BEGIN
+    a := 0;
+    IF c THEN
+      a := n.val;
+    END;
+    b := n.val;   (* redundant only when c *)
+    sink := a + b;
+  END P;
+BEGIN
+  n := NEW (Node);
+  n.val := 3;
+  P (TRUE);
+  PrintInt (sink);
+END M.
+|}
+  in
+  let _, stats, before, after = rle_with src sm in
+  Alcotest.(check int) "no full redundancy" 0 stats.Opt.Rle.eliminated;
+  Alcotest.(check string) "behaviour preserved" before after
+
+(* --- devirtualization / inlining --------------------------------------- *)
+
+let devirt_src =
+  {|
+MODULE M;
+TYPE
+  A = OBJECT v: INTEGER; METHODS m (): INTEGER := ImplA; END;
+  B = A OBJECT OVERRIDES m := ImplB; END;
+VAR a: A;
+PROCEDURE ImplA (self: A): INTEGER = BEGIN RETURN self.v; END ImplA;
+PROCEDURE ImplB (self: A): INTEGER = BEGIN RETURN 0 - self.v; END ImplB;
+BEGIN
+  a := NEW (A);
+  a.v := 11;
+  PrintInt (a.m ());
+END M.
+|}
+
+let test_devirt_resolves_monomorphic () =
+  (* B is never allocated or assigned into an A, so SMTypeRefs proves the
+     receiver can only be an A and the call resolves to ImplA. *)
+  let program = lower devirt_src in
+  let before = run_out program in
+  let analysis = analyze program in
+  let stats =
+    Opt.Devirt.run program ~type_refs:analysis.Tbaa.Analysis.type_refs_table
+  in
+  Alcotest.(check int) "resolved" 1 stats.Opt.Devirt.resolved;
+  Alcotest.(check string) "behaviour preserved" before (run_out program)
+
+let test_devirt_keeps_polymorphic () =
+  let src =
+    {|
+MODULE M;
+TYPE
+  A = OBJECT v: INTEGER; METHODS m (): INTEGER := ImplA; END;
+  B = A OBJECT OVERRIDES m := ImplB; END;
+VAR a: A;
+PROCEDURE ImplA (self: A): INTEGER = BEGIN RETURN self.v; END ImplA;
+PROCEDURE ImplB (self: A): INTEGER = BEGIN RETURN 0 - self.v; END ImplB;
+BEGIN
+  a := NEW (B);   (* now a B flows into a *)
+  a.v := 11;
+  PrintInt (a.m ());
+END M.
+|}
+  in
+  let program = lower src in
+  let before = run_out program in
+  let analysis = analyze program in
+  let stats =
+    Opt.Devirt.run program ~type_refs:analysis.Tbaa.Analysis.type_refs_table
+  in
+  Alcotest.(check int) "not resolved" 0 stats.Opt.Devirt.resolved;
+  Alcotest.(check string) "dispatches to ImplB" "-11" before;
+  Alcotest.(check string) "behaviour preserved" before (run_out program)
+
+let test_inline_small_proc () =
+  let src =
+    {|
+MODULE M;
+VAR g: INTEGER;
+PROCEDURE Add3 (x: INTEGER): INTEGER = BEGIN RETURN x + 3; END Add3;
+PROCEDURE P () = BEGIN g := Add3 (Add3 (10)); END P;
+BEGIN
+  P ();
+  PrintInt (g);
+END M.
+|}
+  in
+  let program = lower src in
+  let before = run_out program in
+  let stats = Opt.Inline.run program in
+  Alcotest.(check bool) "inlined both calls" true (stats.Opt.Inline.inlined >= 2);
+  Alcotest.(check string) "behaviour preserved" before (run_out program);
+  (* No calls remain in P *)
+  let p = proc_named program "P" in
+  let calls = ref 0 in
+  Cfg.iter_instrs p (fun _ i ->
+      match i with Instr.Icall _ -> incr calls | _ -> ());
+  Alcotest.(check int) "no calls left" 0 !calls
+
+let test_inline_respects_recursion () =
+  let src =
+    {|
+MODULE M;
+VAR g: INTEGER;
+PROCEDURE Fact (n: INTEGER): INTEGER =
+  BEGIN
+    IF n <= 1 THEN RETURN 1; END;
+    RETURN n * Fact (n - 1);
+  END Fact;
+BEGIN
+  g := Fact (6);
+  PrintInt (g);
+END M.
+|}
+  in
+  let program = lower src in
+  let before = run_out program in
+  let stats = Opt.Inline.run program in
+  Alcotest.(check int) "recursive procedure left alone" 0 stats.Opt.Inline.inlined;
+  Alcotest.(check string) "720" "720" before;
+  Alcotest.(check string) "behaviour preserved" before (run_out program)
+
+let test_inline_byref_param () =
+  let src =
+    {|
+MODULE M;
+VAR g: INTEGER;
+PROCEDURE Bump (VAR x: INTEGER) = BEGIN x := x + 1; END Bump;
+PROCEDURE P () = BEGIN Bump (g); Bump (g); END P;
+BEGIN
+  g := 40;
+  P ();
+  PrintInt (g);
+END M.
+|}
+  in
+  let program = lower src in
+  let stats = Opt.Inline.run program in
+  Alcotest.(check bool) "inlined" true (stats.Opt.Inline.inlined >= 2);
+  Alcotest.(check string) "VAR semantics preserved" "42" (run_out program)
+
+(* --- PRE and copy propagation (the paper's future work) ----------------- *)
+
+let test_pre_recovers_conditional () =
+  (* The paper's Conditional pattern: redundant along the THEN path only.
+     PRE inserts the load on the ELSE edge; RLE then eliminates the
+     second load entirely. *)
+  let src =
+    {|
+MODULE M;
+TYPE Node = OBJECT val: INTEGER; END;
+VAR n: Node; sink: INTEGER;
+PROCEDURE P (c: BOOLEAN) =
+  VAR a: INTEGER; b: INTEGER;
+  BEGIN
+    a := 0;
+    IF c THEN
+      a := n.val;
+    END;
+    b := n.val;
+    sink := a + b;
+  END P;
+BEGIN
+  n := NEW (Node);
+  n.val := 3;
+  P (TRUE);
+  P (FALSE);
+  PrintInt (sink);
+END M.
+|}
+  in
+  let program = lower src in
+  let before = run_out program in
+  let a = analyze program in
+  let oracle = sm a in
+  let pstats = Opt.Pre.run program oracle in
+  let rstats = Opt.Rle.run program oracle in
+  Alcotest.(check bool) "PRE inserted on the else edge" true
+    (pstats.Opt.Pre.inserted >= 1);
+  Alcotest.(check bool) "the conditional load is now eliminated" true
+    (rstats.Opt.Rle.eliminated >= 1);
+  Alcotest.(check string) "behaviour preserved" before (run_out program)
+
+let test_pre_skips_unprofitable () =
+  (* No sibling predecessor carries the value: PRE must not insert. *)
+  let src =
+    {|
+MODULE M;
+TYPE Node = OBJECT val: INTEGER; END;
+VAR n: Node; sink: INTEGER;
+PROCEDURE P (c: BOOLEAN) =
+  VAR b: INTEGER;
+  BEGIN
+    IF c THEN
+      sink := 1;
+    ELSE
+      sink := 2;
+    END;
+    b := n.val;
+    sink := sink + b;
+  END P;
+BEGIN
+  n := NEW (Node);
+  P (TRUE);
+  PrintInt (sink);
+END M.
+|}
+  in
+  let program = lower src in
+  let a = analyze program in
+  let pstats = Opt.Pre.run program (sm a) in
+  Alcotest.(check int) "no insertion without a carrying sibling" 0
+    pstats.Opt.Pre.inserted
+
+let test_copyprop_enables_breakup_recovery () =
+  (* The Breakup pattern: the same address reached via p and via h.next.
+     Copy propagation canonicalizes the base so a second RLE pass can
+     eliminate the reload. *)
+  let src =
+    {|
+MODULE M;
+TYPE Node = OBJECT val: INTEGER; next: Node; END;
+VAR h: Node; sink: INTEGER;
+PROCEDURE P () =
+  VAR p: Node; a: INTEGER; b: INTEGER;
+  BEGIN
+    p := h.next;
+    a := p.val;
+    b := h.next.val;
+    sink := a + b;
+  END P;
+BEGIN
+  h := NEW (Node);
+  h.next := NEW (Node);
+  h.next.val := 6;
+  P ();
+  PrintInt (sink);
+END M.
+|}
+  in
+  let program = lower src in
+  let before = run_out program in
+  let a = analyze program in
+  let oracle = sm a in
+  let first = Opt.Rle.run program oracle in
+  let cp = Opt.Copyprop.run program in
+  let second = Opt.Rle.run program oracle in
+  Alcotest.(check bool) "copies were propagated" true (cp.Opt.Copyprop.replaced >= 1);
+  Alcotest.(check bool) "second RLE pass finds the breakup redundancy" true
+    (second.Opt.Rle.eliminated + second.Opt.Rle.shortened >= 1);
+  ignore first;
+  Alcotest.(check string) "behaviour preserved" before (run_out program)
+
+let test_copyprop_respects_redefinition () =
+  let src =
+    {|
+MODULE M;
+VAR sink: INTEGER;
+PROCEDURE P () =
+  VAR a: INTEGER; b: INTEGER;
+  BEGIN
+    a := 1;
+    b := a;
+    a := 2;       (* kills the copy *)
+    sink := b + a;
+  END P;
+BEGIN
+  P ();
+  PrintInt (sink);
+END M.
+|}
+  in
+  let program = lower src in
+  ignore (Opt.Copyprop.run program);
+  Alcotest.(check string) "3" "3" (run_out program)
+
+(* --- dead-code elimination ------------------------------------------------ *)
+
+let test_dce_removes_dead_chain () =
+  let src =
+    {|
+MODULE M;
+TYPE Node = OBJECT val: INTEGER; END;
+VAR n: Node; sink: INTEGER;
+PROCEDURE P () =
+  VAR a: INTEGER; b: INTEGER; c: INTEGER;
+  BEGIN
+    a := n.val;   (* dead: feeds only b *)
+    b := a + 1;   (* dead: feeds only c *)
+    c := b * 2;   (* dead: never used *)
+    sink := 7;
+  END P;
+BEGIN
+  n := NEW (Node);
+  P ();
+  PrintInt (sink);
+END M.
+|}
+  in
+  let program = lower src in
+  let before = run_out program in
+  let stats = Opt.Dce.run program in
+  (* a's load, b's and c's ALU ops, plus the lowering temporaries. *)
+  Alcotest.(check bool) "removed the dead chain" true (stats.Opt.Dce.removed >= 3);
+  Alcotest.(check string) "behaviour preserved" before (run_out program);
+  let p = proc_named program "P" in
+  let loads = ref 0 in
+  Cfg.iter_instrs p (fun _ i ->
+      match i with Instr.Iload _ -> incr loads | _ -> ());
+  Alcotest.(check int) "dead load gone" 0 !loads
+
+let test_dce_keeps_effects () =
+  let src =
+    {|
+MODULE M;
+TYPE Node = OBJECT val: INTEGER; END;
+VAR n: Node; g: INTEGER;
+PROCEDURE Effect (): INTEGER =
+  BEGIN
+    g := g + 1;
+    RETURN g;
+  END Effect;
+PROCEDURE P () =
+  VAR dead: INTEGER;
+  BEGIN
+    dead := Effect ();  (* result dead, call must stay *)
+    n.val := 5;         (* store must stay *)
+  END P;
+BEGIN
+  n := NEW (Node);
+  P ();
+  PrintInt (g + n.val);
+END M.
+|}
+  in
+  let program = lower src in
+  let before = run_out program in
+  ignore (Opt.Dce.run program);
+  Alcotest.(check string) "effects survive" before (run_out program);
+  Alcotest.(check string) "output is 6" "6" before
+
+let test_dce_fixpoint_on_workload () =
+  (* Running DCE twice must find nothing the second time. *)
+  let w = Workloads.Suite.find "format" in
+  let program = Workloads.Workload.lower w in
+  ignore (Opt.Dce.run program);
+  let second = Opt.Dce.run program in
+  Alcotest.(check int) "idempotent" 0 second.Opt.Dce.removed
+
+(* --- pipeline ----------------------------------------------------------- *)
+
+let test_pipeline_full () =
+  let program = lower devirt_src in
+  let before = run_out program in
+  let result =
+    Opt.Pipeline.run program
+      { Opt.Pipeline.oracle_kind = Opt.Pipeline.Osm_field_type_refs;
+        world = Tbaa.World.Closed; devirt_inline = true; rle = true;
+        pre = false; copyprop = false }
+  in
+  Alcotest.(check bool) "devirt ran" true (result.Opt.Pipeline.devirt_stats <> None);
+  Alcotest.(check string) "behaviour preserved" before (run_out program)
+
+let () =
+  Alcotest.run "opt"
+    [ ( "modref",
+        [ Alcotest.test_case "transitive" `Quick test_modref_transitive;
+          Alcotest.test_case "kills across calls" `Quick
+            test_modref_kills_loads_across_calls ] );
+      ( "rle",
+        [ Alcotest.test_case "figure 6: hoist" `Quick test_rle_hoists_invariant_prefix;
+          Alcotest.test_case "figure 7: prefix cse" `Quick test_rle_cse_prefix;
+          Alcotest.test_case "full cse" `Quick test_rle_cse_full;
+          Alcotest.test_case "store forwarding" `Quick test_rle_store_forwarding;
+          Alcotest.test_case "killed by alias" `Quick test_rle_killed_by_may_alias_store;
+          Alcotest.test_case "independent store" `Quick
+            test_rle_not_killed_by_independent_store;
+          Alcotest.test_case "precision ordering" `Quick
+            test_rle_precision_ordering_on_counts;
+          Alcotest.test_case "conditional kept" `Quick test_rle_conditional_not_eliminated ] );
+      ( "devirt/inline",
+        [ Alcotest.test_case "monomorphic resolved" `Quick test_devirt_resolves_monomorphic;
+          Alcotest.test_case "polymorphic kept" `Quick test_devirt_keeps_polymorphic;
+          Alcotest.test_case "inline small" `Quick test_inline_small_proc;
+          Alcotest.test_case "inline recursion" `Quick test_inline_respects_recursion;
+          Alcotest.test_case "inline VAR param" `Quick test_inline_byref_param ] );
+      ( "future work",
+        [ Alcotest.test_case "PRE recovers conditional" `Quick
+            test_pre_recovers_conditional;
+          Alcotest.test_case "PRE profitability guard" `Quick
+            test_pre_skips_unprofitable;
+          Alcotest.test_case "copyprop + breakup" `Quick
+            test_copyprop_enables_breakup_recovery;
+          Alcotest.test_case "copyprop kill" `Quick
+            test_copyprop_respects_redefinition ] );
+      ( "dce",
+        [ Alcotest.test_case "dead chain" `Quick test_dce_removes_dead_chain;
+          Alcotest.test_case "effects kept" `Quick test_dce_keeps_effects;
+          Alcotest.test_case "idempotent" `Quick test_dce_fixpoint_on_workload ] );
+      ( "pipeline",
+        [ Alcotest.test_case "full pipeline" `Quick test_pipeline_full ] ) ]

@@ -1,0 +1,189 @@
+(* Property-based tests over randomly generated MiniM3 programs: the
+   precision lattice between the three analyses, soundness of every oracle
+   against observed dynamic aliasing, semantics preservation of the whole
+   optimizer, and open-world conservatism. *)
+
+open Ir
+
+let lower seed = Lower.lower_string ~file:"gen" (Gen_prog.generate seed)
+
+let count = 60
+
+(* --- semantics preservation -------------------------------------------- *)
+
+let output program = (Sim.Interp.run program).Sim.Interp.output
+
+let preserves_output transform seed =
+  let reference = output (lower seed) in
+  let program = lower seed in
+  transform program;
+  String.equal reference (output program)
+
+let prop_rle_preserves kind name =
+  QCheck.Test.make ~name ~count Gen_prog.arbitrary
+    (preserves_output (fun program ->
+         let a = Tbaa.Analysis.analyze program in
+         ignore (Opt.Rle.run program (Opt.Pipeline.select a kind))))
+
+let prop_full_pipeline_preserves =
+  QCheck.Test.make ~name:"pipeline (devirt+inline+RLE+local CSE) preserves output"
+    ~count Gen_prog.arbitrary
+    (preserves_output (fun program ->
+         ignore
+           (Opt.Pipeline.run program
+              { Opt.Pipeline.oracle_kind = Opt.Pipeline.Osm_field_type_refs;
+                world = Tbaa.World.Closed; devirt_inline = true; rle = true;
+                pre = true; copyprop = true });
+         ignore (Opt.Local_cse.run program)))
+
+let prop_dce_preserves =
+  QCheck.Test.make ~name:"DCE preserves output" ~count Gen_prog.arbitrary
+    (preserves_output (fun program -> ignore (Opt.Dce.run program)))
+
+let prop_local_cse_preserves =
+  QCheck.Test.make ~name:"local CSE preserves output" ~count Gen_prog.arbitrary
+    (preserves_output (fun program -> ignore (Opt.Local_cse.run program)))
+
+(* --- precision lattice --------------------------------------------------- *)
+
+let prop_precision_lattice =
+  QCheck.Test.make ~name:"SMFieldTypeRefs ⊑ FieldTypeDecl ⊑ TypeDecl" ~count
+    Gen_prog.arbitrary (fun seed ->
+      let program = lower seed in
+      let a = Tbaa.Analysis.analyze program in
+      let refs =
+        List.map
+          (fun (r : Tbaa.Facts.memref) -> r.Tbaa.Facts.mr_path)
+          a.Tbaa.Analysis.facts.Tbaa.Facts.memrefs
+      in
+      let sm = a.Tbaa.Analysis.sm_field_type_refs
+      and ftd = a.Tbaa.Analysis.field_type_decl
+      and td = a.Tbaa.Analysis.type_decl in
+      List.for_all
+        (fun x ->
+          List.for_all
+            (fun y ->
+              (not (sm.Tbaa.Oracle.may_alias x y) || ftd.Tbaa.Oracle.may_alias x y)
+              && ((not (ftd.Tbaa.Oracle.may_alias x y))
+                 || td.Tbaa.Oracle.may_alias x y))
+            refs)
+        refs)
+
+let prop_open_world_conservative =
+  QCheck.Test.make ~name:"open world only adds aliases" ~count Gen_prog.arbitrary
+    (fun seed ->
+      let program = lower seed in
+      let closed = Tbaa.Analysis.analyze ~world:Tbaa.World.Closed program in
+      let opened = Tbaa.Analysis.analyze ~world:Tbaa.World.Open program in
+      let refs =
+        List.map
+          (fun (r : Tbaa.Facts.memref) -> r.Tbaa.Facts.mr_path)
+          closed.Tbaa.Analysis.facts.Tbaa.Facts.memrefs
+      in
+      let c = closed.Tbaa.Analysis.sm_field_type_refs in
+      let o = opened.Tbaa.Analysis.sm_field_type_refs in
+      List.for_all
+        (fun x ->
+          List.for_all
+            (fun y ->
+              (not (c.Tbaa.Oracle.may_alias x y)) || o.Tbaa.Oracle.may_alias x y)
+            refs)
+        refs)
+
+(* --- dynamic soundness ----------------------------------------------------- *)
+
+(* Record, per static load site, the set of heap addresses it touches; any
+   two sites that ever touch a common address must be may-aliases under
+   every oracle. *)
+let prop_soundness =
+  QCheck.Test.make ~name:"dynamic overlap implies static may-alias" ~count
+    Gen_prog.arbitrary (fun seed ->
+      let program = lower seed in
+      let a = Tbaa.Analysis.analyze program in
+      let site_exprs : (int, Apath.t) Hashtbl.t = Hashtbl.create 64 in
+      let touched : (int, (int, unit) Hashtbl.t) Hashtbl.t = Hashtbl.create 64 in
+      let on_load (e : Sim.Interp.load_event) =
+        match e.Sim.Interp.le_site.Sim.Interp.site_kind with
+        | Sim.Interp.Sexplicit (ap, k) ->
+          let expr =
+            { ap with Apath.sels = List.filteri (fun i _ -> i < k) ap.Apath.sels }
+          in
+          if Apath.is_memory_ref expr then begin
+            let id = e.Sim.Interp.le_site.Sim.Interp.site_id in
+            Hashtbl.replace site_exprs id expr;
+            let set =
+              match Hashtbl.find_opt touched id with
+              | Some s -> s
+              | None ->
+                let s = Hashtbl.create 16 in
+                Hashtbl.add touched id s;
+                s
+            in
+            Hashtbl.replace set e.Sim.Interp.le_addr ()
+          end
+        | _ -> ()
+      in
+      let _ = Sim.Interp.run ~on_load program in
+      let sites = Hashtbl.fold (fun id _ acc -> id :: acc) site_exprs [] in
+      let overlap i j =
+        let si = Hashtbl.find touched i and sj = Hashtbl.find touched j in
+        Hashtbl.fold (fun addr () acc -> acc || Hashtbl.mem sj addr) si false
+      in
+      List.for_all
+        (fun i ->
+          List.for_all
+            (fun j ->
+              i >= j
+              || (not (overlap i j))
+              || List.for_all
+                   (fun (o : Tbaa.Oracle.t) ->
+                     o.Tbaa.Oracle.may_alias (Hashtbl.find site_exprs i)
+                       (Hashtbl.find site_exprs j))
+                   (Tbaa.Analysis.oracles a))
+            sites)
+        sites)
+
+(* --- printer round trip --------------------------------------------------- *)
+
+let prop_printer_roundtrip =
+  QCheck.Test.make ~name:"reprint preserves behaviour" ~count:40
+    Gen_prog.arbitrary (fun seed ->
+      let src = Gen_prog.generate seed in
+      let printed = Minim3.Ast_pp.reprint ~file:"gen" src in
+      let o1 = Sim.Interp.run (Lower.lower_string ~file:"a" src) in
+      let o2 = Sim.Interp.run (Lower.lower_string ~file:"b" printed) in
+      String.equal o1.Sim.Interp.output o2.Sim.Interp.output
+      && String.equal printed (Minim3.Ast_pp.reprint ~file:"c" printed))
+
+(* --- determinism -------------------------------------------------------------- *)
+
+let prop_interp_deterministic =
+  QCheck.Test.make ~name:"simulator is deterministic" ~count:20 Gen_prog.arbitrary
+    (fun seed ->
+      let a = Sim.Interp.run (lower seed) in
+      let b = Sim.Interp.run (lower seed) in
+      String.equal a.Sim.Interp.output b.Sim.Interp.output
+      && a.Sim.Interp.cycles = b.Sim.Interp.cycles
+      && a.Sim.Interp.counters.Sim.Interp.heap_loads
+         = b.Sim.Interp.counters.Sim.Interp.heap_loads)
+
+let () =
+  Alcotest.run "properties"
+    [ ( "preservation",
+        [ QCheck_alcotest.to_alcotest
+            (prop_rle_preserves Opt.Pipeline.Otype_decl "RLE(TypeDecl) preserves output");
+          QCheck_alcotest.to_alcotest
+            (prop_rle_preserves Opt.Pipeline.Ofield_type_decl
+               "RLE(FieldTypeDecl) preserves output");
+          QCheck_alcotest.to_alcotest
+            (prop_rle_preserves Opt.Pipeline.Osm_field_type_refs
+               "RLE(SMFieldTypeRefs) preserves output");
+          QCheck_alcotest.to_alcotest prop_full_pipeline_preserves;
+          QCheck_alcotest.to_alcotest prop_local_cse_preserves;
+          QCheck_alcotest.to_alcotest prop_dce_preserves ] );
+      ( "lattice",
+        [ QCheck_alcotest.to_alcotest prop_precision_lattice;
+          QCheck_alcotest.to_alcotest prop_open_world_conservative ] );
+      ( "soundness", [ QCheck_alcotest.to_alcotest prop_soundness ] );
+      ( "printer", [ QCheck_alcotest.to_alcotest prop_printer_roundtrip ] );
+      ( "determinism", [ QCheck_alcotest.to_alcotest prop_interp_deterministic ] ) ]

@@ -1,0 +1,189 @@
+(* Unit and property tests for the support substrate. *)
+
+open Support
+
+let test_ident_interning () =
+  let a = Ident.intern "foo" and b = Ident.intern "foo" in
+  Alcotest.(check bool) "same ident" true (Ident.equal a b);
+  Alcotest.(check string) "name round-trips" "foo" (Ident.name a);
+  let c = Ident.intern "bar" in
+  Alcotest.(check bool) "distinct idents" false (Ident.equal a c)
+
+let test_ident_fresh () =
+  let f1 = Ident.fresh "t" and f2 = Ident.fresh "t" in
+  Alcotest.(check bool) "fresh are distinct" false (Ident.equal f1 f2);
+  let again = Ident.intern (Ident.name f1) in
+  Alcotest.(check bool) "fresh is interned" true (Ident.equal f1 again)
+
+let test_union_find_basic () =
+  let uf = Union_find.create 8 in
+  Alcotest.(check bool) "initially apart" false (Union_find.same uf 0 1);
+  Union_find.union uf 0 1;
+  Union_find.union uf 2 3;
+  Alcotest.(check bool) "joined" true (Union_find.same uf 0 1);
+  Alcotest.(check bool) "separate groups" false (Union_find.same uf 1 2);
+  Union_find.union uf 1 3;
+  Alcotest.(check bool) "transitively joined" true (Union_find.same uf 0 2);
+  Alcotest.(check (list int)) "group members" [ 0; 1; 2; 3 ] (Union_find.group uf 0)
+
+let test_union_find_groups () =
+  let uf = Union_find.create 5 in
+  Union_find.union uf 0 4;
+  let gs = Union_find.groups uf in
+  Alcotest.(check int) "number of groups" 4 (List.length gs);
+  Alcotest.(check bool) "0 and 4 together" true
+    (List.exists (fun g -> List.mem 0 g && List.mem 4 g) gs)
+
+let test_union_find_copy () =
+  let uf = Union_find.create 4 in
+  Union_find.union uf 0 1;
+  let snapshot = Union_find.copy uf in
+  Union_find.union uf 2 3;
+  Alcotest.(check bool) "copy unaffected" false (Union_find.same snapshot 2 3);
+  Alcotest.(check bool) "copy kept past merges" true (Union_find.same snapshot 0 1)
+
+let test_bitset_basic () =
+  let s = Bitset.create 20 in
+  Alcotest.(check bool) "empty" true (Bitset.is_empty s);
+  Bitset.add s 3;
+  Bitset.add s 17;
+  Alcotest.(check bool) "mem 3" true (Bitset.mem s 3);
+  Alcotest.(check bool) "not mem 4" false (Bitset.mem s 4);
+  Alcotest.(check int) "cardinal" 2 (Bitset.cardinal s);
+  Bitset.remove s 3;
+  Alcotest.(check (list int)) "elements" [ 17 ] (Bitset.elements s)
+
+let test_bitset_ops () =
+  let a = Bitset.of_list 10 [ 1; 2; 3 ] and b = Bitset.of_list 10 [ 2; 3; 4 ] in
+  let u = Bitset.copy a in
+  Bitset.union_into ~dst:u b;
+  Alcotest.(check (list int)) "union" [ 1; 2; 3; 4 ] (Bitset.elements u);
+  let i = Bitset.copy a in
+  Bitset.inter_into ~dst:i b;
+  Alcotest.(check (list int)) "inter" [ 2; 3 ] (Bitset.elements i);
+  let d = Bitset.copy a in
+  Bitset.diff_into ~dst:d b;
+  Alcotest.(check (list int)) "diff" [ 1 ] (Bitset.elements d)
+
+let test_bitset_fill () =
+  let s = Bitset.create 13 in
+  Bitset.fill s;
+  Alcotest.(check int) "cardinal = universe" 13 (Bitset.cardinal s);
+  Alcotest.(check bool) "last element present" true (Bitset.mem s 12)
+
+let test_bitset_universe_guard () =
+  let s = Bitset.create 4 in
+  Alcotest.check_raises "out of universe" (Invalid_argument "Bitset: element out of universe")
+    (fun () -> Bitset.add s 4)
+
+let test_table_render () =
+  let t = Table.create ~headers:[ "Program"; "Count" ] in
+  Table.add_row t [ "format"; "75" ];
+  Table.add_row t [ "m3cg"; "4515" ];
+  let out = Table.render t in
+  Alcotest.(check bool) "has header" true
+    (String.length out > 0 && String.sub out 0 7 = "Program");
+  Alcotest.(check bool) "right-aligns numbers" true
+    (let lines = String.split_on_char '\n' out in
+     (* "format" padded to width 7, two-space gap, "75" right in width 5 *)
+     List.exists (fun l -> l = "format      75") lines)
+
+let test_prng_determinism () =
+  let a = Prng.create 42L and b = Prng.create 42L in
+  let xs = List.init 10 (fun _ -> Prng.int a 1000) in
+  let ys = List.init 10 (fun _ -> Prng.int b 1000) in
+  Alcotest.(check (list int)) "same seed, same stream" xs ys
+
+let test_prng_bounds () =
+  let p = Prng.create 7L in
+  for _ = 1 to 1000 do
+    let v = Prng.int p 17 in
+    if v < 0 || v >= 17 then Alcotest.fail "Prng.int out of bounds"
+  done
+
+let test_vec_basics () =
+  let v = Vec.create () in
+  Alcotest.(check int) "empty" 0 (Vec.length v);
+  Alcotest.(check int) "push returns index" 0 (Vec.push v 10);
+  Alcotest.(check int) "second index" 1 (Vec.push v 20);
+  Alcotest.(check int) "get" 20 (Vec.get v 1);
+  Vec.set v 0 99;
+  Alcotest.(check (list int)) "to_list" [ 99; 20 ] (Vec.to_list v);
+  Alcotest.(check int) "fold" 119 (Vec.fold_left ( + ) 0 v);
+  Alcotest.(check bool) "exists" true (Vec.exists (fun x -> x = 99) v);
+  Alcotest.check_raises "bounds" (Invalid_argument "Vec: index out of bounds")
+    (fun () -> ignore (Vec.get v 2))
+
+let test_vec_growth () =
+  let v = Vec.create () in
+  for i = 0 to 999 do
+    ignore (Vec.push v i)
+  done;
+  Alcotest.(check int) "length" 1000 (Vec.length v);
+  Alcotest.(check int) "spot check" 731 (Vec.get v 731)
+
+(* Property tests. *)
+
+let prop_union_find_is_equivalence =
+  QCheck.Test.make ~name:"union_find: same is an equivalence relation"
+    ~count:100
+    QCheck.(pair (int_range 2 20) (small_list (pair (int_range 0 19) (int_range 0 19))))
+    (fun (n, pairs) ->
+      let uf = Union_find.create n in
+      List.iter (fun (a, b) -> Union_find.union uf (a mod n) (b mod n)) pairs;
+      (* reflexive, symmetric, and union implies same *)
+      let ok_refl = List.init n (fun i -> Union_find.same uf i i) in
+      let ok_sym =
+        List.for_all
+          (fun (a, b) ->
+            Union_find.same uf (a mod n) (b mod n)
+            = Union_find.same uf (b mod n) (a mod n))
+          pairs
+      in
+      List.for_all Fun.id ok_refl && ok_sym)
+
+let prop_bitset_union_cardinal =
+  QCheck.Test.make ~name:"bitset: |a ∪ b| + |a ∩ b| = |a| + |b|" ~count:100
+    QCheck.(pair (small_list (int_range 0 63)) (small_list (int_range 0 63)))
+    (fun (xs, ys) ->
+      let a = Bitset.of_list 64 xs and b = Bitset.of_list 64 ys in
+      let u = Bitset.copy a and i = Bitset.copy a in
+      Bitset.union_into ~dst:u b;
+      Bitset.inter_into ~dst:i b;
+      Bitset.cardinal u + Bitset.cardinal i = Bitset.cardinal a + Bitset.cardinal b)
+
+let prop_groups_partition =
+  QCheck.Test.make ~name:"union_find: groups form a partition" ~count:100
+    QCheck.(pair (int_range 1 16) (small_list (pair small_nat small_nat)))
+    (fun (n, pairs) ->
+      let uf = Union_find.create n in
+      List.iter (fun (a, b) -> Union_find.union uf (a mod n) (b mod n)) pairs;
+      let gs = Union_find.groups uf in
+      let all = List.concat gs in
+      List.length all = n && List.sort compare all = List.init n Fun.id)
+
+let () =
+  Alcotest.run "support"
+    [ ( "ident",
+        [ Alcotest.test_case "interning" `Quick test_ident_interning;
+          Alcotest.test_case "fresh" `Quick test_ident_fresh ] );
+      ( "union_find",
+        [ Alcotest.test_case "basic" `Quick test_union_find_basic;
+          Alcotest.test_case "groups" `Quick test_union_find_groups;
+          Alcotest.test_case "copy" `Quick test_union_find_copy;
+          QCheck_alcotest.to_alcotest prop_union_find_is_equivalence;
+          QCheck_alcotest.to_alcotest prop_groups_partition ] );
+      ( "bitset",
+        [ Alcotest.test_case "basic" `Quick test_bitset_basic;
+          Alcotest.test_case "ops" `Quick test_bitset_ops;
+          Alcotest.test_case "fill" `Quick test_bitset_fill;
+          Alcotest.test_case "universe guard" `Quick test_bitset_universe_guard;
+          QCheck_alcotest.to_alcotest prop_bitset_union_cardinal ] );
+      ( "vec",
+        [ Alcotest.test_case "basics" `Quick test_vec_basics;
+          Alcotest.test_case "growth" `Quick test_vec_growth ] );
+      ( "table",
+        [ Alcotest.test_case "render" `Quick test_table_render ] );
+      ( "prng",
+        [ Alcotest.test_case "determinism" `Quick test_prng_determinism;
+          Alcotest.test_case "bounds" `Quick test_prng_bounds ] ) ]
