@@ -1,0 +1,23 @@
+.PHONY: all build test check bench clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+# The CI gate: everything compiles (including tests and benches), the test
+# suite passes, and the optimizer driver runs end to end with structured
+# stats on a real workload.
+check:
+	dune build @all
+	dune runtest
+	dune exec bin/tbaac.exe -- optimize --workload format --stats
+
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean

@@ -110,6 +110,61 @@ let tests =
     [ 25; 50; 100; 200 ]
 
 (* ------------------------------------------------------------------ *)
+(* Pass-manager instrumentation sweep                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* One JSON-lines record per (workload, config, pass) when --stats is
+   given; always a summary table of oracle-cache effectiveness, and a
+   BENCH_passmgr.json snapshot for cross-run comparison. *)
+
+let stats_mode = Array.exists (String.equal "--stats") Sys.argv
+
+let sweep_configs =
+  [ Harness.Runner.rle_with Opt.Pipeline.Osm_field_type_refs;
+    { (Harness.Runner.rle_with Opt.Pipeline.Osm_field_type_refs) with
+      Harness.Runner.minv = true };
+    { (Harness.Runner.rle_with Opt.Pipeline.Osm_field_type_refs) with
+      Harness.Runner.copyprop = true } ]
+
+let pass_manager_sweep () =
+  print_endline "\n=== Pass-manager instrumentation (oracle cache) ===\n";
+  Printf.printf "%-14s %-16s %8s %8s %9s %9s\n" "workload" "config" "queries"
+    "hits" "hit rate" "time ms";
+  print_endline (String.make 70 '-');
+  let records = ref [] in
+  List.iter
+    (fun (w : Workloads.Workload.t) ->
+      List.iter
+        (fun config ->
+          let cname = Harness.Runner.config_name config in
+          let reports = Harness.Runner.reports w config in
+          let extra =
+            [ ("workload", Support.Json.String w.Workloads.Workload.name);
+              ("config", Support.Json.String cname) ]
+          in
+          List.iter
+            (fun r ->
+              let j = Opt.Pass.report_to_json ~extra r in
+              records := j :: !records;
+              if stats_mode then print_endline (Support.Json.to_string j))
+            reports;
+          let c = Opt.Pass_manager.oracle_counters reports in
+          Printf.printf "%-14s %-16s %8d %8d %8.1f%% %9.2f\n"
+            w.Workloads.Workload.name cname (Tbaa.Oracle_cache.queries c)
+            (Tbaa.Oracle_cache.hits c)
+            (100.0 *. Tbaa.Oracle_cache.hit_rate c)
+            (Opt.Pass_manager.total_time_ms reports))
+        sweep_configs)
+    Workloads.Suite.dynamic;
+  let oc = open_out "BENCH_passmgr.json" in
+  output_string oc
+    (Support.Json.to_string
+       (Support.Json.Obj [ ("records", Support.Json.List (List.rev !records)) ]));
+  output_string oc "\n";
+  close_out oc;
+  print_endline "\n(per-pass records written to BENCH_passmgr.json)"
+
+(* ------------------------------------------------------------------ *)
 
 let run_bechamel () =
   let ols =
@@ -142,6 +197,8 @@ let run_bechamel () =
 let () =
   (* Part 1: regenerate every table and figure. *)
   Harness.Experiments.run_all Format.std_formatter;
-  (* Part 2: time the machinery. *)
+  (* Part 2: per-pass instrumentation and oracle-cache effectiveness. *)
+  pass_manager_sweep ();
+  (* Part 3: time the machinery. *)
   print_endline "\n=== Bechamel micro-benchmarks (one per table/figure) ===\n";
   run_bechamel ()

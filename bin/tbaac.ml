@@ -162,14 +162,34 @@ let aliases_cmd =
     Term.(const run $ file_arg $ workload_arg $ world_arg $ trt_arg)
 
 let optimize_cmd =
-  let run file workload analysis world minv pre copyprop =
+  let run file workload analysis world minv pre copyprop stats =
     with_source file workload (fun name src ->
         let program = Ir.Lower.lower_string ~file:name src in
-        let result =
-          Opt.Pipeline.run program
-            { Opt.Pipeline.oracle_kind = analysis; world;
-              devirt_inline = minv; rle = true; pre; copyprop }
+        let config =
+          { Opt.Pipeline.oracle_kind = analysis; world;
+            devirt_inline = minv; rle = true; pre; copyprop }
         in
+        let result = Opt.Pipeline.run program config in
+        if stats then begin
+          let config_desc =
+            String.concat "+"
+              (("rle:" ^ Opt.Pipeline.oracle_name analysis)
+               :: List.filter_map
+                    (fun (on, tag) -> if on then Some tag else None)
+                    [ (minv, "minv"); (pre, "pre"); (copyprop, "cp");
+                      (world = Tbaa.World.Open, "open") ])
+          in
+          List.iter
+            (fun r ->
+              print_endline
+                (Support.Json.to_string
+                   (Opt.Pass.report_to_json
+                      ~extra:
+                        [ ("workload", Support.Json.String name);
+                          ("config", Support.Json.String config_desc) ]
+                      r)))
+            result.Opt.Pipeline.reports
+        end;
         (match result.Opt.Pipeline.devirt_stats with
         | Some d ->
           Printf.printf "devirtualized: %d resolved, %d kept virtual\n"
@@ -213,11 +233,19 @@ let optimize_cmd =
       & info [ "copyprop" ]
           ~doc:"Also run copy propagation and a second RLE pass (extension).")
   in
+  let stats_arg =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:
+            "Emit one JSON line per executed pass (timing, counters, \
+             oracle-cache and dataflow activity) before the summary.")
+  in
   Cmd.v
     (Cmd.info "optimize" ~doc:"Run the optimizer and report what it did.")
     Term.(
       const run $ file_arg $ workload_arg $ analysis_arg $ world_arg $ minv_arg
-      $ pre_arg $ copyprop_arg)
+      $ pre_arg $ copyprop_arg $ stats_arg)
 
 let run_cmd =
   let run file workload optimize analysis quiet =

@@ -29,7 +29,23 @@ let compare a b =
     let x = Int.compare i j in
     if x <> 0 then x else Int.compare t u
 
-let equal a b = compare a b = 0
+let equal a b =
+  a == b
+  ||
+  match (a, b) with
+  | Lfield (f, r, c), Lfield (g, r', c') -> Ident.equal f g && r = r' && c = c'
+  | Lelem (a1, e1), Lelem (a2, e2) -> a1 = a2 && e1 = e2
+  | Ltarget t, Ltarget u -> t = u
+  | Lvar (i, t), Lvar (j, u) -> i = j && t = u
+  | _ -> false
+
+(* Cheap structural hash: every component is already an int (Ident.hash is
+   the interned id), so no allocation and no polymorphic-hash traversal. *)
+let hash = function
+  | Lfield (f, r, c) -> (((Ident.hash f * 31) + r) * 31) + c
+  | Lelem (a, e) -> 0x3f11 + (a * 31) + e
+  | Ltarget t -> 0x7a21 + t
+  | Lvar (i, t) -> 0x1555 + (i * 31) + t
 
 let pp env ppf = function
   | Lfield (f, r, _) ->

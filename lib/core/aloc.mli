@@ -21,6 +21,7 @@ type t =
 
 val compare : t -> t -> int
 val equal : t -> t -> bool
+val hash : t -> int
 val pp : Types.env -> Format.formatter -> t -> unit
 
 module Set : Set.S with type elt = t

@@ -18,7 +18,10 @@ type t = {
       (** Abstract the location a store to this path writes. *)
   class_kills : Aloc.t -> Apath.t -> bool;
       (** May a write to a location of this class change the contents of the
-          given path (queried prefix-by-prefix by clients)? *)
+          given path (queried prefix-by-prefix by clients)? Contract: the
+          answer is a relation between the class and [store_class] of the
+          path — two paths with equal store classes get equal answers.
+          {!Oracle_cache} relies on this to key its memo by class pairs. *)
   addr_taken_var : Reg.var -> bool;
       (** Was this variable's own slot ever exposed by address-taking? *)
 }

@@ -1,0 +1,51 @@
+(** A memoizing wrapper around an {!Oracle.t}.
+
+    Every oracle query is a pure function of the analysis facts, but the
+    clients re-ask the same questions relentlessly: RLE's kill-set
+    construction queries [may_alias (store, prefix)] for every store
+    against every expression in the universe, once per block and again
+    during rewriting, and mod-ref replays [class_kills] per call site. The
+    wrapper interns results in hash tables — [compat] keyed by an unordered
+    tid pair, [may_alias] by a canonicalized (unordered) access-path pair,
+    [class_kills] by a (location-class, path) pair, [store_class] by path —
+    and counts queries and misses so the pass manager can report cache
+    effectiveness per pass.
+
+    The wrapped oracle answers *identically* to the original (a property
+    test checks this on randomly generated programs). The memo tables are
+    tied to the wrapper instance: discard the wrapper whenever the
+    underlying analysis is recomputed. *)
+
+type counters = {
+  mutable compat_queries : int;
+  mutable compat_misses : int;
+  mutable alias_queries : int;
+  mutable alias_misses : int;
+  mutable class_queries : int;
+  mutable class_misses : int;
+  mutable store_queries : int;
+  mutable store_misses : int;
+}
+
+val fresh_counters : unit -> counters
+
+val queries : counters -> int
+val hits : counters -> int
+val misses : counters -> int
+
+val hit_rate : counters -> float
+(** [hits / queries], 0 when no queries were made. *)
+
+type snapshot
+(** An immutable copy of a counters record, for before/after diffing. *)
+
+val snapshot : counters -> snapshot
+
+val diff : before:snapshot -> after:snapshot -> counters
+(** The queries/misses that happened between two snapshots. *)
+
+val wrap : ?counters:counters -> Oracle.t -> Oracle.t
+(** Memoize the oracle. Supplying [counters] lets several wrapper
+    incarnations (one per analysis recomputation) accumulate into one
+    record. The [addr_taken_var] component is passed through unmemoized (it
+    is already a constant-time lookup). *)

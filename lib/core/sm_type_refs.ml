@@ -86,9 +86,23 @@ let compat t t1 t2 =
     not (Bitset.is_empty a)
   end
 
+(* Each compat test copies and intersects a TypeRefs bitset; every
+   may_alias/class_kills query funnels into it, so memoize per unordered
+   tid pair (the intersection test is symmetric). *)
+let memo_compat t =
+  let tbl : (int * int, bool) Hashtbl.t = Hashtbl.create 256 in
+  fun t1 t2 ->
+    let key = if t1 <= t2 then (t1, t2) else (t2, t1) in
+    match Hashtbl.find_opt tbl key with
+    | Some r -> r
+    | None ->
+      let r = compat t t1 t2 in
+      Hashtbl.replace tbl key r;
+      r
+
 let oracle ?(variant = Grouped) ~facts ~world () : Oracle.t =
   let t = build ~variant ~facts ~world () in
-  let compat = compat t in
+  let compat = memo_compat t in
   let at = Address_taken.make ~facts ~world ~compat in
   { Oracle.name =
       (match variant with
@@ -102,7 +116,7 @@ let oracle ?(variant = Grouped) ~facts ~world () : Oracle.t =
 
 let oracle_no_fields ?(variant = Grouped) ~facts ~world () : Oracle.t =
   let t = build ~variant ~facts ~world () in
-  let compat = compat t in
+  let compat = memo_compat t in
   let at = Address_taken.make ~facts ~world ~compat in
   { Oracle.name = "SMTypeRefs";
     compat;

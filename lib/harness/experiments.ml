@@ -111,8 +111,13 @@ end
 
 let rle_removed w kind =
   let program = Workload.lower w in
-  let a = Tbaa.Analysis.analyze program in
-  Opt.Rle.removed (Opt.Rle.run program (Opt.Pipeline.select a kind))
+  let ctx = Opt.Pass.create ~oracle_kind:kind () in
+  let reports =
+    Opt.Pass_manager.run ctx program [ Opt.Pass_manager.Run Opt.Rle.pass ]
+  in
+  Opt.Pass_manager.sum_stat "rle" "hoisted" reports
+  + Opt.Pass_manager.sum_stat "rle" "eliminated" reports
+  + Opt.Pass_manager.sum_stat "rle" "shortened" reports
 
 module Table6 = struct
   type row = { name : string; td : int; ftd : int; sm : int }
@@ -175,17 +180,19 @@ end
    [future_work] adds the PRE + copy-propagation extension passes. *)
 let traced_run ?(future_work = false) w ~optimize =
   let program = Workload.lower w in
-  let analysis = Tbaa.Analysis.analyze program in
-  let oracle = analysis.Tbaa.Analysis.sm_field_type_refs in
-  if optimize then begin
-    if future_work then ignore (Opt.Pre.run program oracle);
-    ignore (Opt.Rle.run program oracle);
-    if future_work then begin
-      ignore (Opt.Copyprop.run program);
-      ignore (Opt.Rle.run program oracle)
-    end
-  end;
-  ignore (Opt.Local_cse.run program);
+  let ctx = Opt.Pass.create () in
+  (* Capture the pre-optimization oracle: classification (Figure 10) reads
+     residual loads of the optimized program through the alias relation of
+     the program as written, as in the paper. The cached wrapper closes
+     over that analysis, so it stays valid across invalidations. *)
+  let oracle = Opt.Pass.oracle ctx program in
+  let schedule =
+    if optimize then
+      Opt.Pass_manager.schedule ~pre:future_work ~rle:true
+        ~copyprop:future_work ~local_cse:true ()
+    else Opt.Pass_manager.schedule ~local_cse:true ()
+  in
+  ignore (Opt.Pass_manager.run ctx program schedule);
   let tracer = Sim.Limit.create () in
   let outcome = Sim.Interp.run ~on_load:(Sim.Limit.on_load tracer) program in
   (program, oracle, tracer, outcome)

@@ -29,30 +29,41 @@ let config_name c =
   in
   rle ^ minv ^ world ^ ext
 
+let pipeline_config config =
+  { Opt.Pipeline.oracle_kind =
+      Option.value config.rle ~default:Opt.Pipeline.Osm_field_type_refs;
+    world = config.world;
+    devirt_inline = config.minv;
+    rle = config.rle <> None;
+    pre = config.pre;
+    copyprop = config.copyprop }
+
 let prepare w config =
   let program = Workload.lower w in
-  ignore
-    (Opt.Pipeline.run program
-       { Opt.Pipeline.oracle_kind =
-           Option.value config.rle ~default:Opt.Pipeline.Osm_field_type_refs;
-         world = config.world;
-         devirt_inline = config.minv;
-         rle = config.rle <> None;
-         pre = config.pre;
-         copyprop = config.copyprop });
-  ignore (Opt.Local_cse.run program);
-  program
+  let pc = pipeline_config config in
+  let ctx = Opt.Pipeline.context_of_config pc in
+  let reports =
+    Opt.Pass_manager.run ctx program
+      (Opt.Pipeline.schedule_of_config ~local_cse:true pc)
+  in
+  (program, reports)
 
-let memo : (string * string, Sim.Interp.outcome) Hashtbl.t = Hashtbl.create 64
+let memo : (string * string, Sim.Interp.outcome * Opt.Pass.report list)
+    Hashtbl.t =
+  Hashtbl.create 64
 
-let run w config =
+let run_with_reports w config =
   let key = (w.Workload.name, config_name config) in
   match Hashtbl.find_opt memo key with
-  | Some outcome -> outcome
+  | Some cached -> cached
   | None ->
-    let outcome = Sim.Interp.run (prepare w config) in
-    Hashtbl.replace memo key outcome;
-    outcome
+    let program, reports = prepare w config in
+    let outcome = Sim.Interp.run program in
+    Hashtbl.replace memo key (outcome, reports);
+    (outcome, reports)
+
+let run w config = fst (run_with_reports w config)
+let reports w config = snd (run_with_reports w config)
 
 let percent_of_base w config =
   let b = run w base in

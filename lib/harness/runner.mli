@@ -4,25 +4,41 @@
     the simulated run. Every configuration — including the base — finishes
     with the block-local trivial-alias load CSE ({!Opt.Local_cse}), because
     the paper normalizes against GCC, which already eliminates redundant
-    loads with no intervening memory writes. *)
+    loads with no intervening memory writes.
+
+    Preparation goes through {!Opt.Pass_manager}, so every run also yields
+    the per-pass instrumented reports (stats, timing, oracle-cache and
+    dataflow activity); the memo keeps them alongside the simulated
+    outcome. *)
 
 type config = {
   rle : Opt.Pipeline.oracle_kind option;  (* None = no RLE *)
   minv : bool;  (* method resolution + inlining (§3.7) *)
   world : Tbaa.World.t;
   pre : bool;  (* + partial redundancy elimination (extension) *)
-  copyprop : bool;  (* + copy propagation and a second RLE (extension) *)
+  copyprop : bool;  (* + copy propagation, fixpointed with RLE (extension) *)
 }
 
 val base : config
 val rle_with : Opt.Pipeline.oracle_kind -> config
 val config_name : config -> string
 
-val prepare : Workloads.Workload.t -> config -> Ir.Cfg.program
-(** Lower a fresh copy and apply the configuration's passes (uncached). *)
+val pipeline_config : config -> Opt.Pipeline.config
+(** The optimizer configuration a harness configuration denotes. *)
+
+val prepare :
+  Workloads.Workload.t -> config -> Ir.Cfg.program * Opt.Pass.report list
+(** Lower a fresh copy and run the configuration's pass schedule
+    (uncached); returns the optimized program and the pass reports. *)
 
 val run : Workloads.Workload.t -> config -> Sim.Interp.outcome
 (** Memoized simulated execution. *)
+
+val reports : Workloads.Workload.t -> config -> Opt.Pass.report list
+(** The pass reports from the memoized preparation of [run]. *)
+
+val run_with_reports :
+  Workloads.Workload.t -> config -> Sim.Interp.outcome * Opt.Pass.report list
 
 val percent_of_base : Workloads.Workload.t -> config -> float
 (** Simulated running time as percent of the base configuration (the

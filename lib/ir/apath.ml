@@ -14,10 +14,15 @@ let extend t sel = { t with sels = t.sels @ [ sel ] }
 let selector_result = function
   | Sfield (_, ty) | Sderef ty | Sindex (_, ty) -> ty
 
+let rec last_sel = function
+  | [] -> None
+  | [ s ] -> Some s
+  | _ :: rest -> last_sel rest
+
 let ty t =
-  match List.rev t.sels with
-  | [] -> t.base.Reg.v_ty
-  | last :: _ -> selector_result last
+  match last_sel t.sels with
+  | None -> t.base.Reg.v_ty
+  | Some last -> selector_result last
 
 let length t = List.length t.sels
 let is_memory_ref t = t.sels <> []
@@ -30,7 +35,7 @@ let prefix t =
     | _ :: rest -> Some { t with sels = List.rev rest }
     | [] -> None)
 
-let last t = match List.rev t.sels with [] -> None | s :: _ -> Some s
+let last t = last_sel t.sels
 
 let prefixes t =
   let rec go acc kept = function
@@ -48,10 +53,57 @@ let sel_equal a b =
   | Sindex (i, _), Sindex (j, _) -> Reg.atom_equal i j
   | (Sfield _ | Sderef _ | Sindex _), _ -> false
 
+let rec sels_equal xs ys =
+  match (xs, ys) with
+  | [], [] -> true
+  | x :: xs, y :: ys -> sel_equal x y && sels_equal xs ys
+  | _ -> false
+
 let equal a b =
-  Reg.var_equal a.base b.base
-  && List.length a.sels = List.length b.sels
-  && List.for_all2 sel_equal a.sels b.sels
+  a == b || (Reg.var_equal a.base b.base && sels_equal a.sels b.sels)
+
+let atom_compare a b =
+  let rank = function
+    | Reg.Avar _ -> 0
+    | Reg.Aint _ -> 1
+    | Reg.Abool _ -> 2
+    | Reg.Achar _ -> 3
+    | Reg.Anil -> 4
+  in
+  match (a, b) with
+  | Reg.Avar x, Reg.Avar y -> Reg.var_compare x y
+  | Reg.Aint x, Reg.Aint y -> Int.compare x y
+  | Reg.Abool x, Reg.Abool y -> Bool.compare x y
+  | Reg.Achar x, Reg.Achar y -> Char.compare x y
+  | Reg.Anil, Reg.Anil -> 0
+  | _ -> Int.compare (rank a) (rank b)
+
+(* Mirrors [sel_equal]: selector result types are ignored, index atoms
+   matter. *)
+let sel_compare a b =
+  match (a, b) with
+  | Sfield (f, _), Sfield (g, _) -> Ident.compare f g
+  | Sderef _, Sderef _ -> 0
+  | Sindex (i, _), Sindex (j, _) -> atom_compare i j
+  | Sfield _, _ -> -1
+  | _, Sfield _ -> 1
+  | Sderef _, _ -> -1
+  | _, Sderef _ -> 1
+
+let compare a b =
+  let c = Reg.var_compare a.base b.base in
+  if c <> 0 then c
+  else
+    let rec go xs ys =
+      match (xs, ys) with
+      | [], [] -> 0
+      | [], _ -> -1
+      | _, [] -> 1
+      | x :: xs, y :: ys ->
+        let c = sel_compare x y in
+        if c <> 0 then c else go xs ys
+    in
+    go a.sels b.sels
 
 let sel_hash = function
   | Sfield (f, _) -> 3 + (17 * Ident.hash f)

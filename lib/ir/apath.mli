@@ -46,6 +46,11 @@ val equal : t -> t -> bool
     equal. This is the equality under which RLE recognizes redundant
     loads. *)
 
+val compare : t -> t -> int
+(** A total order consistent with {!equal} (base variable id, then
+    selectors left to right). Used to canonicalize unordered path pairs,
+    e.g. the keys of the memoizing oracle cache. *)
+
 val hash : t -> int
 
 val vars_used : t -> Reg.var list

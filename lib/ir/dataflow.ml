@@ -2,7 +2,25 @@ open Support
 
 type confluence = Must | May
 
-type result = { inn : Bitset.t array; out : Bitset.t array }
+type result = { inn : Bitset.t array; out : Bitset.t array; iterations : int }
+
+type counters = { solves : int; iterations : int }
+
+(* Cumulative instrumentation: every [run]/[run_backward] logs one solve
+   plus the number of sweeps it took. The pass manager snapshots this
+   around each pass to attribute dataflow work per pass. *)
+let total_solves = ref 0
+let total_iterations = ref 0
+
+let counters () = { solves = !total_solves; iterations = !total_iterations }
+
+let diff_counters ~before ~after =
+  { solves = after.solves - before.solves;
+    iterations = after.iterations - before.iterations }
+
+let record ~iterations =
+  incr total_solves;
+  total_iterations := !total_iterations + iterations
 
 let run ~proc ~universe ~confluence ~gen ~kill ~entry_fact =
   let n = Cfg.n_blocks proc in
@@ -26,9 +44,11 @@ let run ~proc ~universe ~confluence ~gen ~kill ~entry_fact =
     o
   in
   List.iter (fun b -> out.(b) <- transfer b) rpo;
+  let sweeps = ref 1 in
   let changed = ref true in
   while !changed do
     changed := false;
+    incr sweeps;
     List.iter
       (fun b ->
         if b <> entry then begin
@@ -50,7 +70,8 @@ let run ~proc ~universe ~confluence ~gen ~kill ~entry_fact =
         end)
       rpo
   done;
-  { inn; out }
+  record ~iterations:!sweeps;
+  { inn; out; iterations = !sweeps }
 
 let run_backward ~proc ~universe ~confluence ~gen ~kill ~exit_fact =
   let n = Cfg.n_blocks proc in
@@ -78,9 +99,11 @@ let run_backward ~proc ~universe ~confluence ~gen ~kill ~exit_fact =
         out.(b) <- Bitset.copy exit_fact;
       inn.(b) <- transfer b)
     po;
+  let sweeps = ref 1 in
   let changed = ref true in
   while !changed do
     changed := false;
+    incr sweeps;
     List.iter
       (fun b ->
         let succs = Cfg.successors (Cfg.block proc b).Cfg.b_term in
@@ -103,4 +126,5 @@ let run_backward ~proc ~universe ~confluence ~gen ~kill ~exit_fact =
         end)
       po
   done;
-  { inn; out }
+  record ~iterations:!sweeps;
+  { inn; out; iterations = !sweeps }

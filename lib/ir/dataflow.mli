@@ -12,7 +12,20 @@ type confluence = Must  (** intersection over predecessors *) | May  (** union *
 type result = {
   inn : Bitset.t array;  (* fact at block entry, per block id *)
   out : Bitset.t array;  (* fact at block exit *)
+  iterations : int;
+      (* full sweeps over the CFG until the fixed point, including the
+         initializing sweep — 2 for loop-free procedures *)
 }
+
+type counters = { solves : int; iterations : int }
+
+val counters : unit -> counters
+(** Cumulative instrumentation since process start: how many dataflow
+    problems were solved and how many total sweeps they took. The pass
+    manager snapshots this around each pass run to attribute dataflow work
+    per pass in the structured stats. *)
+
+val diff_counters : before:counters -> after:counters -> counters
 
 val run :
   proc:Cfg.proc ->

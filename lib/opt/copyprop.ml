@@ -168,3 +168,13 @@ let run program =
   let stats = { replaced = 0 } in
   List.iter (fun proc -> run_proc program proc stats) program.Cfg.prog_procs;
   stats
+
+let pass =
+  { Pass.name = "copyprop";
+    role = Pass.Enabling;
+    run =
+      (fun _ctx program ->
+        let s = run program in
+        { Pass.stats = [ ("replaced", s.replaced) ];
+          changed = s.replaced > 0;
+          mutated = s.replaced > 0 }) }

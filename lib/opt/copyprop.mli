@@ -14,3 +14,9 @@
 type stats = { mutable replaced : int }
 
 val run : Ir.Cfg.program -> stats
+
+val pass : Pass.t
+(** An {!Pass.Enabling} pass: base canonicalization keeps finding cosmetic
+    copies round after round, so its [changed] flag must not drive
+    fixed-point convergence — only what it unlocks for RLE counts. Stats:
+    [replaced]. *)

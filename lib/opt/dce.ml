@@ -121,3 +121,13 @@ let run program =
   let stats = { removed = 0 } in
   List.iter (fun proc -> run_proc proc stats) program.Cfg.prog_procs;
   stats
+
+let pass =
+  { Pass.name = "dce";
+    role = Pass.Transform;
+    run =
+      (fun _ctx program ->
+        let s = run program in
+        { Pass.stats = [ ("removed", s.removed) ];
+          changed = s.removed > 0;
+          mutated = s.removed > 0 }) }

@@ -15,3 +15,6 @@
 type stats = { mutable removed : int }
 
 val run : Ir.Cfg.program -> stats
+
+val pass : Pass.t
+(** Stats: [removed]. *)

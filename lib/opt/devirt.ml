@@ -37,3 +37,14 @@ let run program ~type_refs =
         proc.Cfg.pr_blocks)
     program.Cfg.prog_procs;
   stats
+
+let pass =
+  { Pass.name = "devirt";
+    role = Pass.Transform;
+    run =
+      (fun ctx program ->
+        let s = run program ~type_refs:(Pass.type_refs ctx program) in
+        { Pass.stats =
+            [ ("resolved", s.resolved); ("unresolved", s.unresolved) ];
+          changed = s.resolved > 0;
+          mutated = s.resolved > 0 }) }

@@ -14,3 +14,7 @@ type stats = { mutable resolved : int; mutable unresolved : int }
 
 val run :
   Ir.Cfg.program -> type_refs:(Types.tid -> Types.tid list) -> stats
+
+val pass : Pass.t
+(** Resolves over the context's TypeRefsTable; [changed] iff any call site
+    was rewritten. Stats: [resolved], [unresolved]. *)

@@ -12,3 +12,6 @@
 type stats = { mutable inlined : int }
 
 val run : ?max_size:int -> ?max_growth:int -> Ir.Cfg.program -> stats
+
+val pass : Pass.t
+(** [changed] iff any call site was inlined. Stats: [inlined]. *)

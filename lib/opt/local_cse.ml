@@ -69,3 +69,13 @@ let run program =
         proc.Cfg.pr_blocks)
     program.Cfg.prog_procs;
   stats
+
+let pass =
+  { Pass.name = "local-cse";
+    role = Pass.Transform;
+    run =
+      (fun _ctx program ->
+        let s = run program in
+        { Pass.stats = [ ("eliminated", s.eliminated) ];
+          changed = s.eliminated > 0;
+          mutated = s.eliminated > 0 }) }

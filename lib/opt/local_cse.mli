@@ -10,3 +10,6 @@
 type stats = { mutable eliminated : int }
 
 val run : Ir.Cfg.program -> stats
+
+val pass : Pass.t
+(** The GCC-like baseline as a schedulable pass. Stats: [eliminated]. *)

@@ -75,17 +75,30 @@ let conservative program =
 
 let summary t name = Option.value (Hashtbl.find_opt t.summaries name) ~default:empty
 
-let call_kills t (oracle : Oracle.t) target ap =
-  if t.kill_all then true
+(* Resolves the possible callees' mod sets once; the returned predicate
+   takes the expression's query paths (its base variable as a path followed
+   by its prefixes). Path-outer so a memoizing oracle sees consecutive
+   queries against the same path (it hashes each path once instead of once
+   per class). *)
+let call_kill_pred t (oracle : Oracle.t) target =
+  if t.kill_all then fun _ -> true
   else
-  let callees = Callgraph.callees_of_target t.program target in
-  let prefixes = Apath.prefixes ap in
-  let base = Apath.of_var ap.Apath.base in
-  List.exists
-    (fun callee ->
-      let s = summary t callee in
-      Aloc.Set.exists
-        (fun cls ->
-          List.exists (fun p -> oracle.Oracle.class_kills cls p) (base :: prefixes))
-        s.mods)
-    callees
+    let mods =
+      List.filter_map
+        (fun callee ->
+          let s = summary t callee in
+          if Aloc.Set.is_empty s.mods then None else Some s.mods)
+        (Callgraph.callees_of_target t.program target)
+    in
+    fun paths ->
+      List.exists
+        (fun m ->
+          List.exists
+            (fun p ->
+              Aloc.Set.exists (fun cls -> oracle.Oracle.class_kills cls p) m)
+            paths)
+        mods
+
+let call_kills t oracle target ap =
+  call_kill_pred t oracle target
+    (Apath.of_var ap.Apath.base :: Apath.prefixes ap)

@@ -1,0 +1,113 @@
+open Tbaa
+
+type oracle_kind = Otype_decl | Ofield_type_decl | Osm_field_type_refs
+
+let oracle_name = function
+  | Otype_decl -> "TypeDecl"
+  | Ofield_type_decl -> "FieldTypeDecl"
+  | Osm_field_type_refs -> "SMFieldTypeRefs"
+
+let select (a : Analysis.t) = function
+  | Otype_decl -> a.Analysis.type_decl
+  | Ofield_type_decl -> a.Analysis.field_type_decl
+  | Osm_field_type_refs -> a.Analysis.sm_field_type_refs
+
+(* ------------------------------------------------------------------ *)
+(* Shared analysis context                                             *)
+(* ------------------------------------------------------------------ *)
+
+type context = {
+  world : World.t;
+  oracle_kind : oracle_kind;
+  mutable analysis_memo : Analysis.t option;
+  mutable oracle_memo : Oracle.t option;  (* cached wrapper over analysis_memo *)
+  oracle_counters : Oracle_cache.counters;
+      (* accumulates across wrapper incarnations *)
+  mutable analyses_run : int;
+}
+
+let create ?(world = World.Closed) ?(oracle_kind = Osm_field_type_refs) () =
+  { world; oracle_kind; analysis_memo = None; oracle_memo = None;
+    oracle_counters = Oracle_cache.fresh_counters (); analyses_run = 0 }
+
+let invalidate ctx =
+  ctx.analysis_memo <- None;
+  ctx.oracle_memo <- None
+
+let analysis ctx program =
+  match ctx.analysis_memo with
+  | Some a -> a
+  | None ->
+    let a = Analysis.analyze ~world:ctx.world program in
+    ctx.analysis_memo <- Some a;
+    ctx.analyses_run <- ctx.analyses_run + 1;
+    a
+
+let oracle ctx program =
+  match ctx.oracle_memo with
+  | Some o -> o
+  | None ->
+    let o =
+      Oracle_cache.wrap ~counters:ctx.oracle_counters
+        (select (analysis ctx program) ctx.oracle_kind)
+    in
+    ctx.oracle_memo <- Some o;
+    o
+
+let type_refs ctx program = (analysis ctx program).Analysis.type_refs_table
+
+(* ------------------------------------------------------------------ *)
+(* The pass interface                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type outcome = {
+  stats : (string * int) list;
+  changed : bool;
+  mutated : bool;
+}
+
+let unchanged stats = { stats; changed = false; mutated = false }
+
+type role = Transform | Enabling
+
+type t = {
+  name : string;
+  role : role;
+  run : context -> Ir.Cfg.program -> outcome;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Reports                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type report = {
+  r_pass : string;
+  r_round : int;
+  r_time_ms : float;
+  r_changed : bool;
+  r_stats : (string * int) list;
+  r_oracle : Oracle_cache.counters;  (* queries during this pass run *)
+  r_dataflow : Ir.Dataflow.counters;
+  r_analyses : int;  (* Analysis.analyze runs charged to this pass *)
+}
+
+let stat report name =
+  match List.assoc_opt name report.r_stats with Some n -> n | None -> 0
+
+let report_to_json ?(extra = []) r =
+  let open Support.Json in
+  Obj
+    (extra
+    @ [ ("pass", String r.r_pass); ("round", Int r.r_round);
+        ("time_ms", Float r.r_time_ms); ("changed", Bool r.r_changed);
+        ("stats", of_stats r.r_stats);
+        ( "oracle",
+          Obj
+            [ ("queries", Int (Oracle_cache.queries r.r_oracle));
+              ("hits", Int (Oracle_cache.hits r.r_oracle));
+              ("hit_rate", Float (Oracle_cache.hit_rate r.r_oracle)) ] );
+        ( "dataflow",
+          Obj
+            [ ("solves", Int r.r_dataflow.Ir.Dataflow.solves);
+              ("iterations", Int r.r_dataflow.Ir.Dataflow.iterations) ] );
+        ("analyses", Int r.r_analyses) ])

@@ -1,0 +1,105 @@
+(** The uniform optimization-pass interface and its shared analysis
+    context.
+
+    A pass is a named transformation over the whole program that reports
+    what it did as an immutable list of named counters. Passes pull the
+    alias analysis they need from a {!context}, which memoizes one
+    {!Tbaa.Analysis.t} per program state and hands out a *cached* oracle
+    ({!Tbaa.Oracle_cache}) so repeated may-alias/compat/kill queries hit a
+    table instead of recomputing subtype or TypeRefs intersections. The
+    {!Pass_manager} invalidates the context whenever a pass mutates the
+    program, so a later pass transparently re-analyzes — this replaces the
+    seed pipeline's hand-rolled "analyze three times and patch the stats
+    records" sequencing. *)
+
+open Tbaa
+
+type oracle_kind = Otype_decl | Ofield_type_decl | Osm_field_type_refs
+
+val oracle_name : oracle_kind -> string
+
+val select : Analysis.t -> oracle_kind -> Oracle.t
+(** The *uncached* oracle of that kind from an analysis. *)
+
+(** {1 Context} *)
+
+type context = {
+  world : World.t;
+  oracle_kind : oracle_kind;
+  mutable analysis_memo : Analysis.t option;
+  mutable oracle_memo : Oracle.t option;
+  oracle_counters : Oracle_cache.counters;
+      (** cumulative across re-analyses; the pass manager diffs it per pass *)
+  mutable analyses_run : int;
+}
+
+val create : ?world:World.t -> ?oracle_kind:oracle_kind -> unit -> context
+(** Defaults: closed world, SMFieldTypeRefs. One context serves one
+    program instance; create a fresh context per (program, configuration)
+    run. *)
+
+val analysis : context -> Ir.Cfg.program -> Analysis.t
+(** The memoized analysis of the program's *current* state; recomputed
+    after {!invalidate}. *)
+
+val oracle : context -> Ir.Cfg.program -> Oracle.t
+(** The configured-precision oracle over {!analysis}, wrapped in the
+    memoizing cache. Query counts land in [oracle_counters]. *)
+
+val type_refs : context -> Ir.Cfg.program -> Minim3.Types.tid -> Minim3.Types.tid list
+(** The TypeRefsTable of the memoized analysis (method resolution's input). *)
+
+val invalidate : context -> unit
+(** Drop the memoized analysis and its cached oracle — called by the pass
+    manager after any pass that mutated the program. *)
+
+(** {1 Passes} *)
+
+type outcome = {
+  stats : (string * int) list;  (** named counters, e.g. [("hoisted", 2)] *)
+  changed : bool;
+      (** found and applied work — drives fixed-point convergence *)
+  mutated : bool;
+      (** touched the program text at all — forces re-analysis. A pass can
+          be [mutated] without being [changed] (RLE rewrites loads through
+          home temporaries even when nothing was redundant). *)
+}
+
+val unchanged : (string * int) list -> outcome
+(** [{ stats; changed = false; mutated = false }]. *)
+
+type role =
+  | Transform
+      (** its [changed] flag counts toward fixed-point convergence *)
+  | Enabling
+      (** canonicalizes for other passes (e.g. copy propagation); its
+          [changed] flag is ignored by the convergence test, since such
+          passes may keep finding cosmetic work forever *)
+
+type t = {
+  name : string;
+  role : role;
+  run : context -> Ir.Cfg.program -> outcome;
+}
+
+(** {1 Reports} *)
+
+type report = {
+  r_pass : string;
+  r_round : int;  (** 1-based fixed-point round; 1 for one-shot passes *)
+  r_time_ms : float;
+  r_changed : bool;
+  r_stats : (string * int) list;
+  r_oracle : Oracle_cache.counters;
+      (** oracle queries/misses during this pass run only *)
+  r_dataflow : Ir.Dataflow.counters;
+      (** dataflow solves/iterations during this pass run only *)
+  r_analyses : int;  (** full re-analyses charged to this pass run *)
+}
+
+val stat : report -> string -> int
+(** A named counter from the report, 0 when absent. *)
+
+val report_to_json : ?extra:(string * Support.Json.t) list -> report -> Support.Json.t
+(** One structured-stats record; [extra] fields (workload, config) are
+    prepended. *)

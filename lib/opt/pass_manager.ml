@@ -1,0 +1,130 @@
+(* Declarative scheduling of Pass.t values over one program, replacing the
+   seed pipeline's hand-written analyze/run/re-analyze sequencing. *)
+
+open Tbaa
+
+type item =
+  | Run of Pass.t
+  | Fixpoint of { passes : Pass.t list; max_rounds : int }
+
+let run_one ctx program ~round (p : Pass.t) : Pass.report =
+  let oracle_before = Oracle_cache.snapshot ctx.Pass.oracle_counters in
+  let dataflow_before = Ir.Dataflow.counters () in
+  let analyses_before = ctx.Pass.analyses_run in
+  let t0 = Unix.gettimeofday () in
+  let outcome = p.Pass.run ctx program in
+  let t1 = Unix.gettimeofday () in
+  if outcome.Pass.mutated then Pass.invalidate ctx;
+  { Pass.r_pass = p.Pass.name;
+    r_round = round;
+    r_time_ms = (t1 -. t0) *. 1000.0;
+    r_changed = outcome.Pass.changed;
+    r_stats = outcome.Pass.stats;
+    r_oracle =
+      Oracle_cache.diff ~before:oracle_before
+        ~after:(Oracle_cache.snapshot ctx.Pass.oracle_counters);
+    r_dataflow =
+      Ir.Dataflow.diff_counters ~before:dataflow_before
+        ~after:(Ir.Dataflow.counters ());
+    r_analyses = ctx.Pass.analyses_run - analyses_before }
+
+let run_item ctx program acc = function
+  | Run p -> run_one ctx program ~round:1 p :: acc
+  | Fixpoint { passes; max_rounds } ->
+    (* Iterate the group until no Transform pass finds work (Enabling
+       passes keep canonicalizing forever and must not drive the loop). *)
+    let rec go round acc =
+      if round > max_rounds then acc
+      else begin
+        let progressed = ref false in
+        let acc =
+          List.fold_left
+            (fun acc p ->
+              let r = run_one ctx program ~round p in
+              if r.Pass.r_changed && p.Pass.role = Pass.Transform then
+                progressed := true;
+              r :: acc)
+            acc passes
+        in
+        if !progressed then go (round + 1) acc else acc
+      end
+    in
+    go 1 acc
+
+let run ctx program items =
+  List.rev (List.fold_left (run_item ctx program) [] items)
+
+(* ------------------------------------------------------------------ *)
+(* The standard schedule                                               *)
+(* ------------------------------------------------------------------ *)
+
+let schedule ?(devirt_inline = false) ?(pre = false) ?(rle = false)
+    ?(copyprop = false) ?(local_cse = false) () =
+  let items = [] in
+  let items =
+    if devirt_inline then
+      Fixpoint { passes = [ Devirt.pass; Inline.pass ]; max_rounds = 3 }
+      :: items
+    else items
+  in
+  let items = if pre then Run Pre.pass :: items else items in
+  (* PRE inserts partially-redundant loads for RLE to harvest, and copy
+     propagation unlocks further RLE matches: RLE runs once up front, then
+     again inside a copyprop fixpoint when copy propagation is on. *)
+  let items = if rle then Run Rle.pass :: items else items in
+  let items =
+    if copyprop then
+      if rle then
+        Fixpoint { passes = [ Copyprop.pass; Rle.pass ]; max_rounds = 3 }
+        :: items
+      else Run Copyprop.pass :: items
+    else items
+  in
+  let items = if local_cse then Run Local_cse.pass :: items else items in
+  List.rev items
+
+(* ------------------------------------------------------------------ *)
+(* Report aggregation                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let reports_for name reports =
+  List.filter (fun r -> r.Pass.r_pass = name) reports
+
+let ran name reports = reports_for name reports <> []
+
+let sum_stat name stat reports =
+  List.fold_left
+    (fun acc r -> acc + Pass.stat r stat)
+    0 (reports_for name reports)
+
+let first_stat name stat reports =
+  match reports_for name reports with
+  | [] -> 0
+  | r :: _ -> Pass.stat r stat
+
+let total_time_ms reports =
+  List.fold_left (fun acc r -> acc +. r.Pass.r_time_ms) 0.0 reports
+
+let oracle_counters reports =
+  let c = Oracle_cache.fresh_counters () in
+  List.iter
+    (fun r ->
+      let o = r.Pass.r_oracle in
+      c.Oracle_cache.compat_queries <-
+        c.Oracle_cache.compat_queries + o.Oracle_cache.compat_queries;
+      c.Oracle_cache.compat_misses <-
+        c.Oracle_cache.compat_misses + o.Oracle_cache.compat_misses;
+      c.Oracle_cache.alias_queries <-
+        c.Oracle_cache.alias_queries + o.Oracle_cache.alias_queries;
+      c.Oracle_cache.alias_misses <-
+        c.Oracle_cache.alias_misses + o.Oracle_cache.alias_misses;
+      c.Oracle_cache.class_queries <-
+        c.Oracle_cache.class_queries + o.Oracle_cache.class_queries;
+      c.Oracle_cache.class_misses <-
+        c.Oracle_cache.class_misses + o.Oracle_cache.class_misses;
+      c.Oracle_cache.store_queries <-
+        c.Oracle_cache.store_queries + o.Oracle_cache.store_queries;
+      c.Oracle_cache.store_misses <-
+        c.Oracle_cache.store_misses + o.Oracle_cache.store_misses)
+    reports;
+  c

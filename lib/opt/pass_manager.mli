@@ -1,0 +1,57 @@
+(** Declarative pass scheduling with per-pass instrumentation.
+
+    A schedule is a list of items: [Run p] executes a pass once; [Fixpoint]
+    re-runs a group of passes until no {!Pass.Transform} member reports
+    [changed] (or [max_rounds] is hit — a safety net, not the normal exit).
+    The manager invalidates the shared {!Pass.context} after every pass
+    whose outcome is [mutated], so each pass sees an analysis of the
+    program it actually receives; this subsumes the seed pipeline's
+    hard-coded second devirtualization leg and post-copy-propagation RLE
+    harvest.
+
+    Each pass execution yields one immutable {!Pass.report} carrying its
+    wall-clock time, named counters, and the oracle-cache and dataflow
+    activity attributed to it (counter snapshots are diffed around the
+    run). Reports accumulate in execution order; nothing is ever mutated
+    after the fact, which is what makes "sum a stat over reports" immune to
+    the seed's double-counting splices. *)
+
+type item =
+  | Run of Pass.t
+  | Fixpoint of { passes : Pass.t list; max_rounds : int }
+
+val run : Pass.context -> Ir.Cfg.program -> item list -> Pass.report list
+(** Execute the schedule; reports are in execution order. *)
+
+val schedule :
+  ?devirt_inline:bool ->
+  ?pre:bool ->
+  ?rle:bool ->
+  ?copyprop:bool ->
+  ?local_cse:bool ->
+  unit ->
+  item list
+(** The standard schedule for a configuration (all flags default false):
+    devirt+inline fixpoint, then PRE insertion, then RLE, then (when copy
+    propagation is on) a copyprop+RLE fixpoint, then the local-CSE
+    baseline. *)
+
+(** {1 Aggregation over report lists} *)
+
+val reports_for : string -> Pass.report list -> Pass.report list
+(** All reports from executions of the named pass, in execution order. *)
+
+val ran : string -> Pass.report list -> bool
+
+val sum_stat : string -> string -> Pass.report list -> int
+(** [sum_stat pass stat reports] — the stat summed over every execution of
+    the pass. Each execution contributes exactly once. *)
+
+val first_stat : string -> string -> Pass.report list -> int
+(** The stat from the *first* execution only (e.g. devirt's [unresolved]:
+    later rounds re-count call sites duplicated by inlining). *)
+
+val total_time_ms : Pass.report list -> float
+
+val oracle_counters : Pass.report list -> Tbaa.Oracle_cache.counters
+(** Oracle-cache activity summed across the reports. *)

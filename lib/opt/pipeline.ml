@@ -1,6 +1,9 @@
 open Tbaa
 
-type oracle_kind = Otype_decl | Ofield_type_decl | Osm_field_type_refs
+type oracle_kind = Pass.oracle_kind =
+  | Otype_decl
+  | Ofield_type_decl
+  | Osm_field_type_refs
 
 type config = {
   oracle_kind : oracle_kind;
@@ -18,60 +21,68 @@ type result = {
   inline_stats : Inline.stats option;
   pre_stats : Pre.stats option;
   copyprop_stats : Copyprop.stats option;
+  reports : Pass.report list;
 }
 
-let oracle_name = function
-  | Otype_decl -> "TypeDecl"
-  | Ofield_type_decl -> "FieldTypeDecl"
-  | Osm_field_type_refs -> "SMFieldTypeRefs"
-
-let select (a : Analysis.t) = function
-  | Otype_decl -> a.Analysis.type_decl
-  | Ofield_type_decl -> a.Analysis.field_type_decl
-  | Osm_field_type_refs -> a.Analysis.sm_field_type_refs
+let oracle_name = Pass.oracle_name
+let select = Pass.select
 
 let default =
   { oracle_kind = Osm_field_type_refs; world = World.Closed;
     devirt_inline = false; rle = true; pre = false; copyprop = false }
 
-let run program config =
-  let devirt_stats, inline_stats =
-    if config.devirt_inline then begin
-      let pre = Analysis.analyze ~world:config.world program in
-      let ds = Devirt.run program ~type_refs:pre.Analysis.type_refs_table in
-      let is = Inline.run program in
-      (* Inlining exposes receivers with narrower type contexts; resolving
-         again is cheap and is what the paper's Minv+Inlining leg does. *)
-      let post = Analysis.analyze ~world:config.world program in
-      let ds2 = Devirt.run program ~type_refs:post.Analysis.type_refs_table in
-      ds.Devirt.resolved <- ds.Devirt.resolved + ds2.Devirt.resolved;
-      (Some ds, Some is)
-    end
-    else (None, None)
-  in
-  let analysis = Analysis.analyze ~world:config.world program in
-  let oracle = select analysis config.oracle_kind in
-  let pre_stats =
-    if config.pre then Some (Pre.run program oracle) else None
-  in
-  let rle_stats =
-    if config.rle then Some (Rle.run program oracle) else None
-  in
-  let copyprop_stats =
-    if config.copyprop then begin
-      let cp = Copyprop.run program in
-      (* a second RLE harvest over the canonicalized paths *)
-      if config.rle then begin
-        let again = Rle.run program oracle in
-        match rle_stats with
-        | Some s ->
-          s.Rle.hoisted <- s.Rle.hoisted + again.Rle.hoisted;
-          s.Rle.eliminated <- s.Rle.eliminated + again.Rle.eliminated;
-          s.Rle.shortened <- s.Rle.shortened + again.Rle.shortened
-        | None -> ()
-      end;
-      Some cp
-    end
+let schedule_of_config ?(local_cse = false) config =
+  Pass_manager.schedule ~devirt_inline:config.devirt_inline ~pre:config.pre
+    ~rle:config.rle ~copyprop:config.copyprop ~local_cse ()
+
+let context_of_config config =
+  Pass.create ~world:config.world ~oracle_kind:config.oracle_kind ()
+
+let stats_of_reports reports =
+  let open Pass_manager in
+  let devirt_stats =
+    if ran "devirt" reports then
+      Some
+        { Devirt.resolved = sum_stat "devirt" "resolved" reports;
+          (* later rounds re-count call sites the first round already saw
+             (possibly duplicated by inlining), so "still unresolved" is
+             the first round's view — matching the original pipeline *)
+          unresolved = first_stat "devirt" "unresolved" reports }
     else None
   in
-  { analysis; rle_stats; devirt_stats; inline_stats; pre_stats; copyprop_stats }
+  let inline_stats =
+    if ran "inline" reports then
+      Some { Inline.inlined = sum_stat "inline" "inlined" reports }
+    else None
+  in
+  let pre_stats =
+    if ran "pre" reports then
+      Some
+        { Pre.inserted = sum_stat "pre" "inserted" reports;
+          edges_split = sum_stat "pre" "edges_split" reports }
+    else None
+  in
+  let rle_stats =
+    if ran "rle" reports then
+      Some
+        { Rle.hoisted = sum_stat "rle" "hoisted" reports;
+          eliminated = sum_stat "rle" "eliminated" reports;
+          shortened = sum_stat "rle" "shortened" reports }
+    else None
+  in
+  let copyprop_stats =
+    if ran "copyprop" reports then
+      Some { Copyprop.replaced = sum_stat "copyprop" "replaced" reports }
+    else None
+  in
+  (devirt_stats, inline_stats, pre_stats, rle_stats, copyprop_stats)
+
+let run program config =
+  let ctx = context_of_config config in
+  let reports = Pass_manager.run ctx program (schedule_of_config config) in
+  let devirt_stats, inline_stats, pre_stats, rle_stats, copyprop_stats =
+    stats_of_reports reports
+  in
+  let analysis = Pass.analysis ctx program in
+  { analysis; rle_stats; devirt_stats; inline_stats; pre_stats;
+    copyprop_stats; reports }

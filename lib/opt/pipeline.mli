@@ -1,13 +1,19 @@
-(** The whole-program-optimizer pipeline, mirroring the paper's WPO.
+(** The whole-program-optimizer configuration, as a thin facade over
+    {!Pass_manager}.
 
-    Order of passes, when enabled: method invocation resolution (devirt,
-    using the TypeRefsTable), inlining, then — over *re-collected* facts,
-    since inlining changes the program — redundant load elimination with
-    the chosen alias oracle. *)
+    The configuration record survives from the original hand-rolled
+    pipeline; [run] now builds a {!Pass_manager.schedule} from it, executes
+    the passes through a shared {!Pass.context}, and reconstitutes the
+    legacy per-pass stats records from the immutable reports. New clients
+    should consume [result.reports] (or drive {!Pass_manager} directly);
+    the stats fields exist for the harness's established tables. *)
 
 open Tbaa
 
-type oracle_kind = Otype_decl | Ofield_type_decl | Osm_field_type_refs
+type oracle_kind = Pass.oracle_kind =
+  | Otype_decl
+  | Ofield_type_decl
+  | Osm_field_type_refs
 
 type config = {
   oracle_kind : oracle_kind;
@@ -15,7 +21,7 @@ type config = {
   devirt_inline : bool;  (* paper's "Minv + Inlining" leg *)
   rle : bool;
   pre : bool;  (* partial redundancy elimination (paper's future work) *)
-  copyprop : bool;  (* copy propagation + a second RLE pass *)
+  copyprop : bool;  (* copy propagation, fixpointed with RLE *)
 }
 
 type result = {
@@ -25,11 +31,30 @@ type result = {
   inline_stats : Inline.stats option;
   pre_stats : Pre.stats option;
   copyprop_stats : Copyprop.stats option;
+  reports : Pass.report list;  (* per-pass instrumented reports, in order *)
 }
 
 val oracle_name : oracle_kind -> string
 
 val select : Analysis.t -> oracle_kind -> Oracle.t
+
+val schedule_of_config : ?local_cse:bool -> config -> Pass_manager.item list
+(** The pass schedule a configuration denotes; [local_cse] appends the
+    baseline cleanup pass (the harness wants it, [run] does not add it). *)
+
+val context_of_config : config -> Pass.context
+
+val stats_of_reports :
+  Pass.report list ->
+  Devirt.stats option
+  * Inline.stats option
+  * Pre.stats option
+  * Rle.stats option
+  * Copyprop.stats option
+(** Fold a report list back into the legacy stats records. Each report
+    contributes exactly once (summed across fixpoint rounds; devirt's
+    [unresolved] is the first round's count, since later rounds re-count
+    sites duplicated by inlining). *)
 
 val run : Ir.Cfg.program -> config -> result
 (** Mutates [program] in place. *)

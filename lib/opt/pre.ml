@@ -183,3 +183,14 @@ let run ?modref program oracle =
     (fun proc -> run_proc program oracle modref proc stats)
     program.Cfg.prog_procs;
   stats
+
+let pass =
+  { Pass.name = "pre";
+    role = Pass.Transform;
+    run =
+      (fun ctx program ->
+        let s = run program (Pass.oracle ctx program) in
+        { Pass.stats =
+            [ ("inserted", s.inserted); ("edges_split", s.edges_split) ];
+          changed = s.inserted > 0;
+          mutated = s.inserted > 0 || s.edges_split > 0 }) }

@@ -20,3 +20,7 @@ type stats = {
 
 val run : ?modref:Modref.t -> Ir.Cfg.program -> Oracle.t -> stats
 (** Insertion only; run {!Rle.run} afterwards to harvest. *)
+
+val pass : Pass.t
+(** Insertion only — schedule an {!Rle.pass} after it to harvest. Stats:
+    [inserted], [edges_split]. *)

@@ -11,28 +11,67 @@ type stats = {
 
 let removed s = s.hoisted + s.eliminated + s.shortened
 
-(* Does defining variable [v] invalidate the memory expression [ap]?
-   Directly when [v] is the base or an index of the path; indirectly when
-   [v] is memory-resident for others (a global or address-taken variable)
-   and a location of its class may underlie the path. *)
-let def_kills (oracle : Oracle.t) v ap =
-  List.exists (Reg.var_equal v) (Apath.vars_used ap)
-  || (v.Reg.v_kind = Reg.Vglobal || oracle.Oracle.addr_taken_var v)
-     && (let cls = Aloc.Lvar (v.Reg.v_id, v.Reg.v_ty) in
-         List.exists
-           (fun p -> oracle.Oracle.class_kills cls p)
-           (Apath.of_var ap.Apath.base :: Apath.prefixes ap))
+(* The kill test for a tracked expression consults the same derived paths
+   (its variables, its prefixes, its base variable as a path) for every
+   instruction in the procedure; recomputing them per query is quadratic
+   allocation. They are resolved once per expression instead. *)
+type query_paths = {
+  qp_vars : Reg.var list;  (* variables the path reads (base and indices) *)
+  qp_base : Apath.t;  (* the base variable as a path *)
+  qp_prefixes : Apath.t list;  (* all prefixes, including the path itself *)
+  qp_all : Apath.t list;  (* qp_base :: qp_prefixes *)
+}
 
-let instr_kills (oracle : Oracle.t) modref instr ap =
-  let dst_kills = function Some v -> def_kills oracle v ap | None -> false in
+let query_paths ap =
+  let prefixes = Apath.prefixes ap in
+  let base = Apath.of_var ap.Apath.base in
+  { qp_vars = Apath.vars_used ap;
+    qp_base = base;
+    qp_prefixes = prefixes;
+    qp_all = base :: prefixes }
+
+(* The instruction-side data is likewise shared across every expression the
+   instruction is tested against: the defined variable's escape status and
+   location class, a store's own class, a call's mod summaries. [kill_pred]
+   resolves those once and returns the per-expression predicate.
+
+   A definition of [v] invalidates an expression directly when [v] is the
+   base or an index of the path; indirectly when [v] is memory-resident for
+   others (a global or address-taken variable) and a location of its class
+   may underlie the path. A store kills per {!Oracle.kills_load}; a call
+   kills what its callees' mod sets may write. *)
+let kill_pred (oracle : Oracle.t) modref instr =
+  let def_pred v =
+    if v.Reg.v_kind = Reg.Vglobal || oracle.Oracle.addr_taken_var v then
+      let cls = Aloc.Lvar (v.Reg.v_id, v.Reg.v_ty) in
+      fun qp ->
+        List.exists (Reg.var_equal v) qp.qp_vars
+        || List.exists (fun p -> oracle.Oracle.class_kills cls p) qp.qp_all
+    else fun qp -> List.exists (Reg.var_equal v) qp.qp_vars
+  in
+  let dst_pred = function
+    | Some v -> def_pred v
+    | None -> fun _ -> false
+  in
   match instr with
   | Instr.Iassign (v, _) | Instr.Iaddr (v, _) | Instr.Inew (v, _, _)
   | Instr.Iload (v, _) ->
-    def_kills oracle v ap
-  | Instr.Istore (sap, _) -> Oracle.kills_load oracle ~store:sap ~load:ap
+    def_pred v
+  | Instr.Istore (sap, _) ->
+    let scls = oracle.Oracle.store_class sap in
+    fun qp ->
+      List.exists
+        (fun prefix -> oracle.Oracle.may_alias sap prefix)
+        qp.qp_prefixes
+      || oracle.Oracle.class_kills scls qp.qp_base
   | Instr.Icall (dst, target, _) ->
-    dst_kills dst || Modref.call_kills modref oracle target ap
-  | Instr.Ibuiltin (dst, _, _) -> dst_kills dst
+    let dp = dst_pred dst in
+    let cp = Modref.call_kill_pred modref oracle target in
+    fun qp -> dp qp || cp qp.qp_all
+  | Instr.Ibuiltin (dst, _, _) -> dst_pred dst
+
+let instr_kills oracle modref instr ap =
+  kill_pred oracle modref instr (query_paths ap)
 
 (* The memory *expressions* RLE tracks are the scalar-typed prefixes of a
    path: those denote one word the machine actually reads (a pointer or a
@@ -69,13 +108,14 @@ let hoist_loops program oracle modref proc stats =
     (fun loop ->
       let body_instrs = loop_instrs proc loop in
       let prefix_invariant p =
-        (not (List.exists (fun u -> defs_in_loop body_instrs u) (Apath.vars_used p)))
+        let qp = query_paths p in
+        (not (List.exists (fun u -> defs_in_loop body_instrs u) qp.qp_vars))
         && not
              (List.exists
                 (fun i ->
                   match i with
                   | Instr.Iload _ -> false  (* loads don't write memory *)
-                  | _ -> instr_kills oracle modref i p)
+                  | _ -> kill_pred oracle modref i qp)
                 body_instrs)
       in
       let longest_invariant_prefix ap =
@@ -186,11 +226,15 @@ let cse program oracle modref proc stats =
   let n = Vec.length exprs in
   if n = 0 then ()
   else begin
+    (* The universe is fixed from here on (gens_of re-interns only paths
+       already scanned), so each expression's query paths resolve once. *)
+    let qps = Array.init n (fun i -> query_paths (Vec.get exprs i)) in
     let kill_set_of instr =
       let s = Bitset.create n in
-      Vec.iteri
-        (fun i ap -> if instr_kills oracle modref instr ap then Bitset.add s i)
-        exprs;
+      let kills = kill_pred oracle modref instr in
+      for i = 0 to n - 1 do
+        if kills qps.(i) then Bitset.add s i
+      done;
       s
     in
     (* Expressions an instruction makes available, honoring the
@@ -358,3 +402,18 @@ let run ?modref program oracle =
       total.shortened <- total.shortened + s.shortened)
     program.Cfg.prog_procs;
   total
+
+let pass =
+  { Pass.name = "rle";
+    role = Pass.Transform;
+    run =
+      (fun ctx program ->
+        let s = run program (Pass.oracle ctx program) in
+        { Pass.stats =
+            [ ("hoisted", s.hoisted); ("eliminated", s.eliminated);
+              ("shortened", s.shortened) ];
+          changed = removed s > 0;
+          (* Even a zero-stat run rewrites loads through home temporaries,
+             so the program text (and thus the analysis) is always stale
+             afterwards. *)
+          mutated = true }) }

@@ -39,3 +39,8 @@ val run_proc : Ir.Cfg.program -> Oracle.t -> Modref.t -> Ir.Cfg.proc -> stats
 val run : ?modref:Modref.t -> Ir.Cfg.program -> Oracle.t -> stats
 (** Run over every procedure. Computes mod-ref summaries unless an
     explicit [modref] (e.g. {!Modref.conservative}) is supplied. *)
+
+val pass : Pass.t
+(** Runs over the context's cached oracle (mod-ref computed internally
+    against it). [changed] iff any load was removed; always [mutated].
+    Stats: [hoisted], [eliminated], [shortened]. *)

@@ -80,7 +80,8 @@ let build_avail tenv proc ~confluence ~kills =
     proc.Cfg.pr_blocks;
   let result =
     if n = 0 then { Dataflow.inn = Array.init nb (fun _ -> Bitset.create 0);
-                    out = Array.init nb (fun _ -> Bitset.create 0) }
+                    out = Array.init nb (fun _ -> Bitset.create 0);
+                    iterations = 0 }
     else
       Dataflow.run ~proc ~universe:n ~confluence
         ~gen:(fun b -> gen.(b))

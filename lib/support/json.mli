@@ -1,0 +1,21 @@
+(** A minimal JSON value and serializer — just enough for the structured
+    stats records ([--stats] JSON-lines output, the bench snapshot). No
+    parser: this repository only ever *emits* JSON, and the preinstalled
+    package set has no JSON library, so we keep a 60-line writer here
+    rather than gate the stats machinery on an external dependency. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) rendering with proper string escaping — one call
+    per record is one JSON-lines row. Non-finite floats render as [null]. *)
+
+val of_stats : (string * int) list -> t
+(** Convenience: a named-counter list as a JSON object. *)

@@ -263,6 +263,68 @@ let test_dataflow_must_meet () =
   Alcotest.(check bool) "may: available at join" true
     (Support.Bitset.mem may.Dataflow.inn.(3) 0)
 
+let test_dataflow_backward_liveness () =
+  (* Liveness-style backward problem over a real loop: a fact generated
+     (used) in the loop body must flow backward through the header to the
+     procedure entry, and a kill (definition) in the header must stop it. *)
+  let program =
+    lower
+      {|
+MODULE M;
+PROCEDURE P (k: INTEGER): INTEGER =
+  VAR s: INTEGER;
+  BEGIN
+    s := 0;
+    WHILE s < k DO s := s + 1; END;
+    RETURN s;
+  END P;
+BEGIN END M.
+|}
+  in
+  let proc = proc_named program "P" in
+  let dom = Dom.compute proc in
+  let loop = List.hd (Loops.find proc dom) in
+  let body =
+    (* a loop block that is not the header *)
+    let b = ref (-1) in
+    Support.Bitset.iter (fun q -> if q <> loop.Loops.header then b := q)
+      loop.Loops.body;
+    !b
+  in
+  Alcotest.(check bool) "loop has a non-header body block" true (body >= 0);
+  let gen b =
+    let s = Support.Bitset.create 1 in
+    if b = body then Support.Bitset.add s 0;
+    s
+  in
+  let no_kill _ = Support.Bitset.create 1 in
+  let live =
+    Dataflow.run_backward ~proc ~universe:1 ~confluence:Dataflow.May ~gen
+      ~kill:no_kill ~exit_fact:(Support.Bitset.create 1)
+  in
+  Alcotest.(check bool) "live across the back edge" true
+    (Support.Bitset.mem live.Dataflow.out.(loop.Loops.header) 0);
+  Alcotest.(check bool) "live at procedure entry" true
+    (Support.Bitset.mem live.Dataflow.inn.(proc.Cfg.pr_entry) 0);
+  Alcotest.(check bool) "iteration count recorded" true
+    (live.Dataflow.iterations >= 2);
+  let kill_at_header b =
+    let s = Support.Bitset.create 1 in
+    if b = loop.Loops.header then Support.Bitset.add s 0;
+    s
+  in
+  let before = Dataflow.counters () in
+  let killed =
+    Dataflow.run_backward ~proc ~universe:1 ~confluence:Dataflow.May ~gen
+      ~kill:kill_at_header ~exit_fact:(Support.Bitset.create 1)
+  in
+  let d = Dataflow.diff_counters ~before ~after:(Dataflow.counters ()) in
+  Alcotest.(check bool) "killed in header: dead at entry" false
+    (Support.Bitset.mem killed.Dataflow.inn.(proc.Cfg.pr_entry) 0);
+  Alcotest.(check int) "counters: one solve attributed" 1 d.Dataflow.solves;
+  Alcotest.(check int) "counters: sweeps attributed" killed.Dataflow.iterations
+    d.Dataflow.iterations
+
 (* --- call graph -------------------------------------------------------- *)
 
 let test_callgraph_virtual () =
@@ -323,7 +385,9 @@ let () =
           Alcotest.test_case "while loop" `Quick test_loops_in_while;
           Alcotest.test_case "preheader" `Quick test_preheader_insertion ] );
       ( "dataflow",
-        [ Alcotest.test_case "must vs may" `Quick test_dataflow_must_meet ] );
+        [ Alcotest.test_case "must vs may" `Quick test_dataflow_must_meet;
+          Alcotest.test_case "backward liveness with loop" `Quick
+            test_dataflow_backward_liveness ] );
       ( "callgraph",
         [ Alcotest.test_case "virtual targets" `Quick test_callgraph_virtual;
           Alcotest.test_case "recursion" `Quick test_callgraph_recursion ] ) ]

@@ -648,6 +648,97 @@ let test_pipeline_full () =
   Alcotest.(check bool) "devirt ran" true (result.Opt.Pipeline.devirt_stats <> None);
   Alcotest.(check string) "behaviour preserved" before (run_out program)
 
+(* --- pass manager ------------------------------------------------------ *)
+
+let rle_triple = function
+  | Some (s : Opt.Rle.stats) ->
+    (s.Opt.Rle.hoisted, s.Opt.Rle.eliminated, s.Opt.Rle.shortened)
+  | None -> Alcotest.fail "expected RLE stats"
+
+let triple = Alcotest.(triple int int int)
+
+(* Counts pinned from the seed pipeline on the benchmark suite: the
+   pass-manager rewrite must reproduce them exactly. *)
+let test_passmgr_seed_counts () =
+  let w name = Workloads.Suite.find name in
+  let sm_cfg = Harness.Runner.rle_with Opt.Pipeline.Osm_field_type_refs in
+  let _, reports = Harness.Runner.prepare (w "m3cg") sm_cfg in
+  let _, _, _, r, _ = Opt.Pipeline.stats_of_reports reports in
+  Alcotest.check triple "m3cg rle:SM" (4, 15, 17) (rle_triple r);
+  let _, reports =
+    Harness.Runner.prepare (w "pp") { sm_cfg with Harness.Runner.copyprop = true }
+  in
+  let _, _, _, r, _ = Opt.Pipeline.stats_of_reports reports in
+  Alcotest.check triple "pp rle:SM+cp" (3, 9, 0) (rle_triple r);
+  let _, reports =
+    Harness.Runner.prepare (w "format")
+      { Harness.Runner.base with Harness.Runner.minv = true }
+  in
+  let d, i, _, _, _ = Opt.Pipeline.stats_of_reports reports in
+  (match (d, i) with
+  | Some d, Some i ->
+    Alcotest.(check int) "format minv resolved" 0 d.Opt.Devirt.resolved;
+    Alcotest.(check int) "format minv unresolved" 0 d.Opt.Devirt.unresolved;
+    Alcotest.(check int) "format minv inlined" 9 i.Opt.Inline.inlined
+  | _ -> Alcotest.fail "expected devirt and inline stats");
+  let _, reports =
+    Harness.Runner.prepare (w "dformat") { sm_cfg with Harness.Runner.minv = true }
+  in
+  let d, _, _, r, _ = Opt.Pipeline.stats_of_reports reports in
+  Alcotest.check triple "dformat rle:SM+minv" (10, 20, 2) (rle_triple r);
+  match d with
+  | Some d ->
+    Alcotest.(check int) "dformat minv unresolved (first leg)" 6
+      d.Opt.Devirt.unresolved
+  | None -> Alcotest.fail "expected devirt stats"
+
+(* The seed pipeline spliced a second RLE harvest into the first run's
+   mutable record, so any aggregation that walked both saw the second leg
+   twice. Reports are immutable: each execution contributes exactly once,
+   and aggregation is reproducible. *)
+let test_reports_no_double_counting () =
+  let w = Workloads.Suite.find "pp" in
+  let config =
+    { (Harness.Runner.rle_with Opt.Pipeline.Osm_field_type_refs) with
+      Harness.Runner.copyprop = true }
+  in
+  let _, reports = Harness.Runner.prepare w config in
+  let rle_reports = Opt.Pass_manager.reports_for "rle" reports in
+  Alcotest.(check bool) "RLE ran more than once" true
+    (List.length rle_reports >= 2);
+  let per_report =
+    List.fold_left
+      (fun acc r ->
+        acc + Opt.Pass.stat r "hoisted" + Opt.Pass.stat r "eliminated"
+        + Opt.Pass.stat r "shortened")
+      0 rle_reports
+  in
+  let aggregate =
+    Opt.Pass_manager.sum_stat "rle" "hoisted" reports
+    + Opt.Pass_manager.sum_stat "rle" "eliminated" reports
+    + Opt.Pass_manager.sum_stat "rle" "shortened" reports
+  in
+  Alcotest.(check int) "legs sum exactly once" per_report aggregate;
+  Alcotest.(check int) "aggregation is stable" aggregate
+    (Opt.Pass_manager.sum_stat "rle" "hoisted" reports
+    + Opt.Pass_manager.sum_stat "rle" "eliminated" reports
+    + Opt.Pass_manager.sum_stat "rle" "shortened" reports);
+  let _, _, _, r, _ = Opt.Pipeline.stats_of_reports reports in
+  let h, e, s = rle_triple r in
+  Alcotest.(check int) "legacy record matches report sum" per_report (h + e + s)
+
+let test_passmgr_cache_hit_rate () =
+  let w = Workloads.Suite.find "m3cg" in
+  let _, reports =
+    Harness.Runner.prepare w
+      (Harness.Runner.rle_with Opt.Pipeline.Osm_field_type_refs)
+  in
+  let c = Opt.Pass_manager.oracle_counters reports in
+  Alcotest.(check bool) "oracle was queried" true
+    (Tbaa.Oracle_cache.queries c > 0);
+  Alcotest.(check bool) "cache hit rate above 50%" true
+    (Tbaa.Oracle_cache.hit_rate c > 0.5)
+
 let () =
   Alcotest.run "opt"
     [ ( "modref",
@@ -685,4 +776,11 @@ let () =
           Alcotest.test_case "effects kept" `Quick test_dce_keeps_effects;
           Alcotest.test_case "idempotent" `Quick test_dce_fixpoint_on_workload ] );
       ( "pipeline",
-        [ Alcotest.test_case "full pipeline" `Quick test_pipeline_full ] ) ]
+        [ Alcotest.test_case "full pipeline" `Quick test_pipeline_full ] );
+      ( "pass manager",
+        [ Alcotest.test_case "seed counts reproduced" `Quick
+            test_passmgr_seed_counts;
+          Alcotest.test_case "no double counting" `Quick
+            test_reports_no_double_counting;
+          Alcotest.test_case "oracle cache hit rate" `Quick
+            test_passmgr_cache_hit_rate ] ) ]

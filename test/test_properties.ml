@@ -44,6 +44,45 @@ let prop_local_cse_preserves =
   QCheck.Test.make ~name:"local CSE preserves output" ~count Gen_prog.arbitrary
     (preserves_output (fun program -> ignore (Opt.Local_cse.run program)))
 
+(* --- oracle cache transparency ------------------------------------------ *)
+
+(* The memoizing wrapper must be observationally identical to the raw
+   oracle: same may_alias on every (ordered) pair of heap references —
+   asked twice, so the second answer comes from the table — and same
+   compat/class_kills/store_class on every reference. *)
+let prop_oracle_cache_transparent =
+  QCheck.Test.make ~name:"Oracle_cache.wrap answers like the raw oracle"
+    ~count Gen_prog.arbitrary (fun seed ->
+      let program = lower seed in
+      let a = Tbaa.Analysis.analyze program in
+      let refs =
+        List.map
+          (fun (r : Tbaa.Facts.memref) -> r.Tbaa.Facts.mr_path)
+          a.Tbaa.Analysis.facts.Tbaa.Facts.memrefs
+      in
+      List.for_all
+        (fun raw ->
+          let counters = Tbaa.Oracle_cache.fresh_counters () in
+          let cached = Tbaa.Oracle_cache.wrap ~counters raw in
+          List.for_all
+            (fun ap1 ->
+              List.for_all
+                (fun ap2 ->
+                  let once = cached.Tbaa.Oracle.may_alias ap1 ap2 in
+                  Bool.equal once (raw.Tbaa.Oracle.may_alias ap1 ap2)
+                  && Bool.equal once (cached.Tbaa.Oracle.may_alias ap1 ap2))
+                refs
+              &&
+              let cls = raw.Tbaa.Oracle.store_class ap1 in
+              Tbaa.Aloc.equal cls (cached.Tbaa.Oracle.store_class ap1)
+              && Bool.equal
+                   (raw.Tbaa.Oracle.class_kills cls ap1)
+                   (cached.Tbaa.Oracle.class_kills cls ap1))
+            refs
+          && Tbaa.Oracle_cache.misses counters
+             <= Tbaa.Oracle_cache.queries counters)
+        (Tbaa.Analysis.oracles a))
+
 (* --- precision lattice --------------------------------------------------- *)
 
 let prop_precision_lattice =
@@ -185,5 +224,7 @@ let () =
         [ QCheck_alcotest.to_alcotest prop_precision_lattice;
           QCheck_alcotest.to_alcotest prop_open_world_conservative ] );
       ( "soundness", [ QCheck_alcotest.to_alcotest prop_soundness ] );
+      ( "oracle cache",
+        [ QCheck_alcotest.to_alcotest prop_oracle_cache_transparent ] );
       ( "printer", [ QCheck_alcotest.to_alcotest prop_printer_roundtrip ] );
       ( "determinism", [ QCheck_alcotest.to_alcotest prop_interp_deterministic ] ) ]
