@@ -1,4 +1,4 @@
-.PHONY: all build test check bench clean
+.PHONY: all build test check audit bench clean
 
 all: build
 
@@ -15,6 +15,13 @@ check:
 	dune build @all
 	dune runtest
 	dune exec bin/tbaac.exe -- optimize --workload format --stats
+
+# The defense-in-depth gate: the whole workload suite through the guarded
+# pipeline (IR validated after every pass) and the simulator under the
+# dynamic soundness auditor. Fails on any quarantined pass or any no-alias
+# claim contradicted by a concrete execution.
+audit:
+	dune exec bin/tbaac.exe -- audit
 
 bench:
 	dune exec bench/main.exe

@@ -91,12 +91,20 @@ let with_source file workload k =
 let check_cmd =
   let run file workload =
     with_source file workload (fun name src ->
-        let p = Minim3.Typecheck.check_string ~file:name src in
-        Printf.printf "%s: OK (%d types, %d globals, %d procedures)\n"
-          (Support.Ident.name p.Minim3.Tast.module_name)
-          (List.length p.Minim3.Tast.type_names)
-          (List.length p.Minim3.Tast.globals)
-          (List.length p.Minim3.Tast.procs))
+        match Minim3.Typecheck.check_string_all ~file:name src with
+        | Ok p ->
+          Printf.printf "%s: OK (%d types, %d globals, %d procedures)\n"
+            (Support.Ident.name p.Minim3.Tast.module_name)
+            (List.length p.Minim3.Tast.type_names)
+            (List.length p.Minim3.Tast.globals)
+            (List.length p.Minim3.Tast.procs)
+        | Error diags ->
+          List.iter
+            (fun d -> prerr_endline (Support.Diag.to_string d))
+            diags;
+          Printf.eprintf "tbaac: %d error%s\n" (List.length diags)
+            (if List.length diags = 1 then "" else "s");
+          exit 1)
   in
   Cmd.v
     (Cmd.info "check" ~doc:"Parse and typecheck a MiniM3 program.")
@@ -162,14 +170,17 @@ let aliases_cmd =
     Term.(const run $ file_arg $ workload_arg $ world_arg $ trt_arg)
 
 let optimize_cmd =
-  let run file workload analysis world minv pre copyprop stats =
+  let run file workload analysis world minv pre copyprop stats verify =
     with_source file workload (fun name src ->
         let program = Ir.Lower.lower_string ~file:name src in
         let config =
           { Opt.Pipeline.oracle_kind = analysis; world;
             devirt_inline = minv; rle = true; pre; copyprop }
         in
-        let result = Opt.Pipeline.run program config in
+        let result =
+          if verify then Opt.Pipeline.run_guarded ~verify:true program config
+          else Opt.Pipeline.run program config
+        in
         if stats then begin
           let config_desc =
             String.concat "+"
@@ -214,7 +225,15 @@ let optimize_cmd =
             (Opt.Pipeline.oracle_name analysis)
             s.Opt.Rle.hoisted s.Opt.Rle.eliminated s.Opt.Rle.shortened
             (Opt.Rle.removed s)
-        | None -> ()))
+        | None -> ());
+        let failures = Opt.Pass_manager.failures result.Opt.Pipeline.reports in
+        if failures <> [] then begin
+          List.iter
+            (fun (pass, why) ->
+              Printf.eprintf "tbaac: pass %s failed: %s\n" pass why)
+            failures;
+          exit 1
+        end)
   in
   let minv_arg =
     Arg.(
@@ -241,22 +260,56 @@ let optimize_cmd =
             "Emit one JSON line per executed pass (timing, counters, \
              oracle-cache and dataflow activity) before the summary.")
   in
+  let verify_arg =
+    Arg.(
+      value & flag
+      & info [ "verify-ir" ]
+          ~doc:
+            "Validate the IR after every pass; a pass leaving invalid IR \
+             (or crashing) is rolled back and quarantined, and the run \
+             exits nonzero naming it.")
+  in
   Cmd.v
     (Cmd.info "optimize" ~doc:"Run the optimizer and report what it did.")
     Term.(
       const run $ file_arg $ workload_arg $ analysis_arg $ world_arg $ minv_arg
-      $ pre_arg $ copyprop_arg $ stats_arg)
+      $ pre_arg $ copyprop_arg $ stats_arg $ verify_arg)
+
+let fuel_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "fuel" ] ~docv:"N"
+        ~doc:
+          "Bound executed instructions; an exhausted program halts \
+           gracefully instead of spinning (default 50 million).")
 
 let run_cmd =
-  let run file workload optimize analysis quiet =
+  let run file workload optimize analysis audit fuel quiet =
     with_source file workload (fun name src ->
         let program = Ir.Lower.lower_string ~file:name src in
-        if optimize then begin
-          let a = Tbaa.Analysis.analyze program in
-          ignore (Opt.Rle.run program (Opt.Pipeline.select a analysis))
-        end;
+        let optimize = optimize || audit in
+        let auditor =
+          if optimize then begin
+            let a = Tbaa.Analysis.analyze program in
+            let oracle = Opt.Pipeline.select a analysis in
+            if audit then begin
+              let claims = Tbaa.Claims.create ~oracle:oracle.Tbaa.Oracle.name in
+              ignore (Opt.Rle.run ~claims program oracle);
+              Some (Sim.Audit.create claims, claims)
+            end
+            else begin
+              ignore (Opt.Rle.run program oracle);
+              None
+            end
+          end
+          else None
+        in
         ignore (Opt.Local_cse.run program);
-        let o = Sim.Interp.run program in
+        let on_access =
+          Option.map (fun (a, _) ac -> Sim.Audit.on_access a ac) auditor
+        in
+        let o = Sim.Interp.run ?fuel ?on_access program in
         if not quiet then print_string o.Sim.Interp.output;
         let c = o.Sim.Interp.counters in
         Printf.eprintf
@@ -266,17 +319,183 @@ let run_cmd =
           c.Sim.Interp.instrs c.Sim.Interp.heap_loads c.Sim.Interp.other_loads
           c.Sim.Interp.stores c.Sim.Interp.calls c.Sim.Interp.allocations
           o.Sim.Interp.cycles o.Sim.Interp.cache_hits o.Sim.Interp.cache_misses
-          o.Sim.Interp.soft_faults)
+          o.Sim.Interp.soft_faults;
+        match auditor with
+        | None -> ()
+        | Some (a, claims) ->
+          let violations = Sim.Audit.check a in
+          Printf.eprintf
+            "audit: %d claim pairs (%d disjoint), %d accesses over %d paths, \
+             %d violation%s\n"
+            (Tbaa.Claims.n_pairs claims)
+            (List.length (Tbaa.Claims.disjoint_pairs claims))
+            (Sim.Audit.n_accesses a) (Sim.Audit.n_paths a)
+            (List.length violations)
+            (if List.length violations = 1 then "" else "s");
+          List.iter
+            (fun v ->
+              Printf.eprintf "audit violation: %s\n"
+                (Sim.Audit.violation_to_string v))
+            violations;
+          if violations <> [] then exit 1)
   in
   let optimize_arg =
     Arg.(value & flag & info [ "optimize"; "O" ] ~doc:"Apply TBAA + RLE first.")
+  in
+  let audit_arg =
+    Arg.(
+      value & flag
+      & info [ "audit" ]
+          ~doc:
+            "Cross-check the optimizer's no-alias claims against the \
+             concrete addresses the run touches (implies $(b,--optimize)); \
+             exits nonzero on a soundness violation.")
   in
   let quiet_arg =
     Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Suppress the program's output.")
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Execute a program on the simulator and print counters.")
-    Term.(const run $ file_arg $ workload_arg $ optimize_arg $ analysis_arg $ quiet_arg)
+    Term.(
+      const run $ file_arg $ workload_arg $ optimize_arg $ analysis_arg
+      $ audit_arg $ fuel_arg $ quiet_arg)
+
+let audit_cmd =
+  let run file workload analysis world minv fault_rate fault_seed fuel json =
+    let programs =
+      match (file, workload) with
+      | None, None ->
+        List.map
+          (fun (w : Workloads.Workload.t) ->
+            (w.Workloads.Workload.name, w.Workloads.Workload.source))
+          Workloads.Suite.all
+      | _ -> [ or_die (source_of ~file ~workload) ]
+    in
+    let fault =
+      if fault_rate > 0.0 then
+        Some (Opt.Pass.fault ~seed:fault_seed ~rate:fault_rate ())
+      else None
+    in
+    let failed = ref false in
+    List.iter
+      (fun (name, src) ->
+        let oracle_label =
+          Opt.Pipeline.oracle_name analysis
+          ^
+          match fault with
+          | Some f ->
+            Printf.sprintf "+fault(seed=%d,rate=%g)" f.Opt.Pass.f_seed
+              f.Opt.Pass.f_rate
+          | None -> ""
+        in
+        let claims = Tbaa.Claims.create ~oracle:oracle_label in
+        try
+          let program = Ir.Lower.lower_string ~file:name src in
+          let config =
+            { Opt.Pipeline.oracle_kind = analysis; world;
+              devirt_inline = minv; rle = true; pre = false; copyprop = false }
+          in
+          let result =
+            Opt.Pipeline.run_guarded ~verify:true ~claims ?fault program config
+          in
+          let failures =
+            Opt.Pass_manager.failures result.Opt.Pipeline.reports
+          in
+          let auditor = Sim.Audit.create claims in
+          let o =
+            Sim.Interp.run ?fuel ~on_access:(Sim.Audit.on_access auditor)
+              program
+          in
+          let violations = Sim.Audit.check auditor in
+          if violations <> [] || failures <> [] then failed := true;
+          if json then
+            print_endline
+              (Support.Json.to_string
+                 (Support.Json.Obj
+                    [ ("workload", Support.Json.String name);
+                      ("halted", Support.Json.Bool o.Sim.Interp.halted);
+                      ( "pass_failures",
+                        Support.Json.List
+                          (List.map
+                             (fun (p, why) ->
+                               Support.Json.Obj
+                                 [ ("pass", Support.Json.String p);
+                                   ("reason", Support.Json.String why) ])
+                             failures) );
+                      ("audit", Sim.Audit.report_json auditor violations) ]))
+          else begin
+            Printf.printf
+              "%-12s pairs=%-5d disjoint=%-5d accesses=%-8d paths=%-4d \
+               failures=%d violations=%d\n"
+              name
+              (Tbaa.Claims.n_pairs claims)
+              (List.length (Tbaa.Claims.disjoint_pairs claims))
+              (Sim.Audit.n_accesses auditor)
+              (Sim.Audit.n_paths auditor)
+              (List.length failures) (List.length violations);
+            List.iter
+              (fun (pass, why) ->
+                Printf.printf "  pass failure: %s: %s\n" pass why)
+              failures;
+            List.iter
+              (fun v ->
+                Printf.printf "  violation: %s\n"
+                  (Sim.Audit.violation_to_string v))
+              violations
+          end
+        with Support.Diag.Compile_error d ->
+          failed := true;
+          if json then
+            print_endline
+              (Support.Json.to_string
+                 (Support.Json.Obj
+                    [ ("workload", Support.Json.String name);
+                      ( "error",
+                        Support.Json.String (Support.Diag.to_string d) ) ]))
+          else Printf.printf "%-12s ERROR %s\n" name (Support.Diag.to_string d))
+      programs;
+    (match fault with
+    | Some f ->
+      Printf.eprintf "fault injection: %d alias flips, %d kill flips applied\n"
+        f.Opt.Pass.f_stats.Tbaa.Oracle_fault.alias_flips
+        f.Opt.Pass.f_stats.Tbaa.Oracle_fault.kill_flips
+    | None -> ());
+    if !failed then exit 1
+  in
+  let fault_rate_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "fault-rate" ] ~docv:"R"
+          ~doc:
+            "Deterministically flip this fraction of oracle answers \
+             (negative testing: the auditor should catch the resulting \
+             miscompiles).")
+  in
+  let fault_seed_arg =
+    Arg.(
+      value & opt int 0xBAA
+      & info [ "fault-seed" ] ~docv:"S" ~doc:"PRNG seed for fault injection.")
+  in
+  let minv_arg =
+    Arg.(
+      value & flag
+      & info [ "minv" ] ~doc:"Also run method resolution and inlining first.")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"One JSON report per program instead of text.")
+  in
+  Cmd.v
+    (Cmd.info "audit"
+       ~doc:
+         "Optimize with IR validation between passes, then execute under \
+          the dynamic soundness auditor; defaults to the whole built-in \
+          suite. Exits nonzero on any validator failure or soundness \
+          violation.")
+    Term.(
+      const run $ file_arg $ workload_arg $ analysis_arg $ world_arg $ minv_arg
+      $ fault_rate_arg $ fault_seed_arg $ fuel_arg $ json_arg)
 
 let experiment_cmd =
   let names =
@@ -317,6 +536,6 @@ let main =
     (Cmd.info "tbaac" ~version:"1.0.0"
        ~doc:"Type-based alias analysis for MiniM3 (Diwan, McKinley & Moss, PLDI 1998)")
     [ check_cmd; format_cmd; ir_cmd; aliases_cmd; optimize_cmd; run_cmd;
-      experiment_cmd ]
+      audit_cmd; experiment_cmd ]
 
 let () = exit (Cmd.eval main)

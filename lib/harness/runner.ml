@@ -48,6 +48,36 @@ let prepare w config =
   in
   (program, reports)
 
+type audit_result = {
+  ar_outcome : Sim.Interp.outcome;
+  ar_failures : (string * string) list;
+  ar_violations : Sim.Audit.violation list;
+  ar_claims : Tbaa.Claims.t;
+}
+
+let audit ?fault ?fuel w config =
+  let program = Workload.lower w in
+  let pc = pipeline_config config in
+  let ctx = Opt.Pipeline.context_of_config pc in
+  let claims =
+    Tbaa.Claims.create
+      ~oracle:(Opt.Pipeline.oracle_name pc.Opt.Pipeline.oracle_kind)
+  in
+  ctx.Opt.Pass.claims <- Some claims;
+  ctx.Opt.Pass.fault <- fault;
+  let reports =
+    Opt.Pass_manager.run_guarded ~verify:true ctx program
+      (Opt.Pipeline.schedule_of_config ~local_cse:true pc)
+  in
+  let auditor = Sim.Audit.create claims in
+  let outcome =
+    Sim.Interp.run ?fuel ~on_access:(Sim.Audit.on_access auditor) program
+  in
+  { ar_outcome = outcome;
+    ar_failures = Opt.Pass_manager.failures reports;
+    ar_violations = Sim.Audit.check auditor;
+    ar_claims = claims }
+
 let memo : (string * string, Sim.Interp.outcome * Opt.Pass.report list)
     Hashtbl.t =
   Hashtbl.create 64

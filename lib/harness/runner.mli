@@ -34,6 +34,25 @@ val prepare :
 val run : Workloads.Workload.t -> config -> Sim.Interp.outcome
 (** Memoized simulated execution. *)
 
+type audit_result = {
+  ar_outcome : Sim.Interp.outcome;
+  ar_failures : (string * string) list;  (* quarantined passes: name, reason *)
+  ar_violations : Sim.Audit.violation list;
+  ar_claims : Tbaa.Claims.t;
+}
+
+val audit :
+  ?fault:Opt.Pass.fault ->
+  ?fuel:int ->
+  Workloads.Workload.t ->
+  config ->
+  audit_result
+(** [run]'s defense-in-depth sibling (uncached): the configuration's full
+    schedule through the guarded pass manager with IR validation on and a
+    claims ledger installed, then a simulated run under the dynamic
+    soundness auditor. [fault] injects deterministic oracle faults —
+    useful for checking that the auditor would notice a miscompile. *)
+
 val reports : Workloads.Workload.t -> config -> Opt.Pass.report list
 (** The pass reports from the memoized preparation of [run]. *)
 

@@ -75,6 +75,64 @@ let iter_instrs proc f =
 let instr_count proc =
   Vec.fold_left (fun acc b -> acc + List.length b.b_instrs + 1) 0 proc.pr_blocks
 
+(* ------------------------------------------------------------------ *)
+(* Snapshots (for guarded pass execution)                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Passes mutate procedures in place, so to survive a crashing pass we
+   save enough state to roll the program back to the pre-pass IR: the
+   proc list itself, each proc's entry/locals and per-block instruction
+   lists and terminators, and the variable-id counter. Blocks appended
+   by the failed pass are dropped by truncating the block Vec; block ids
+   are dense indices, so truncation restores the old id space exactly. *)
+
+type proc_snapshot = {
+  ps_proc : proc;
+  ps_entry : int;
+  ps_locals : Reg.var list;
+  ps_n_blocks : int;
+  ps_blocks : (Instr.t list * Instr.terminator) array;
+}
+
+type snapshot = {
+  sn_procs : proc list;
+  sn_next_var_id : int;
+  sn_proc_states : proc_snapshot list;
+}
+
+let snapshot program =
+  { sn_procs = program.prog_procs;
+    sn_next_var_id = program.next_var_id;
+    sn_proc_states =
+      List.map
+        (fun p ->
+          { ps_proc = p;
+            ps_entry = p.pr_entry;
+            ps_locals = p.pr_locals;
+            ps_n_blocks = n_blocks p;
+            ps_blocks =
+              Array.init (n_blocks p) (fun i ->
+                  let b = block p i in
+                  (b.b_instrs, b.b_term)) })
+        program.prog_procs }
+
+let restore program sn =
+  program.prog_procs <- sn.sn_procs;
+  program.next_var_id <- sn.sn_next_var_id;
+  List.iter
+    (fun ps ->
+      let p = ps.ps_proc in
+      p.pr_entry <- ps.ps_entry;
+      p.pr_locals <- ps.ps_locals;
+      Vec.truncate p.pr_blocks ps.ps_n_blocks;
+      Array.iteri
+        (fun i (instrs, term) ->
+          let b = block p i in
+          b.b_instrs <- instrs;
+          b.b_term <- term)
+        ps.ps_blocks)
+    sn.sn_proc_states
+
 let pp_proc ppf proc =
   Format.fprintf ppf "@[<v>procedure %a (entry B%d)@," Ident.pp proc.pr_name
     proc.pr_entry;

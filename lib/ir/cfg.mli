@@ -55,6 +55,19 @@ val fresh_var :
   program -> name:string -> ty:Types.tid -> kind:Reg.kind -> Reg.var
 (** Allocate a program-unique variable. *)
 
+type snapshot
+(** A rollback point for [restore]: the proc list, each procedure's
+    entry/locals/blocks (instruction lists and terminators), and the
+    variable-id counter, captured by value. *)
+
+val snapshot : program -> snapshot
+(** Capture enough state to undo any in-place pass mutation. *)
+
+val restore : program -> snapshot -> unit
+(** Roll the program back to a previously captured {!snapshot}. Blocks
+    appended since the snapshot are dropped; instruction lists and
+    terminators revert to their captured values. *)
+
 val iter_instrs : proc -> (block -> Instr.t -> unit) -> unit
 
 val instr_count : proc -> int

@@ -6,6 +6,24 @@ type result = { inn : Bitset.t array; out : Bitset.t array; iterations : int }
 
 type counters = { solves : int; iterations : int }
 
+exception
+  Divergence of { dv_proc : string; dv_universe : int; dv_sweeps : int }
+
+let () =
+  Printexc.register_printer (function
+    | Divergence d ->
+      Some
+        (Printf.sprintf
+           "Dataflow.Divergence(proc=%s, universe=%d, sweeps=%d)" d.dv_proc
+           d.dv_universe d.dv_sweeps)
+    | _ -> None)
+
+(* A monotone bit-vector problem iterated in (reverse) postorder settles
+   in at most [depth + small constant] sweeps, and the depth is bounded
+   by the block count — so [n + 8] sweeps only trips on a genuinely
+   non-monotone (buggy) transfer function, never on slow convergence. *)
+let default_cap n = n + 8
+
 (* Cumulative instrumentation: every [run]/[run_backward] logs one solve
    plus the number of sweeps it took. The pass manager snapshots this
    around each pass to attribute dataflow work per pass. *)
@@ -22,8 +40,11 @@ let record ~iterations =
   incr total_solves;
   total_iterations := !total_iterations + iterations
 
-let run ~proc ~universe ~confluence ~gen ~kill ~entry_fact =
+let run ?max_sweeps ~proc ~universe ~confluence ~gen ~kill ~entry_fact () =
   let n = Cfg.n_blocks proc in
+  let cap =
+    match max_sweeps with Some c -> c | None -> default_cap n
+  in
   let rpo = Cfg.reverse_postorder proc in
   let preds = Cfg.predecessors proc in
   let top () =
@@ -49,6 +70,11 @@ let run ~proc ~universe ~confluence ~gen ~kill ~entry_fact =
   while !changed do
     changed := false;
     incr sweeps;
+    if !sweeps > cap then
+      raise
+        (Divergence
+           { dv_proc = Ident.name proc.Cfg.pr_name; dv_universe = universe;
+             dv_sweeps = !sweeps });
     List.iter
       (fun b ->
         if b <> entry then begin
@@ -73,8 +99,12 @@ let run ~proc ~universe ~confluence ~gen ~kill ~entry_fact =
   record ~iterations:!sweeps;
   { inn; out; iterations = !sweeps }
 
-let run_backward ~proc ~universe ~confluence ~gen ~kill ~exit_fact =
+let run_backward ?max_sweeps ~proc ~universe ~confluence ~gen ~kill ~exit_fact
+    () =
   let n = Cfg.n_blocks proc in
+  let cap =
+    match max_sweeps with Some c -> c | None -> default_cap n
+  in
   let rpo = Cfg.reverse_postorder proc in
   let po = List.rev rpo in
   let top () =
@@ -104,6 +134,11 @@ let run_backward ~proc ~universe ~confluence ~gen ~kill ~exit_fact =
   while !changed do
     changed := false;
     incr sweeps;
+    if !sweeps > cap then
+      raise
+        (Divergence
+           { dv_proc = Ident.name proc.Cfg.pr_name; dv_universe = universe;
+             dv_sweeps = !sweeps });
     List.iter
       (fun b ->
         let succs = Cfg.successors (Cfg.block proc b).Cfg.b_term in

@@ -19,6 +19,13 @@ type result = {
 
 type counters = { solves : int; iterations : int }
 
+exception
+  Divergence of { dv_proc : string; dv_universe : int; dv_sweeps : int }
+(** Raised when a fixpoint fails to settle within the sweep cap — a
+    diagnosis of a non-monotone (buggy) transfer function rather than a
+    hang. Carries the procedure name, the bit-vector universe size and
+    the sweep count at abort. *)
+
 val counters : unit -> counters
 (** Cumulative instrumentation since process start: how many dataflow
     problems were solved and how many total sweeps they took. The pass
@@ -28,24 +35,32 @@ val counters : unit -> counters
 val diff_counters : before:counters -> after:counters -> counters
 
 val run :
+  ?max_sweeps:int ->
   proc:Cfg.proc ->
   universe:int ->
   confluence:confluence ->
   gen:(int -> Bitset.t) ->
   kill:(int -> Bitset.t) ->
   entry_fact:Bitset.t ->
+  unit ->
   result
 (** [gen b]/[kill b] are per-block-id transfer sets; the block transfer is
     [out = (inn - kill) ∪ gen]. For [Must] analyses unreachable blocks keep
-    the full set; the entry block starts at [entry_fact]. *)
+    the full set; the entry block starts at [entry_fact].
+
+    [max_sweeps] caps fixpoint iteration (default: block count + 8, which
+    monotone bit-vector problems never approach); exceeding it raises
+    {!Divergence}. *)
 
 val run_backward :
+  ?max_sweeps:int ->
   proc:Cfg.proc ->
   universe:int ->
   confluence:confluence ->
   gen:(int -> Bitset.t) ->
   kill:(int -> Bitset.t) ->
   exit_fact:Bitset.t ->
+  unit ->
   result
 (** Backward analysis (e.g. liveness): [inn] is the fact at block entry,
     [out] at block exit; [out] of a block is the meet over its successors'

@@ -14,9 +14,27 @@ type ctx = {
   globals : Types.tid Ident.Tbl.t;
   proc_sigs : proc_sig Ident.Tbl.t;
   mutable scope : (Ident.t * scope_entry) list;  (* innermost first *)
+  recover : Diag.collector option;
+      (* when set, statement- and declaration-level errors are recorded
+         here and checking continues past them *)
 }
 
 let err loc fmt = Diag.errorf_at loc fmt
+
+(* Recovery boundary: without a collector this is transparent; with one,
+   a [Compile_error] from [f] is recorded, the scope is rolled back to
+   this boundary (an aborted construct must not leave half its bindings
+   in scope), and [fallback] stands in for the result. *)
+let attempt ctx ~fallback f =
+  match ctx.recover with
+  | None -> f ()
+  | Some c -> (
+    let saved_scope = ctx.scope in
+    try f ()
+    with Diag.Compile_error d ->
+      Diag.add c d;
+      ctx.scope <- saved_scope;
+      fallback)
 
 let pp_ty ctx t = Types.to_string ctx.env t
 
@@ -456,7 +474,10 @@ and check_call_stmt_expr ctx (e : Ast.expr) : Tast.expr =
 (* ------------------------------------------------------------------ *)
 
 let rec check_stmts ctx ~ret ~in_loop stmts =
-  List.map (check_stmt ctx ~ret ~in_loop) stmts
+  List.filter_map
+    (fun s ->
+      attempt ctx ~fallback:None (fun () -> Some (check_stmt ctx ~ret ~in_loop s)))
+    stmts
 
 and check_stmt ctx ~ret ~in_loop (s : Ast.stmt) : Tast.stmt =
   let loc = s.Ast.s_loc in
@@ -568,11 +589,12 @@ let check_proc ctx (p : Ast.proc_decl) psig : Tast.proc =
     psig.sig_params;
   (* Local constants shadow nothing global permanently: record and remove. *)
   let local_consts =
-    List.map
+    List.filter_map
       (fun (c : Ast.const_decl) ->
-        let v = eval_const ctx c.Ast.c_value in
-        Ident.Tbl.add ctx.consts c.Ast.c_name v;
-        c.Ast.c_name)
+        attempt ctx ~fallback:None (fun () ->
+            let v = eval_const ctx c.Ast.c_value in
+            Ident.Tbl.add ctx.consts c.Ast.c_name v;
+            Some c.Ast.c_name))
       p.Ast.pr_consts
   in
   (* Locals. *)
@@ -582,15 +604,19 @@ let check_proc ctx (p : Ast.proc_decl) psig : Tast.proc =
     | None -> ()
   in
   let locals =
-    List.map
+    List.filter_map
       (fun (v : Ast.var_decl) ->
-        elab_local v;
-        if List.mem_assoc v.Ast.v_name ctx.scope then
-          err v.Ast.v_loc "duplicate local '%a'" Ident.pp v.Ast.v_name;
-        let ty = ctx_elab_ty ctx v.Ast.v_ty in
-        let vr = { Tast.vr_name = v.Ast.v_name; vr_kind = Tast.Klocal; vr_ty = ty } in
-        ctx.scope <- (v.Ast.v_name, { se_var = vr; se_readonly = false }) :: ctx.scope;
-        (v.Ast.v_name, ty, v.Ast.v_init))
+        attempt ctx ~fallback:None (fun () ->
+            elab_local v;
+            if List.mem_assoc v.Ast.v_name ctx.scope then
+              err v.Ast.v_loc "duplicate local '%a'" Ident.pp v.Ast.v_name;
+            let ty = ctx_elab_ty ctx v.Ast.v_ty in
+            let vr =
+              { Tast.vr_name = v.Ast.v_name; vr_kind = Tast.Klocal; vr_ty = ty }
+            in
+            ctx.scope <-
+              (v.Ast.v_name, { se_var = vr; se_readonly = false }) :: ctx.scope;
+            Some (v.Ast.v_name, ty, v.Ast.v_init)))
       p.Ast.pr_locals
   in
   (* Local inits are checked in scope (they may reference params). *)
@@ -598,16 +624,17 @@ let check_proc ctx (p : Ast.proc_decl) psig : Tast.proc =
     List.map
       (fun (name, ty, init) ->
         let init =
-          Option.map
-            (fun e ->
-              let v = check_expr ctx e in
-              if not (assignable ctx ~src:v.Tast.ty ~dst:ty) then
-                err e.Ast.e_loc "initializer type %s not assignable to %s"
-                  (pp_ty ctx v.Tast.ty) (pp_ty ctx ty);
-              if not (Types.is_scalar ctx.env ty) then
-                err e.Ast.e_loc "only scalar locals may have initializers";
-              v)
-            init
+          match init with
+          | None -> None
+          | Some e ->
+            attempt ctx ~fallback:None (fun () ->
+                let v = check_expr ctx e in
+                if not (assignable ctx ~src:v.Tast.ty ~dst:ty) then
+                  err e.Ast.e_loc "initializer type %s not assignable to %s"
+                    (pp_ty ctx v.Tast.ty) (pp_ty ctx ty);
+                if not (Types.is_scalar ctx.env ty) then
+                  err e.Ast.e_loc "only scalar locals may have initializers";
+                Some v)
         in
         (name, ty, init))
       locals
@@ -651,16 +678,19 @@ let check_method_impls ctx =
       Array.iter
         (fun (ms : Types.method_sig) ->
           match ms.Types.ms_impl with
-          | Some proc -> check_impl ~mname:ms.Types.ms_name ~proc ~ms
+          | Some proc ->
+            attempt ctx ~fallback:() (fun () ->
+                check_impl ~mname:ms.Types.ms_name ~proc ~ms)
           | None -> ())
         info.Types.obj_methods;
       Array.iter
         (fun (mname, proc) ->
-          match Option.map snd (Types.lookup_method ctx.env t mname) with
-          | None ->
-            Diag.error "OVERRIDES %a in %a: no such method" Ident.pp mname
-              Ident.pp info.Types.obj_name
-          | Some ms -> check_impl ~mname ~proc ~ms)
+          attempt ctx ~fallback:() (fun () ->
+              match Option.map snd (Types.lookup_method ctx.env t mname) with
+              | None ->
+                Diag.error "OVERRIDES %a in %a: no such method" Ident.pp mname
+                  Ident.pp info.Types.obj_name
+              | Some ms -> check_impl ~mname ~proc ~ms))
         info.Types.obj_overrides
     | _ -> ()
   done
@@ -669,12 +699,12 @@ let check_method_impls ctx =
 (* Module                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let check_module (m : Ast.module_) : Tast.program =
+let check_module_with ?recover (m : Ast.module_) : Tast.program =
   let env = Types.create () in
   let ctx =
     { env; type_table = Ident.Tbl.create 64; consts = Ident.Tbl.create 16;
       globals = Ident.Tbl.create 32; proc_sigs = Ident.Tbl.create 32;
-      scope = [] }
+      scope = []; recover }
   in
   let el =
     { ctx; decl_map = Ident.Tbl.create 64; in_progress = Ident.Set.empty;
@@ -685,16 +715,19 @@ let check_module (m : Ast.module_) : Tast.program =
   List.iter
     (function
       | Ast.Dtype (name, te, loc) ->
-        if Ident.Tbl.mem el.decl_map name then
-          err loc "duplicate type '%a'" Ident.pp name;
-        Ident.Tbl.add el.decl_map name (te, loc)
+        attempt ctx ~fallback:() (fun () ->
+            if Ident.Tbl.mem el.decl_map name then
+              err loc "duplicate type '%a'" Ident.pp name;
+            Ident.Tbl.add el.decl_map name (te, loc))
       | _ -> ())
     m.Ast.mod_decls;
   (* Force elaboration of every named type, then run all patches (patches may
      enqueue more patches for nested declarations). *)
   List.iter
     (function
-      | Ast.Dtype (name, te, loc) -> ignore (resolve_name el name loc); ignore te
+      | Ast.Dtype (name, te, loc) ->
+        attempt ctx ~fallback:() (fun () -> ignore (resolve_name el name loc));
+        ignore te
       | _ -> ())
     m.Ast.mod_decls;
   let rec drain () =
@@ -702,14 +735,17 @@ let check_module (m : Ast.module_) : Tast.program =
     | [] -> ()
     | p :: rest ->
       el.pending <- rest;
-      p ();
+      attempt ctx ~fallback:() p;
       drain ()
   in
   drain ();
   let type_names =
     List.filter_map
       (function
-        | Ast.Dtype (name, _, _) -> Some (name, Ident.Tbl.find ctx.type_table name)
+        | Ast.Dtype (name, _, _) ->
+          (* absent only if the declaration failed to elaborate under
+             recovery (the error is already recorded) *)
+          Option.map (fun t -> (name, t)) (Ident.Tbl.find_opt ctx.type_table name)
         | _ -> None)
       m.Ast.mod_decls
   in
@@ -717,9 +753,10 @@ let check_module (m : Ast.module_) : Tast.program =
   List.iter
     (function
       | Ast.Dconst c ->
-        if Ident.Tbl.mem ctx.consts c.Ast.c_name then
-          err c.Ast.c_loc "duplicate constant '%a'" Ident.pp c.Ast.c_name;
-        Ident.Tbl.add ctx.consts c.Ast.c_name (eval_const ctx c.Ast.c_value)
+        attempt ctx ~fallback:() (fun () ->
+            if Ident.Tbl.mem ctx.consts c.Ast.c_name then
+              err c.Ast.c_loc "duplicate constant '%a'" Ident.pp c.Ast.c_name;
+            Ident.Tbl.add ctx.consts c.Ast.c_name (eval_const ctx c.Ast.c_value))
       | _ -> ())
     m.Ast.mod_decls;
   (* Global variables: declare all first so procedure bodies can see them. *)
@@ -730,9 +767,10 @@ let check_module (m : Ast.module_) : Tast.program =
   in
   List.iter
     (fun (v : Ast.var_decl) ->
-      if Ident.Tbl.mem ctx.globals v.Ast.v_name then
-        err v.Ast.v_loc "duplicate global '%a'" Ident.pp v.Ast.v_name;
-      Ident.Tbl.add ctx.globals v.Ast.v_name (elab_ty el v.Ast.v_ty))
+      attempt ctx ~fallback:() (fun () ->
+          if Ident.Tbl.mem ctx.globals v.Ast.v_name then
+            err v.Ast.v_loc "duplicate global '%a'" Ident.pp v.Ast.v_name;
+          Ident.Tbl.add ctx.globals v.Ast.v_name (elab_ty el v.Ast.v_ty)))
     global_decls;
   (* Procedure signatures (two-pass for mutual recursion). *)
   let proc_decls =
@@ -742,44 +780,52 @@ let check_module (m : Ast.module_) : Tast.program =
   in
   List.iter
     (fun (p : Ast.proc_decl) ->
-      if Ident.Tbl.mem ctx.proc_sigs p.Ast.pr_name then
-        err p.Ast.pr_loc "duplicate procedure '%a'" Ident.pp p.Ast.pr_name;
-      let params =
-        List.map
-          (fun (pd : Ast.param_decl) ->
-            (pd.Ast.p_name, pd.Ast.p_mode, elab_ty el pd.Ast.p_ty))
-          p.Ast.pr_params
-      in
-      let ret = Option.map (elab_ty el) p.Ast.pr_ret in
-      Ident.Tbl.add ctx.proc_sigs p.Ast.pr_name { sig_params = params; sig_ret = ret })
+      attempt ctx ~fallback:() (fun () ->
+          if Ident.Tbl.mem ctx.proc_sigs p.Ast.pr_name then
+            err p.Ast.pr_loc "duplicate procedure '%a'" Ident.pp p.Ast.pr_name;
+          let params =
+            List.map
+              (fun (pd : Ast.param_decl) ->
+                (pd.Ast.p_name, pd.Ast.p_mode, elab_ty el pd.Ast.p_ty))
+              p.Ast.pr_params
+          in
+          let ret = Option.map (elab_ty el) p.Ast.pr_ret in
+          Ident.Tbl.add ctx.proc_sigs p.Ast.pr_name
+            { sig_params = params; sig_ret = ret }))
     proc_decls;
   drain ();
   check_method_impls ctx;
   (* Global initializers. *)
   let globals =
-    List.map
+    List.filter_map
       (fun (v : Ast.var_decl) ->
-        let ty = Ident.Tbl.find ctx.globals v.Ast.v_name in
-        let init =
-          Option.map
-            (fun e ->
-              let tv = check_expr ctx e in
-              if not (assignable ctx ~src:tv.Tast.ty ~dst:ty) then
-                err e.Ast.e_loc "initializer type %s not assignable to %s"
-                  (pp_ty ctx tv.Tast.ty) (pp_ty ctx ty);
-              if not (Types.is_scalar ctx.env ty) then
-                err e.Ast.e_loc "only scalar globals may have initializers";
-              tv)
-            v.Ast.v_init
-        in
-        (v.Ast.v_name, ty, init))
+        match Ident.Tbl.find_opt ctx.globals v.Ast.v_name with
+        | None -> None  (* declaration already failed under recovery *)
+        | Some ty ->
+          let init =
+            match v.Ast.v_init with
+            | None -> None
+            | Some e ->
+              attempt ctx ~fallback:None (fun () ->
+                  let tv = check_expr ctx e in
+                  if not (assignable ctx ~src:tv.Tast.ty ~dst:ty) then
+                    err e.Ast.e_loc "initializer type %s not assignable to %s"
+                      (pp_ty ctx tv.Tast.ty) (pp_ty ctx ty);
+                  if not (Types.is_scalar ctx.env ty) then
+                    err e.Ast.e_loc "only scalar globals may have initializers";
+                  Some tv)
+          in
+          Some (v.Ast.v_name, ty, init))
       global_decls
   in
   (* Procedure bodies. *)
   let procs =
-    List.map
+    List.filter_map
       (fun (p : Ast.proc_decl) ->
-        check_proc ctx p (Ident.Tbl.find ctx.proc_sigs p.Ast.pr_name))
+        match Ident.Tbl.find_opt ctx.proc_sigs p.Ast.pr_name with
+        | None -> None  (* signature already failed under recovery *)
+        | Some psig ->
+          attempt ctx ~fallback:None (fun () -> Some (check_proc ctx p psig)))
       proc_decls
   in
   (* Module body becomes the synthesized main procedure. *)
@@ -791,5 +837,18 @@ let check_module (m : Ast.module_) : Tast.program =
   { Tast.module_name = m.Ast.mod_name; tenv = env; type_names; globals;
     procs = procs @ [ main ]; main_name = Tast.main_ident }
 
+let check_module m = check_module_with m
+
+let check_module_all m =
+  let c = Diag.collector () in
+  match check_module_with ~recover:c m with
+  | p -> if Diag.has_errors c then Error (Diag.diags c) else Ok p
+  | exception Diag.Compile_error d -> Error (Diag.diags c @ [ d ])
+
 let check_string ?(file = "<string>") src =
   check_module (Parser.parse_module ~file src)
+
+let check_string_all ?(file = "<string>") src =
+  match Parser.parse_module ~file src with
+  | m -> check_module_all m
+  | exception Diag.Compile_error d -> Error [ d ]

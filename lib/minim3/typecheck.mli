@@ -17,6 +17,19 @@
     All violations raise {!Support.Diag.Compile_error}. *)
 
 val check_module : Ast.module_ -> Tast.program
+(** Stops at the first error. *)
 
 val check_string : ?file:string -> string -> Tast.program
 (** Parse then check. *)
+
+val check_module_all :
+  Ast.module_ -> (Tast.program, Support.Diag.t list) result
+(** Like {!check_module}, but recovers at statement and declaration
+    boundaries and reports *every* diagnostic found, in source-report
+    order. [Ok] iff the program is error-free (and then the result is
+    identical to {!check_module}'s). *)
+
+val check_string_all :
+  ?file:string -> string -> (Tast.program, Support.Diag.t list) result
+(** Parse then {!check_module_all}; a parse error yields a one-element
+    error list. *)

@@ -76,8 +76,23 @@ let create () =
 
 let count env = env.len
 
+(* A short human-readable tag for diagnostics raised before the full
+   printer is available (definition order in this file). *)
+let desc_kind = function
+  | Dunit -> "the unit type"
+  | Dint -> "INTEGER"
+  | Dbool -> "BOOLEAN"
+  | Dchar -> "CHAR"
+  | Dnull -> "NULL"
+  | Darray _ -> "an array type"
+  | Drecord _ -> "a record type"
+  | Dref _ -> "a reference type"
+  | Dobject info -> "object type " ^ Ident.name info.obj_name
+
 let desc env tid =
-  if tid < 0 || tid >= env.len then invalid_arg "Types.desc: bad tid";
+  if tid < 0 || tid >= env.len then
+    Diag.error "Types.desc: type id %d out of range (environment has %d types)"
+      tid env.len;
   env.descs.(tid)
 
 let push env d =
@@ -100,7 +115,10 @@ let key_of_desc = function
   | Drecord fields ->
     Krecord (Array.to_list (Array.map (fun f -> (Ident.id f.fld_name, f.fld_ty)) fields))
   | Dref { target; brand } -> Kref (target, brand)
-  | Dobject _ -> invalid_arg "Types.intern: use new_object for object types"
+  | Dobject info ->
+    Diag.error
+      "Types.intern: object type %a is nominal; create it with new_object"
+      Ident.pp info.obj_name
 
 let intern env d =
   let key = key_of_desc d in
@@ -116,7 +134,9 @@ let new_object env ~name ~super ~brand ~fields ~methods ~overrides =
   | Some s -> (
     match desc env s with
     | Dobject _ -> ()
-    | _ -> invalid_arg "Types.new_object: supertype is not an object type")
+    | d ->
+      Diag.error "Types.new_object: supertype of %a is %s, not an object type"
+        Ident.pp name (desc_kind d))
   | None -> ());
   let info =
     { obj_name = name; obj_uid = env.next_uid; obj_super = super;
@@ -131,7 +151,9 @@ let reserve_ref env ~brand = push env (Dref { target = tid_unit; brand })
 let patch_ref env tid ~target =
   match desc env tid with
   | Dref { brand; _ } -> env.descs.(tid) <- Dref { target; brand }
-  | _ -> invalid_arg "Types.patch_ref: not a ref tid"
+  | d ->
+    Diag.error "Types.patch_ref: type id %d is %s, not a reserved REF" tid
+      (desc_kind d)
 
 let reserve_object env ~name =
   let info =
@@ -149,7 +171,9 @@ let patch_object env tid ~super ~brand ~fields ~methods ~overrides =
       Dobject { info with obj_super = super; obj_brand = brand;
                 obj_fields = fields; obj_methods = methods;
                 obj_overrides = overrides }
-  | _ -> invalid_arg "Types.patch_object: not an object tid"
+  | d ->
+    Diag.error "Types.patch_object: type id %d is %s, not a reserved object"
+      tid (desc_kind d)
 
 let is_object env t = match desc env t with Dobject _ -> true | _ -> false
 let is_ref env t = match desc env t with Dref _ -> true | _ -> false
@@ -192,7 +216,7 @@ let rec object_fields env t =
       match info.obj_super with Some s -> object_fields env s | None -> []
     in
     inherited @ Array.to_list info.obj_fields
-  | _ -> invalid_arg "Types.object_fields: not an object type"
+  | d -> Diag.error "Types.object_fields: %s has no object fields" (desc_kind d)
 
 let find_field env t name =
   match desc env t with

@@ -62,7 +62,8 @@ val count : env -> int
 
 val intern : env -> desc -> tid
 (** Hash-consed for structural types; [Dobject] descs must be registered via
-    {!new_object} instead (raises [Invalid_argument] otherwise). *)
+    {!new_object} instead (raises {!Support.Diag.Compile_error}
+    otherwise). *)
 
 val new_object :
   env ->

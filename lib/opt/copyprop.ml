@@ -80,7 +80,7 @@ let run_proc program proc stats =
       Dataflow.run ~proc ~universe:n ~confluence:Dataflow.Must
         ~gen:(fun b -> gen.(b))
         ~kill:(fun b -> kill.(b))
-        ~entry_fact:(Bitset.create n)
+        ~entry_fact:(Bitset.create n) ()
     in
     (* Rewrite pass: canonicalize each used variable through the available
        copies (transitively, with a bound against cycles). *)

@@ -77,7 +77,7 @@ let run_proc proc stats =
         Dataflow.run_backward ~proc ~universe:n ~confluence:Dataflow.May
           ~gen:(fun b -> gen.(b))
           ~kill:(fun b -> kill.(b))
-          ~exit_fact:(Bitset.create n)
+          ~exit_fact:(Bitset.create n) ()
       in
       (* Sweep each block backwards, dropping dead pure definitions. *)
       Vec.iter

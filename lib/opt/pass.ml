@@ -16,6 +16,17 @@ let select (a : Analysis.t) = function
 (* Shared analysis context                                             *)
 (* ------------------------------------------------------------------ *)
 
+type fault = {
+  f_seed : int;
+  f_rate : float;
+  f_class_kills : bool;
+  f_stats : Oracle_fault.stats;
+}
+
+let fault ?(flip_class_kills = true) ~seed ~rate () =
+  { f_seed = seed; f_rate = rate; f_class_kills = flip_class_kills;
+    f_stats = Oracle_fault.fresh_stats () }
+
 type context = {
   world : World.t;
   oracle_kind : oracle_kind;
@@ -24,11 +35,14 @@ type context = {
   oracle_counters : Oracle_cache.counters;
       (* accumulates across wrapper incarnations *)
   mutable analyses_run : int;
+  mutable claims : Claims.t option;  (* when set, RLE logs its oracle bets *)
+  mutable fault : fault option;  (* when set, the oracle is fault-injected *)
 }
 
 let create ?(world = World.Closed) ?(oracle_kind = Osm_field_type_refs) () =
   { world; oracle_kind; analysis_memo = None; oracle_memo = None;
-    oracle_counters = Oracle_cache.fresh_counters (); analyses_run = 0 }
+    oracle_counters = Oracle_cache.fresh_counters (); analyses_run = 0;
+    claims = None; fault = None }
 
 let invalidate ctx =
   ctx.analysis_memo <- None;
@@ -47,10 +61,17 @@ let oracle ctx program =
   match ctx.oracle_memo with
   | Some o -> o
   | None ->
-    let o =
-      Oracle_cache.wrap ~counters:ctx.oracle_counters
-        (select (analysis ctx program) ctx.oracle_kind)
+    let raw = select (analysis ctx program) ctx.oracle_kind in
+    (* The fault layer sits *under* the cache: flips are deterministic per
+       query, so memoizing flipped answers keeps the view consistent. *)
+    let raw =
+      match ctx.fault with
+      | None -> raw
+      | Some f ->
+        Oracle_fault.wrap ~flip_class_kills:f.f_class_kills ~stats:f.f_stats
+          ~seed:f.f_seed ~rate:f.f_rate raw
     in
+    let o = Oracle_cache.wrap ~counters:ctx.oracle_counters raw in
     ctx.oracle_memo <- Some o;
     o
 
@@ -89,6 +110,8 @@ type report = {
   r_oracle : Oracle_cache.counters;  (* queries during this pass run *)
   r_dataflow : Ir.Dataflow.counters;
   r_analyses : int;  (* Analysis.analyze runs charged to this pass *)
+  r_failure : string option;
+      (* guarded execution only: why the pass was rolled back / skipped *)
 }
 
 let stat report name =
@@ -110,4 +133,7 @@ let report_to_json ?(extra = []) r =
           Obj
             [ ("solves", Int r.r_dataflow.Ir.Dataflow.solves);
               ("iterations", Int r.r_dataflow.Ir.Dataflow.iterations) ] );
-        ("analyses", Int r.r_analyses) ])
+        ("analyses", Int r.r_analyses) ]
+    @ (match r.r_failure with
+      | None -> []  (* absent key keeps unguarded output byte-identical *)
+      | Some why -> [ ("failure", String why) ]))

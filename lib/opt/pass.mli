@@ -23,6 +23,18 @@ val select : Analysis.t -> oracle_kind -> Oracle.t
 
 (** {1 Context} *)
 
+type fault = {
+  f_seed : int;
+  f_rate : float;
+  f_class_kills : bool;
+  f_stats : Oracle_fault.stats;  (** flips actually applied, cumulative *)
+}
+(** Fault-injection configuration: when installed in a context, every
+    oracle handed to passes is wrapped in {!Tbaa.Oracle_fault} (under the
+    memoizing cache, so flips stay consistent). *)
+
+val fault : ?flip_class_kills:bool -> seed:int -> rate:float -> unit -> fault
+
 type context = {
   world : World.t;
   oracle_kind : oracle_kind;
@@ -31,6 +43,10 @@ type context = {
   oracle_counters : Oracle_cache.counters;
       (** cumulative across re-analyses; the pass manager diffs it per pass *)
   mutable analyses_run : int;
+  mutable claims : Claims.t option;
+      (** when set, RLE records every alias/kill answer it relies on here
+          (the dynamic auditor's input); [None] costs nothing *)
+  mutable fault : fault option;
 }
 
 val create : ?world:World.t -> ?oracle_kind:oracle_kind -> unit -> context
@@ -95,6 +111,11 @@ type report = {
   r_dataflow : Ir.Dataflow.counters;
       (** dataflow solves/iterations during this pass run only *)
   r_analyses : int;  (** full re-analyses charged to this pass run *)
+  r_failure : string option;
+      (** guarded execution only ({!Pass_manager.run_guarded}): set when
+          the pass crashed or failed IR validation and was rolled back, or
+          was skipped because it is quarantined; [None] always under the
+          plain {!Pass_manager.run} *)
 }
 
 val stat : report -> string -> int

@@ -26,7 +26,8 @@ let run_one ctx program ~round (p : Pass.t) : Pass.report =
     r_dataflow =
       Ir.Dataflow.diff_counters ~before:dataflow_before
         ~after:(Ir.Dataflow.counters ());
-    r_analyses = ctx.Pass.analyses_run - analyses_before }
+    r_analyses = ctx.Pass.analyses_run - analyses_before;
+    r_failure = None }
 
 let run_item ctx program acc = function
   | Run p -> run_one ctx program ~round:1 p :: acc
@@ -53,6 +54,90 @@ let run_item ctx program acc = function
 
 let run ctx program items =
   List.rev (List.fold_left (run_item ctx program) [] items)
+
+(* ------------------------------------------------------------------ *)
+(* Guarded execution                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Defense in depth: each pass runs against a rollback snapshot. A pass
+   that raises, or (with [verify]) leaves the IR failing {!Ir.Verify}, is
+   undone — the program reverts to the last-good IR — and quarantined:
+   later executions of the same pass are skipped, with the original
+   failure echoed in their reports. The schedule keeps going, so one
+   broken pass degrades the optimization level instead of the run. *)
+
+let failure_report ~round ~reason (p : Pass.t) =
+  { Pass.r_pass = p.Pass.name;
+    r_round = round;
+    r_time_ms = 0.0;
+    r_changed = false;
+    r_stats = [];
+    r_oracle = Oracle_cache.fresh_counters ();
+    r_dataflow = { Ir.Dataflow.solves = 0; iterations = 0 };
+    r_analyses = 0;
+    r_failure = Some reason }
+
+let validation_failure errs =
+  let n = List.length errs in
+  Printf.sprintf "IR validation failed (%d error%s), e.g. %s" n
+    (if n = 1 then "" else "s")
+    (Ir.Verify.error_to_string (List.hd errs))
+
+let run_one_guarded ctx program ~verify ~quarantine ~round (p : Pass.t) =
+  match Hashtbl.find_opt quarantine p.Pass.name with
+  | Some earlier ->
+    failure_report ~round ~reason:("quarantined: " ^ earlier) p
+  | None ->
+    let snap = Ir.Cfg.snapshot program in
+    let roll_back reason report =
+      Ir.Cfg.restore program snap;
+      Pass.invalidate ctx;
+      Hashtbl.replace quarantine p.Pass.name reason;
+      { report with Pass.r_changed = false; r_failure = Some reason }
+    in
+    (match run_one ctx program ~round p with
+    | report ->
+      if not verify then report
+      else (
+        match Ir.Verify.program program with
+        | [] -> report
+        | errs -> roll_back (validation_failure errs) report)
+    | exception exn ->
+      let reason = "exception: " ^ Printexc.to_string exn in
+      roll_back reason (failure_report ~round ~reason p))
+
+let run_guarded ?(verify = false) ctx program items =
+  let quarantine : (string, string) Hashtbl.t = Hashtbl.create 8 in
+  let run_item acc = function
+    | Run p -> run_one_guarded ctx program ~verify ~quarantine ~round:1 p :: acc
+    | Fixpoint { passes; max_rounds } ->
+      let rec go round acc =
+        if round > max_rounds then acc
+        else begin
+          let progressed = ref false in
+          let acc =
+            List.fold_left
+              (fun acc p ->
+                let r = run_one_guarded ctx program ~verify ~quarantine ~round p in
+                if r.Pass.r_changed && p.Pass.role = Pass.Transform then
+                  progressed := true;
+                r :: acc)
+              acc passes
+          in
+          if !progressed then go (round + 1) acc else acc
+        end
+      in
+      go 1 acc
+  in
+  List.rev (List.fold_left run_item [] items)
+
+let failures reports =
+  List.filter_map
+    (fun r ->
+      match r.Pass.r_failure with
+      | Some why -> Some (r.Pass.r_pass, why)
+      | None -> None)
+    reports
 
 (* ------------------------------------------------------------------ *)
 (* The standard schedule                                               *)

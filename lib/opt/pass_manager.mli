@@ -23,6 +23,18 @@ type item =
 val run : Pass.context -> Ir.Cfg.program -> item list -> Pass.report list
 (** Execute the schedule; reports are in execution order. *)
 
+val run_guarded :
+  ?verify:bool -> Pass.context -> Ir.Cfg.program -> item list -> Pass.report list
+(** Like {!run}, but each pass executes against a {!Ir.Cfg.snapshot}: a
+    pass that raises — or, with [verify] (default false), leaves the IR
+    failing {!Ir.Verify.program} — is rolled back to the last-good IR,
+    quarantined (subsequent executions are skipped), and recorded via
+    [r_failure] in its report; the rest of the schedule continues. With no
+    failures the reports are identical to {!run}'s. *)
+
+val failures : Pass.report list -> (string * string) list
+(** The [(pass, reason)] failures among the reports, in execution order. *)
+
 val schedule :
   ?devirt_inline:bool ->
   ?pre:bool ->

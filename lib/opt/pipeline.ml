@@ -77,12 +77,21 @@ let stats_of_reports reports =
   in
   (devirt_stats, inline_stats, pre_stats, rle_stats, copyprop_stats)
 
-let run program config =
-  let ctx = context_of_config config in
-  let reports = Pass_manager.run ctx program (schedule_of_config config) in
+let assemble ctx program reports =
   let devirt_stats, inline_stats, pre_stats, rle_stats, copyprop_stats =
     stats_of_reports reports
   in
   let analysis = Pass.analysis ctx program in
   { analysis; rle_stats; devirt_stats; inline_stats; pre_stats;
     copyprop_stats; reports }
+
+let run program config =
+  let ctx = context_of_config config in
+  assemble ctx program (Pass_manager.run ctx program (schedule_of_config config))
+
+let run_guarded ?(verify = false) ?claims ?fault program config =
+  let ctx = context_of_config config in
+  ctx.Pass.claims <- claims;
+  ctx.Pass.fault <- fault;
+  assemble ctx program
+    (Pass_manager.run_guarded ~verify ctx program (schedule_of_config config))

@@ -59,6 +59,19 @@ val stats_of_reports :
 val run : Ir.Cfg.program -> config -> result
 (** Mutates [program] in place. *)
 
+val run_guarded :
+  ?verify:bool ->
+  ?claims:Claims.t ->
+  ?fault:Pass.fault ->
+  Ir.Cfg.program ->
+  config ->
+  result
+(** {!run} through {!Pass_manager.run_guarded}: crashing or (with
+    [verify]) invalid-IR-producing passes are rolled back and
+    quarantined, with failures surfaced via [r_failure] in the reports.
+    [claims] installs a ledger RLE logs its alias bets into (the dynamic
+    auditor's input); [fault] installs a fault-injected oracle. *)
+
 val default : config
 (** SMFieldTypeRefs + RLE, closed world, no inlining — the paper's primary
     configuration. *)

@@ -83,13 +83,13 @@ let run_proc program oracle modref proc stats =
       Dataflow.run ~proc ~universe:n ~confluence:Dataflow.Must
         ~gen:(fun b -> gen.(b))
         ~kill:(fun b -> kill.(b))
-        ~entry_fact:(Bitset.create n)
+        ~entry_fact:(Bitset.create n) ()
     in
     let may =
       Dataflow.run ~proc ~universe:n ~confluence:Dataflow.May
         ~gen:(fun b -> gen.(b))
         ~kill:(fun b -> kill.(b))
-        ~entry_fact:(Bitset.create n)
+        ~entry_fact:(Bitset.create n) ()
     in
     (* Expressions loaded in a block *before* any kill of them — the only
        ones an entry-edge insertion can make redundant. *)

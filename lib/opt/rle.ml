@@ -40,13 +40,26 @@ let query_paths ap =
    others (a global or address-taken variable) and a location of its class
    may underlie the path. A store kills per {!Oracle.kills_load}; a call
    kills what its callees' mod sets may write. *)
-let kill_pred (oracle : Oracle.t) modref instr =
+let kill_pred ?claims (oracle : Oracle.t) modref instr =
+  (* Each oracle answer consulted here is a bet the rewrite stands on;
+     with a ledger installed, log it against the witness paths so the
+     dynamic auditor can cross-check the "no" answers against concrete
+     addresses. Call kills are exempt: mod-ref summaries are sets of
+     location classes with no witness path to audit. *)
+  let note p1 p2 ans =
+    (match claims with Some c -> Claims.record c p1 p2 ans | None -> ());
+    ans
+  in
   let def_pred v =
-    if v.Reg.v_kind = Reg.Vglobal || oracle.Oracle.addr_taken_var v then
+    if v.Reg.v_kind = Reg.Vglobal || oracle.Oracle.addr_taken_var v then begin
       let cls = Aloc.Lvar (v.Reg.v_id, v.Reg.v_ty) in
+      let vpath = Apath.of_var v in
       fun qp ->
         List.exists (Reg.var_equal v) qp.qp_vars
-        || List.exists (fun p -> oracle.Oracle.class_kills cls p) qp.qp_all
+        || List.exists
+             (fun p -> note vpath p (oracle.Oracle.class_kills cls p))
+             qp.qp_all
+    end
     else fun qp -> List.exists (Reg.var_equal v) qp.qp_vars
   in
   let dst_pred = function
@@ -61,17 +74,17 @@ let kill_pred (oracle : Oracle.t) modref instr =
     let scls = oracle.Oracle.store_class sap in
     fun qp ->
       List.exists
-        (fun prefix -> oracle.Oracle.may_alias sap prefix)
+        (fun prefix -> note sap prefix (oracle.Oracle.may_alias sap prefix))
         qp.qp_prefixes
-      || oracle.Oracle.class_kills scls qp.qp_base
+      || note sap qp.qp_base (oracle.Oracle.class_kills scls qp.qp_base)
   | Instr.Icall (dst, target, _) ->
     let dp = dst_pred dst in
     let cp = Modref.call_kill_pred modref oracle target in
     fun qp -> dp qp || cp qp.qp_all
   | Instr.Ibuiltin (dst, _, _) -> dst_pred dst
 
-let instr_kills oracle modref instr ap =
-  kill_pred oracle modref instr (query_paths ap)
+let instr_kills ?claims oracle modref instr ap =
+  kill_pred ?claims oracle modref instr (query_paths ap)
 
 (* The memory *expressions* RLE tracks are the scalar-typed prefixes of a
    path: those denote one word the machine actually reads (a pointer or a
@@ -101,7 +114,7 @@ let defs_in_loop instrs v =
       | None -> false)
     instrs
 
-let hoist_loops program oracle modref proc stats =
+let hoist_loops ?claims program oracle modref proc stats =
   let dom = Dom.compute proc in
   let loops = Loops.find proc dom in
   List.iter
@@ -115,7 +128,7 @@ let hoist_loops program oracle modref proc stats =
                 (fun i ->
                   match i with
                   | Instr.Iload _ -> false  (* loads don't write memory *)
-                  | _ -> kill_pred oracle modref i qp)
+                  | _ -> kill_pred ?claims oracle modref i qp)
                 body_instrs)
       in
       let longest_invariant_prefix ap =
@@ -166,6 +179,9 @@ let hoist_loops program oracle modref proc stats =
             let v =
               Cfg.fresh_var program ~name:"licm" ~ty:(Apath.ty p) ~kind:Reg.Vtemp
             in
+            (match claims with
+            | Some c -> Claims.note_home c v p
+            | None -> ());
             Apath.Tbl.add hoisted_homes p v;
             pre_block.Cfg.b_instrs <- pre_block.Cfg.b_instrs @ [ Instr.Iload (v, p) ];
             v
@@ -206,7 +222,7 @@ let hoist_loops program oracle modref proc stats =
    the longest available prefix. A store generates its proper prefixes (it
    reads them to navigate) and its own path (store-to-load forwarding). *)
 
-let cse program oracle modref proc stats =
+let cse ?claims program oracle modref proc stats =
   let tenv = program.Cfg.tenv in
   let ids = Apath.Tbl.create 64 in
   let exprs = Vec.create () in
@@ -231,7 +247,7 @@ let cse program oracle modref proc stats =
     let qps = Array.init n (fun i -> query_paths (Vec.get exprs i)) in
     let kill_set_of instr =
       let s = Bitset.create n in
-      let kills = kill_pred oracle modref instr in
+      let kills = kill_pred ?claims oracle modref instr in
       for i = 0 to n - 1 do
         if kills qps.(i) then Bitset.add s i
       done;
@@ -273,7 +289,7 @@ let cse program oracle modref proc stats =
       Dataflow.run ~proc ~universe:n ~confluence:Dataflow.Must
         ~gen:(fun b -> gen.(b))
         ~kill:(fun b -> kill.(b))
-        ~entry_fact:(Bitset.create n)
+        ~entry_fact:(Bitset.create n) ()
     in
     let home = Array.make n None in
     let home_temp e =
@@ -284,6 +300,9 @@ let cse program oracle modref proc stats =
         let v =
           Cfg.fresh_var program ~name:"rle" ~ty:(Apath.ty ap) ~kind:Reg.Vtemp
         in
+        (match claims with
+        | Some c -> Claims.note_home c v ap
+        | None -> ());
         home.(e) <- Some v;
         v
     in
@@ -375,19 +394,19 @@ let cse program oracle modref proc stats =
       proc.Cfg.pr_blocks
   end
 
-let run_proc program oracle modref proc =
+let run_proc ?claims program oracle modref proc =
   let stats = { hoisted = 0; eliminated = 0; shortened = 0 } in
   (* Iterate hoisting so loads escape nested loops level by level; each
      round recomputes dominators over the preheaders of the previous one. *)
   let rec rounds budget prev =
-    hoist_loops program oracle modref proc stats;
+    hoist_loops ?claims program oracle modref proc stats;
     if stats.hoisted > prev && budget > 0 then rounds (budget - 1) stats.hoisted
   in
   rounds 4 0;
-  cse program oracle modref proc stats;
+  cse ?claims program oracle modref proc stats;
   stats
 
-let run ?modref program oracle =
+let run ?modref ?claims program oracle =
   let modref =
     match modref with
     | Some m -> m
@@ -396,7 +415,7 @@ let run ?modref program oracle =
   let total = { hoisted = 0; eliminated = 0; shortened = 0 } in
   List.iter
     (fun proc ->
-      let s = run_proc program oracle modref proc in
+      let s = run_proc ?claims program oracle modref proc in
       total.hoisted <- total.hoisted + s.hoisted;
       total.eliminated <- total.eliminated + s.eliminated;
       total.shortened <- total.shortened + s.shortened)
@@ -408,7 +427,7 @@ let pass =
     role = Pass.Transform;
     run =
       (fun ctx program ->
-        let s = run program (Pass.oracle ctx program) in
+        let s = run ?claims:ctx.Pass.claims program (Pass.oracle ctx program) in
         { Pass.stats =
             [ ("hoisted", s.hoisted); ("eliminated", s.eliminated);
               ("shortened", s.shortened) ];

@@ -26,19 +26,24 @@ type stats = {
   mutable shortened : int;  (* loads whose available prefix was reused *)
 }
 
-val instr_kills : Oracle.t -> Modref.t -> Ir.Instr.t -> Ir.Apath.t -> bool
+val instr_kills :
+  ?claims:Claims.t -> Oracle.t -> Modref.t -> Ir.Instr.t -> Ir.Apath.t -> bool
 (** May executing this instruction change the value of the given memory
     expression? (Exposed for the limit-study classifier, which replays
-    RLE's availability reasoning.) *)
+    RLE's availability reasoning.) With [claims], every oracle answer
+    consulted is logged against its witness paths. *)
 
 val removed : stats -> int
 (** Total loads removed statically — the paper's Table 6 number. *)
 
-val run_proc : Ir.Cfg.program -> Oracle.t -> Modref.t -> Ir.Cfg.proc -> stats
+val run_proc :
+  ?claims:Claims.t -> Ir.Cfg.program -> Oracle.t -> Modref.t -> Ir.Cfg.proc -> stats
 
-val run : ?modref:Modref.t -> Ir.Cfg.program -> Oracle.t -> stats
+val run : ?modref:Modref.t -> ?claims:Claims.t -> Ir.Cfg.program -> Oracle.t -> stats
 (** Run over every procedure. Computes mod-ref summaries unless an
-    explicit [modref] (e.g. {!Modref.conservative}) is supplied. *)
+    explicit [modref] (e.g. {!Modref.conservative}) is supplied. With
+    [claims], the alias/kill answers relied on — and the home temporaries
+    introduced — are logged for the dynamic soundness auditor. *)
 
 val pass : Pass.t
 (** Runs over the context's cached oracle (mod-ref computed internally

@@ -1,0 +1,124 @@
+open Support
+open Ir
+open Tbaa
+
+module Path_tbl = Hashtbl.Make (struct
+  type t = Apath.t
+
+  let equal = Apath.equal
+  let hash = Apath.hash
+end)
+
+type violation = {
+  vi_p1 : Apath.t;
+  vi_p2 : Apath.t;
+  vi_addr : int;
+  vi_activation : int;
+  vi_hits : int;
+  vi_oracle : string;
+}
+
+type t = {
+  au_claims : Claims.t;
+  (* canonical path -> set of (address, activation) cells it touched *)
+  au_cells : (int * int, unit) Hashtbl.t Path_tbl.t;
+  mutable au_accesses : int;
+}
+
+let create claims =
+  { au_claims = claims; au_cells = Path_tbl.create 64; au_accesses = 0 }
+
+(* Rewrite a path rooted at an RLE/LICM home temporary back to the
+   source-level path the temp materializes: if [v] holds the value of
+   [hp], then v.sels names the same cell as hp.sels @ sels. Homes can
+   chain (CSE over already-rewritten code), hence the recursion; the
+   depth bound guards against a cyclic ledger from a buggy pass. *)
+let rec canonical claims depth (ap : Apath.t) =
+  if depth = 0 then ap
+  else
+    match Claims.home claims ap.Apath.base.Reg.v_id with
+    | None -> ap
+    | Some hp ->
+      canonical claims (depth - 1)
+        { Apath.base = hp.Apath.base; sels = hp.Apath.sels @ ap.Apath.sels }
+
+let canonical_path t ap = canonical t.au_claims 8 ap
+
+let on_access t (ac : Interp.access) =
+  t.au_accesses <- t.au_accesses + 1;
+  let path = canonical_path t ac.Interp.ac_path in
+  let cells =
+    match Path_tbl.find_opt t.au_cells path with
+    | Some s -> s
+    | None ->
+      let s = Hashtbl.create 16 in
+      Path_tbl.add t.au_cells path s;
+      s
+  in
+  (* Claims are only exploited within a single activation (RLE, LICM and
+     CSE are intra-procedural), and static/stack addresses are reused
+     across frames, so cells are keyed per activation. *)
+  Hashtbl.replace cells (ac.Interp.ac_addr, ac.Interp.ac_activation) ()
+
+let n_accesses t = t.au_accesses
+let n_paths t = Path_tbl.length t.au_cells
+
+let check t =
+  let oracle = Claims.oracle_name t.au_claims in
+  List.filter_map
+    (fun (p1, p2) ->
+      let k1 = canonical_path t p1 and k2 = canonical_path t p2 in
+      (* A pair that collapses to one path after home rewriting (e.g. a
+         home temp queried against the very path it materializes) denotes
+         a single cell; its overlap is tautological, not a violation. *)
+      if Apath.equal k1 k2 then None
+      else
+        match (Path_tbl.find_opt t.au_cells k1, Path_tbl.find_opt t.au_cells k2)
+        with
+      | Some c1, Some c2 ->
+        let small, big =
+          if Hashtbl.length c1 <= Hashtbl.length c2 then (c1, c2) else (c2, c1)
+        in
+        let witness = ref None in
+        let hits = ref 0 in
+        Hashtbl.iter
+          (fun cell () ->
+            if Hashtbl.mem big cell then begin
+              incr hits;
+              if !witness = None then witness := Some cell
+            end)
+          small;
+        (match !witness with
+        | Some (addr, act) ->
+          Some
+            { vi_p1 = p1; vi_p2 = p2; vi_addr = addr; vi_activation = act;
+              vi_hits = !hits; vi_oracle = oracle }
+        | None -> None)
+      | _ -> None)
+    (Claims.disjoint_pairs t.au_claims)
+
+let violation_to_string v =
+  Format.asprintf
+    "paths %a and %a claimed disjoint by %s but both touched address %d \
+     (activation %d, %d shared cell%s)"
+    Apath.pp v.vi_p1 Apath.pp v.vi_p2 v.vi_oracle v.vi_addr v.vi_activation
+    v.vi_hits
+    (if v.vi_hits = 1 then "" else "s")
+
+let violation_to_json v =
+  Json.Obj
+    [ ("p1", Json.String (Format.asprintf "%a" Apath.pp v.vi_p1));
+      ("p2", Json.String (Format.asprintf "%a" Apath.pp v.vi_p2));
+      ("addr", Json.Int v.vi_addr); ("activation", Json.Int v.vi_activation);
+      ("shared_cells", Json.Int v.vi_hits);
+      ("oracle", Json.String v.vi_oracle) ]
+
+let report_json t violations =
+  Json.Obj
+    [ ("oracle", Json.String (Claims.oracle_name t.au_claims));
+      ("claim_pairs", Json.Int (Claims.n_pairs t.au_claims));
+      ("claim_records", Json.Int (Claims.n_records t.au_claims));
+      ( "disjoint_pairs",
+        Json.Int (List.length (Claims.disjoint_pairs t.au_claims)) );
+      ("accesses", Json.Int t.au_accesses); ("paths", Json.Int (n_paths t));
+      ("violations", Json.List (List.map violation_to_json violations)) ]

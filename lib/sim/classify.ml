@@ -86,7 +86,7 @@ let build_avail tenv proc ~confluence ~kills =
       Dataflow.run ~proc ~universe:n ~confluence
         ~gen:(fun b -> gen.(b))
         ~kill:(fun b -> kill.(b))
-        ~entry_fact:(Bitset.create n)
+        ~entry_fact:(Bitset.create n) ()
   in
   { exprs; ids; inn = result.Dataflow.inn; kills }
 

@@ -24,6 +24,17 @@ type load_event = {
   le_heap : bool;
 }
 
+(* One concrete data access with its access path, as the soundness
+   auditor consumes them: every explicit-path read (heap, global and
+   stack alike — [on_load] only reports heap reads) and every store. *)
+type access = {
+  ac_store : bool;
+  ac_path : Apath.t;  (* the prefix actually read, or the stored path *)
+  ac_addr : int;
+  ac_activation : int;
+  ac_heap : bool;
+}
+
 type counters = {
   mutable instrs : int;
   mutable heap_loads : int;
@@ -59,6 +70,7 @@ type state = {
   mutable soft_faults : int;
   mutable fuel : int;
   on_load : (load_event -> unit) option;
+  on_access : (access -> unit) option;
   global_addrs : (int, int) Hashtbl.t;  (* global v_id -> static address *)
   resident : (int, Reg.var list) Hashtbl.t;  (* proc ident id -> resident vars *)
   sites : (int * int * int * int, site) Hashtbl.t;
@@ -147,6 +159,18 @@ let mem_read st frame ~where addr =
     f { le_site = site; le_addr = addr; le_value = v;
         le_activation = frame.activation; le_heap = heap }
   | _ -> ());
+  (match st.on_access with
+  | Some f -> (
+    match where () with
+    | _, _, _, Sexplicit (ap, k) ->
+      let path =
+        if k = List.length ap.Apath.sels then ap
+        else { ap with Apath.sels = List.filteri (fun i _ -> i < k) ap.Apath.sels }
+      in
+      f { ac_store = false; ac_path = path; ac_addr = addr;
+          ac_activation = frame.activation; ac_heap = heap }
+    | _ -> ())
+  | None -> ());
   v
 
 let mem_write st addr v =
@@ -245,7 +269,14 @@ let write_var st frame (v : Reg.var) value =
   match var_addr st frame v with
   | Some a ->
     if is_aggregate st v.Reg.v_ty then soft_fault st
-    else mem_write st a value
+    else begin
+      mem_write st a value;
+      match st.on_access with
+      | Some f ->
+        f { ac_store = true; ac_path = Apath.of_var v; ac_addr = a;
+            ac_activation = frame.activation; ac_heap = is_heap a }
+      | None -> ()
+    end
   | None -> Hashtbl.replace frame.regs v.Reg.v_id value
 
 let atom_value st frame = function
@@ -281,7 +312,7 @@ let null_zone st ty =
       match Types.desc tenv ty with
       | Types.Dobject _ -> Layout.alloc_size st.layout ty ~length:None
       | Types.Darray (None, _) -> Layout.open_array_dope + 1
-      | _ -> ( try Layout.size st.layout ty with Invalid_argument _ -> 1)
+      | _ -> ( try Layout.size st.layout ty with Diag.Compile_error _ -> 1)
     in
     let addr = heap_alloc st (max 1 size) in
     (match Types.desc tenv ty with
@@ -565,7 +596,13 @@ and exec_instr st frame ~block ~index instr =
   | Instr.Istore (ap, a) -> (
     let value = atom_value st frame a in
     match resolve st frame ~block ~index ap with
-    | Some addr -> mem_write st addr value
+    | Some addr ->
+      mem_write st addr value;
+      (match st.on_access with
+      | Some f ->
+        f { ac_store = true; ac_path = ap; ac_addr = addr;
+            ac_activation = frame.activation; ac_heap = is_heap addr }
+      | None -> ())
     | None -> ())
   | Instr.Iaddr (v, ap) -> (
     st.cycles <- st.cycles + Cost.addr;
@@ -585,7 +622,7 @@ and exec_instr st frame ~block ~index instr =
         len
     in
     match Layout.alloc_size st.layout ty ~length:len_val with
-    | exception Invalid_argument _ ->
+    | exception Diag.Compile_error _ ->
       soft_fault st;
       write_var st frame v Value.Vnil
     | size ->
@@ -740,7 +777,8 @@ and exec_builtin st frame ~block ~index dst b args =
 (* Program entry                                                       *)
 (* ------------------------------------------------------------------ *)
 
-let run ?(fuel = 50_000_000) ?on_load (program : Cfg.program) : outcome =
+let run ?(fuel = 50_000_000) ?on_load ?on_access (program : Cfg.program) :
+    outcome =
   let st =
     { program; layout = Layout.create program.Cfg.tenv;
       static_mem = Array.make 4096 Value.Vnil; static_len = 0;
@@ -749,7 +787,8 @@ let run ?(fuel = 50_000_000) ?on_load (program : Cfg.program) : outcome =
         { instrs = 0; heap_loads = 0; other_loads = 0; stores = 0; calls = 0;
           allocations = 0 };
       cycles = 0; out_buf = Buffer.create 4096; soft_faults = 0; fuel;
-      on_load; global_addrs = Hashtbl.create 32; resident = Hashtbl.create 32;
+      on_load; on_access;
+      global_addrs = Hashtbl.create 32; resident = Hashtbl.create 32;
       sites = Hashtbl.create 256; next_site = 0; next_activation = 0;
       null_zones = Hashtbl.create 16 }
   in

@@ -50,6 +50,20 @@ type load_event = {
   le_heap : bool;
 }
 
+type access = {
+  ac_store : bool;
+  ac_path : Apath.t;
+      (** the prefix actually resolved by this read, or the stored path *)
+  ac_addr : int;
+  ac_activation : int;
+  ac_heap : bool;
+}
+(** A concrete memory access at an explicit access-path site, reported
+    through [on_access] for the dynamic soundness auditor. Heap addresses
+    are never reused (the heap is bump-allocated); static/stack addresses
+    are reused across activations, so the auditor must key them with
+    [ac_activation]. *)
+
 type counters = {
   mutable instrs : int;
   mutable heap_loads : int;
@@ -72,6 +86,9 @@ type outcome = {
 val run :
   ?fuel:int ->
   ?on_load:(load_event -> unit) ->
+  ?on_access:(access -> unit) ->
   Cfg.program ->
   outcome
-(** [fuel] bounds executed instructions (default 50 million). *)
+(** [fuel] bounds executed instructions (default 50 million). [on_access]
+    fires for every explicit access-path read and write (after the write
+    lands), reporting the concrete address touched. *)

@@ -8,6 +8,8 @@ let open_array_dope = 1
 
 let create env = { env; sizes = Hashtbl.create 64 }
 
+let ty_str t tid = Types.to_string t.env tid
+
 let rec size t tid =
   match Hashtbl.find_opt t.sizes tid with
   | Some s -> s
@@ -17,10 +19,12 @@ let rec size t tid =
       | Types.Dint | Types.Dbool | Types.Dchar | Types.Dnull | Types.Dref _
       | Types.Dobject _ ->
         1
-      | Types.Dunit -> invalid_arg "Layout.size: unit has no layout"
+      | Types.Dunit -> Diag.error "Layout.size: the unit type has no runtime layout"
       | Types.Darray (Some n, elem) -> n * size t elem
       | Types.Darray (None, _) ->
-        invalid_arg "Layout.size: open arrays have no inline size"
+        Diag.error "Layout.size: open array type %s has no inline size (it only \
+                    exists behind a REF)"
+          (ty_str t tid)
       | Types.Drecord fields ->
         Array.fold_left (fun acc f -> acc + size t f.Types.fld_ty) 0 fields
     in
@@ -32,7 +36,8 @@ let field_offset t tid fname =
   | Types.Drecord fields ->
     let rec go off i =
       if i >= Array.length fields then
-        invalid_arg "Layout.field_offset: no such record field"
+        Diag.error "Layout.field_offset: record type %s has no field '%a'"
+          (ty_str t tid) Ident.pp fname
       else if Ident.equal fields.(i).Types.fld_name fname then off
       else go (off + size t fields.(i).Types.fld_ty) (i + 1)
     in
@@ -40,13 +45,18 @@ let field_offset t tid fname =
   | Types.Dobject _ ->
     let fields = Types.object_fields t.env tid in
     let rec go off = function
-      | [] -> invalid_arg "Layout.field_offset: no such object field"
+      | [] ->
+        Diag.error "Layout.field_offset: object type %s has no field '%a'"
+          (ty_str t tid) Ident.pp fname
       | f :: rest ->
         if Ident.equal f.Types.fld_name fname then off
         else go (off + size t f.Types.fld_ty) rest
     in
     go object_header fields
-  | _ -> invalid_arg "Layout.field_offset: not a record or object type"
+  | _ ->
+    Diag.error "Layout.field_offset: cannot select field '%a' from %s (not a \
+                record or object type)"
+      Ident.pp fname (ty_str t tid)
 
 let alloc_size t tid ~length =
   match Types.desc t.env tid with
@@ -61,6 +71,14 @@ let alloc_size t tid ~length =
     | Types.Darray (None, elem) -> (
       match length with
       | Some n when n >= 0 -> open_array_dope + (n * size t elem)
-      | _ -> invalid_arg "Layout.alloc_size: open array needs a length")
+      | Some n ->
+        Diag.error "Layout.alloc_size: open array %s needs a nonnegative \
+                    length, got %d"
+          (ty_str t tid) n
+      | None ->
+        Diag.error "Layout.alloc_size: open array %s needs a length argument"
+          (ty_str t tid))
     | _ -> size t target)
-  | _ -> invalid_arg "Layout.alloc_size: not an allocatable type"
+  | _ ->
+    Diag.error "Layout.alloc_size: %s is not a heap-allocatable type"
+      (ty_str t tid)

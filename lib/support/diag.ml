@@ -12,6 +12,13 @@ let error ?(loc = Loc.dummy) fmt =
 
 let errorf_at loc fmt = Format.kasprintf (fun message -> raise_error loc message) fmt
 
+type collector = { mutable rev : t list }
+
+let collector () = { rev = [] }
+let add c d = c.rev <- d :: c.rev
+let has_errors c = List.exists (fun d -> d.severity = Error) c.rev
+let diags c = List.rev c.rev
+
 let pp ppf t =
   let tag = match t.severity with Error -> "error" | Warning -> "warning" in
   Format.fprintf ppf "%a: %s: %s" Loc.pp t.loc tag t.message

@@ -19,3 +19,21 @@ val errorf_at : Loc.t -> ('a, Format.formatter, unit, 'b) format4 -> 'a
 val pp : Format.formatter -> t -> unit
 
 val to_string : t -> string
+
+(** {1 Multi-error collection}
+
+    Phases that can recover from an error (the typechecker recovers per
+    statement and per declaration) accumulate diagnostics in a collector
+    instead of stopping at the first {!Compile_error}. *)
+
+type collector
+
+val collector : unit -> collector
+
+val add : collector -> t -> unit
+
+val has_errors : collector -> bool
+(** At least one [Error]-severity diagnostic was recorded. *)
+
+val diags : collector -> t list
+(** All recorded diagnostics, in the order they were reported. *)

@@ -24,6 +24,12 @@ let push t x =
   t.len <- t.len + 1;
   t.len - 1
 
+let truncate t n =
+  if n < 0 || n > t.len then invalid_arg "Vec.truncate";
+  (* Entries past [n] keep their array slots (no Obj magic to blank them);
+     they are unreachable through the Vec API and overwritten on re-push. *)
+  t.len <- n
+
 let iter f t =
   for i = 0 to t.len - 1 do
     f t.data.(i)

@@ -12,6 +12,10 @@ val set : 'a t -> int -> 'a -> unit
 val push : 'a t -> 'a -> int
 (** Append, returning the new element's index. *)
 
+val truncate : 'a t -> int -> unit
+(** [truncate t n] drops every element with index >= [n]. Raises
+    [Invalid_argument] if [n] is negative or exceeds the length. *)
+
 val iter : ('a -> unit) -> 'a t -> unit
 val iteri : (int -> 'a -> unit) -> 'a t -> unit
 val fold_left : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc

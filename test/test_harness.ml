@@ -164,6 +164,24 @@ let test_runner_outputs_agree () =
           { Harness.Runner.base with Harness.Runner.minv = true } ])
     E.dynamic_seven
 
+let test_runner_audit_clean () =
+  List.iter
+    (fun (w : Workloads.Workload.t) ->
+      let r =
+        Harness.Runner.audit w
+          { (Harness.Runner.rle_with Opt.Pipeline.Osm_field_type_refs) with
+            Harness.Runner.minv = true; copyprop = true }
+      in
+      Alcotest.(check (list (pair string string)))
+        (w.Workloads.Workload.name ^ ": no quarantined passes")
+        [] r.Harness.Runner.ar_failures;
+      Alcotest.(check (list string))
+        (w.Workloads.Workload.name ^ ": no audit violations")
+        []
+        (List.map Sim.Audit.violation_to_string
+           r.Harness.Runner.ar_violations))
+    E.dynamic_seven
+
 let () =
   Alcotest.run "harness"
     [ ( "static",
@@ -174,7 +192,9 @@ let () =
         [ Alcotest.test_case "figure 8" `Slow test_figure8_shapes;
           Alcotest.test_case "figure 11" `Slow test_figure11_shapes;
           Alcotest.test_case "figure 12" `Slow test_figure12_shapes;
-          Alcotest.test_case "outputs agree" `Slow test_runner_outputs_agree ] );
+          Alcotest.test_case "outputs agree" `Slow test_runner_outputs_agree;
+          Alcotest.test_case "audited runs are clean" `Slow
+            test_runner_audit_clean ] );
       ( "limit",
         [ Alcotest.test_case "figure 9" `Slow test_figure9_shapes;
           Alcotest.test_case "figure 10" `Slow test_figure10_shapes ] ) ]

@@ -252,11 +252,11 @@ let test_dataflow_must_meet () =
   let kill _ = Support.Bitset.create 1 in
   let must =
     Dataflow.run ~proc ~universe:1 ~confluence:Dataflow.Must ~gen ~kill
-      ~entry_fact:(Support.Bitset.create 1)
+      ~entry_fact:(Support.Bitset.create 1) ()
   in
   let may =
     Dataflow.run ~proc ~universe:1 ~confluence:Dataflow.May ~gen ~kill
-      ~entry_fact:(Support.Bitset.create 1)
+      ~entry_fact:(Support.Bitset.create 1) ()
   in
   Alcotest.(check bool) "must: not available at join" false
     (Support.Bitset.mem must.Dataflow.inn.(3) 0);
@@ -300,7 +300,7 @@ BEGIN END M.
   let no_kill _ = Support.Bitset.create 1 in
   let live =
     Dataflow.run_backward ~proc ~universe:1 ~confluence:Dataflow.May ~gen
-      ~kill:no_kill ~exit_fact:(Support.Bitset.create 1)
+      ~kill:no_kill ~exit_fact:(Support.Bitset.create 1) ()
   in
   Alcotest.(check bool) "live across the back edge" true
     (Support.Bitset.mem live.Dataflow.out.(loop.Loops.header) 0);
@@ -316,7 +316,7 @@ BEGIN END M.
   let before = Dataflow.counters () in
   let killed =
     Dataflow.run_backward ~proc ~universe:1 ~confluence:Dataflow.May ~gen
-      ~kill:kill_at_header ~exit_fact:(Support.Bitset.create 1)
+      ~kill:kill_at_header ~exit_fact:(Support.Bitset.create 1) ()
   in
   let d = Dataflow.diff_counters ~before ~after:(Dataflow.counters ()) in
   Alcotest.(check bool) "killed in header: dead at entry" false

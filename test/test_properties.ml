@@ -182,6 +182,128 @@ let prop_soundness =
             sites)
         sites)
 
+(* --- verification layer ---------------------------------------------------- *)
+
+(* A sound oracle must survive its own audit: run the guarded pipeline
+   with the IR validator on and every RLE alias bet logged, then execute
+   under the dynamic auditor — no pass may fail validation and no claimed
+   -disjoint path pair may touch a common cell. *)
+let prop_audit_clean =
+  QCheck.Test.make ~name:"guarded pipeline verifies and audits clean"
+    ~count:40 Gen_prog.arbitrary (fun seed ->
+      let program = lower seed in
+      let claims = Tbaa.Claims.create ~oracle:"SMFieldTypeRefs" in
+      let result =
+        Opt.Pipeline.run_guarded ~verify:true ~claims program
+          { Opt.Pipeline.oracle_kind = Opt.Pipeline.Osm_field_type_refs;
+            world = Tbaa.World.Closed; devirt_inline = true; rle = true;
+            pre = false; copyprop = true }
+      in
+      let failures = Opt.Pass_manager.failures result.Opt.Pipeline.reports in
+      let auditor = Sim.Audit.create claims in
+      ignore (Sim.Interp.run ~on_access:(Sim.Audit.on_access auditor) program);
+      failures = [] && Sim.Audit.check auditor = [])
+
+(* Negative testing: flip 10% of may-alias answers and the optimizer may
+   miscompile — but it must do so *gracefully* (no crash), and whenever
+   the output actually diverges from the reference the auditor must name
+   a violated claim. Kill-class flips are left off so every divergence is
+   attributable to a logged alias bet. *)
+let prop_fault_injection_caught =
+  QCheck.Test.make
+    ~name:"fault-injected oracle is graceful and divergence is caught"
+    ~count:40 Gen_prog.arbitrary (fun seed ->
+      let fuel = 2_000_000 in
+      let reference = Sim.Interp.run ~fuel (lower seed) in
+      let program = lower seed in
+      let claims = Tbaa.Claims.create ~oracle:"SMFieldTypeRefs+fault" in
+      let fault =
+        Opt.Pass.fault ~flip_class_kills:false ~seed:((seed * 7) + 1)
+          ~rate:0.1 ()
+      in
+      let result =
+        Opt.Pipeline.run_guarded ~verify:true ~claims ~fault program
+          { Opt.Pipeline.oracle_kind = Opt.Pipeline.Osm_field_type_refs;
+            world = Tbaa.World.Closed; devirt_inline = false; rle = true;
+            pre = false; copyprop = false }
+      in
+      ignore (Opt.Pass_manager.failures result.Opt.Pipeline.reports);
+      let auditor = Sim.Audit.create claims in
+      let o =
+        Sim.Interp.run ~fuel ~on_access:(Sim.Audit.on_access auditor) program
+      in
+      String.equal reference.Sim.Interp.output o.Sim.Interp.output
+      || Sim.Audit.check auditor <> [])
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.equal (String.sub s i n) sub || go (i + 1)) in
+  n = 0 || go 0
+
+let test_validator_catches_corruption () =
+  let program = lower 42 in
+  let proc = List.hd program.Cfg.prog_procs in
+  (Cfg.block proc proc.Cfg.pr_entry).Cfg.b_term <- Instr.Tjump 9999;
+  match Verify.program program with
+  | [] -> Alcotest.fail "validator accepted a jump to a nonexistent block"
+  | errs ->
+    Alcotest.(check bool)
+      "error names the proc" true
+      (List.exists
+         (fun (e : Verify.error) ->
+           String.equal e.Verify.ve_proc
+             (Support.Ident.name proc.Cfg.pr_name))
+         errs)
+
+let test_guarded_quarantines_crash () =
+  let program = lower 43 in
+  let before = Format.asprintf "%a" Cfg.pp_program program in
+  let boom =
+    { Opt.Pass.name = "boom"; role = Opt.Pass.Transform;
+      run = (fun _ _ -> failwith "kaboom") }
+  in
+  let ctx = Opt.Pass.create () in
+  let reports =
+    Opt.Pass_manager.run_guarded ctx program [ Opt.Pass_manager.Run boom ]
+  in
+  (match Opt.Pass_manager.failures reports with
+  | [ (pass, reason) ] ->
+    Alcotest.(check string) "failing pass" "boom" pass;
+    Alcotest.(check bool)
+      "reason mentions the exception" true
+      (contains ~sub:"kaboom" reason)
+  | fs -> Alcotest.fail (Printf.sprintf "expected 1 failure, got %d" (List.length fs)));
+  Alcotest.(check string)
+    "program rolled back" before
+    (Format.asprintf "%a" Cfg.pp_program program)
+
+let test_guarded_rolls_back_invalid_ir () =
+  let program = lower 44 in
+  let before = Format.asprintf "%a" Cfg.pp_program program in
+  let corrupt =
+    { Opt.Pass.name = "corrupt"; role = Opt.Pass.Transform;
+      run =
+        (fun _ (p : Cfg.program) ->
+          let proc = List.hd p.Cfg.prog_procs in
+          (Cfg.block proc proc.Cfg.pr_entry).Cfg.b_term <- Instr.Tjump 9999;
+          { Opt.Pass.stats = []; changed = true; mutated = true }) }
+  in
+  let ctx = Opt.Pass.create () in
+  let reports =
+    Opt.Pass_manager.run_guarded ~verify:true ctx program
+      [ Opt.Pass_manager.Run corrupt ]
+  in
+  (match Opt.Pass_manager.failures reports with
+  | [ (pass, reason) ] ->
+    Alcotest.(check string) "failing pass" "corrupt" pass;
+    Alcotest.(check bool)
+      "reason mentions validation" true
+      (contains ~sub:"IR validation" reason)
+  | fs -> Alcotest.fail (Printf.sprintf "expected 1 failure, got %d" (List.length fs)));
+  Alcotest.(check string)
+    "program rolled back" before
+    (Format.asprintf "%a" Cfg.pp_program program)
+
 (* --- printer round trip --------------------------------------------------- *)
 
 let prop_printer_roundtrip =
@@ -224,6 +346,15 @@ let () =
         [ QCheck_alcotest.to_alcotest prop_precision_lattice;
           QCheck_alcotest.to_alcotest prop_open_world_conservative ] );
       ( "soundness", [ QCheck_alcotest.to_alcotest prop_soundness ] );
+      ( "verification",
+        [ QCheck_alcotest.to_alcotest prop_audit_clean;
+          QCheck_alcotest.to_alcotest prop_fault_injection_caught;
+          Alcotest.test_case "validator catches a corrupted CFG" `Quick
+            test_validator_catches_corruption;
+          Alcotest.test_case "guarded run quarantines a crashing pass" `Quick
+            test_guarded_quarantines_crash;
+          Alcotest.test_case "guarded run rolls back invalid IR" `Quick
+            test_guarded_rolls_back_invalid_ir ] );
       ( "oracle cache",
         [ QCheck_alcotest.to_alcotest prop_oracle_cache_transparent ] );
       ( "printer", [ QCheck_alcotest.to_alcotest prop_printer_roundtrip ] );
