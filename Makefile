@@ -1,4 +1,4 @@
-.PHONY: all build test check audit bench clean
+.PHONY: all build test check audit fuzz bench clean
 
 all: build
 
@@ -15,6 +15,15 @@ check:
 	dune build @all
 	dune runtest
 	dune exec bin/tbaac.exe -- optimize --workload format --stats
+	dune exec bin/tbaac.exe -- fuzz --count 25 --seed 1 --out ""
+
+# The full differential-testing sweep: 200 generated programs through the
+# 12-configuration matrix and all four oracles, then a fault-injected run
+# that must produce shrunk, replaying counterexamples (the fuzzer testing
+# itself). Slower than `check`; run before releases.
+fuzz:
+	dune exec bin/tbaac.exe -- fuzz --count 200 --seed 1
+	dune exec bin/tbaac.exe -- fuzz --count 25 --seed 1 --fault-rate 0.05
 
 # The defense-in-depth gate: the whole workload suite through the guarded
 # pipeline (IR validated after every pass) and the simulator under the

@@ -497,6 +497,116 @@ let audit_cmd =
       const run $ file_arg $ workload_arg $ analysis_arg $ world_arg $ minv_arg
       $ fault_rate_arg $ fault_seed_arg $ fuel_arg $ json_arg)
 
+let fuzz_cmd =
+  let run count seed size fault_rate fault_seed out fuel max_cx replay =
+    match replay with
+    | Some path -> (
+      match Harness.Fuzz.replay ?fuel ~path () with
+      | Ok f ->
+        Printf.printf "reproduced [%s/%s]: %s\n"
+          (Harness.Fuzz.oracle_id_to_string f.Harness.Fuzz.f_oracle)
+          f.Harness.Fuzz.f_config f.Harness.Fuzz.f_detail
+      | Error reason ->
+        prerr_endline ("tbaac: " ^ reason);
+        exit 1)
+    | None ->
+      let fault =
+        if fault_rate > 0.0 then Some (fault_seed, fault_rate) else None
+      in
+      let out_dir = if out = "" then None else Some out in
+      let r =
+        Harness.Fuzz.run ~out_dir ?fault ?fuel ~size
+          ?max_counterexamples:max_cx ~log:print_endline ~count ~seed ()
+      in
+      Printf.printf "fuzz: %d/%d programs clean (%d configurations × 4 oracles)\n"
+        (r.Harness.Fuzz.total - r.Harness.Fuzz.failed)
+        r.Harness.Fuzz.total
+        (List.length (Harness.Fuzz.config_names ()));
+      List.iter
+        (fun (cx : Harness.Fuzz.counterexample) ->
+          Printf.printf
+            "counterexample: seed %d [%s/%s] %d -> %d bytes%s%s\n"
+            cx.Harness.Fuzz.cx_seed
+            (Harness.Fuzz.oracle_id_to_string
+               cx.Harness.Fuzz.cx_failure.Harness.Fuzz.f_oracle)
+            cx.Harness.Fuzz.cx_failure.Harness.Fuzz.f_config
+            cx.Harness.Fuzz.cx_original_bytes cx.Harness.Fuzz.cx_shrunk_bytes
+            (match cx.Harness.Fuzz.cx_path with
+            | Some p -> " -> " ^ p
+            | None -> "")
+            (if cx.Harness.Fuzz.cx_path <> None then
+               if cx.Harness.Fuzz.cx_replayed then " (replays)"
+               else " (REPLAY FAILED)"
+             else ""))
+        r.Harness.Fuzz.counterexamples;
+      (* With fault injection the failures are the expected outcome (the
+         oracles catching seeded miscompiles); without it any failure is a
+         real bug in the pipeline. *)
+      if fault = None && r.Harness.Fuzz.failed > 0 then exit 1
+  in
+  let count_arg =
+    Arg.(
+      value & opt int 100
+      & info [ "count"; "n" ] ~docv:"N" ~doc:"Number of programs to generate.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"S"
+          ~doc:"Base generator seed; program $(i,i) uses seed S+i.")
+  in
+  let size_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "size" ] ~docv:"K"
+          ~doc:"Generator size knob, 1-3: type-hierarchy depth and body length.")
+  in
+  let fault_rate_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "fault-rate" ] ~docv:"R"
+          ~doc:
+            "Deterministically flip this fraction of may-alias answers in \
+             every optimized configuration (detector self-test: the oracles \
+             should report failures, which exit 0).")
+  in
+  let fault_seed_arg =
+    Arg.(
+      value & opt int 0xBAA
+      & info [ "fault-seed" ] ~docv:"S" ~doc:"PRNG seed for fault injection.")
+  in
+  let out_arg =
+    Arg.(
+      value & opt string "fuzz-failures"
+      & info [ "out" ] ~docv:"DIR"
+          ~doc:"Directory for shrunk repro files; empty string disables writing.")
+  in
+  let max_cx_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "max-counterexamples" ] ~docv:"N"
+          ~doc:"Shrink at most N failing programs (default 3).")
+  in
+  let replay_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:
+            "Replay a repro file written by a previous run: re-run the \
+             recorded (oracle, configuration) against its source; exits \
+             nonzero unless the failure reproduces.")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Generate random well-typed programs and check every optimized \
+          configuration against the differential-semantics, \
+          precision-lattice, round-trip and IR-validity oracles; failures \
+          are shrunk to minimal repro files.")
+    Term.(
+      const run $ count_arg $ seed_arg $ size_arg $ fault_rate_arg
+      $ fault_seed_arg $ out_arg $ fuel_arg $ max_cx_arg $ replay_arg)
+
 let experiment_cmd =
   let names =
     [ ("table4", fun () -> Harness.Experiments.Table4.render ());
@@ -536,6 +646,6 @@ let main =
     (Cmd.info "tbaac" ~version:"1.0.0"
        ~doc:"Type-based alias analysis for MiniM3 (Diwan, McKinley & Moss, PLDI 1998)")
     [ check_cmd; format_cmd; ir_cmd; aliases_cmd; optimize_cmd; run_cmd;
-      audit_cmd; experiment_cmd ]
+      audit_cmd; fuzz_cmd; experiment_cmd ]
 
 let () = exit (Cmd.eval main)

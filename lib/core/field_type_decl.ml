@@ -6,14 +6,28 @@ open Ir
    pointer-valued prefixes reached by recursion)? The recursion bottoms out
    at bare variables, where case 7's TypeDecl applies — two distinct
    variables of compatible type may hold the same pointer. *)
-let rec ftd ~compat ~at ap1 ap2 =
+let rec ftd ~compat ~at ~is_obj ap1 ap2 =
   if Apath.equal ap1 ap2 then true (* case 1 *)
   else
     let pre ap = Option.value (Apath.prefix ap) ~default:(Apath.of_var ap.Apath.base) in
     match (Apath.last ap1, Apath.last ap2) with
     | Some (Apath.Sfield (f, _)), Some (Apath.Sfield (g, _)) ->
-      (* case 2: same field on possibly-identical objects *)
-      Ident.equal f g && ftd ~compat ~at (pre ap1) (pre ap2)
+      (* case 2: same field on possibly-identical containers. Qualifying
+         an *object*-typed receiver carries an implicit dereference
+         ([o.f] abbreviates [o^.f]), so the recursion must bottom out at
+         the two referent objects — case 7 on [o^]/[o'^], i.e. type
+         compatibility of the receivers — not at the pointer-holding
+         prefixes. Recursing on the prefixes there would separate
+         same-named fields of a shared sub-object whenever the pointers
+         to it live in unrelated places (e.g. [o6.peer.tag] vs
+         [o7.peer.tag] with o6, o7 of sibling object types but
+         [o6.peer = o7.peer]). Record receivers are qualified in place,
+         so for them prefix recursion is exact. *)
+      Ident.equal f g
+      &&
+      let r1 = Kills.prefix_ty ap1 and r2 = Kills.prefix_ty ap2 in
+      if is_obj r1 || is_obj r2 then compat r1 r2
+      else ftd ~compat ~at ~is_obj (pre ap1) (pre ap2)
     | Some (Apath.Sfield (f, content)), Some (Apath.Sderef t) ->
       (* case 3: a dereference reaches a field only if that field's address
          was taken somewhere and the types are compatible *)
@@ -35,25 +49,26 @@ let rec ftd ~compat ~at ap1 ap2 =
       false
     | Some (Apath.Sindex _), Some (Apath.Sindex _) ->
       (* case 6: same array reachable? subscripts are ignored *)
-      ftd ~compat ~at (pre ap1) (pre ap2)
+      ftd ~compat ~at ~is_obj (pre ap1) (pre ap2)
     | _ ->
       (* case 7: everything else, including two dereferences and bare
          variables, falls back to type compatibility *)
       compat (Apath.ty ap1) (Apath.ty ap2)
 
-let may_alias_with ~compat ~at ap1 ap2 =
+let may_alias_with ~compat ~at ~is_obj ap1 ap2 =
   let m1 = Apath.is_memory_ref ap1 and m2 = Apath.is_memory_ref ap2 in
   if not (m1 || m2) then Reg.var_equal ap1.Apath.base ap2.Apath.base
   else if not (m1 && m2) then false
-  else ftd ~compat ~at ap1 ap2
+  else ftd ~compat ~at ~is_obj ap1 ap2
 
 let oracle ~(facts : Facts.t) ~world : Oracle.t =
   let env = facts.Facts.tenv in
   let compat = Type_decl.compat env in
   let at = Address_taken.make ~facts ~world ~compat in
+  let is_obj = Minim3.Types.is_object env in
   { Oracle.name = "FieldTypeDecl";
     compat;
-    may_alias = may_alias_with ~compat ~at;
+    may_alias = may_alias_with ~compat ~at ~is_obj;
     store_class = Kills.store_class;
     class_kills = Kills.class_kills ~compat ~at;
     addr_taken_var = Address_taken.var_taken at }

@@ -11,9 +11,13 @@ open Ir
 val may_alias_with :
   compat:(Types.tid -> Types.tid -> bool) ->
   at:Address_taken.ctx ->
+  is_obj:(Types.tid -> bool) ->
   Apath.t ->
   Apath.t ->
   bool
-(** The seven cases of Table 2 over selector strings. *)
+(** The seven cases of Table 2 over selector strings. [is_obj] marks the
+    object types, whose field qualifications carry an implicit
+    dereference: for those, case 2 bottoms out at receiver-type
+    compatibility instead of recursing on the pointer-holding prefix. *)
 
 val oracle : facts:Facts.t -> world:World.t -> Oracle.t

@@ -125,7 +125,7 @@ let ptbl_add t h a b v =
 let int_eq (a : int) (b : int) = a = b
 let unit_eq () () = true
 
-let wrap ?(counters = fresh_counters ()) (oracle : Oracle.t) : Oracle.t =
+let wrap ?(counters = fresh_counters ()) ?log (oracle : Oracle.t) : Oracle.t =
   let c = counters in
   let compat_tbl : (int, int, bool) ptbl = ptbl_create 64 int_eq int_eq in
   let alias_tbl : (Apath.t, Apath.t, bool) ptbl =
@@ -183,6 +183,10 @@ let wrap ?(counters = fresh_counters ()) (oracle : Oracle.t) : Oracle.t =
       c.alias_misses <- c.alias_misses + 1;
       let r = oracle.Oracle.may_alias ap1 ap2 in
       ptbl_add alias_tbl h ap1' ap2' r;
+      (* Fire the observer on misses only: each distinct (canonicalized)
+         pair is reported exactly once per wrapper incarnation, which is
+         what the fuzzer's precision-lattice oracle wants to replay. *)
+      (match log with None -> () | Some f -> f ap1' ap2' r);
       r
   in
   (* class_kills factors through the path's store class (the {!Oracle}

@@ -44,8 +44,18 @@ val snapshot : counters -> snapshot
 val diff : before:snapshot -> after:snapshot -> counters
 (** The queries/misses that happened between two snapshots. *)
 
-val wrap : ?counters:counters -> Oracle.t -> Oracle.t
+val wrap :
+  ?counters:counters ->
+  ?log:(Ir.Apath.t -> Ir.Apath.t -> bool -> unit) ->
+  Oracle.t ->
+  Oracle.t
 (** Memoize the oracle. Supplying [counters] lets several wrapper
     incarnations (one per analysis recomputation) accumulate into one
     record. The [addr_taken_var] component is passed through unmemoized (it
-    is already a constant-time lookup). *)
+    is already a constant-time lookup).
+
+    [log] observes [may_alias]: it fires once per distinct canonicalized
+    path pair (on the cache miss, with the answer the wrapped oracle gave,
+    including any fault-injection flip sitting below the cache). The
+    fuzzer's precision-lattice oracle uses this to replay every query the
+    optimizer actually made against all three analyses. *)

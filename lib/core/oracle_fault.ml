@@ -1,3 +1,4 @@
+open Support
 open Ir
 
 type stats = { mutable alias_flips : int; mutable kill_flips : int }
@@ -10,7 +11,22 @@ let fresh_stats () = { alias_flips = 0; kill_flips = 0 }
    must agree with the answers the dataflow actually consumed. We hash a
    canonical key for each query, mix it with the seed through a
    splitmix64-style finalizer, and flip when the mixed value falls below
-   the rate threshold. *)
+   the rate threshold.
+
+   The keys must also be stable across *processes* — a fuzz repro file
+   records only (seed, rate), so replaying it in a fresh run must flip
+   the same answers. [Ident.hash] (and hence [Apath.hash]/[Aloc.hash])
+   is the global interning id, which depends on everything the process
+   parsed earlier; we hash printed forms instead, whose only ids are
+   per-program temp numbers. *)
+
+let path_key ap = Hashtbl.hash (Apath.to_string ap)
+
+let aloc_key = function
+  | Aloc.Lfield (f, recv, content) -> Hashtbl.hash (0, Ident.name f, recv, content)
+  | Aloc.Lelem (arr, elem) -> Hashtbl.hash (1, arr, elem)
+  | Aloc.Ltarget t -> Hashtbl.hash (2, t)
+  | Aloc.Lvar (id, t) -> Hashtbl.hash (3, id, t)
 
 let mix64 z =
   let open Int64 in
@@ -28,7 +44,7 @@ let wrap ?(flip_class_kills = true) ?(stats = fresh_stats ()) ~seed ~rate
   let may_alias ap1 ap2 =
     let answer = oracle.Oracle.may_alias ap1 ap2 in
     (* Symmetric key, mirroring the cache's pair canonicalization. *)
-    let h1 = Apath.hash ap1 and h2 = Apath.hash ap2 in
+    let h1 = path_key ap1 and h2 = path_key ap2 in
     let lo, hi = if h1 <= h2 then (h1, h2) else (h2, h1) in
     if decide ~seed ~rate ((lo * 31) + hi + 1) then begin
       stats.alias_flips <- stats.alias_flips + 1;
@@ -44,7 +60,7 @@ let wrap ?(flip_class_kills = true) ?(stats = fresh_stats ()) ~seed ~rate
          granularity [Oracle_cache] memoizes at, so cached and uncached
          runs see identical faults. *)
       let key =
-        (Aloc.hash cls * 31) + Aloc.hash (oracle.Oracle.store_class ap) + 2
+        (aloc_key cls * 31) + aloc_key (oracle.Oracle.store_class ap) + 2
       in
       if decide ~seed ~rate key then begin
         stats.kill_flips <- stats.kill_flips + 1;

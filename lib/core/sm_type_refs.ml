@@ -109,7 +109,9 @@ let oracle ?(variant = Grouped) ~facts ~world () : Oracle.t =
       | Grouped -> "SMFieldTypeRefs"
       | Per_type -> "SMFieldTypeRefs(per-type)");
     compat;
-    may_alias = Field_type_decl.may_alias_with ~compat ~at;
+    may_alias =
+      Field_type_decl.may_alias_with ~compat ~at
+        ~is_obj:(Types.is_object facts.Facts.tenv);
     store_class = Kills.store_class;
     class_kills = Kills.class_kills ~compat ~at;
     addr_taken_var = Address_taken.var_taken at }

@@ -1,0 +1,825 @@
+(* Seeded generator of well-typed MiniM3 modules.
+
+   The generator works type-directed: it first draws a random type universe
+   (object hierarchies, a record, open/fixed/branded arrays), then a set of
+   procedures with varied signatures, and only then emits statements — every
+   designator and expression is produced from pools indexed by type, so the
+   result typechecks by construction.  Termination is by construction too:
+   loops are either constant-bounded FORs or counted down through dedicated
+   counter variables (w0..w3) that no other statement may touch, and the call
+   graph is acyclic (procedure i calls only procedures with index < i; method
+   implementations call no user procedure, so devirtualized inlining cannot
+   introduce recursion either). *)
+
+open Support
+
+type t = { seed : int; size : int; module_name : string; source : string }
+
+(* ------------------------------------------------------------------ *)
+(* Type-universe model                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type fty = FInt | FPtr of string | FVec | FRec
+
+type fld = { fl_name : string; fl_ty : fty }
+
+type cls = {
+  k_name : string;
+  k_super : string option;  (* None = direct ROOT child *)
+  k_fields : fld list;      (* own fields *)
+  k_methods : string list;  (* method names declared here *)
+  k_overrides : string list;  (* method names overridden here *)
+}
+
+type psig =
+  | Pplain  (* (n: INTEGER) *)
+  | Pret  (* (n: INTEGER): INTEGER *)
+  | Pobj of string  (* (ob: C; n: INTEGER): INTEGER *)
+  | Pvar  (* (VAR z: INTEGER; n: INTEGER) *)
+
+type proc = { p_name : string; p_sig : psig }
+
+let find_cls classes name = List.find (fun k -> k.k_name = name) classes
+
+let rec chain classes c =
+  c
+  ::
+  (match c.k_super with
+  | None -> []
+  | Some s -> chain classes (find_cls classes s))
+
+(* All fields visible on [c], own first. *)
+let visible_fields classes c =
+  List.concat_map (fun k -> k.k_fields) (chain classes c)
+
+let visible_methods classes c =
+  let names = List.concat_map (fun k -> k.k_methods) (chain classes c) in
+  List.sort_uniq compare names
+
+let is_subtype classes ~sub ~sup =
+  List.exists (fun k -> k.k_name = sup) (chain classes (find_cls classes sub))
+
+(* Concrete classes assignable to a variable of static class [sup]. *)
+let subtypes_of classes sup =
+  List.filter (fun k -> is_subtype classes ~sub:k.k_name ~sup) classes
+  |> List.map (fun k -> k.k_name)
+
+let impl_name cls m = Printf.sprintf "Im_%s_%s" cls m
+
+(* ------------------------------------------------------------------ *)
+(* Designator pools                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type pools = {
+  ints : string list;  (* writable INTEGER designators *)
+  ro_ints : string list;  (* readonly INTEGER designators (FOR/WITH vars) *)
+  ptrs : (string * string) list;  (* object designator, static class *)
+  vecs : string list;  (* IntVec designators *)
+  bvecs : string list;  (* BVec designators *)
+  farrs : string list;  (* FArr designators *)
+  bools : string list;  (* writable BOOLEAN designators *)
+}
+
+let empty_pools =
+  { ints = []; ro_ints = []; ptrs = []; vecs = []; bvecs = []; farrs = [];
+    bools = [] }
+
+(* Expand object roots into field designators, following pointer fields up
+   to [depth] extra levels ("o0", "o0.next", "o0.next.a", ...). *)
+let expand_pools classes (base : pools) (roots : (string * string) list) =
+  let ints = ref base.ints
+  and ptrs = ref base.ptrs
+  and vecs = ref base.vecs in
+  let rec visit depth (d, cn) =
+    ptrs := (d, cn) :: !ptrs;
+    List.iter
+      (fun f ->
+        let sub = d ^ "." ^ f.fl_name in
+        match f.fl_ty with
+        | FInt -> ints := sub :: !ints
+        | FRec ->
+          ints := (sub ^ ".x") :: (sub ^ ".y") :: !ints
+        | FVec -> vecs := sub :: !vecs
+        | FPtr tn -> if depth > 0 then visit (depth - 1) (sub, tn))
+      (visible_fields classes (find_cls classes cn))
+  in
+  List.iter (visit 1) roots;
+  { base with
+    ints = List.rev !ints; ptrs = List.rev !ptrs; vecs = List.rev !vecs }
+
+(* ------------------------------------------------------------------ *)
+(* Statement / expression emission                                     *)
+(* ------------------------------------------------------------------ *)
+
+type env = {
+  rng : Prng.t;
+  classes : cls list;
+  callable : proc list;  (* procedures this body may call *)
+  methods_ok : bool;  (* may this body perform method calls? *)
+  mutable pools : pools;
+  mutable next_w : int;  (* next free loop counter, capped at 4 *)
+  mutable next_bind : int;  (* FOR / WITH binder counter *)
+  mutable budget : int;  (* remaining statements *)
+  depth_max : int;
+  buf : Buffer.t;
+}
+
+let pad ind = String.make (2 * ind) ' '
+
+let emitf env ind fmt =
+  Buffer.add_string env.buf (pad ind);
+  Printf.ksprintf
+    (fun s ->
+      Buffer.add_string env.buf s;
+      Buffer.add_char env.buf '\n')
+    fmt
+
+let readable_ints p = p.ints @ p.ro_ints
+
+let rec int_expr env depth : string =
+  let p = env.pools in
+  let rng = env.rng in
+  let atom () =
+    let ds = readable_ints p in
+    let n_choices = 3 in
+    match Prng.int rng n_choices with
+    | 0 -> string_of_int (Prng.int rng 10)
+    | 1 when ds <> [] -> Prng.pick rng ds
+    | _ -> int_designator env depth
+  in
+  if depth <= 0 then atom ()
+  else
+    match Prng.int rng 10 with
+    | 0 | 1 -> atom ()
+    | 2 ->
+      Printf.sprintf "(%s + %s)" (int_expr env (depth - 1))
+        (int_expr env (depth - 1))
+    | 3 ->
+      Printf.sprintf "(%s - %s)" (int_expr env (depth - 1))
+        (int_expr env (depth - 1))
+    | 4 ->
+      Printf.sprintf "(%s * %d)" (int_expr env (depth - 1)) (Prng.int rng 5)
+    | 5 ->
+      Printf.sprintf "(%s DIV (%s + 1))" (int_expr env (depth - 1))
+        (Printf.sprintf "Abs (%s)" (int_expr env (depth - 1)))
+    | 6 -> Printf.sprintf "Abs (%s)" (int_expr env (depth - 1))
+    | 7 -> (
+      (* method call on an object whose class declares methods *)
+      let candidates =
+        if env.methods_ok then
+          List.filter
+            (fun (_, cn) ->
+              visible_methods env.classes (find_cls env.classes cn) <> [])
+            p.ptrs
+        else []
+      in
+      match candidates with
+      | [] -> atom ()
+      | _ ->
+        let d, cn = Prng.pick rng candidates in
+        let m =
+          Prng.pick rng (visible_methods env.classes (find_cls env.classes cn))
+        in
+        Printf.sprintf "%s.%s (%s)" d m (int_expr env (depth - 1)))
+    | 8 -> (
+      (* call a value-returning procedure *)
+      let rets =
+        List.filter
+          (fun pr ->
+            match pr.p_sig with
+            | Pret -> true
+            | Pobj cn -> List.exists (fun (_, dn) ->
+                is_subtype env.classes ~sub:dn ~sup:cn) p.ptrs
+            | _ -> false)
+          env.callable
+      in
+      match rets with
+      | [] -> atom ()
+      | _ -> (
+        let pr = Prng.pick rng rets in
+        match pr.p_sig with
+        | Pret ->
+          Printf.sprintf "%s (%s)" pr.p_name (int_expr env (depth - 1))
+        | Pobj cn ->
+          let obj, _ =
+            Prng.pick rng
+              (List.filter
+                 (fun (_, dn) -> is_subtype env.classes ~sub:dn ~sup:cn)
+                 p.ptrs)
+          in
+          Printf.sprintf "%s (%s, %s)" pr.p_name obj (int_expr env (depth - 1))
+        | _ -> assert false))
+    | _ ->
+      if p.vecs <> [] && Prng.bool rng then
+        Printf.sprintf "Number (%s)" (Prng.pick rng p.vecs)
+      else Printf.sprintf "Min (%s, %s)" (int_expr env (depth - 1))
+             (int_expr env (depth - 1))
+
+(* An INTEGER *designator* (usable as assignment target or VAR actual when
+   drawn from the writable pool; this variant may also index arrays). *)
+and int_designator env depth : string =
+  let p = env.pools in
+  let rng = env.rng in
+  let idx () =
+    if Prng.bool rng then string_of_int (Prng.int rng 8)
+    else Printf.sprintf "Abs (%s) MOD 8" (int_expr env (max 0 (depth - 1)))
+  in
+  let arrayish =
+    (if p.vecs <> [] then [ `Vec ] else [])
+    @ (if p.bvecs <> [] then [ `BVec ] else [])
+    @ (if p.farrs <> [] then [ `FArr ] else [])
+  in
+  if arrayish <> [] && Prng.int rng 3 = 0 then
+    match Prng.pick rng arrayish with
+    | `Vec -> Printf.sprintf "%s[%s]" (Prng.pick rng p.vecs) (idx ())
+    | `BVec -> Printf.sprintf "%s[%s]" (Prng.pick rng p.bvecs) (idx ())
+    | `FArr -> Printf.sprintf "%s[%s]" (Prng.pick rng p.farrs) (idx ())
+  else if p.ints <> [] then Prng.pick rng p.ints
+  else string_of_int (Prng.int rng 10)
+
+(* A *writable* INTEGER designator. *)
+let int_target env =
+  let p = env.pools in
+  let rng = env.rng in
+  let arrayish =
+    (if p.vecs <> [] then [ `Vec ] else [])
+    @ (if p.bvecs <> [] then [ `BVec ] else [])
+    @ (if p.farrs <> [] then [ `FArr ] else [])
+  in
+  if arrayish <> [] && Prng.int rng 4 = 0 then
+    let idx = string_of_int (Prng.int rng 8) in
+    match Prng.pick rng arrayish with
+    | `Vec -> Printf.sprintf "%s[%s]" (Prng.pick rng p.vecs) idx
+    | `BVec -> Printf.sprintf "%s[%s]" (Prng.pick rng p.bvecs) idx
+    | `FArr -> Printf.sprintf "%s[%s]" (Prng.pick rng p.farrs) idx
+  else if p.ints <> [] then Prng.pick rng p.ints
+  else "g0"
+
+let rec bool_expr env depth : string =
+  let p = env.pools in
+  let rng = env.rng in
+  if depth <= 0 then
+    match Prng.int rng 4 with
+    | 0 when p.bools <> [] -> Prng.pick rng p.bools
+    | 1 -> if Prng.bool rng then "TRUE" else "FALSE"
+    | _ ->
+      Printf.sprintf "(%s %s %s)" (int_expr env 0)
+        (Prng.pick rng [ "<"; "<="; ">"; ">="; "="; "#" ])
+        (int_expr env 0)
+  else
+    match Prng.int rng 6 with
+    | 0 ->
+      Printf.sprintf "(%s %s %s)" (int_expr env (depth - 1))
+        (Prng.pick rng [ "<"; "<="; ">"; ">="; "="; "#" ])
+        (int_expr env (depth - 1))
+    | 1 when p.ptrs <> [] ->
+      let d, _ = Prng.pick rng p.ptrs in
+      Printf.sprintf "(%s %s NIL)" d (if Prng.bool rng then "=" else "#")
+    | 2 ->
+      Printf.sprintf "(%s AND %s)" (bool_expr env (depth - 1))
+        (bool_expr env (depth - 1))
+    | 3 ->
+      Printf.sprintf "(%s OR %s)" (bool_expr env (depth - 1))
+        (bool_expr env (depth - 1))
+    | 4 -> Printf.sprintf "NOT %s" (bool_expr env (depth - 1))
+    | _ -> bool_expr env 0
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let take_budget env = env.budget > 0 && (env.budget <- env.budget - 1; true)
+
+let rec gen_stmts env ind depth count =
+  for _ = 1 to count do
+    if take_budget env then gen_stmt env ind depth
+  done
+
+and gen_stmt env ind depth =
+  let p = env.pools in
+  let rng = env.rng in
+  let e_depth = 2 in
+  match Prng.int rng 14 with
+  | 0 | 1 | 2 ->
+    emitf env ind "%s := %s;" (int_target env) (int_expr env e_depth)
+  | 3 when p.bools <> [] ->
+    emitf env ind "%s := %s;" (Prng.pick rng p.bools) (bool_expr env 1)
+  | 3 | 4 when p.ptrs <> [] -> gen_ptr_assign env ind
+  | 5 when p.vecs <> [] ->
+    let v = Prng.pick rng p.vecs in
+    if Prng.bool rng && List.length p.vecs > 1 then
+      emitf env ind "%s := %s;" v (Prng.pick rng p.vecs)
+    else emitf env ind "%s := NEW (IntVec, %d);" v (1 + Prng.int rng 8)
+  | 6 -> gen_call_stmt env ind
+  | 7 when depth < env.depth_max -> gen_if env ind depth
+  | 8 when depth < env.depth_max -> gen_for env ind depth
+  | 9 when depth < env.depth_max && env.next_w < 4 -> gen_while env ind depth
+  | 10 when depth < env.depth_max && env.next_w < 4 -> gen_repeat env ind depth
+  | 11 when depth < env.depth_max -> gen_with env ind depth
+  | 12 when p.ptrs <> [] && env.methods_ok -> (
+    let candidates =
+      List.filter
+        (fun (_, cn) ->
+          visible_methods env.classes (find_cls env.classes cn) <> [])
+        p.ptrs
+    in
+    match candidates with
+    | [] -> emitf env ind "%s := %s;" (int_target env) (int_expr env 1)
+    | _ ->
+      let d, cn = Prng.pick rng candidates in
+      let m =
+        Prng.pick rng (visible_methods env.classes (find_cls env.classes cn))
+      in
+      emitf env ind "%s.%s (%s);" d m (int_expr env 1))
+  | _ -> emitf env ind "%s := %s;" (int_target env) (int_expr env e_depth)
+
+and gen_ptr_assign env ind =
+  let p = env.pools in
+  let rng = env.rng in
+  let d, cn = Prng.pick rng p.ptrs in
+  let subs = subtypes_of env.classes cn in
+  let compat_sources =
+    List.filter
+      (fun (_, en) -> is_subtype env.classes ~sub:en ~sup:cn)
+      p.ptrs
+  in
+  match Prng.int rng 4 with
+  | 0 -> emitf env ind "%s := NIL;" d
+  | 1 | 2 when compat_sources <> [] ->
+    let s, _ = Prng.pick rng compat_sources in
+    emitf env ind "%s := %s;" d s
+  | _ -> emitf env ind "%s := NEW (%s);" d (Prng.pick rng subs)
+
+and gen_call_stmt env ind =
+  let rng = env.rng in
+  let p = env.pools in
+  let callable =
+    List.filter
+      (fun pr ->
+        match pr.p_sig with
+        | Pvar -> p.ints <> []
+        | Pobj cn ->
+          List.exists (fun (_, dn) -> is_subtype env.classes ~sub:dn ~sup:cn)
+            p.ptrs
+        | _ -> true)
+      env.callable
+  in
+  match callable with
+  | [] -> emitf env ind "%s := %s;" (int_target env) (int_expr env 1)
+  | _ -> (
+    let pr = Prng.pick rng callable in
+    match pr.p_sig with
+    | Pplain -> emitf env ind "%s (%s);" pr.p_name (int_expr env 1)
+    | Pret -> emitf env ind "%s (%s);" pr.p_name (int_expr env 1)
+    | Pvar ->
+      emitf env ind "%s (%s, %s);" pr.p_name (Prng.pick rng p.ints)
+        (int_expr env 1)
+    | Pobj cn ->
+      let obj, _ =
+        Prng.pick rng
+          (List.filter
+             (fun (_, dn) -> is_subtype env.classes ~sub:dn ~sup:cn)
+             p.ptrs)
+      in
+      emitf env ind "%s (%s, %s);" pr.p_name obj (int_expr env 1))
+
+and gen_if env ind depth =
+  let rng = env.rng in
+  emitf env ind "IF %s THEN" (bool_expr env 1);
+  gen_stmts env (ind + 1) (depth + 1) (1 + Prng.int rng 2);
+  if Prng.int rng 3 = 0 then begin
+    emitf env ind "ELSIF %s THEN" (bool_expr env 1);
+    gen_stmts env (ind + 1) (depth + 1) 1
+  end;
+  if Prng.bool rng then begin
+    emitf env ind "ELSE";
+    gen_stmts env (ind + 1) (depth + 1) (1 + Prng.int rng 2)
+  end;
+  emitf env ind "END;"
+
+and gen_for env ind depth =
+  let rng = env.rng in
+  let v = Printf.sprintf "i%d" env.next_bind in
+  env.next_bind <- env.next_bind + 1;
+  let lo = Prng.int rng 3 in
+  let hi = lo + Prng.int rng 7 in
+  let by = if Prng.int rng 4 = 0 then " BY 2" else "" in
+  emitf env ind "FOR %s := %d TO %d%s DO" v lo hi by;
+  let saved = env.pools in
+  env.pools <- { saved with ro_ints = v :: saved.ro_ints };
+  gen_stmts env (ind + 1) (depth + 1) (1 + Prng.int rng 2);
+  env.pools <- saved;
+  emitf env ind "END;"
+
+and gen_while env ind depth =
+  let rng = env.rng in
+  let w = Printf.sprintf "w%d" env.next_w in
+  env.next_w <- env.next_w + 1;
+  emitf env ind "%s := %d;" w (1 + Prng.int rng 4);
+  emitf env ind "WHILE %s > 0 DO" w;
+  gen_stmts env (ind + 1) (depth + 1) (1 + Prng.int rng 2);
+  emitf env (ind + 1) "%s := %s - 1;" w w;
+  emitf env ind "END;";
+  env.next_w <- env.next_w - 1
+
+and gen_repeat env ind depth =
+  let rng = env.rng in
+  let w = Printf.sprintf "w%d" env.next_w in
+  env.next_w <- env.next_w + 1;
+  let style = Prng.int rng 2 in
+  if style = 0 then begin
+    emitf env ind "%s := 0;" w;
+    emitf env ind "REPEAT";
+    emitf env (ind + 1) "%s := %s + 1;" w w;
+    gen_stmts env (ind + 1) (depth + 1) (1 + Prng.int rng 2);
+    emitf env ind "UNTIL %s >= %d;" w (1 + Prng.int rng 4)
+  end
+  else begin
+    emitf env ind "%s := %d;" w (1 + Prng.int rng 4);
+    emitf env ind "LOOP";
+    emitf env (ind + 1) "IF %s <= 0 THEN EXIT; END;" w;
+    gen_stmts env (ind + 1) (depth + 1) (1 + Prng.int rng 2);
+    emitf env (ind + 1) "%s := %s - 1;" w w;
+    emitf env ind "END;"
+  end;
+  env.next_w <- env.next_w - 1
+
+and gen_with env ind depth =
+  let rng = env.rng in
+  let p = env.pools in
+  let saved = env.pools in
+  if p.ptrs <> [] && Prng.bool rng then begin
+    (* designator binding to an object: writable alias *)
+    let d, cn = Prng.pick rng p.ptrs in
+    let v = Printf.sprintf "pt%d" env.next_bind in
+    env.next_bind <- env.next_bind + 1;
+    emitf env ind "WITH %s = %s DO" v d;
+    env.pools <- expand_pools env.classes { saved with ptrs = saved.ptrs }
+                   [ (v, cn) ];
+    gen_stmts env (ind + 1) (depth + 1) (1 + Prng.int rng 2);
+    env.pools <- saved;
+    emitf env ind "END;"
+  end
+  else if p.ints <> [] then begin
+    (* designator binding to an integer cell: writable alias *)
+    let d = Prng.pick rng p.ints in
+    let v = Printf.sprintf "al%d" env.next_bind in
+    env.next_bind <- env.next_bind + 1;
+    emitf env ind "WITH %s = %s DO" v d;
+    env.pools <- { saved with ints = v :: saved.ints };
+    gen_stmts env (ind + 1) (depth + 1) (1 + Prng.int rng 2);
+    env.pools <- saved;
+    emitf env ind "END;"
+  end
+  else begin
+    (* value binding: readonly scalar *)
+    let v = Printf.sprintf "cv%d" env.next_bind in
+    env.next_bind <- env.next_bind + 1;
+    emitf env ind "WITH %s = %s DO" v (int_expr env 1);
+    env.pools <- { saved with ro_ints = v :: saved.ro_ints };
+    gen_stmts env (ind + 1) (depth + 1) 1;
+    env.pools <- saved;
+    emitf env ind "END;"
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Type-universe generation                                            *)
+(* ------------------------------------------------------------------ *)
+
+let int_field_names = [ "a"; "b"; "c"; "val"; "sum"; "tag" ]
+let ptr_field_names = [ "next"; "peer"; "link" ]
+let vec_field_names = [ "elems"; "buf" ]
+let rec_field_names = [ "cell"; "slot" ]
+let method_names = [ "get"; "tally" ]
+
+let gen_classes rng size =
+  let classes = ref [] in
+  let counter = ref 0 in
+  let n_hier = if size >= 2 then 2 else 1 in
+  for _ = 1 to n_hier do
+    let used_in_hier = ref [] in
+    let fresh_fields ~taken pool n =
+      let avail = List.filter (fun f -> not (List.mem f taken)) pool in
+      let arr = Array.of_list avail in
+      Prng.shuffle rng arr;
+      Array.to_list (Array.sub arr 0 (min n (Array.length arr)))
+    in
+    (* root *)
+    let root_name = Printf.sprintf "C%d" !counter in
+    incr counter;
+    let root_ints = fresh_fields ~taken:[] int_field_names (1 + Prng.int rng 2) in
+    let root_ptr =
+      if Prng.bool rng then [ { fl_name = "next"; fl_ty = FPtr root_name } ]
+      else []
+    in
+    let root_methods =
+      let n = 1 + Prng.int rng (List.length method_names) in
+      let arr = Array.of_list method_names in
+      Prng.shuffle rng arr;
+      Array.to_list (Array.sub arr 0 n)
+    in
+    let root =
+      { k_name = root_name; k_super = None;
+        k_fields =
+          List.map (fun n -> { fl_name = n; fl_ty = FInt }) root_ints
+          @ root_ptr;
+        k_methods = root_methods; k_overrides = [] }
+    in
+    classes := !classes @ [ root ];
+    used_in_hier := [ root_name ];
+    (* subclasses *)
+    let n_subs = 1 + Prng.int rng (1 + size) in
+    for _ = 1 to n_subs do
+      let name = Printf.sprintf "C%d" !counter in
+      incr counter;
+      let super = Prng.pick rng !used_in_hier in
+      let super_cls = find_cls !classes super in
+      let taken =
+        List.map (fun f -> f.fl_name) (visible_fields !classes super_cls)
+      in
+      let ints = fresh_fields ~taken int_field_names (Prng.int rng 3) in
+      let extra =
+        match Prng.int rng 5 with
+        | 0 -> (
+          match fresh_fields ~taken ptr_field_names 1 with
+          | [ f ] ->
+            (* point at any class generated so far, either hierarchy *)
+            let target = Prng.pick rng (List.map (fun k -> k.k_name) !classes) in
+            [ { fl_name = f; fl_ty = FPtr target } ]
+          | _ -> [])
+        | 1 -> (
+          match fresh_fields ~taken vec_field_names 1 with
+          | [ f ] -> [ { fl_name = f; fl_ty = FVec } ]
+          | _ -> [])
+        | 2 -> (
+          match fresh_fields ~taken rec_field_names 1 with
+          | [ f ] -> [ { fl_name = f; fl_ty = FRec } ]
+          | _ -> [])
+        | _ -> []
+      in
+      let overrides =
+        List.filter
+          (fun _ -> Prng.bool rng)
+          (visible_methods !classes super_cls)
+      in
+      let c =
+        { k_name = name; k_super = Some super;
+          k_fields =
+            List.map (fun n -> { fl_name = n; fl_ty = FInt }) ints @ extra;
+          k_methods = []; k_overrides = overrides }
+      in
+      classes := !classes @ [ c ];
+      used_in_hier := name :: !used_in_hier
+    done
+  done;
+  !classes
+
+(* ------------------------------------------------------------------ *)
+(* Whole-module emission                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* One object global per class, so every class is reachable from main. *)
+let declared_globals classes =
+  List.mapi (fun i k -> (Printf.sprintf "o%d" i, k.k_name)) classes
+
+let generate ?(size = 2) seed =
+  let size = max 1 (min 3 size) in
+  let rng = Prng.create (Int64.of_int ((seed * 2654435761) lxor (size * 97))) in
+  let classes = gen_classes rng size in
+  let objs = declared_globals classes in
+  let roots = List.filter (fun k -> k.k_super = None) classes in
+  let av_elem = (List.hd roots).k_name in
+  let has_av = Prng.bool rng in
+  let module_name = Printf.sprintf "Fz%d" (abs seed mod 1000000) in
+  let buf = Buffer.create 4096 in
+  let out fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s) fmt in
+  out "MODULE %s;\n\n" module_name;
+  (* ---- types ---- *)
+  out "TYPE\n";
+  out "  Rec = RECORD x: INTEGER; y: INTEGER; END;\n";
+  out "  PRec = REF Rec;\n";
+  out "  IntVec = REF ARRAY OF INTEGER;\n";
+  out "  BVec = BRANDED \"fz\" REF ARRAY OF INTEGER;\n";
+  out "  FArr = ARRAY [0..7] OF INTEGER;\n";
+  if has_av then out "  AV = REF ARRAY OF %s;\n" av_elem;
+  List.iter
+    (fun k ->
+      let hdr =
+        match k.k_super with
+        | None -> "OBJECT"
+        | Some s -> s ^ " OBJECT"
+      in
+      out "  %s = %s\n" k.k_name hdr;
+      List.iter
+        (fun f ->
+          let ty =
+            match f.fl_ty with
+            | FInt -> "INTEGER"
+            | FPtr t -> t
+            | FVec -> "IntVec"
+            | FRec -> "PRec"
+          in
+          out "    %s: %s;\n" f.fl_name ty)
+        k.k_fields;
+      if k.k_methods <> [] then begin
+        out "  METHODS\n";
+        List.iter
+          (fun m ->
+            out "    %s (k: INTEGER): INTEGER := %s;\n" m (impl_name k.k_name m))
+          k.k_methods
+      end;
+      if k.k_overrides <> [] then begin
+        out "  OVERRIDES\n";
+        List.iter
+          (fun m -> out "    %s := %s;\n" m (impl_name k.k_name m))
+          k.k_overrides
+      end;
+      out "  END;\n")
+    classes;
+  (* ---- globals ---- *)
+  out "\nVAR\n";
+  List.iter (fun (g, cn) -> out "  %s: %s;\n" g cn) objs;
+  out "  r0: PRec;\n  v0: IntVec;\n  bv0: BVec;\n  fa0: FArr;\n";
+  if has_av then out "  av0: AV;\n";
+  out "  g0: INTEGER;\n  g1: INTEGER;\n  g2: INTEGER;\n  flag: BOOLEAN;\n";
+  (* base pools over the globals, shared by procedures and main *)
+  let global_base =
+    { empty_pools with
+      ints = [ "g0"; "g1"; "g2"; "r0.x"; "r0.y"; "fa0[0]" ];
+      vecs = [ "v0" ]; bvecs = [ "bv0" ]; farrs = [ "fa0" ];
+      bools = [ "flag" ] }
+  in
+  let global_pools =
+    let base = expand_pools classes global_base objs in
+    if has_av then
+      { base with
+        ptrs = base.ptrs @ [ ("av0[0]", av_elem); ("av0[1]", av_elem) ] }
+    else base
+  in
+  let mk_env ?(methods_ok = true) ~callable ~pools ~budget () =
+    { rng; classes; callable; methods_ok; pools; next_w = 0; next_bind = 0;
+      budget; depth_max = 3; buf }
+  in
+  let locals_decl () =
+    "  VAR x0: INTEGER; x1: INTEGER; w0: INTEGER; w1: INTEGER; w2: INTEGER; \
+     w3: INTEGER;\n"
+  in
+  let init_locals env =
+    emitf env 2 "x0 := %d;" (Prng.int rng 10);
+    emitf env 2 "x1 := %d;" (Prng.int rng 10)
+  in
+  (* ---- Bump: always-available VAR-param helper ---- *)
+  out "\nPROCEDURE Bump (VAR z: INTEGER; n: INTEGER) =\n";
+  out "  BEGIN\n    z := z + n + 1;\n  END Bump;\n";
+  let bump = { p_name = "Bump"; p_sig = Pvar } in
+  (* ---- method implementations ---- *)
+  let emit_impl cls m =
+    let c = find_cls classes cls in
+    out "\nPROCEDURE %s (self: %s; k: INTEGER): INTEGER =\n" (impl_name cls m)
+      cls;
+    out "%s" (locals_decl ());
+    out "  BEGIN\n";
+    let pools =
+      expand_pools classes
+        { global_pools with ints = "k" :: "x0" :: "x1" :: global_pools.ints }
+        [ ("self", c.k_name) ]
+    in
+    let env =
+      mk_env ~methods_ok:false ~callable:[ bump ] ~pools
+        ~budget:(1 + Prng.int rng 3) ()
+    in
+    init_locals env;
+    gen_stmts env 2 1 env.budget;
+    emitf env 2 "RETURN %s;" (int_expr env 2);
+    out "  END %s;\n" (impl_name cls m)
+  in
+  List.iter
+    (fun k ->
+      List.iter (fun m -> emit_impl k.k_name m) k.k_methods;
+      List.iter (fun m -> emit_impl k.k_name m) k.k_overrides)
+    classes;
+  (* ---- free procedures ---- *)
+  let n_procs = 2 + size in
+  let procs = ref [] in
+  for i = 0 to n_procs - 1 do
+    let p_sig =
+      match Prng.int rng 4 with
+      | 0 -> Pplain
+      | 1 -> Pret
+      | 2 -> Pvar
+      | _ -> Pobj (Prng.pick rng (List.map (fun k -> k.k_name) classes))
+    in
+    let pr = { p_name = Printf.sprintf "P%d" i; p_sig } in
+    let params, ret, extra_pools =
+      match p_sig with
+      | Pplain -> ("n: INTEGER", "", [])
+      | Pret -> ("n: INTEGER", ": INTEGER", [])
+      | Pvar -> ("VAR z: INTEGER; n: INTEGER", "", [ "z" ])
+      | Pobj cn -> ("ob: " ^ cn ^ "; n: INTEGER", ": INTEGER", [])
+    in
+    out "\nPROCEDURE %s (%s)%s =\n" pr.p_name params ret;
+    out "%s" (locals_decl ());
+    out "  BEGIN\n";
+    let obj_roots = match p_sig with Pobj cn -> [ ("ob", cn) ] | _ -> [] in
+    let pools =
+      expand_pools classes
+        { global_pools with
+          ints = ("n" :: extra_pools) @ ("x0" :: "x1" :: global_pools.ints) }
+        obj_roots
+    in
+    let env =
+      mk_env ~callable:(bump :: !procs) ~pools
+        ~budget:(2 + (2 * size) + Prng.int rng 3) ()
+    in
+    init_locals env;
+    gen_stmts env 2 1 env.budget;
+    (match p_sig with
+    | Pret | Pobj _ -> emitf env 2 "RETURN %s;" (int_expr env 2)
+    | _ -> ());
+    out "  END %s;\n" pr.p_name;
+    procs := !procs @ [ pr ]
+  done;
+  (* ---- main body ---- *)
+  out "\nVAR x0: INTEGER; x1: INTEGER; w0: INTEGER; w1: INTEGER; w2: INTEGER; \
+       w3: INTEGER;\n";
+  out "\nBEGIN\n";
+  let env =
+    mk_env ~callable:(bump :: !procs)
+      ~pools:{ global_pools with ints = "x0" :: "x1" :: global_pools.ints }
+      ~budget:(6 + (4 * size)) ()
+  in
+  (* prologue: allocate and link everything deterministically *)
+  emitf env 1 "g0 := %d;" (Prng.int rng 50);
+  emitf env 1 "g1 := %d;" (Prng.int rng 50);
+  emitf env 1 "g2 := 0;";
+  emitf env 1 "x0 := 1;";
+  emitf env 1 "x1 := 2;";
+  emitf env 1 "flag := %s;" (if Prng.bool rng then "TRUE" else "FALSE");
+  emitf env 1 "r0 := NEW (PRec);";
+  emitf env 1 "r0.x := %d;" (Prng.int rng 20);
+  emitf env 1 "r0.y := %d;" (Prng.int rng 20);
+  emitf env 1 "v0 := NEW (IntVec, 8);";
+  emitf env 1 "bv0 := NEW (BVec, 5);";
+  List.iter
+    (fun (g, cn) ->
+      let concrete = Prng.pick rng (subtypes_of classes cn) in
+      emitf env 1 "%s := NEW (%s);" g concrete)
+    objs;
+  (* link / seed pointer, vec and rec fields of the object globals *)
+  List.iter
+    (fun (g, cn) ->
+      List.iter
+        (fun f ->
+          match f.fl_ty with
+          | FPtr tn ->
+            if Prng.bool rng then
+              let compat =
+                List.filter
+                  (fun (_, en) -> is_subtype classes ~sub:en ~sup:tn)
+                  objs
+              in
+              if compat <> [] && Prng.bool rng then
+                emitf env 1 "%s.%s := %s;" g f.fl_name
+                  (fst (Prng.pick rng compat))
+              else
+                emitf env 1 "%s.%s := NEW (%s);" g f.fl_name
+                  (Prng.pick rng (subtypes_of classes tn))
+          | FVec ->
+            if Prng.bool rng then emitf env 1 "%s.%s := v0;" g f.fl_name
+            else
+              emitf env 1 "%s.%s := NEW (IntVec, %d);" g f.fl_name
+                (1 + Prng.int rng 8)
+          | FRec ->
+            if Prng.bool rng then emitf env 1 "%s.%s := r0;" g f.fl_name
+            else emitf env 1 "%s.%s := NEW (PRec);" g f.fl_name
+          | FInt -> ())
+        (visible_fields classes (find_cls classes cn)))
+    objs;
+  if has_av then begin
+    emitf env 1 "av0 := NEW (AV, 4);";
+    for i = 0 to 3 do
+      emitf env 1 "av0[%d] := NEW (%s);" i
+        (Prng.pick rng (subtypes_of classes av_elem))
+    done
+  end;
+  emitf env 1 "FOR fi := 0 TO 7 DO v0[fi] := fi * 3 + g0; fa0[fi] := fi + g1; \
+               END;";
+  emitf env 1 "FOR fi := 0 TO 4 DO bv0[fi] := fi * 2; END;";
+  (* random body *)
+  gen_stmts env 1 0 env.budget;
+  (* epilogue: print every observable integer *)
+  emitf env 1 "Print (\"-- observables --\"); PrintLn ();";
+  List.iter
+    (fun d ->
+      emitf env 1 "Print (\"%s=\"); PrintInt (%s); PrintLn ();"
+        (String.map (function '[' -> '<' | ']' -> '>' | c -> c) d)
+        d)
+    global_pools.ints;
+  emitf env 1 "PrintBool (flag); PrintLn ();";
+  emitf env 1 "FOR pi := 0 TO Number (v0) - 1 DO PrintInt (v0[pi]); END; \
+               PrintLn ();";
+  emitf env 1 "FOR pi := 0 TO Number (bv0) - 1 DO PrintInt (bv0[pi]); END; \
+               PrintLn ();";
+  emitf env 1 "FOR pi := 0 TO 7 DO PrintInt (fa0[pi]); END; PrintLn ();";
+  out "END %s.\n" module_name;
+  { seed; size; module_name; source = Buffer.contents buf }

@@ -1,0 +1,36 @@
+(** Seeded, deterministic generator of well-typed MiniM3 modules.
+
+    Every program is generated type-directed over a randomized type
+    universe — object hierarchies with inherited fields, METHODS defaults
+    and OVERRIDES, records behind (optionally BRANDED) REFs, open and
+    fixed arrays — and a randomized set of procedures (including VAR
+    parameters and object parameters), so the three TBAA analyses see
+    genuinely different Subtypes/TypeRefs structure on every seed.
+
+    Guarantees, by construction:
+    - the program typechecks ({!Minim3.Typecheck.check_string_all} is [Ok];
+      a fuzz oracle re-asserts this on every run);
+    - execution terminates: every loop is bounded by a constant or a
+      dedicated counter no other statement touches, and the call graph is
+      acyclic (procedures only call lower-numbered procedures, method
+      implementations call nothing);
+    - behaviour is observable: every integer global, every field of every
+      object/record global and the array contents are printed at the end,
+      so a miscompile that lands anywhere reachable shows up in the output;
+    - NIL dereferences and wild subscripts may occur but are *defined*
+      (soft faults of the total simulator semantics), hence identical
+      across optimization configurations.
+
+    All randomness comes from one {!Support.Prng.t} seeded from [seed]:
+    the same (seed, size) always yields byte-identical source, and no code
+    path touches the stdlib's global self-initialized [Random] state. *)
+
+type t = {
+  seed : int;
+  size : int;  (** 1 (small) .. 3 (large); clamped *)
+  module_name : string;
+  source : string;
+}
+
+val generate : ?size:int -> int -> t
+(** [generate ~size seed]; [size] defaults to 2. *)

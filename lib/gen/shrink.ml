@@ -1,0 +1,280 @@
+(* Counterexample shrinking for fuzzer failures.
+
+   The shrinker works on the AST: it enumerates small candidate edits
+   (statement deletion, compound-statement unwrapping, declaration deletion,
+   type-hierarchy flattening, override/field deletion, expression
+   simplification), re-prints each candidate, and accepts it iff the result
+   still typechecks AND the caller's [keep] predicate — "this still fails the
+   same oracle" — holds. Greedy sweeps repeat until a fixpoint.
+
+   Edits are addressed by pre-order position counters, so the same traversal
+   that applies an edit also (with an out-of-range target) counts the
+   available positions. One edit is applied per candidate. *)
+
+open Minim3
+
+type edit =
+  | Del_stmt of int  (* delete the i-th statement (pre-order) *)
+  | Unwrap of int  (* replace the i-th compound statement by its body *)
+  | Del_decl of int  (* delete the i-th toplevel declaration *)
+  | Flatten of int  (* detach the i-th object type from its supertype *)
+  | Del_override of int  (* remove the i-th OVERRIDES entry *)
+  | Del_field of int  (* remove the i-th object/record field *)
+  | Del_method of int  (* remove the i-th METHODS entry *)
+  | Simpl of int  (* simplify the i-th simplifiable expression position *)
+
+(* ------------------------------------------------------------------ *)
+(* One-edit rewriting                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type counters = {
+  mutable n_stmts : int;
+  mutable n_compound : int;
+  mutable n_decls : int;
+  mutable n_classes : int;
+  mutable n_overrides : int;
+  mutable n_fields : int;
+  mutable n_methods : int;
+  mutable n_exprs : int;  (* only expressions that have a simplification *)
+}
+
+let fresh_counters () =
+  { n_stmts = 0; n_compound = 0; n_decls = 0; n_classes = 0; n_overrides = 0;
+    n_fields = 0; n_methods = 0; n_exprs = 0 }
+
+(* Variants available for one expression node. *)
+let expr_variants (e : Ast.expr) : Ast.expr list =
+  match e.Ast.e_desc with
+  | Ast.Binop (_, a, b) -> [ a; b ]
+  | Ast.Unop (_, a) -> [ a ]
+  | Ast.Call (_, _) -> [ { e with Ast.e_desc = Ast.Int_lit 0 } ]
+  | Ast.New (_, _) -> [ { e with Ast.e_desc = Ast.Nil } ]
+  | _ -> []
+
+let rewrite (m : Ast.module_) (edit : edit option) : Ast.module_ * counters =
+  let c = fresh_counters () in
+  let rec map_expr (e : Ast.expr) : Ast.expr =
+    let vs = expr_variants e in
+    let here = c.n_exprs in
+    if vs <> [] then c.n_exprs <- c.n_exprs + List.length vs;
+    let replaced =
+      match edit with
+      | Some (Simpl i) when vs <> [] && i >= here && i < here + List.length vs
+        ->
+        (* the variant is folded into the flat index: variant j of this node
+           is candidate (here + j) *)
+        Some (List.nth vs (i - here))
+      | _ -> None
+    in
+    match replaced with
+    | Some e' -> e'
+    | None ->
+      let d =
+        match e.Ast.e_desc with
+        | Ast.Int_lit _ | Ast.Bool_lit _ | Ast.Char_lit _ | Ast.String_lit _
+        | Ast.Nil | Ast.Name _ -> e.Ast.e_desc
+        | Ast.Field (b, f) -> Ast.Field (map_expr b, f)
+        | Ast.Deref b -> Ast.Deref (map_expr b)
+        | Ast.Index (b, i) -> Ast.Index (map_expr b, map_expr i)
+        | Ast.Binop (op, a, b) -> Ast.Binop (op, map_expr a, map_expr b)
+        | Ast.Unop (op, a) -> Ast.Unop (op, map_expr a)
+        | Ast.Call (f, args) -> Ast.Call (map_expr f, List.map map_expr args)
+        | Ast.New (t, args) -> Ast.New (t, List.map map_expr args)
+      in
+      { e with Ast.e_desc = d }
+  in
+  let rec map_stmts stmts = List.concat_map map_stmt stmts
+  and map_stmt (s : Ast.stmt) : Ast.stmt list =
+    let my_stmt = c.n_stmts in
+    c.n_stmts <- c.n_stmts + 1;
+    if edit = Some (Del_stmt my_stmt) then []
+    else begin
+      let compound body =
+        let my_comp = c.n_compound in
+        c.n_compound <- c.n_compound + 1;
+        (my_comp, body)
+      in
+      match s.Ast.s_desc with
+      | Ast.Assign (lhs, rhs) ->
+        [ { s with Ast.s_desc = Ast.Assign (map_expr lhs, map_expr rhs) } ]
+      | Ast.Call_stmt e ->
+        [ { s with Ast.s_desc = Ast.Call_stmt (map_expr e) } ]
+      | Ast.Exit | Ast.Return None -> [ s ]
+      | Ast.Return (Some e) ->
+        [ { s with Ast.s_desc = Ast.Return (Some (map_expr e)) } ]
+      | Ast.If (arms, els) ->
+        let my_comp, _ = compound [] in
+        if edit = Some (Unwrap my_comp) then
+          (* keep the first arm's body plus the ELSE: the common shape *)
+          map_stmts ((match arms with (_, b) :: _ -> b | [] -> []) @ els)
+        else
+          let arms' =
+            List.map (fun (cond, body) -> (map_expr cond, map_stmts body)) arms
+          in
+          [ { s with Ast.s_desc = Ast.If (arms', map_stmts els) } ]
+      | Ast.While (cond, body) ->
+        let my_comp, _ = compound [] in
+        if edit = Some (Unwrap my_comp) then map_stmts body
+        else
+          [ { s with Ast.s_desc = Ast.While (map_expr cond, map_stmts body) } ]
+      | Ast.Repeat (body, cond) ->
+        let my_comp, _ = compound [] in
+        if edit = Some (Unwrap my_comp) then map_stmts body
+        else
+          [ { s with Ast.s_desc = Ast.Repeat (map_stmts body, map_expr cond) } ]
+      | Ast.Loop body ->
+        let my_comp, _ = compound [] in
+        if edit = Some (Unwrap my_comp) then map_stmts body
+        else [ { s with Ast.s_desc = Ast.Loop (map_stmts body) } ]
+      | Ast.For (v, lo, hi, by, body) ->
+        let my_comp, _ = compound [] in
+        if edit = Some (Unwrap my_comp) then map_stmts body
+        else
+          [ { s with
+              Ast.s_desc =
+                Ast.For (v, map_expr lo, map_expr hi, by, map_stmts body) } ]
+      | Ast.With (binds, body) ->
+        let my_comp, _ = compound [] in
+        if edit = Some (Unwrap my_comp) then map_stmts body
+        else
+          let binds' = List.map (fun (n, e) -> (n, map_expr e)) binds in
+          [ { s with Ast.s_desc = Ast.With (binds', map_stmts body) } ]
+    end
+  in
+  let map_fields fields =
+    List.filter
+      (fun (_ : Ast.field_decl) ->
+        let my = c.n_fields in
+        c.n_fields <- c.n_fields + 1;
+        edit <> Some (Del_field my))
+      fields
+  in
+  let map_ty (t : Ast.ty_expr) : Ast.ty_expr =
+    match t.Ast.t_desc with
+    | Ast.Tobject o ->
+      let my_class = c.n_classes in
+      c.n_classes <- c.n_classes + 1;
+      let o =
+        if o.Ast.o_super <> None && edit = Some (Flatten my_class) then
+          { o with Ast.o_super = None; Ast.o_overrides = [] }
+        else o
+      in
+      let overrides =
+        List.filter
+          (fun (_, _, _) ->
+            let my = c.n_overrides in
+            c.n_overrides <- c.n_overrides + 1;
+            edit <> Some (Del_override my))
+          o.Ast.o_overrides
+      in
+      let methods =
+        List.filter
+          (fun (_ : Ast.method_decl) ->
+            let my = c.n_methods in
+            c.n_methods <- c.n_methods + 1;
+            edit <> Some (Del_method my))
+          o.Ast.o_methods
+      in
+      let fields = map_fields o.Ast.o_fields in
+      { t with
+        Ast.t_desc =
+          Ast.Tobject
+            { o with
+              Ast.o_fields = fields; o_overrides = overrides;
+              o_methods = methods }
+      }
+    | Ast.Trecord fields ->
+      { t with Ast.t_desc = Ast.Trecord (map_fields fields) }
+    | _ -> t
+  in
+  let map_decl (d : Ast.decl) : Ast.decl list =
+    let my = c.n_decls in
+    c.n_decls <- c.n_decls + 1;
+    if edit = Some (Del_decl my) then []
+    else
+      match d with
+      | Ast.Dtype (n, t, loc) -> [ Ast.Dtype (n, map_ty t, loc) ]
+      | Ast.Dconst _ | Ast.Dvar _ -> [ d ]
+      | Ast.Dproc p ->
+        [ Ast.Dproc { p with Ast.pr_body = map_stmts p.Ast.pr_body } ]
+  in
+  let decls = List.concat_map map_decl m.Ast.mod_decls in
+  let body = map_stmts m.Ast.mod_body in
+  ({ m with Ast.mod_decls = decls; Ast.mod_body = body }, c)
+
+(* ------------------------------------------------------------------ *)
+(* Candidate enumeration and the greedy loop                           *)
+(* ------------------------------------------------------------------ *)
+
+let candidates (m : Ast.module_) : edit list =
+  let _, c = rewrite m None in
+  let range n f = List.init n f in
+  (* Cheapest / most-reductive first: whole declarations, then statements,
+     then structure, then expressions. *)
+  range c.n_decls (fun i -> Del_decl i)
+  @ range c.n_stmts (fun i -> Del_stmt i)
+  @ range c.n_compound (fun i -> Unwrap i)
+  @ range c.n_classes (fun i -> Flatten i)
+  @ range c.n_overrides (fun i -> Del_override i)
+  @ range c.n_fields (fun i -> Del_field i)
+  @ range c.n_methods (fun i -> Del_method i)
+  @ range c.n_exprs (fun i -> Simpl i)
+
+let typechecks src =
+  match Typecheck.check_string_all ~file:"<shrink>" src with
+  | Ok _ -> true
+  | Error _ -> false
+  | exception Support.Diag.Compile_error _ -> false
+
+let minimize ?(max_attempts = 4000) ~keep src =
+  if not (keep src) then src
+  else begin
+    let attempts = ref 0 in
+    let current = ref src in
+    let m =
+      try Some (Parser.parse_module ~file:"<shrink>" src)
+      with Support.Diag.Compile_error _ -> None
+    in
+    match m with
+    | None -> src
+    | Some m0 ->
+      let current_ast = ref m0 in
+      (* Normalize through the printer first, so size comparisons are
+         between like layouts (the printer is more verbose than typical
+         hand- or generator-written source). *)
+      (let norm = Ast_pp.module_to_string m0 in
+       if typechecks norm && keep norm then current := norm);
+      (* Greedy loop with a cursor instead of restart-from-zero sweeps:
+         after an acceptance the candidate list shifts left by roughly one
+         position, so keeping the cursor in place continues the sweep; a
+         full wrap with no acceptance is the fixpoint. *)
+      let cursor = ref 0 in
+      let accepted_since_wrap = ref true in
+      let running = ref true in
+      while !running && !attempts < max_attempts do
+        let cands = candidates !current_ast in
+        let n = List.length cands in
+        if !cursor >= n then
+          if !accepted_since_wrap && n > 0 then begin
+            cursor := 0;
+            accepted_since_wrap := false
+          end
+          else running := false
+        else begin
+          incr attempts;
+          let e = List.nth cands !cursor in
+          let m', _ = rewrite !current_ast (Some e) in
+          let src' = Ast_pp.module_to_string m' in
+          if
+            String.length src' < String.length !current
+            && typechecks src' && keep src'
+          then begin
+            current := src';
+            current_ast := m';
+            accepted_since_wrap := true
+          end
+          else incr cursor
+        end
+      done;
+      !current
+  end

@@ -1,0 +1,17 @@
+(** Counterexample minimization for fuzzer failures.
+
+    Greedy delta-debugging over the MiniM3 AST: statement deletion,
+    compound-statement unwrapping, declaration deletion, type-hierarchy
+    flattening (detach a subclass from its supertype, dropping its
+    OVERRIDES), field/override deletion, and expression simplification
+    (binop → operand, call → 0, NEW → NIL). A candidate is accepted iff it
+    still typechecks and the caller's [keep] predicate holds; sweeps repeat
+    to a fixpoint. *)
+
+val minimize : ?max_attempts:int -> keep:(string -> bool) -> string -> string
+(** [minimize ~keep src] returns the smallest variant found of [src] on
+    which [keep] still holds (typically "still fails the same oracle").
+    [keep src] itself must hold, otherwise [src] is returned unchanged.
+    [max_attempts] (default 4000) bounds the number of candidate
+    evaluations, so shrinking always terminates quickly even when [keep]
+    is expensive. *)

@@ -66,3 +66,17 @@ val percent_of_base : Workloads.Workload.t -> config -> float
 val check_outputs_agree : Workloads.Workload.t -> config list -> unit
 (** Raises [Failure] if any configuration changes the program's output —
     the harness-level semantics check. *)
+
+val fuzz :
+  ?out_dir:string option ->
+  ?fault:int * float ->
+  ?fuel:int ->
+  ?size:int ->
+  ?max_counterexamples:int ->
+  ?log:(string -> unit) ->
+  count:int ->
+  seed:int ->
+  unit ->
+  Fuzz.result
+(** {!Fuzz.run}: generate [count] seeded programs and check each against
+    the four fuzzing oracles, shrinking and persisting counterexamples. *)

@@ -37,12 +37,14 @@ type context = {
   mutable analyses_run : int;
   mutable claims : Claims.t option;  (* when set, RLE logs its oracle bets *)
   mutable fault : fault option;  (* when set, the oracle is fault-injected *)
+  mutable oracle_log : (Ir.Apath.t -> Ir.Apath.t -> bool -> unit) option;
+      (* when set, observes every distinct may_alias query (fuzzer hook) *)
 }
 
 let create ?(world = World.Closed) ?(oracle_kind = Osm_field_type_refs) () =
   { world; oracle_kind; analysis_memo = None; oracle_memo = None;
     oracle_counters = Oracle_cache.fresh_counters (); analyses_run = 0;
-    claims = None; fault = None }
+    claims = None; fault = None; oracle_log = None }
 
 let invalidate ctx =
   ctx.analysis_memo <- None;
@@ -71,7 +73,7 @@ let oracle ctx program =
         Oracle_fault.wrap ~flip_class_kills:f.f_class_kills ~stats:f.f_stats
           ~seed:f.f_seed ~rate:f.f_rate raw
     in
-    let o = Oracle_cache.wrap ~counters:ctx.oracle_counters raw in
+    let o = Oracle_cache.wrap ~counters:ctx.oracle_counters ?log:ctx.oracle_log raw in
     ctx.oracle_memo <- Some o;
     o
 

@@ -47,6 +47,11 @@ type context = {
       (** when set, RLE records every alias/kill answer it relies on here
           (the dynamic auditor's input); [None] costs nothing *)
   mutable fault : fault option;
+  mutable oracle_log : (Ir.Apath.t -> Ir.Apath.t -> bool -> unit) option;
+      (** when set, installed as the {!Tbaa.Oracle_cache.wrap} [log]
+          observer: fires once per distinct may-alias pair the optimizer
+          queries, with the (possibly fault-injected) answer. The fuzzer's
+          precision-lattice oracle hangs off this; [None] costs nothing *)
 }
 
 val create : ?world:World.t -> ?oracle_kind:oracle_kind -> unit -> context

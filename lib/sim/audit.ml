@@ -63,10 +63,23 @@ let on_access t (ac : Interp.access) =
 let n_accesses t = t.au_accesses
 let n_paths t = Path_tbl.length t.au_cells
 
+(* A selector-free path rooted at a compiler temporary denotes the
+   register itself, not a memory cell: claims about it ("no store kills
+   it") are vacuously sound, and splicing it to its home path would
+   wrongly equate the register with the cell it was loaded from — the
+   cell may well be overwritten afterwards, which is precisely why the
+   value was cached in a register. Such claims arise when a later RLE
+   round queries paths whose base a copy-propagation rewrote to an
+   earlier round's home temp. *)
+let denotes_register (ap : Apath.t) =
+  ap.Apath.sels = [] && ap.Apath.base.Reg.v_kind = Reg.Vtemp
+
 let check t =
   let oracle = Claims.oracle_name t.au_claims in
   List.filter_map
     (fun (p1, p2) ->
+      if denotes_register p1 || denotes_register p2 then None
+      else
       let k1 = canonical_path t p1 and k2 = canonical_path t p2 in
       (* A pair that collapses to one path after home rewriting (e.g. a
          home temp queried against the very path it materializes) denotes

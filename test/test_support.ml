@@ -2,6 +2,10 @@
 
 open Support
 
+(* Explicitly seeded per test: reproducible without QCHECK_SEED, and
+   independent of sibling tests' draws. *)
+let pinned_rand () = Random.State.make [| 0xBAA; 2024 |]
+
 let test_ident_interning () =
   let a = Ident.intern "foo" and b = Ident.intern "foo" in
   Alcotest.(check bool) "same ident" true (Ident.equal a b);
@@ -171,14 +175,14 @@ let () =
         [ Alcotest.test_case "basic" `Quick test_union_find_basic;
           Alcotest.test_case "groups" `Quick test_union_find_groups;
           Alcotest.test_case "copy" `Quick test_union_find_copy;
-          QCheck_alcotest.to_alcotest prop_union_find_is_equivalence;
-          QCheck_alcotest.to_alcotest prop_groups_partition ] );
+          QCheck_alcotest.to_alcotest ~rand:(pinned_rand ()) prop_union_find_is_equivalence;
+          QCheck_alcotest.to_alcotest ~rand:(pinned_rand ()) prop_groups_partition ] );
       ( "bitset",
         [ Alcotest.test_case "basic" `Quick test_bitset_basic;
           Alcotest.test_case "ops" `Quick test_bitset_ops;
           Alcotest.test_case "fill" `Quick test_bitset_fill;
           Alcotest.test_case "universe guard" `Quick test_bitset_universe_guard;
-          QCheck_alcotest.to_alcotest prop_bitset_union_cardinal ] );
+          QCheck_alcotest.to_alcotest ~rand:(pinned_rand ()) prop_bitset_union_cardinal ] );
       ( "vec",
         [ Alcotest.test_case "basics" `Quick test_vec_basics;
           Alcotest.test_case "growth" `Quick test_vec_growth ] );
