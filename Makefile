@@ -1,4 +1,4 @@
-.PHONY: all build test check audit fuzz bench clean
+.PHONY: all build test check audit fuzz bench bench-smoke clean
 
 all: build
 
@@ -34,6 +34,13 @@ audit:
 
 bench:
 	dune exec bench/main.exe
+
+# The alias-query microbenchmark regression gate: geometric-mean speedup of
+# the precomputed compatibility cores over their per-query references must
+# stay >= 5x and within 20% of the recorded BENCH_alias.json snapshot
+# (regenerate the snapshot with `dune exec bench/bench_alias.exe -- --write`).
+bench-smoke:
+	dune exec bench/bench_alias.exe -- --check
 
 clean:
 	dune clean

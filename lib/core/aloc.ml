@@ -47,6 +47,30 @@ let hash = function
   | Ltarget t -> 0x7a21 + t
   | Lvar (i, t) -> 0x1555 + (i * 31) + t
 
+(* Global intern table: structurally equal classes share one dense id, so
+   memo tables key on an int compare instead of a structural hash+equal.
+   Components are tids and interned ident/var ids, so the key is flat. *)
+module Itbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)
+
+let intern_tbl : int Itbl.t = Itbl.create 256
+let next_id = ref 0
+
+let id a =
+  match Itbl.find_opt intern_tbl a with
+  | Some i -> i
+  | None ->
+    let i = !next_id in
+    incr next_id;
+    Itbl.add intern_tbl a i;
+    i
+
+let interned () = !next_id
+
 let pp env ppf = function
   | Lfield (f, r, _) ->
     Format.fprintf ppf "field %a of %a" Ident.pp f (Types.pp env) r

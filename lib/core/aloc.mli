@@ -22,6 +22,14 @@ type t =
 val compare : t -> t -> int
 val equal : t -> t -> bool
 val hash : t -> int
+
+val id : t -> int
+(** Dense intern id (process-wide): [id a = id b] iff [equal a b]. Memo
+    tables key on this int instead of hashing the class structurally. *)
+
+val interned : unit -> int
+(** Number of distinct classes interned so far. *)
+
 val pp : Types.env -> Format.formatter -> t -> unit
 
 module Set : Set.S with type elt = t

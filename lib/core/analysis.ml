@@ -7,16 +7,19 @@ type t = {
   field_type_decl : Oracle.t;
   sm_field_type_refs : Oracle.t;
   type_refs_table : Types.tid -> Types.tid list;
+  engine : Engine.t;
 }
 
 let analyze ?(world = World.Closed) program =
-  let facts = Facts.collect program in
-  let sm = Sm_type_refs.build ~facts ~world () in
-  { facts;
+  let engine =
+    Engine.create ~config:{ Engine.default_config with Engine.world } program
+  in
+  { facts = Engine.facts engine;
     world;
-    type_decl = Type_decl.oracle ~facts ~world;
-    field_type_decl = Field_type_decl.oracle ~facts ~world;
-    sm_field_type_refs = Sm_type_refs.oracle ~facts ~world ();
-    type_refs_table = Sm_type_refs.type_refs sm }
+    type_decl = Engine.oracle engine Engine.Type_decl;
+    field_type_decl = Engine.oracle engine Engine.Field_type_decl;
+    sm_field_type_refs = Engine.oracle engine Engine.Sm_field_type_refs;
+    type_refs_table = Engine.type_refs_table engine;
+    engine }
 
 let oracles t = [ t.type_decl; t.field_type_decl; t.sm_field_type_refs ]

@@ -1,5 +1,10 @@
 (** Top-level entry point: collect program facts once and build the
-    paper's three alias oracles over them. *)
+    paper's three alias oracles over them.
+
+    Since the {!Engine} redesign this is a thin projection of
+    [Engine.create] kept for the (many) clients that pattern on the record;
+    new code should prefer the engine facade, which also exposes cached
+    handles, timings and counters. *)
 
 open Minim3
 
@@ -11,6 +16,7 @@ type t = {
   sm_field_type_refs : Oracle.t;
   type_refs_table : Types.tid -> Types.tid list;
       (** The SMTypeRefs TypeRefsTable, also used by method resolution. *)
+  engine : Engine.t;  (** the engine these handles came from *)
 }
 
 val analyze : ?world:World.t -> Ir.Cfg.program -> t

@@ -1,0 +1,33 @@
+(** Precomputed O(1) type-compatibility oracles.
+
+    Compatibility ([Subtypes(t1) ∩ Subtypes(t2) ≠ ∅], or the TypeRefsTable
+    intersection for selective type merging) is the innermost test of every
+    alias query. These constructors move all the list/set work to analysis
+    construction: queries are two array reads for the subtype forest
+    ({!subtyping}, via {!Minim3.Types.forest_labels}) or one bitset probe
+    for a precomputed compatibility matrix ({!of_rows}). *)
+
+open Support
+open Minim3
+
+type t
+
+val name : t -> string
+
+val query : t -> Types.tid -> Types.tid -> bool
+(** O(1). NIL is compatible with nothing. *)
+
+val fn : t -> Types.tid -> Types.tid -> bool
+(** [query], partially applied — the shape the oracle record stores. *)
+
+val subtyping : Types.env -> t
+(** Interval-labeled subtype forest: compat iff equal or ancestor-related
+    objects. One linear labeling pass at construction. *)
+
+val of_rows : name:string -> Bitset.t array -> t
+(** [of_rows rows]: [query t1 t2 = Bitset.mem rows.(t1) t2] (after the NIL
+    guard). Raises [Invalid_argument] on tids outside the matrix. *)
+
+val reference_subtyping : Types.env -> Types.tid -> Types.tid -> bool
+(** The historical per-query chain-walking implementation; differential
+    baseline for {!subtyping} in tests and benchmarks. *)

@@ -1,0 +1,112 @@
+open Support
+open Minim3
+
+type kind = Type_decl | Field_type_decl | Sm_field_type_refs
+
+let kind_name = function
+  | Type_decl -> "TypeDecl"
+  | Field_type_decl -> "FieldTypeDecl"
+  | Sm_field_type_refs -> "SMFieldTypeRefs"
+
+type config = { world : World.t; variant : Sm_type_refs.variant }
+
+let default_config = { world = World.Closed; variant = Sm_type_refs.Grouped }
+
+type timings = {
+  facts_ms : float;
+  type_decl_ms : float;
+  field_type_decl_ms : float;
+  sm_ms : float;
+}
+
+type t = {
+  config : config;
+  facts : Facts.t;
+  type_decl : Oracle.t;
+  field_type_decl : Oracle.t;
+  sm_field_type_refs : Oracle.t;
+  sm : Sm_type_refs.t;
+  timings : timings;
+  counters : Oracle_cache.counters;  (* shared across the cached handles *)
+  mutable cached_type_decl : Oracle.t option;
+  mutable cached_field_type_decl : Oracle.t option;
+  mutable cached_sm : Oracle.t option;
+}
+
+let timed f =
+  let t0 = Sys.time () in
+  let r = f () in
+  (r, (Sys.time () -. t0) *. 1000.)
+
+let create ?(config = default_config) program =
+  let facts, facts_ms = timed (fun () -> Facts.collect program) in
+  let world = config.world in
+  let type_decl, type_decl_ms =
+    timed (fun () -> Type_decl.oracle ~facts ~world)
+  in
+  let field_type_decl, field_type_decl_ms =
+    timed (fun () -> Field_type_decl.oracle ~facts ~world)
+  in
+  let (sm, sm_field_type_refs), sm_ms =
+    timed (fun () ->
+        let sm = Sm_type_refs.build ~variant:config.variant ~facts ~world () in
+        (sm, Sm_type_refs.oracle ~variant:config.variant ~facts ~world ()))
+  in
+  { config; facts; type_decl; field_type_decl; sm_field_type_refs; sm;
+    timings = { facts_ms; type_decl_ms; field_type_decl_ms; sm_ms };
+    counters = Oracle_cache.fresh_counters (); cached_type_decl = None;
+    cached_field_type_decl = None; cached_sm = None }
+
+let facts t = t.facts
+let world t = t.config.world
+let config t = t.config
+
+let oracle t = function
+  | Type_decl -> t.type_decl
+  | Field_type_decl -> t.field_type_decl
+  | Sm_field_type_refs -> t.sm_field_type_refs
+
+let oracles t = [ t.type_decl; t.field_type_decl; t.sm_field_type_refs ]
+
+let cached t kind =
+  let slot, set =
+    match kind with
+    | Type_decl ->
+      (t.cached_type_decl, fun o -> t.cached_type_decl <- Some o)
+    | Field_type_decl ->
+      (t.cached_field_type_decl, fun o -> t.cached_field_type_decl <- Some o)
+    | Sm_field_type_refs -> (t.cached_sm, fun o -> t.cached_sm <- Some o)
+  in
+  match slot with
+  | Some o -> o
+  | None ->
+    let o = Oracle_cache.wrap ~counters:t.counters (oracle t kind) in
+    set o;
+    o
+
+let type_refs_table t = Sm_type_refs.type_refs t.sm
+let counters t = t.counters
+let timings t = t.timings
+
+let stats t =
+  let c = t.counters in
+  Json.Obj
+    [ ("world", Json.String (match world t with
+          | World.Closed -> "closed"
+          | World.Open -> "open"));
+      ("variant", Json.String (match t.config.variant with
+          | Sm_type_refs.Grouped -> "grouped"
+          | Sm_type_refs.Per_type -> "per-type"));
+      ("types", Json.Int (Types.count t.facts.Facts.tenv));
+      ("build_ms",
+       Json.Obj
+         [ ("facts", Json.Float t.timings.facts_ms);
+           ("type_decl", Json.Float t.timings.type_decl_ms);
+           ("field_type_decl", Json.Float t.timings.field_type_decl_ms);
+           ("sm_field_type_refs", Json.Float t.timings.sm_ms) ]);
+      ("queries", Json.Int (Oracle_cache.queries c));
+      ("hits", Json.Int (Oracle_cache.hits c));
+      ("misses", Json.Int (Oracle_cache.misses c));
+      ("hit_rate", Json.Float (Oracle_cache.hit_rate c));
+      ("paths_interned", Json.Int (Ir.Apath.interned ()));
+      ("alocs_interned", Json.Int (Aloc.interned ())) ]

@@ -1,0 +1,73 @@
+(** The unified alias-query engine facade.
+
+    One entry point builds everything a client needs: program facts, the
+    paper's three alias oracles over precomputed O(1) compatibility cores,
+    the TypeRefsTable, per-phase construction timings, and (on demand)
+    memoized oracle handles with shared query counters.
+
+    {[
+      let engine = Tbaa.Engine.create program in
+      let oracle = Tbaa.Engine.cached engine Tbaa.Engine.Sm_field_type_refs in
+      if oracle.Tbaa.Oracle.may_alias p q then ...;
+      print_endline (Support.Json.to_string (Tbaa.Engine.stats engine))
+    ]}
+
+    This supersedes calling the per-analysis [Type_decl.oracle] /
+    [Field_type_decl.oracle] / [Sm_type_refs.oracle] constructors directly;
+    those remain only as building blocks and differential baselines.
+    {!Analysis.analyze} is a thin projection of an engine. *)
+
+open Minim3
+
+type kind = Type_decl | Field_type_decl | Sm_field_type_refs
+
+val kind_name : kind -> string
+
+type config = {
+  world : World.t;  (** closed (whole program) or open (§4) *)
+  variant : Sm_type_refs.variant;  (** type-merging variant for SM *)
+}
+
+val default_config : config
+(** Closed world, grouped (the paper's Figure 2) merging. *)
+
+type t
+
+val create : ?config:config -> Ir.Cfg.program -> t
+(** Collect facts and build all three oracles. Each construction phase is
+    timed; see {!timings}/{!stats}. *)
+
+val oracle : t -> kind -> Oracle.t
+(** The raw (unmemoized) oracle handle. *)
+
+val oracles : t -> Oracle.t list
+(** All three, in increasing precision order: TypeDecl, FieldTypeDecl,
+    SMFieldTypeRefs. *)
+
+val cached : t -> kind -> Oracle.t
+(** A memoized handle ({!Oracle_cache.wrap}) built on first use — one per
+    kind per engine, all accumulating into {!counters}. *)
+
+val facts : t -> Facts.t
+val world : t -> World.t
+val config : t -> config
+
+val type_refs_table : t -> Types.tid -> Types.tid list
+(** The SMTypeRefs TypeRefsTable, also used by method resolution. *)
+
+val counters : t -> Oracle_cache.counters
+(** Query/hit/miss counters shared by every {!cached} handle. *)
+
+type timings = {
+  facts_ms : float;
+  type_decl_ms : float;
+  field_type_decl_ms : float;
+  sm_ms : float;
+}
+
+val timings : t -> timings
+(** Construction cost per phase, in CPU milliseconds. *)
+
+val stats : t -> Support.Json.t
+(** One structured record: configuration, type count, per-phase build
+    times, cached-query counters and intern-table sizes. *)

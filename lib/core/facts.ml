@@ -22,10 +22,7 @@ type t = {
   memrefs : memref list;
 }
 
-let prefix_ty ap =
-  match Apath.prefix ap with
-  | Some p -> Apath.ty p
-  | None -> ap.Apath.base.Reg.v_ty
+let prefix_ty = Apath.prefix_ty
 
 (* A flow of a value of type [src] into a location of declared type [dst]
    merges the two types when they are distinct pointer types; NIL carries no
@@ -92,7 +89,7 @@ let collect (program : Cfg.program) : t =
                   (* The address of p^ is p's value: the location was already
                      pointer-reachable, no new fact. *)
                   ()
-                | None -> var_addrs := ap.Apath.base :: !var_addrs)
+                | None -> var_addrs := Apath.base ap :: !var_addrs)
               | Instr.Icall (dst, target, args) ->
                 let bind_callee callee =
                   match Cfg.find_proc_opt program callee with

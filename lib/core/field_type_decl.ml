@@ -9,7 +9,7 @@ open Ir
 let rec ftd ~compat ~at ~is_obj ap1 ap2 =
   if Apath.equal ap1 ap2 then true (* case 1 *)
   else
-    let pre ap = Option.value (Apath.prefix ap) ~default:(Apath.of_var ap.Apath.base) in
+    let pre ap = match Apath.prefix ap with Some p -> p | None -> ap in
     match (Apath.last ap1, Apath.last ap2) with
     | Some (Apath.Sfield (f, _)), Some (Apath.Sfield (g, _)) ->
       (* case 2: same field on possibly-identical containers. Qualifying
@@ -57,13 +57,13 @@ let rec ftd ~compat ~at ~is_obj ap1 ap2 =
 
 let may_alias_with ~compat ~at ~is_obj ap1 ap2 =
   let m1 = Apath.is_memory_ref ap1 and m2 = Apath.is_memory_ref ap2 in
-  if not (m1 || m2) then Reg.var_equal ap1.Apath.base ap2.Apath.base
+  if not (m1 || m2) then Reg.var_equal (Apath.base ap1) (Apath.base ap2)
   else if not (m1 && m2) then false
   else ftd ~compat ~at ~is_obj ap1 ap2
 
 let oracle ~(facts : Facts.t) ~world : Oracle.t =
   let env = facts.Facts.tenv in
-  let compat = Type_decl.compat env in
+  let compat = Compat.fn (Compat.subtyping env) in
   let at = Address_taken.make ~facts ~world ~compat in
   let is_obj = Minim3.Types.is_object env in
   { Oracle.name = "FieldTypeDecl";
@@ -71,4 +71,5 @@ let oracle ~(facts : Facts.t) ~world : Oracle.t =
     may_alias = may_alias_with ~compat ~at ~is_obj;
     store_class = Kills.store_class;
     class_kills = Kills.class_kills ~compat ~at;
-    addr_taken_var = Address_taken.var_taken at }
+    addr_taken_var = Address_taken.var_taken at;
+    stats = Oracle.raw_stats ~name:"FieldTypeDecl" }

@@ -21,3 +21,5 @@ val may_alias_with :
     compatibility instead of recursing on the pointer-holding prefix. *)
 
 val oracle : facts:Facts.t -> world:World.t -> Oracle.t
+(** Deprecated as a client entry point — prefer
+    [Engine.oracle _ Engine.Field_type_decl]. *)

@@ -1,55 +1,50 @@
 open Support
 open Ir
 
-let sel_ty = function
-  | Apath.Sfield (_, t) | Apath.Sderef t | Apath.Sindex (_, t) -> t
-
-(* The type of the path one selector short, and its last selector, in one
-   non-allocating walk (these run once per oracle query). *)
-let rec split_last ty = function
-  | [] -> (ty, None)
-  | [ s ] -> (ty, Some s)
-  | s :: rest -> split_last (sel_ty s) rest
-
-let prefix_ty ap =
-  let pty, _ = split_last ap.Apath.base.Reg.v_ty ap.Apath.sels in
-  pty
+(* The hash-consed paths cache the type one selector short and the last
+   selector, so classifying a store is a pattern match over two O(1) field
+   reads — no walk over the selector string (these run once per oracle
+   query). *)
+let prefix_ty = Apath.prefix_ty
 
 let store_class ap =
-  let pty, last = split_last ap.Apath.base.Reg.v_ty ap.Apath.sels in
-  match last with
-  | Some (Apath.Sfield (f, content)) -> Aloc.Lfield (f, pty, content)
-  | Some (Apath.Sindex (_, elem)) -> Aloc.Lelem (pty, elem)
+  match Apath.last ap with
+  | Some (Apath.Sfield (f, content)) ->
+    Aloc.Lfield (f, Apath.prefix_ty ap, content)
+  | Some (Apath.Sindex (_, elem)) -> Aloc.Lelem (Apath.prefix_ty ap, elem)
   | Some (Apath.Sderef t) -> Aloc.Ltarget t
-  | None -> Aloc.Lvar (ap.Apath.base.Reg.v_id, ap.Apath.base.Reg.v_ty)
+  | None ->
+    let base = Apath.base ap in
+    Aloc.Lvar (base.Reg.v_id, base.Reg.v_ty)
 
 let class_kills ~compat ~at cls ap =
-  let pty, last = split_last ap.Apath.base.Reg.v_ty ap.Apath.sels in
-  match (cls, last) with
+  match (cls, Apath.last ap) with
   | _, None ->
     (* A bare variable's slot: only a store classed as that same variable
        (or a dereference, when the variable's address escaped) touches it.
        Clients handle register kills separately; keep derefs conservative. *)
     (match cls with
-    | Aloc.Lvar (id, _) -> id = ap.Apath.base.Reg.v_id
+    | Aloc.Lvar (id, _) -> id = (Apath.base ap).Reg.v_id
     | Aloc.Ltarget t ->
-      Address_taken.var_taken at ap.Apath.base
-      && compat t ap.Apath.base.Reg.v_ty
+      Address_taken.var_taken at (Apath.base ap)
+      && compat t (Apath.base ap).Reg.v_ty
     | Aloc.Lfield _ | Aloc.Lelem _ -> false)
   | Aloc.Lfield (f, recv, _), Some (Apath.Sfield (g, _)) ->
-    Ident.equal f g && compat recv pty
+    Ident.equal f g && compat recv (Apath.prefix_ty ap)
   | Aloc.Lfield (f, recv, content), Some (Apath.Sderef t) ->
     Address_taken.field_taken at f ~recv ~content && compat content t
   | Aloc.Lfield _, Some (Apath.Sindex _) -> false
-  | Aloc.Lelem (arr, _), Some (Apath.Sindex _) -> compat arr pty
+  | Aloc.Lelem (arr, _), Some (Apath.Sindex _) -> compat arr (Apath.prefix_ty ap)
   | Aloc.Lelem (arr, elem), Some (Apath.Sderef t) ->
     Address_taken.elem_taken at ~array_ty:arr ~elem && compat elem t
   | Aloc.Lelem _, Some (Apath.Sfield _) -> false
   | Aloc.Ltarget t, Some (Apath.Sderef u) -> compat t u
   | Aloc.Ltarget t, Some (Apath.Sfield (g, c)) ->
-    Address_taken.field_taken at g ~recv:pty ~content:c && compat t c
+    Address_taken.field_taken at g ~recv:(Apath.prefix_ty ap) ~content:c
+    && compat t c
   | Aloc.Ltarget t, Some (Apath.Sindex (_, e)) ->
-    Address_taken.elem_taken at ~array_ty:pty ~elem:e && compat t e
+    Address_taken.elem_taken at ~array_ty:(Apath.prefix_ty ap) ~elem:e
+    && compat t e
   | Aloc.Lvar (_, vty), Some (Apath.Sderef t) ->
     (* A write to a variable's own slot is visible through a dereference
        only when the types agree; the class is only generated for variables

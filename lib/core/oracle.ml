@@ -1,5 +1,6 @@
 open Minim3
 open Ir
+open Support
 
 type t = {
   name : string;
@@ -8,10 +9,14 @@ type t = {
   store_class : Apath.t -> Aloc.t;
   class_kills : Aloc.t -> Apath.t -> bool;
   addr_taken_var : Reg.var -> bool;
+  stats : unit -> Json.t;
 }
+
+let raw_stats ~name () =
+  Json.Obj [ ("oracle", Json.String name); ("kind", Json.String "raw") ]
 
 let kills_load t ~store ~load =
   List.exists (fun prefix -> t.may_alias store prefix) (Apath.prefixes load)
   (* A store through a dereference can also overwrite the load's *base
      variable* when that variable's address escaped. *)
-  || t.class_kills (t.store_class store) (Apath.of_var load.Apath.base)
+  || t.class_kills (t.store_class store) (Apath.of_var (Apath.base load))

@@ -24,7 +24,14 @@ type t = {
           {!Oracle_cache} relies on this to key its memo by class pairs. *)
   addr_taken_var : Reg.var -> bool;
       (** Was this variable's own slot ever exposed by address-taking? *)
+  stats : unit -> Support.Json.t;
+      (** Structured self-description: at minimum the oracle's name and
+          kind; wrappers (cache, fault injection) override it with their
+          live counters. Stable hook for [--stats] consumers. *)
 }
+
+val raw_stats : name:string -> unit -> Support.Json.t
+(** The default [stats] payload for an unwrapped analysis oracle. *)
 
 val kills_load : t -> store:Apath.t -> load:Apath.t -> bool
 (** Convenience for intraprocedural kills: does a store through [store]

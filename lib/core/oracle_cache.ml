@@ -127,16 +127,13 @@ let unit_eq () () = true
 
 let wrap ?(counters = fresh_counters ()) ?log (oracle : Oracle.t) : Oracle.t =
   let c = counters in
+  (* Every table keys on ints: tids, interned path ids ({!Apath.id}) and
+     interned class ids ({!Aloc.id}). Probes reject on two int compares;
+     no structural equality runs on the hot path. *)
   let compat_tbl : (int, int, bool) ptbl = ptbl_create 64 int_eq int_eq in
-  let alias_tbl : (Apath.t, Apath.t, bool) ptbl =
-    ptbl_create 256 Apath.equal Apath.equal
-  in
-  let class_tbl : (Aloc.t, Aloc.t, bool) ptbl =
-    ptbl_create 128 Aloc.equal Aloc.equal
-  in
-  let store_tbl : (Apath.t, unit, Aloc.t) ptbl =
-    ptbl_create 64 Apath.equal unit_eq
-  in
+  let alias_tbl : (int, int, bool) ptbl = ptbl_create 256 int_eq int_eq in
+  let class_tbl : (int, int, bool) ptbl = ptbl_create 128 int_eq int_eq in
+  let store_tbl : (int, unit, Aloc.t) ptbl = ptbl_create 64 int_eq unit_eq in
   let compat t1 t2 =
     c.compat_queries <- c.compat_queries + 1;
     let t1, t2 = if t1 <= t2 then (t1, t2) else (t2, t1) in
@@ -176,13 +173,14 @@ let wrap ?(counters = fresh_counters ()) ?log (oracle : Oracle.t) : Oracle.t =
       else (ap2, ap1, h2, h1)
     in
     let h = (h1 * 31) + h2 in
-    match ptbl_find_bool alias_tbl h ap1' ap2' with
+    let id1 = Apath.id ap1' and id2 = Apath.id ap2' in
+    match ptbl_find_bool alias_tbl h id1 id2 with
     | 1 -> true
     | 0 -> false
     | _ ->
       c.alias_misses <- c.alias_misses + 1;
       let r = oracle.Oracle.may_alias ap1 ap2 in
-      ptbl_add alias_tbl h ap1' ap2' r;
+      ptbl_add alias_tbl h id1 id2 r;
       (* Fire the observer on misses only: each distinct (canonicalized)
          pair is reported exactly once per wrapper incarnation, which is
          what the fuzzer's precision-lattice oracle wants to replay. *)
@@ -198,42 +196,58 @@ let wrap ?(counters = fresh_counters ()) ?log (oracle : Oracle.t) : Oracle.t =
   (* Mod-ref call kills probe one path against a whole summary's classes in
      a row, so the path's abstraction (and its hash) is carried while the
      physically-same path repeats. *)
-  let last_sc : (Apath.t * Aloc.t * int) option ref = ref None in
+  let last_sc : (Apath.t * int) option ref = ref None in
   let class_kills cls ap =
     c.class_queries <- c.class_queries + 1;
-    let sc, hsc =
+    let scid =
       match !last_sc with
-      | Some (p, sc, h) when p == ap -> (sc, h)
+      | Some (p, i) when p == ap -> i
       | _ ->
-        let sc = oracle.Oracle.store_class ap in
-        let h = Aloc.hash sc in
-        last_sc := Some (ap, sc, h);
-        (sc, h)
+        let i = Aloc.id (oracle.Oracle.store_class ap) in
+        last_sc := Some (ap, i);
+        i
     in
-    let h = (Aloc.hash cls * 31) + hsc in
-    match ptbl_find_bool class_tbl h cls sc with
+    let cid = Aloc.id cls in
+    let h = (cid * 31) + scid in
+    match ptbl_find_bool class_tbl h cid scid with
     | 1 -> true
     | 0 -> false
     | _ ->
       c.class_misses <- c.class_misses + 1;
       let r = oracle.Oracle.class_kills cls ap in
-      ptbl_add class_tbl h cls sc r;
+      ptbl_add class_tbl h cid scid r;
       r
   in
   let store_class ap =
     c.store_queries <- c.store_queries + 1;
     let h = Apath.hash ap in
-    match ptbl_find store_tbl h ap () with
+    let pid = Apath.id ap in
+    match ptbl_find store_tbl h pid () with
     | Some r -> r
     | None ->
       c.store_misses <- c.store_misses + 1;
       let r = oracle.Oracle.store_class ap in
-      ptbl_add store_tbl h ap () r;
+      ptbl_add store_tbl h pid () r;
       r
+  in
+  let stats () =
+    Support.Json.Obj
+      [ ("oracle", Support.Json.String oracle.Oracle.name);
+        ("kind", Support.Json.String "cached");
+        ("queries", Support.Json.Int (queries c));
+        ("hits", Support.Json.Int (hits c));
+        ("misses", Support.Json.Int (misses c));
+        ("hit_rate", Support.Json.Float (hit_rate c));
+        ("compat_queries", Support.Json.Int c.compat_queries);
+        ("alias_queries", Support.Json.Int c.alias_queries);
+        ("class_queries", Support.Json.Int c.class_queries);
+        ("store_queries", Support.Json.Int c.store_queries);
+        ("under", oracle.Oracle.stats ()) ]
   in
   { oracle with
     Oracle.compat;
     may_alias;
     class_kills;
-    store_class
+    store_class;
+    stats
     (* addr_taken_var is already an O(1) lookup; not worth a table. *) }

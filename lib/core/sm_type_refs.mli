@@ -31,11 +31,20 @@ val type_refs : t -> Types.tid -> Types.tid list
     type may reference. *)
 
 val compat : t -> Types.tid -> Types.tid -> bool
-(** [TypeRefsTable(t1) ∩ TypeRefsTable(t2) ≠ ∅]. *)
+(** [TypeRefsTable(t1) ∩ TypeRefsTable(t2) ≠ ∅], evaluated by one
+    intersection per query: the reference implementation for
+    {!compat_matrix} (and the microbenchmark's "before" leg). *)
+
+val compat_matrix : t -> Compat.t
+(** The same relation precomputed for all tid pairs at build time; each
+    query is one bitset probe. This is the core the SM oracles run on. *)
 
 val oracle : ?variant:variant -> facts:Facts.t -> world:World.t -> unit -> Oracle.t
 (** SMFieldTypeRefs: the FieldTypeDecl case analysis over the TypeRefs
-    compatibility core. *)
+    compatibility core.
+
+    Deprecated as a client entry point — prefer an {!Engine} with the
+    variant in its config. *)
 
 val oracle_no_fields :
   ?variant:variant -> facts:Facts.t -> world:World.t -> unit -> Oracle.t

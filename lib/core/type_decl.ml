@@ -1,26 +1,26 @@
-open Minim3
 open Ir
 
 (* Subtypes(t1) ∩ Subtypes(t2) ≠ ∅. MiniM3 subtyping forms a forest, so the
    subtype sets of two types intersect exactly when one type is an ancestor
-   of the other; NIL denotes no location and is compatible with nothing. *)
-let compat env t1 t2 =
-  t1 <> Types.tid_null && t2 <> Types.tid_null
-  && (Types.subtype env t1 t2 || Types.subtype env t2 t1)
+   of the other; NIL denotes no location and is compatible with nothing.
+   The O(1) interval-labeled core lives in {!Compat.subtyping}; this
+   per-query chain walk is kept as the reference/differential baseline. *)
+let compat = Compat.reference_subtyping
 
 let may_alias_with ~compat ap1 ap2 =
   let m1 = Apath.is_memory_ref ap1 and m2 = Apath.is_memory_ref ap2 in
-  if not (m1 || m2) then Reg.var_equal ap1.Apath.base ap2.Apath.base
+  if not (m1 || m2) then Reg.var_equal (Apath.base ap1) (Apath.base ap2)
   else if not (m1 && m2) then false
   else compat (Apath.ty ap1) (Apath.ty ap2)
 
 let oracle ~(facts : Facts.t) ~world : Oracle.t =
   let env = facts.Facts.tenv in
-  let compat = compat env in
+  let compat = Compat.fn (Compat.subtyping env) in
   let at = Address_taken.make ~facts ~world ~compat in
   { Oracle.name = "TypeDecl";
     compat;
     may_alias = may_alias_with ~compat;
     store_class = Kills.store_class;
     class_kills = Kills.class_kills ~compat ~at;
-    addr_taken_var = Address_taken.var_taken at }
+    addr_taken_var = Address_taken.var_taken at;
+    stats = Oracle.raw_stats ~name:"TypeDecl" }

@@ -10,7 +10,9 @@
 open Minim3
 
 val compat : Types.env -> Types.tid -> Types.tid -> bool
-(** The Subtypes-intersection test. *)
+(** The Subtypes-intersection test — the per-query reference
+    implementation ({!Compat.reference_subtyping}); the oracles run on the
+    precomputed {!Compat.subtyping} core. *)
 
 val may_alias_with :
   compat:(Types.tid -> Types.tid -> bool) ->
@@ -23,4 +25,8 @@ val may_alias_with :
 val oracle : facts:Facts.t -> world:World.t -> Oracle.t
 (** The TypeDecl alias oracle. Note TypeDecl itself never consults
     AddressTaken; the [world] only matters for the store-class kill
-    queries shared with the other oracles. *)
+    queries shared with the other oracles.
+
+    Deprecated as a client entry point — build a {!Engine} and ask it for
+    [Engine.oracle _ Engine.Type_decl] instead; this remains as the
+    engine's building block. *)

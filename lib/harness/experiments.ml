@@ -325,11 +325,15 @@ module Ablation_merge = struct
     List.map
       (fun (w : Workload.t) ->
         let program = Workload.lower w in
-        let facts = Tbaa.Facts.collect program in
         let count variant =
+          let engine =
+            Tbaa.Engine.create
+              ~config:{ Tbaa.Engine.world = Tbaa.World.Closed; variant }
+              program
+          in
           Tbaa.Alias_pairs.count
-            (Tbaa.Sm_type_refs.oracle ~variant ~facts ~world:Tbaa.World.Closed ())
-            facts
+            (Tbaa.Engine.oracle engine Tbaa.Engine.Sm_field_type_refs)
+            (Tbaa.Engine.facts engine)
         in
         let g = count Tbaa.Sm_type_refs.Grouped in
         let p = count Tbaa.Sm_type_refs.Per_type in

@@ -6,61 +6,162 @@ type selector =
   | Sderef of Types.tid
   | Sindex of Reg.atom * Types.tid
 
-type t = { base : Reg.var; sels : selector list }
+(* Hash-consed shared-spine representation. A path is a parent pointer plus
+   one selector; extending is O(1) and shares the whole prefix, so the old
+   [sels @ [sel]] copy (quadratic over a lowering or rewrite that extends
+   step by step) is gone. Every node is interned in a global table, so
+   physical equality coincides with structural equality, [hash] is a cached
+   field, and [prefix]/[last]/[length]/[ty] are O(1) field reads.
 
-let of_var base = { base; sels = [] }
-let extend t sel = { t with sels = t.sels @ [ sel ] }
+   The cached hash reproduces the historical structural fold exactly
+   (base var id, then [h*31 + sel_hash] per selector) so hashtable bucket
+   layouts — and hence any iteration-order-dependent downstream output —
+   are unchanged by the representation swap. *)
+type t = {
+  id : int;  (* dense intern id; also the key other tables index on *)
+  h : int;  (* structural hash, identical to the pre-interning fold *)
+  len : int;
+  res_ty : Types.tid;  (* the paper's Type (AP), cached *)
+  base : Reg.var;
+  node : node;
+}
+
+and node = Root | Snoc of t * selector
 
 let selector_result = function
   | Sfield (_, ty) | Sderef ty | Sindex (_, ty) -> ty
 
-let rec last_sel = function
-  | [] -> None
-  | [ s ] -> Some s
-  | _ :: rest -> last_sel rest
+(* Intern keys are flat tuples of ints (plus the odd char/bool), so the
+   polymorphic hash never walks deep structure. Variables are keyed on all
+   their leaf fields, not just [v_id]: ids are unique within one program but
+   recycled across programs (the fuzzer analyzes hundreds per process), and
+   conflating two same-id variables with different types or names would leak
+   one program's metadata into another's paths. Within a single program the
+   extra fields are redundant, so interning still identifies exactly the
+   paths the old structural equality did. *)
+type akey =
+  | Kvar of int * int * int * int
+  | Kint of int
+  | Kbool of bool
+  | Kchar of char
+  | Knil
 
-let ty t =
-  match last_sel t.sels with
-  | None -> t.base.Reg.v_ty
-  | Some last -> selector_result last
+type key =
+  | Kroot of int * int * int * int  (* v_id, name, ty, kind *)
+  | Kfield of int * int * int  (* parent id, field name, content ty *)
+  | Kderef of int * int
+  | Kindex of int * akey * int
 
-let length t = List.length t.sels
-let is_memory_ref t = t.sels <> []
+let kind_code = function
+  | Reg.Vglobal -> 0
+  | Reg.Vparam Ast.By_value -> 1
+  | Reg.Vparam Ast.By_ref -> 2
+  | Reg.Vlocal -> 3
+  | Reg.Vtemp -> 4
+  | Reg.Vaddr -> 5
 
-let prefix t =
-  match t.sels with
-  | [] -> None
-  | sels -> (
-    match List.rev sels with
-    | _ :: rest -> Some { t with sels = List.rev rest }
-    | [] -> None)
+let akey = function
+  | Reg.Avar v ->
+    Kvar (v.Reg.v_id, Ident.hash v.Reg.v_name, v.Reg.v_ty, kind_code v.Reg.v_kind)
+  | Reg.Aint n -> Kint n
+  | Reg.Abool b -> Kbool b
+  | Reg.Achar c -> Kchar c
+  | Reg.Anil -> Knil
 
-let last t = last_sel t.sels
+module Ktbl = Hashtbl.Make (struct
+  type t = key
+
+  let equal (a : key) (b : key) = a = b
+  let hash = Hashtbl.hash
+end)
+
+let table : t Ktbl.t = Ktbl.create 4096
+let next_id = ref 0
+let interned () = !next_id
+
+let sel_hash = function
+  | Sfield (f, _) -> 3 + (17 * Ident.hash f)
+  | Sderef _ -> 5
+  | Sindex (Reg.Avar v, _) -> 7 + (17 * Reg.var_hash v)
+  | Sindex (Reg.Aint n, _) -> 11 + (17 * n)
+  | Sindex (_, _) -> 13
+
+let of_var base =
+  let key =
+    Kroot
+      ( base.Reg.v_id, Ident.hash base.Reg.v_name, base.Reg.v_ty,
+        kind_code base.Reg.v_kind )
+  in
+  match Ktbl.find_opt table key with
+  | Some t -> t
+  | None ->
+    let t =
+      { id = !next_id; h = Reg.var_hash base; len = 0; res_ty = base.Reg.v_ty;
+        base; node = Root }
+    in
+    incr next_id;
+    Ktbl.add table key t;
+    t
+
+let extend t sel =
+  let key =
+    match sel with
+    | Sfield (f, ty) -> Kfield (t.id, Ident.hash f, ty)
+    | Sderef ty -> Kderef (t.id, ty)
+    | Sindex (a, ty) -> Kindex (t.id, akey a, ty)
+  in
+  match Ktbl.find_opt table key with
+  | Some u -> u
+  | None ->
+    let u =
+      { id = !next_id; h = (t.h * 31) + sel_hash sel; len = t.len + 1;
+        res_ty = selector_result sel; base = t.base; node = Snoc (t, sel) }
+    in
+    incr next_id;
+    Ktbl.add table key u;
+    u
+
+let make base sels = List.fold_left extend (of_var base) sels
+let base t = t.base
+
+let sels t =
+  let rec go acc t =
+    match t.node with Root -> acc | Snoc (p, s) -> go (s :: acc) p
+  in
+  go [] t
+
+let ty t = t.res_ty
+let length t = t.len
+let is_memory_ref t = t.len > 0
+let prefix t = match t.node with Root -> None | Snoc (p, _) -> Some p
+let last t = match t.node with Root -> None | Snoc (_, s) -> Some s
+
+let prefix_ty t =
+  match t.node with Root -> t.base.Reg.v_ty | Snoc (p, _) -> p.res_ty
 
 let prefixes t =
-  let rec go acc kept = function
-    | [] -> List.rev acc
-    | s :: rest ->
-      let kept = kept @ [ s ] in
-      go ({ t with sels = kept } :: acc) kept rest
+  let rec go acc t =
+    match t.node with Root -> acc | Snoc (p, _) -> go (t :: acc) p
   in
-  go [] [] t.sels
+  go [] t
 
-let sel_equal a b =
-  match (a, b) with
-  | Sfield (f, _), Sfield (g, _) -> Ident.equal f g
-  | Sderef _, Sderef _ -> true
-  | Sindex (i, _), Sindex (j, _) -> Reg.atom_equal i j
-  | (Sfield _ | Sderef _ | Sindex _), _ -> false
+let rec truncate t k =
+  if t.len <= k then t
+  else match t.node with Root -> t | Snoc (p, _) -> truncate p k
 
-let rec sels_equal xs ys =
-  match (xs, ys) with
-  | [], [] -> true
-  | x :: xs, y :: ys -> sel_equal x y && sels_equal xs ys
-  | _ -> false
+let sels_between t lo hi =
+  let rec go acc t =
+    if t.len <= lo then acc
+    else
+      match t.node with Root -> acc | Snoc (p, s) -> go (s :: acc) p
+  in
+  go [] (truncate t hi)
 
-let equal a b =
-  a == b || (Reg.var_equal a.base b.base && sels_equal a.sels b.sels)
+let sels_from t lo = sels_between t lo t.len
+let concat a b = List.fold_left extend a (sels b)
+let equal a b = a == b
+let hash t = t.h
+let id t = t.id
 
 let atom_compare a b =
   let rank = function
@@ -78,8 +179,11 @@ let atom_compare a b =
   | Reg.Anil, Reg.Anil -> 0
   | _ -> Int.compare (rank a) (rank b)
 
-(* Mirrors [sel_equal]: selector result types are ignored, index atoms
-   matter. *)
+(* Selector result types are ignored, index atoms matter — the historical
+   order, kept so canonicalized pair keys (cache, claims ledger) are
+   unchanged. On well-typed paths the result types are determined by the
+   base and the selector names, so this order is consistent with physical
+   equality there. *)
 let sel_compare a b =
   match (a, b) with
   | Sfield (f, _), Sfield (g, _) -> Ident.compare f g
@@ -91,35 +195,27 @@ let sel_compare a b =
   | _, Sderef _ -> 1
 
 let compare a b =
-  let c = Reg.var_compare a.base b.base in
-  if c <> 0 then c
+  if a == b then 0
   else
-    let rec go xs ys =
-      match (xs, ys) with
-      | [], [] -> 0
-      | [], _ -> -1
-      | _, [] -> 1
-      | x :: xs, y :: ys ->
-        let c = sel_compare x y in
-        if c <> 0 then c else go xs ys
-    in
-    go a.sels b.sels
-
-let sel_hash = function
-  | Sfield (f, _) -> 3 + (17 * Ident.hash f)
-  | Sderef _ -> 5
-  | Sindex (Reg.Avar v, _) -> 7 + (17 * Reg.var_hash v)
-  | Sindex (Reg.Aint n, _) -> 11 + (17 * n)
-  | Sindex (_, _) -> 13
-
-let hash t =
-  List.fold_left (fun h s -> (h * 31) + sel_hash s) (Reg.var_hash t.base) t.sels
+    let c = Reg.var_compare a.base b.base in
+    if c <> 0 then c
+    else
+      let rec go xs ys =
+        match (xs, ys) with
+        | [], [] -> 0
+        | [], _ -> -1
+        | _, [] -> 1
+        | x :: xs, y :: ys ->
+          let c = sel_compare x y in
+          if c <> 0 then c else go xs ys
+      in
+      go (sels a) (sels b)
 
 let vars_used t =
   let idx =
     List.filter_map
       (function Sindex (Reg.Avar v, _) -> Some v | _ -> None)
-      t.sels
+      (sels t)
   in
   t.base :: idx
 
@@ -130,7 +226,7 @@ let pp ppf t =
       | Sfield (f, _) -> Format.fprintf ppf ".%a" Ident.pp f
       | Sderef _ -> Format.pp_print_string ppf "^"
       | Sindex (i, _) -> Format.fprintf ppf "[%a]" Reg.pp_atom i)
-    t.sels
+    (sels t)
 
 let to_string t = Format.asprintf "%a" pp t
 

@@ -87,7 +87,7 @@ and lower_expr st (e : Tast.expr) : Reg.atom =
       emit st (Instr.Iload (t, ap));
       Reg.Avar t
     end
-    else Reg.Avar ap.Apath.base
+    else Reg.Avar (Apath.base ap)
   | Tast.Ebinop (Ast.And, a, b) -> lower_short_circuit st ~is_and:true a b
   | Tast.Ebinop (Ast.Or, a, b) -> lower_short_circuit st ~is_and:false a b
   | Tast.Ebinop (op, a, b) ->
@@ -136,7 +136,7 @@ and lower_builtin_arg st (e : Tast.expr) : Reg.atom =
       emit st (Instr.Iaddr (t, ap));
       Reg.Avar t
     end
-    else Reg.Avar ap.Apath.base
+    else Reg.Avar (Apath.base ap)
   | _ -> lower_expr st e
 
 and lower_call st ~ret_ty target recv args =
@@ -190,7 +190,7 @@ and lower_stmt st (s : Tast.stmt) =
     let r = lower_expr st rhs in
     let ap = lower_path st lhs in
     if Apath.is_memory_ref ap then emit st (Instr.Istore (ap, r))
-    else emit st (Instr.Iassign (ap.Apath.base, Instr.Ratom r)))
+    else emit st (Instr.Iassign (Apath.base ap, Instr.Ratom r)))
   | Tast.Scall e -> ignore (lower_expr st e)
   | Tast.Sif (branches, else_) -> lower_if st branches else_
   | Tast.Swhile (cond, body) ->

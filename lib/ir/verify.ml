@@ -62,11 +62,11 @@ let path_errors env (ap : Apath.t) =
       let next =
         match sel with
         | Apath.Sderef t ->
-          if pos = 0 && Reg.holds_address ap.Apath.base then begin
-            if t <> ap.Apath.base.Reg.v_ty then
+          if pos = 0 && Reg.holds_address (Apath.base ap) then begin
+            if t <> (Apath.base ap).Reg.v_ty then
               err "deref of address base yields %s, base referent is %s"
                 (ty_name env t)
-                (ty_name env ap.Apath.base.Reg.v_ty);
+                (ty_name env (Apath.base ap).Reg.v_ty);
             Some t
           end
           else begin
@@ -103,11 +103,11 @@ let path_errors env (ap : Apath.t) =
       in
       (match next with Some t -> walk t (pos + 1) rest | None -> ())
   in
-  (if ap.Apath.sels <> [] && Reg.holds_address ap.Apath.base then
-     match ap.Apath.sels with
-     | Apath.Sderef _ :: _ -> ()
+  (if Apath.is_memory_ref ap && Reg.holds_address (Apath.base ap) then
+     match Apath.last (Apath.truncate ap 1) with
+     | Some (Apath.Sderef _) -> ()
      | _ -> err "address-holding base used without a leading deref");
-  walk ap.Apath.base.Reg.v_ty 0 ap.Apath.sels;
+  walk (Apath.base ap).Reg.v_ty 0 (Apath.sels ap);
   List.rev !errs
 
 (* ------------------------------------------------------------------ *)

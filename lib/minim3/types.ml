@@ -199,6 +199,44 @@ let subtype env s t =
     | Dobject _, Dobject _ -> List.mem t (super_chain env s [])
     | _ -> false
 
+(* Pre/post (Euler-tour) interval labels over the object inheritance
+   forest: [s <: t] for objects iff [pre t <= pre s < post t]. Computed in
+   one pass over the type table; non-object tids keep label -1. The env is
+   append-only (patch_object can re-parent a reserved object, but only
+   before any client asks subtype questions), so labels are computed on
+   demand against a snapshot of [env.len] — callers obtain them once per
+   analysis via {!forest_labels}. *)
+type forest_labels = { fl_len : int; fl_pre : int array; fl_post : int array }
+
+let forest_labels env =
+  let n = env.len in
+  let pre = Array.make n (-1) and post = Array.make n (-1) in
+  (* children lists, built backwards so each node's children end up in
+     ascending tid order *)
+  let children = Array.make n [] in
+  let roots = ref [] in
+  for t = n - 1 downto 0 do
+    match env.descs.(t) with
+    | Dobject { obj_super = Some s; _ } -> children.(s) <- t :: children.(s)
+    | Dobject { obj_super = None; _ } -> roots := t :: !roots
+    | _ -> ()
+  done;
+  let clock = ref 0 in
+  let rec dfs t =
+    pre.(t) <- !clock;
+    incr clock;
+    List.iter dfs children.(t);
+    post.(t) <- !clock
+  in
+  List.iter dfs !roots;
+  { fl_len = n; fl_pre = pre; fl_post = post }
+
+(* [label_subtype fl s t]: O(1) [subtype] restricted to the object forest
+   (both arguments must be object tids of the labeled env). *)
+let label_subtype fl s t =
+  let ps = fl.fl_pre.(s) in
+  fl.fl_pre.(t) <= ps && ps < fl.fl_post.(t)
+
 let subtypes env t =
   (* NIL inhabits every pointer type but denotes no location, so it is not a
      member of the paper's Subtypes(T) — including it would make every pair

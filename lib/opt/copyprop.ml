@@ -16,8 +16,8 @@ let run_proc program proc stats =
   let excluded = Hashtbl.create 8 in
   Cfg.iter_instrs proc (fun _ i ->
       match i with
-      | Instr.Iaddr (_, ap) when ap.Apath.sels = [] ->
-        Hashtbl.replace excluded ap.Apath.base.Reg.v_id ()
+      | Instr.Iaddr (_, ap) when not (Apath.is_memory_ref ap) ->
+        Hashtbl.replace excluded (Apath.base ap).Reg.v_id ()
       | _ -> ());
   (* Universe of copy occurrences. *)
   let copies = Vec.create () in
@@ -120,8 +120,8 @@ let run_proc program proc stats =
           | s -> s
         in
         let subst_path (ap : Apath.t) =
-          { Apath.base = subst_var ap.Apath.base;
-            sels = List.map subst_sel ap.Apath.sels }
+          Apath.make (subst_var (Apath.base ap))
+            (List.map subst_sel (Apath.sels ap))
         in
         let subst_rvalue = function
           | Instr.Ratom a -> Instr.Ratom (subst_atom a)

@@ -12,8 +12,8 @@ let run_proc proc stats =
   let pinned = Hashtbl.create 8 in
   Cfg.iter_instrs proc (fun _ i ->
       match i with
-      | Instr.Iaddr (_, ap) when ap.Apath.sels = [] ->
-        Hashtbl.replace pinned ap.Apath.base.Reg.v_id ()
+      | Instr.Iaddr (_, ap) when not (Apath.is_memory_ref ap) ->
+        Hashtbl.replace pinned (Apath.base ap).Reg.v_id ()
       | _ -> ());
   let is_pinned (v : Reg.var) =
     v.Reg.v_kind = Reg.Vglobal || Hashtbl.mem pinned v.Reg.v_id

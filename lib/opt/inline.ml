@@ -37,7 +37,7 @@ let inline_one program caller (call_block : Cfg.block) before after dst callee_p
     | Apath.Sindex (a, t) -> Apath.Sindex (clone_atom a, t)
   in
   let clone_path (ap : Apath.t) =
-    { Apath.base = clone_var ap.Apath.base; sels = List.map clone_sel ap.Apath.sels }
+    Apath.make (clone_var (Apath.base ap)) (List.map clone_sel (Apath.sels ap))
   in
   let clone_rvalue = function
     | Instr.Ratom a -> Instr.Ratom (clone_atom a)

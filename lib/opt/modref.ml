@@ -101,4 +101,4 @@ let call_kill_pred t (oracle : Oracle.t) target =
 
 let call_kills t oracle target ap =
   call_kill_pred t oracle target
-    (Apath.of_var ap.Apath.base :: Apath.prefixes ap)
+    (Apath.of_var (Apath.base ap) :: Apath.prefixes ap)

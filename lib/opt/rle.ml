@@ -24,7 +24,7 @@ type query_paths = {
 
 let query_paths ap =
   let prefixes = Apath.prefixes ap in
-  let base = Apath.of_var ap.Apath.base in
+  let base = Apath.of_var (Apath.base ap) in
   { qp_vars = Apath.vars_used ap;
     qp_base = base;
     qp_prefixes = prefixes;
@@ -195,12 +195,8 @@ let hoist_loops ?claims program oracle modref proc stats =
               let replacement =
                 if Apath.equal p ap then Instr.Iassign (v, Instr.Ratom (Reg.Avar t))
                 else begin
-                  let nsels =
-                    List.filteri
-                      (fun k _ -> k >= Apath.length p)
-                      ap.Apath.sels
-                  in
-                  Instr.Iload (v, { Apath.base = t; sels = nsels })
+                  Instr.Iload
+                    (v, Apath.make t (Apath.sels_from ap (Apath.length p)))
                 end
               in
               b.Cfg.b_instrs <-
@@ -306,12 +302,7 @@ let cse ?claims program oracle modref proc stats =
         home.(e) <- Some v;
         v
     in
-    let prefix_of_len ap k =
-      { ap with Apath.sels = List.filteri (fun i _ -> i < k) ap.Apath.sels }
-    in
-    let sels_between ap from_len to_len =
-      List.filteri (fun i _ -> i >= from_len && i < to_len) ap.Apath.sels
-    in
+
     (* Walk the scalar-prefix lengths of [ap] up to [upto], loading each
        segment into its home, starting from the longest available prefix.
        Returns the emitted loads and the (base, consumed) for the rest. *)
@@ -319,22 +310,22 @@ let cse ?claims program oracle modref proc stats =
       let avail_len =
         List.fold_left
           (fun best k ->
-            if Bitset.mem avail (intern (prefix_of_len ap k)) then max best k
+            if Bitset.mem avail (intern (Apath.truncate ap k)) then max best k
             else best)
           0 lens
       in
       let start_base =
-        if avail_len = 0 then ap.Apath.base
-        else home_temp (intern (prefix_of_len ap avail_len))
+        if avail_len = 0 then Apath.base ap
+        else home_temp (intern (Apath.truncate ap avail_len))
       in
       let loads, final_base, consumed =
         List.fold_left
           (fun (acc, base, consumed) k ->
             if k <= avail_len then (acc, base, consumed)
             else begin
-              let h = home_temp (intern (prefix_of_len ap k)) in
+              let h = home_temp (intern (Apath.truncate ap k)) in
               let load =
-                Instr.Iload (h, { Apath.base = base; sels = sels_between ap consumed k })
+                Instr.Iload (h, Apath.make base (Apath.sels_between ap consumed k))
               in
               (load :: acc, h, k)
             end)
@@ -373,7 +364,7 @@ let cse ?claims program oracle modref proc stats =
         if avail_len > 0 then stats.shortened <- stats.shortened + 1;
         nav
         @ [ Instr.Istore
-              ({ Apath.base = final_base; sels = sels_between ap consumed m }, a);
+              (Apath.make final_base (Apath.sels_between ap consumed m), a);
             Instr.Iassign (home_temp (intern ap), Instr.Ratom a) ]
       | _ -> [ instr ]
     in

@@ -36,11 +36,10 @@ let create claims =
 let rec canonical claims depth (ap : Apath.t) =
   if depth = 0 then ap
   else
-    match Claims.home claims ap.Apath.base.Reg.v_id with
+    match Claims.home claims (Apath.base ap).Reg.v_id with
     | None -> ap
     | Some hp ->
-      canonical claims (depth - 1)
-        { Apath.base = hp.Apath.base; sels = hp.Apath.sels @ ap.Apath.sels }
+      canonical claims (depth - 1) (Apath.concat hp ap)
 
 let canonical_path t ap = canonical t.au_claims 8 ap
 
@@ -72,7 +71,7 @@ let n_paths t = Path_tbl.length t.au_cells
    round queries paths whose base a copy-propagation rewrote to an
    earlier round's home temp. *)
 let denotes_register (ap : Apath.t) =
-  ap.Apath.sels = [] && ap.Apath.base.Reg.v_kind = Reg.Vtemp
+  (not (Apath.is_memory_ref ap)) && (Apath.base ap).Reg.v_kind = Reg.Vtemp
 
 let check t =
   let oracle = Claims.oracle_name t.au_claims in

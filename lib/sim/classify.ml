@@ -171,10 +171,7 @@ let classify program oracle modref limit : breakdown =
         | Interp.Sdope _ | Interp.Snumber | Interp.Sdispatch ->
           add Encapsulated stat.Limit.ss_redundant
         | Interp.Sexplicit (ap, k) -> (
-          let expr =
-            { ap with
-              Apath.sels = List.filteri (fun i _ -> i < k) ap.Apath.sels }
-          in
+          let expr = Apath.truncate ap k in
           match Cfg.find_proc_opt program site.Interp.site_proc with
           | None -> add Rest stat.Limit.ss_redundant
           | Some proc ->

@@ -164,8 +164,7 @@ let mem_read st frame ~where addr =
     match where () with
     | _, _, _, Sexplicit (ap, k) ->
       let path =
-        if k = List.length ap.Apath.sels then ap
-        else { ap with Apath.sels = List.filteri (fun i _ -> i < k) ap.Apath.sels }
+        Apath.truncate ap k
       in
       f { ac_store = false; ac_path = path; ac_addr = addr;
           ac_activation = frame.activation; ac_heap = heap }
@@ -233,8 +232,8 @@ let resident_vars st proc =
     in
     Cfg.iter_instrs proc (fun _ i ->
         (match i with
-        | Instr.Iaddr (_, ap) when ap.Apath.sels = [] ->
-          if ap.Apath.base.Reg.v_kind <> Reg.Vglobal then note ap.Apath.base
+        | Instr.Iaddr (_, ap) when not (Apath.is_memory_ref ap) ->
+          if (Apath.base ap).Reg.v_kind <> Reg.Vglobal then note (Apath.base ap)
         | _ -> ());
         List.iter
           (fun v -> if owns_storage v && is_aggregate st v.Reg.v_ty then note v)
@@ -344,7 +343,7 @@ let resolve st frame ~block ~index (ap : Apath.t) : int option =
   let tenv = st.program.Cfg.tenv in
   let explicit k () = (block, index, 2 * k, Sexplicit (ap, k)) in
   let dope k () = (block, index, (2 * k) + 1, Sdope ap) in
-  let base = ap.Apath.base in
+  let base = Apath.base ap in
   let init : [ `Val of Value.t | `Addr of int ] =
     match var_addr st frame base with
     | Some a ->
@@ -451,7 +450,7 @@ let resolve st frame ~block ~index (ap : Apath.t) : int option =
           soft_fault st;
           None))
   in
-  go 0 init base.Reg.v_ty ap.Apath.sels
+  go 0 init base.Reg.v_ty (Apath.sels ap)
 
 (* ------------------------------------------------------------------ *)
 (* Instructions                                                        *)

@@ -20,9 +20,7 @@ let create () =
 
 let site_expr (s : Interp.site) =
   match s.Interp.site_kind with
-  | Interp.Sexplicit (ap, k) ->
-    let sels = List.filteri (fun i _ -> i < k) ap.Ir.Apath.sels in
-    Some { ap with Ir.Apath.sels = sels }
+  | Interp.Sexplicit (ap, k) -> Some (Ir.Apath.truncate ap k)
   | Interp.Sdope _ | Interp.Snumber | Interp.Sdispatch -> None
 
 let on_load t (e : Interp.load_event) =

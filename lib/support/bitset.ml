@@ -66,6 +66,16 @@ let map2_into ~dst src f =
     Bytes.set dst.bits i (Char.chr (c land 0xff))
   done
 
+let intersects a b =
+  same_universe a b;
+  let n = Bytes.length a.bits in
+  let rec go i =
+    i < n
+    && (Char.code (Bytes.get a.bits i) land Char.code (Bytes.get b.bits i) <> 0
+       || go (i + 1))
+  in
+  go 0
+
 let union_into ~dst src = map2_into ~dst src (fun a b -> a lor b)
 let inter_into ~dst src = map2_into ~dst src (fun a b -> a land b)
 let diff_into ~dst src = map2_into ~dst src (fun a b -> a land lnot b)

@@ -22,6 +22,10 @@ val cardinal : t -> int
 val is_empty : t -> bool
 val equal : t -> t -> bool
 
+val intersects : t -> t -> bool
+(** [intersects a b] is [not (is_empty (a ∩ b))], without materializing the
+    intersection; exits at the first overlapping word. *)
+
 val union_into : dst:t -> t -> unit
 (** [union_into ~dst src] sets [dst := dst ∪ src]. *)
 

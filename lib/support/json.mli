@@ -1,8 +1,9 @@
-(** A minimal JSON value and serializer — just enough for the structured
-    stats records ([--stats] JSON-lines output, the bench snapshot). No
-    parser: this repository only ever *emits* JSON, and the preinstalled
-    package set has no JSON library, so we keep a 60-line writer here
-    rather than gate the stats machinery on an external dependency. *)
+(** A minimal JSON value, serializer and parser — just enough for the
+    structured stats records ([--stats] JSON-lines output, the bench
+    snapshots) and for reading our own snapshots back (the bench-smoke
+    regression gate). The preinstalled package set has no JSON library, so
+    we keep a small reader/writer here rather than gate the stats
+    machinery on an external dependency. *)
 
 type t =
   | Null
@@ -19,3 +20,17 @@ val to_string : t -> string
 
 val of_stats : (string * int) list -> t
 (** Convenience: a named-counter list as a JSON object. *)
+
+exception Parse_error of string
+
+val of_string : string -> t
+(** Parse one JSON value (the subset {!to_string} emits, plus whitespace).
+    Raises {!Parse_error} on malformed input. Numbers that fit an OCaml
+    [int] parse as [Int], others as [Float]; [\\u] escapes above Latin-1
+    degrade to ['?'] (our emitter never produces them). *)
+
+val member : string -> t -> t option
+(** [member k (Obj kvs)] looks up [k]; [None] on missing key or non-object. *)
+
+val to_float : t -> float option
+(** Numeric coercion: [Int] or [Float], [None] otherwise. *)

@@ -163,9 +163,9 @@ let test_verify_rejects_ill_typed_path () =
           program.Ir.Cfg.prog_globals
       in
       let bad =
-        { Ir.Apath.base = g;
-          sels = [ Ir.Apath.Sfield (Support.Ident.intern "nofield",
-                                    Minim3.Types.tid_int) ] }
+        Ir.Apath.make g
+          [ Ir.Apath.Sfield (Support.Ident.intern "nofield",
+                             Minim3.Types.tid_int) ]
       in
       let t =
         Ir.Cfg.fresh_var program ~name:"evil" ~ty:Minim3.Types.tid_int

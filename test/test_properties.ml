@@ -198,9 +198,7 @@ let prop_soundness =
       let on_load (e : Sim.Interp.load_event) =
         match e.Sim.Interp.le_site.Sim.Interp.site_kind with
         | Sim.Interp.Sexplicit (ap, k) ->
-          let expr =
-            { ap with Apath.sels = List.filteri (fun i _ -> i < k) ap.Apath.sels }
-          in
+          let expr = Apath.truncate ap k in
           if Apath.is_memory_ref expr then begin
             let id = e.Sim.Interp.le_site.Sim.Interp.site_id in
             Hashtbl.replace site_exprs id expr;

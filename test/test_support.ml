@@ -166,6 +166,49 @@ let prop_groups_partition =
       let all = List.concat gs in
       List.length all = n && List.sort compare all = List.init n Fun.id)
 
+
+(* --- json ---------------------------------------------------------------- *)
+
+let test_json_roundtrip () =
+  let v =
+    Support.Json.(
+      Obj
+        [ ("name", String "bench \"alias\"\n");
+          ("count", Int 42);
+          ("rate", Float 0.8125);
+          ("ok", Bool true);
+          ("none", Null);
+          ("legs", List [ Int 1; Float 2.5; String "x" ]);
+          ("empty_obj", Obj []);
+          ("empty_list", List []) ])
+  in
+  let text = Support.Json.to_string v in
+  Alcotest.(check bool) "parse(print(v)) = v" true
+    (Support.Json.of_string text = v);
+  Alcotest.(check bool) "whitespace tolerated" true
+    (Support.Json.of_string " { \"a\" : [ 1 , 2 ] } "
+    = Support.Json.(Obj [ ("a", List [ Int 1; Int 2 ]) ]))
+
+let test_json_parse_errors () =
+  List.iter
+    (fun bad ->
+      match Support.Json.of_string bad with
+      | exception Support.Json.Parse_error _ -> ()
+      | v ->
+        Alcotest.failf "%S parsed as %s" bad (Support.Json.to_string v))
+    [ ""; "{"; "[1,"; "{\"a\":}"; "tru"; "\"unterminated"; "1 2"; "{1:2}" ]
+
+let test_json_accessors () =
+  let v = Support.Json.of_string "{\"x\":3,\"y\":2.5,\"s\":\"hi\"}" in
+  Alcotest.(check (option (float 0.0))) "int member" (Some 3.0)
+    (Option.bind (Support.Json.member "x" v) Support.Json.to_float);
+  Alcotest.(check (option (float 0.0))) "float member" (Some 2.5)
+    (Option.bind (Support.Json.member "y" v) Support.Json.to_float);
+  Alcotest.(check bool) "non-numeric member" true
+    (Option.bind (Support.Json.member "s" v) Support.Json.to_float = None);
+  Alcotest.(check bool) "missing member" true
+    (Support.Json.member "z" v = None)
+
 let () =
   Alcotest.run "support"
     [ ( "ident",
@@ -188,6 +231,10 @@ let () =
           Alcotest.test_case "growth" `Quick test_vec_growth ] );
       ( "table",
         [ Alcotest.test_case "render" `Quick test_table_render ] );
+      ( "json",
+        [ Alcotest.test_case "round-trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+          Alcotest.test_case "accessors" `Quick test_json_accessors ] );
       ( "prng",
         [ Alcotest.test_case "determinism" `Quick test_prng_determinism;
           Alcotest.test_case "bounds" `Quick test_prng_bounds ] ) ]

@@ -57,7 +57,7 @@ BEGIN END M.
   (* receiver types directly *)
   let tenv = analysis.Tbaa.Analysis.facts.Tbaa.Facts.tenv in
   Alcotest.(check bool) "compat is symmetric" true
-    (td.Tbaa.Oracle.compat ((r 0).Apath.base.Reg.v_ty) ((r 1).Apath.base.Reg.v_ty));
+    (td.Tbaa.Oracle.compat (Apath.base (r 0)).Reg.v_ty (Apath.base (r 1)).Reg.v_ty);
   ignore tenv
 
 let test_typedecl_incompatible_siblings () =
