@@ -35,12 +35,15 @@ audit:
 bench:
 	dune exec bench/main.exe
 
-# The alias-query microbenchmark regression gate: geometric-mean speedup of
-# the precomputed compatibility cores over their per-query references must
-# stay >= 5x and within 20% of the recorded BENCH_alias.json snapshot
-# (regenerate the snapshot with `dune exec bench/bench_alias.exe -- --write`).
+# Ratio-based regression gates: the alias-query legs must stay >= 5x and
+# within 20% of the recorded BENCH_alias.json snapshot; the simulator
+# fast-path legs must stay >= 3x and within 20% of BENCH_sim.json
+# (regenerate the snapshots with
+#   dune exec bench/bench_alias.exe -- --write
+#   dune exec bench/bench_sim.exe -- --write).
 bench-smoke:
 	dune exec bench/bench_alias.exe -- --check
+	dune exec bench/bench_sim.exe -- --check
 
 clean:
 	dune clean

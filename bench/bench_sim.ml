@@ -1,0 +1,230 @@
+(* The simulator microbenchmark and its regression gate.
+
+   PR 5 rebuilt the interpreter's inner loop around per-procedure
+   pre-compilation (Sim.Precompile): dense register renumbering onto flat
+   frames, blocks resolved into instruction arrays with precomputed layout
+   offsets, and per-static-site memo cells in place of the hashed site
+   table. This benchmark times the tree-walking reference engine
+   ([Sim.Interp.run_reference]) against the compiled engine
+   ([Sim.Interp.run]) over identical workloads:
+
+   - table4:simulate-slisp — an untraced run of slisp, the suite's most
+     interpreter-bound program (the Table 4 instruction-count
+     configuration); and
+   - fig9:traced-run-write_pickle — a run of write_pickle under the
+     Sim.Limit redundant-load tracer (the Figure 9 limit-study
+     configuration), where the hot path also pays the on_load hook.
+
+   Both engines must produce bit-identical outcomes — checked here on
+   every timed run, so the benchmark doubles as a coarse equivalence
+   test (the fine-grained one is test/test_sim_equiv.ml).
+
+   Modes:
+     (none)    run and print the table
+     --write   also snapshot BENCH_sim.json
+     --check   the `make bench-smoke` gate: every leg's speedup must be
+               >= 3x, and — if BENCH_sim.json exists — within 20% of its
+               recorded speedup. Gating on old/new *ratios* rather than
+               raw ns keeps the gate meaningful across machines of
+               different absolute speed. *)
+
+open Support
+
+let snapshot_file = "BENCH_sim.json"
+let required_speedup = 3.0
+let regression_slack = 0.8 (* accept >= 80% of the recorded speedup *)
+
+(* ------------------------------------------------------------------ *)
+(* Subjects                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let workload name = Workloads.Workload.lower (Workloads.Suite.find name)
+
+(* The observable fingerprint both engines must agree on, folded into the
+   sink so the runs cannot be optimized away. *)
+let fingerprint (o : Sim.Interp.outcome) =
+  Hashtbl.hash
+    ( o.Sim.Interp.output,
+      o.Sim.Interp.counters.Sim.Interp.instrs,
+      o.Sim.Interp.counters.Sim.Interp.heap_loads,
+      o.Sim.Interp.cycles,
+      o.Sim.Interp.soft_faults,
+      o.Sim.Interp.cache_misses )
+
+let sink = ref 0
+
+(* ------------------------------------------------------------------ *)
+(* Timing                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Whole-program runs are long (tens of millions of simulated cycles).
+   After a warmup run, size a batch to >= 0.3s of CPU time, then take the
+   MINIMUM over several batches: the container this gate runs in shows
+   1.5x CPU-time noise (frequency scaling / cgroup throttling), and the
+   minimum is the standard robust estimator under one-sided noise. *)
+let ns_per_run f =
+  sink := !sink lxor f ();
+  (* warmup; also seeds the equality check *)
+  let time iters =
+    let t0 = Sys.time () in
+    for _ = 1 to iters do
+      sink := !sink lxor f ()
+    done;
+    (Sys.time () -. t0) *. 1e9 /. float_of_int iters
+  in
+  let rec calibrate iters =
+    let per = time iters in
+    if per *. float_of_int iters < 0.3e9 && iters < 1 lsl 10 then
+      calibrate (iters * 2)
+    else (iters, per)
+  in
+  let iters, first = calibrate 1 in
+  let best = ref first in
+  for _ = 1 to 4 do
+    best := Float.min !best (time iters)
+  done;
+  !best
+
+type leg = {
+  leg_name : string;
+  leg_instrs : int;  (* simulated instructions per run *)
+  old_ns : float;
+  new_ns : float;
+}
+
+let speedup l = if l.new_ns > 0. then l.old_ns /. l.new_ns else 0.
+
+let geomean legs =
+  let logs = List.map (fun l -> Float.log (Float.max (speedup l) 1e-9)) legs in
+  Float.exp (List.fold_left ( +. ) 0. logs /. float_of_int (List.length legs))
+
+(* [make_leg name program runner] times [runner ~reference:_ program] both
+   ways and insists the two engines' observables are identical. *)
+let make_leg leg_name program runner =
+  let outcome_of reference = runner ~reference program in
+  let old_o = outcome_of true in
+  let new_o = outcome_of false in
+  if fingerprint old_o <> fingerprint new_o then begin
+    Printf.eprintf "%s: engines disagree (reference vs compiled)!\n" leg_name;
+    exit 2
+  end;
+  { leg_name;
+    leg_instrs = new_o.Sim.Interp.counters.Sim.Interp.instrs;
+    old_ns = ns_per_run (fun () -> fingerprint (outcome_of true));
+    new_ns = ns_per_run (fun () -> fingerprint (outcome_of false)) }
+
+let untraced ~reference program =
+  if reference then Sim.Interp.run_reference program
+  else Sim.Interp.run program
+
+let traced ~reference program =
+  let t = Sim.Limit.create () in
+  let on_load = Sim.Limit.on_load t in
+  let o =
+    if reference then Sim.Interp.run_reference ~on_load program
+    else Sim.Interp.run ~on_load program
+  in
+  (* fold the tracer's totals into the sink too: the traced leg must
+     exercise the real hook, not a stub *)
+  sink := !sink lxor Sim.Limit.total_redundant t;
+  o
+
+(* ------------------------------------------------------------------ *)
+(* Reporting, snapshotting, gating                                     *)
+(* ------------------------------------------------------------------ *)
+
+let json_of_run legs =
+  Json.Obj
+    [ ("microbench", Json.String "simulator-fast-path");
+      ( "legs",
+        Json.List
+          (List.map
+             (fun l ->
+               Json.Obj
+                 [ ("name", Json.String l.leg_name);
+                   ("instrs", Json.Int l.leg_instrs);
+                   ("old_ns_per_run", Json.Float l.old_ns);
+                   ("new_ns_per_run", Json.Float l.new_ns);
+                   ("speedup", Json.Float (speedup l)) ])
+             legs) );
+      ( "speedup_min",
+        Json.Float
+          (List.fold_left (fun acc l -> Float.min acc (speedup l)) infinity
+             legs) );
+      ("speedup_geomean", Json.Float (geomean legs)) ]
+
+let print_table legs =
+  Printf.printf "%-30s %14s %14s %10s\n" "leg" "old ns/run" "new ns/run"
+    "speedup";
+  List.iter
+    (fun l ->
+      Printf.printf "%-30s %14.0f %14.0f %9.1fx\n" l.leg_name l.old_ns
+        l.new_ns (speedup l))
+    legs
+
+let recorded_speedups () =
+  if not (Sys.file_exists snapshot_file) then []
+  else
+    let ic = open_in snapshot_file in
+    let len = in_channel_length ic in
+    let text = really_input_string ic len in
+    close_in ic;
+    match Json.member "legs" (Json.of_string text) with
+    | Some (Json.List legs) ->
+      List.filter_map
+        (fun leg ->
+          match (Json.member "name" leg, Json.member "speedup" leg) with
+          | Some (Json.String name), Some v -> (
+            match Json.to_float v with
+            | Some s -> Some (name, s)
+            | None -> None)
+          | _ -> None)
+        legs
+    | _ -> []
+
+let check legs =
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun m -> failures := m :: !failures) fmt in
+  List.iter
+    (fun l ->
+      if speedup l < required_speedup then
+        fail "%s: speedup %.1fx below required %.1fx" l.leg_name (speedup l)
+          required_speedup)
+    legs;
+  let recorded = recorded_speedups () in
+  if recorded = [] then
+    print_endline "(no BENCH_sim.json snapshot; gating on the 3x floor only)"
+  else
+    List.iter
+      (fun l ->
+        match List.assoc_opt l.leg_name recorded with
+        | None -> fail "%s: not present in %s" l.leg_name snapshot_file
+        | Some r ->
+          if speedup l < r *. regression_slack then
+            fail
+              "%s: speedup %.1fx regressed more than 20%% from recorded %.1fx"
+              l.leg_name (speedup l) r)
+      legs;
+  match !failures with
+  | [] -> print_endline "bench-smoke: all legs within bounds"
+  | fs ->
+    List.iter (fun m -> prerr_endline ("bench-smoke FAIL: " ^ m)) fs;
+    exit 1
+
+let () =
+  let arg a = Array.exists (String.equal a) Sys.argv in
+  let legs =
+    [ make_leg "table4:simulate-slisp" (workload "slisp") untraced;
+      make_leg "fig9:traced-run-write_pickle" (workload "write_pickle") traced
+    ]
+  in
+  print_table legs;
+  if !sink = max_int then print_newline ();
+  if arg "--write" then begin
+    let oc = open_out snapshot_file in
+    output_string oc (Json.to_string (json_of_run legs));
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "(snapshot written to %s)\n" snapshot_file
+  end;
+  if arg "--check" then check legs

@@ -285,7 +285,7 @@ let fuel_arg =
            gracefully instead of spinning (default 50 million).")
 
 let run_cmd =
-  let run file workload optimize analysis audit fuel quiet =
+  let run file workload optimize analysis audit fuel quiet reference =
     with_source file workload (fun name src ->
         let program = Ir.Lower.lower_string ~file:name src in
         let optimize = optimize || audit in
@@ -309,7 +309,10 @@ let run_cmd =
         let on_access =
           Option.map (fun (a, _) ac -> Sim.Audit.on_access a ac) auditor
         in
-        let o = Sim.Interp.run ?fuel ?on_access program in
+        let engine =
+          if reference then Sim.Interp.run_reference else Sim.Interp.run
+        in
+        let o = engine ?fuel ?on_load:None ?on_access program in
         if not quiet then print_string o.Sim.Interp.output;
         let c = o.Sim.Interp.counters in
         Printf.eprintf
@@ -354,11 +357,20 @@ let run_cmd =
   let quiet_arg =
     Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Suppress the program's output.")
   in
+  let reference_arg =
+    Arg.(
+      value & flag
+      & info [ "reference" ]
+          ~doc:
+            "Use the tree-walking reference interpreter instead of the \
+             pre-compiled engine (same observable behaviour, slower; for \
+             differential debugging).")
+  in
   Cmd.v
     (Cmd.info "run" ~doc:"Execute a program on the simulator and print counters.")
     Term.(
       const run $ file_arg $ workload_arg $ optimize_arg $ analysis_arg
-      $ audit_arg $ fuel_arg $ quiet_arg)
+      $ audit_arg $ fuel_arg $ quiet_arg $ reference_arg)
 
 let audit_cmd =
   let run file workload analysis world minv fault_rate fault_seed fuel json =

@@ -100,15 +100,43 @@ let percent_of_base w config =
   let c = run w config in
   100.0 *. float_of_int c.Sim.Interp.cycles /. float_of_int b.Sim.Interp.cycles
 
+(* First line at which two outputs diverge: (1-based line number, base's
+   line, other's line). A missing line on one side reports as "<end of
+   output>". *)
+let first_divergence base_output output =
+  let a = String.split_on_char '\n' base_output in
+  let b = String.split_on_char '\n' output in
+  let missing = "<end of output>" in
+  let rec go i a b =
+    match (a, b) with
+    | [], [] -> None
+    | x :: a', y :: b' ->
+      if String.equal x y then go (i + 1) a' b' else Some (i, x, y)
+    | x :: _, [] -> Some (i, x, missing)
+    | [], y :: _ -> Some (i, missing, y)
+  in
+  go 1 a b
+
+let divergence_error ~workload ~config ~base_output ~output =
+  match first_divergence base_output output with
+  | None ->
+    Support.Diag.error
+      "workload %s: configuration %s changed the program output" workload
+      config
+  | Some (line, expected, got) ->
+    Support.Diag.error
+      "workload %s: configuration %s changed the program output at line %d: \
+       expected %S, got %S"
+      workload config line expected got
+
 let check_outputs_agree w configs =
   let b = run w base in
   List.iter
     (fun c ->
       let o = run w c in
       if not (String.equal o.Sim.Interp.output b.Sim.Interp.output) then
-        failwith
-          (Printf.sprintf "%s: configuration %s changed the program output"
-             w.Workload.name (config_name c)))
+        divergence_error ~workload:w.Workload.name ~config:(config_name c)
+          ~base_output:b.Sim.Interp.output ~output:o.Sim.Interp.output)
     configs
 
 (* The generative fuzzing loop lives in {!Fuzz}; re-exported here so the

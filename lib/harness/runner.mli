@@ -63,9 +63,23 @@ val percent_of_base : Workloads.Workload.t -> config -> float
 (** Simulated running time as percent of the base configuration (the
     paper's Figures 8, 11, 12 y-axis). *)
 
+val first_divergence : string -> string -> (int * string * string) option
+(** [first_divergence base_output output] is the first line at which the
+    two outputs differ, as [(1-based line number, base's line, other's
+    line)] — ["<end of output>"] standing in for a side that ran out of
+    lines — or [None] when they are equal. *)
+
+val divergence_error :
+  workload:string -> config:string -> base_output:string -> output:string -> 'a
+(** Raises {!Support.Diag.Compile_error} describing an output divergence:
+    workload, configuration, and the first diverging line of each side. *)
+
 val check_outputs_agree : Workloads.Workload.t -> config list -> unit
-(** Raises [Failure] if any configuration changes the program's output —
-    the harness-level semantics check. *)
+(** Raises {!Support.Diag.Compile_error} (via {!divergence_error}) if any
+    configuration changes the program's output — the harness-level
+    semantics check. The error carries the workload name, the offending
+    configuration, and the first diverging output line, so a fuzz or CI
+    failure is actionable without re-running. *)
 
 val fuzz :
   ?out_dir:string option ->

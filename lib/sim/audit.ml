@@ -2,12 +2,10 @@ open Support
 open Ir
 open Tbaa
 
-module Path_tbl = Hashtbl.Make (struct
-  type t = Apath.t
-
-  let equal = Apath.equal
-  let hash = Apath.hash
-end)
+(* Paths are hash-consed, so the interning module's own table (physical
+   equality, O(1) precomputed hash) is the right keying — no need to
+   re-derive a hashed-table functor here. *)
+module Path_tbl = Apath.Tbl
 
 type violation = {
   vi_p1 : Apath.t;

@@ -1,3 +1,5 @@
+open Support
+
 type t = {
   lines : int array;  (* tag per set; -1 = invalid *)
   line_shift : int;
@@ -10,7 +12,21 @@ let log2 n =
   let rec go k v = if v >= n then k else go (k + 1) (v * 2) in
   go 0 1
 
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+(* [set_mask = nsets - 1] is a set index mask — and [line_shift] an exact
+   line shift — only when both dimensions are powers of two; anything else
+   would silently index a wrong (and partly unreachable) set array. *)
 let create ?(size_bytes = 32 * 1024) ?(line_bytes = 32) () =
+  if not (is_pow2 line_bytes) then
+    Diag.error "Cache.create: line_bytes must be a power of two, got %d"
+      line_bytes;
+  if not (is_pow2 size_bytes) then
+    Diag.error "Cache.create: size_bytes must be a power of two, got %d"
+      size_bytes;
+  if size_bytes < line_bytes then
+    Diag.error "Cache.create: size_bytes (%d) is smaller than line_bytes (%d)"
+      size_bytes line_bytes;
   let nsets = size_bytes / line_bytes in
   { lines = Array.make nsets (-1); line_shift = log2 line_bytes;
     set_mask = nsets - 1; hits = 0; misses = 0 }

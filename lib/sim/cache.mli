@@ -8,6 +8,9 @@
 type t
 
 val create : ?size_bytes:int -> ?line_bytes:int -> unit -> t
+(** Raises {!Support.Diag.Compile_error} unless both [size_bytes] and
+    [line_bytes] are powers of two with [size_bytes >= line_bytes] — the
+    set mask and line shift are only exact for power-of-two geometry. *)
 
 val access : t -> int -> bool
 (** [access t byte_addr] touches one address and returns [true] on a hit.

@@ -2,13 +2,18 @@ open Support
 open Minim3
 open Ir
 
-type site_kind =
+(* The observable types live in {!Precompile} (the default engine); this
+   module re-exports them so consumers keep saying [Interp.site] etc.,
+   and keeps the original tree-walking interpreter as [run_reference] —
+   the differential baseline the compiled engine is pinned against. *)
+
+type site_kind = Precompile.site_kind =
   | Sexplicit of Apath.t * int
   | Sdope of Apath.t
   | Snumber
   | Sdispatch
 
-type site = {
+type site = Precompile.site = {
   site_id : int;
   site_proc : Ident.t;
   site_block : int;
@@ -16,7 +21,7 @@ type site = {
   site_kind : site_kind;
 }
 
-type load_event = {
+type load_event = Precompile.load_event = {
   le_site : site;
   le_addr : int;
   le_value : Value.t;
@@ -27,7 +32,7 @@ type load_event = {
 (* One concrete data access with its access path, as the soundness
    auditor consumes them: every explicit-path read (heap, global and
    stack alike — [on_load] only reports heap reads) and every store. *)
-type access = {
+type access = Precompile.access = {
   ac_store : bool;
   ac_path : Apath.t;  (* the prefix actually read, or the stored path *)
   ac_addr : int;
@@ -35,7 +40,7 @@ type access = {
   ac_heap : bool;
 }
 
-type counters = {
+type counters = Precompile.counters = {
   mutable instrs : int;
   mutable heap_loads : int;
   mutable other_loads : int;
@@ -44,7 +49,7 @@ type counters = {
   mutable allocations : int;
 }
 
-type outcome = {
+type outcome = Precompile.outcome = {
   output : string;
   counters : counters;
   cycles : int;
@@ -54,8 +59,8 @@ type outcome = {
   halted : bool;
 }
 
-exception Halt_program
-exception Out_of_fuel
+exception Halt_program = Precompile.Halt_program
+exception Out_of_fuel = Precompile.Out_of_fuel
 
 type state = {
   program : Cfg.program;
@@ -152,24 +157,28 @@ let mem_read st frame ~where addr =
   if heap then st.counters.heap_loads <- st.counters.heap_loads + 1
   else st.counters.other_loads <- st.counters.other_loads + 1;
   charge_load st (Cache.access st.cache (byte_addr addr));
-  (match st.on_load with
-  | Some f when heap ->
+  (* Force the lazy site descriptor at most once, even when both hooks
+     are installed (the audit+limit configuration). *)
+  let want_load = heap && Option.is_some st.on_load in
+  let want_access = Option.is_some st.on_access in
+  if want_load || want_access then begin
     let block, index, ordinal, kind = where () in
-    let site = get_site st frame ~block ~index ~ordinal kind in
-    f { le_site = site; le_addr = addr; le_value = v;
-        le_activation = frame.activation; le_heap = heap }
-  | _ -> ());
-  (match st.on_access with
-  | Some f -> (
-    match where () with
-    | _, _, _, Sexplicit (ap, k) ->
-      let path =
-        Apath.truncate ap k
-      in
-      f { ac_store = false; ac_path = path; ac_addr = addr;
-          ac_activation = frame.activation; ac_heap = heap }
-    | _ -> ())
-  | None -> ());
+    (match st.on_load with
+    | Some f when heap ->
+      let site = get_site st frame ~block ~index ~ordinal kind in
+      f { le_site = site; le_addr = addr; le_value = v;
+          le_activation = frame.activation; le_heap = heap }
+    | _ -> ());
+    match st.on_access with
+    | Some f -> (
+      match kind with
+      | Sexplicit (ap, k) ->
+        let path = Apath.truncate ap k in
+        f { ac_store = false; ac_path = path; ac_addr = addr;
+            ac_activation = frame.activation; ac_heap = heap }
+      | _ -> ())
+    | None -> ()
+  end;
   v
 
 let mem_write st addr v =
@@ -776,8 +785,8 @@ and exec_builtin st frame ~block ~index dst b args =
 (* Program entry                                                       *)
 (* ------------------------------------------------------------------ *)
 
-let run ?(fuel = 50_000_000) ?on_load ?on_access (program : Cfg.program) :
-    outcome =
+let run_reference ?(fuel = 50_000_000) ?on_load ?on_access
+    (program : Cfg.program) : outcome =
   let st =
     { program; layout = Layout.create program.Cfg.tenv;
       static_mem = Array.make 4096 Value.Vnil; static_len = 0;
@@ -819,3 +828,7 @@ let run ?(fuel = 50_000_000) ?on_load ?on_access (program : Cfg.program) :
     cache_hits = Cache.hits st.cache;
     cache_misses = Cache.misses st.cache;
     halted }
+
+(* The default engine is the pre-compiled one; [run_reference] above is
+   the semantic baseline it is differentially tested against. *)
+let run = Precompile.run

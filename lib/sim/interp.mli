@@ -26,7 +26,7 @@
 open Support
 open Ir
 
-type site_kind =
+type site_kind = Precompile.site_kind =
   | Sexplicit of Apath.t * int
       (** the full path of the load/store and the 0-based selector index
           this read resolves *)
@@ -34,7 +34,7 @@ type site_kind =
   | Snumber  (** dope read by the NUMBER builtin *)
   | Sdispatch  (** method-table read for a virtual call *)
 
-type site = {
+type site = Precompile.site = {
   site_id : int;
   site_proc : Ident.t;
   site_block : int;
@@ -42,7 +42,7 @@ type site = {
   site_kind : site_kind;
 }
 
-type load_event = {
+type load_event = Precompile.load_event = {
   le_site : site;
   le_addr : int;
   le_value : Value.t;
@@ -50,7 +50,7 @@ type load_event = {
   le_heap : bool;
 }
 
-type access = {
+type access = Precompile.access = {
   ac_store : bool;
   ac_path : Apath.t;
       (** the prefix actually resolved by this read, or the stored path *)
@@ -64,7 +64,7 @@ type access = {
     are reused across activations, so the auditor must key them with
     [ac_activation]. *)
 
-type counters = {
+type counters = Precompile.counters = {
   mutable instrs : int;
   mutable heap_loads : int;
   mutable other_loads : int;
@@ -73,7 +73,7 @@ type counters = {
   mutable allocations : int;
 }
 
-type outcome = {
+type outcome = Precompile.outcome = {
   output : string;
   counters : counters;
   cycles : int;
@@ -83,6 +83,11 @@ type outcome = {
   halted : bool;  (** the program ran Halt() or exhausted its fuel *)
 }
 
+val heap_index : int -> int
+(** The dense 0-based heap slot index behind a (negative) heap address;
+    both engines allocate heap addresses contiguously, so tracers can
+    index flat arrays by [heap_index addr] instead of hashing. *)
+
 val run :
   ?fuel:int ->
   ?on_load:(load_event -> unit) ->
@@ -91,4 +96,20 @@ val run :
   outcome
 (** [fuel] bounds executed instructions (default 50 million). [on_access]
     fires for every explicit access-path read and write (after the write
-    lands), reporting the concrete address touched. *)
+    lands), reporting the concrete address touched.
+
+    This is the pre-compiled engine ({!Precompile.run}): each procedure
+    is compiled once per run into dense register files and pre-resolved
+    instruction arrays, with observable behaviour bit-identical to
+    {!run_reference}. *)
+
+val run_reference :
+  ?fuel:int ->
+  ?on_load:(load_event -> unit) ->
+  ?on_access:(access -> unit) ->
+  Cfg.program ->
+  outcome
+(** The original tree-walking interpreter, kept as the semantic baseline
+    for differential testing (test_sim_equiv.ml) and as the "old" leg of
+    the simulator microbenchmark. Same observable behaviour as {!run},
+    only slower. *)

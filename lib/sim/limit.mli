@@ -30,4 +30,4 @@ val redundant_fraction : t -> float
 (** Redundant heap loads over all heap loads of this run. *)
 
 val sites : t -> site_stat list
-(** Sites with at least one load, unordered. *)
+(** Sites with at least one load, in increasing [site_id] order. *)

@@ -120,8 +120,17 @@ let of_string s =
         | 'b' -> Buffer.add_char b '\b'; go ()
         | 'f' -> Buffer.add_char b '\012'; go ()
         | 'u' ->
-          if !pos + 4 > n then parse_fail "truncated \\u escape";
-          let code = int_of_string ("0x" ^ String.sub s !pos 4) in
+          if !pos + 4 > n then parse_fail "truncated \\u escape at %d" !pos;
+          let hex = String.sub s !pos 4 in
+          (* Validate the digits ourselves: [int_of_string] both raises a
+             bare Failure and accepts non-JSON forms like "12_3". *)
+          let is_hex = function
+            | '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> true
+            | _ -> false
+          in
+          if not (String.for_all is_hex hex) then
+            parse_fail "bad \\u escape '\\u%s' at %d" hex !pos;
+          let code = int_of_string ("0x" ^ hex) in
           pos := !pos + 4;
           (* Our emitter only produces \u00xx control escapes; anything
              above Latin-1 would need real UTF-8 encoding. *)

@@ -164,6 +164,38 @@ let test_runner_outputs_agree () =
           { Harness.Runner.base with Harness.Runner.minv = true } ])
     E.dynamic_seven
 
+let test_runner_divergence_error () =
+  (* The structured error must carry workload, config, and the first
+     diverging line — actionable from a CI log alone. *)
+  Alcotest.(check (option (triple int string string)))
+    "equal outputs have no divergence" None
+    (Harness.Runner.first_divergence "a\nb\n" "a\nb\n");
+  Alcotest.(check (option (triple int string string)))
+    "first differing line reported" (Some (2, "b", "X"))
+    (Harness.Runner.first_divergence "a\nb\nc" "a\nX\nc");
+  Alcotest.(check (option (triple int string string)))
+    "truncated side reported" (Some (2, "b", "<end of output>"))
+    (Harness.Runner.first_divergence "a\nb" "a");
+  match
+    Harness.Runner.divergence_error ~workload:"richards" ~config:"rle:decl"
+      ~base_output:"tick 1\ntick 2\n" ~output:"tick 1\ntick 3\n"
+  with
+  | exception Support.Diag.Compile_error { message; _ } ->
+    let contains needle =
+      let nl = String.length needle and hl = String.length message in
+      let rec go i =
+        i + nl <= hl && (String.sub message i nl = needle || go (i + 1))
+      in
+      go 0
+    in
+    List.iter
+      (fun needle ->
+        Alcotest.(check bool)
+          (Printf.sprintf "error mentions %S" needle)
+          true (contains needle))
+      [ "richards"; "rle:decl"; "line 2"; "tick 2"; "tick 3" ]
+  | _ -> Alcotest.fail "divergence_error did not raise"
+
 let test_runner_audit_clean () =
   List.iter
     (fun (w : Workloads.Workload.t) ->
@@ -193,6 +225,8 @@ let () =
           Alcotest.test_case "figure 11" `Slow test_figure11_shapes;
           Alcotest.test_case "figure 12" `Slow test_figure12_shapes;
           Alcotest.test_case "outputs agree" `Slow test_runner_outputs_agree;
+          Alcotest.test_case "divergence error is structured" `Quick
+            test_runner_divergence_error;
           Alcotest.test_case "audited runs are clean" `Slow
             test_runner_audit_clean ] );
       ( "limit",

@@ -329,6 +329,34 @@ let test_cache_basics () =
   Alcotest.(check bool) "original line was evicted" false (Sim.Cache.access c 0);
   Alcotest.(check int) "misses counted" 4 (Sim.Cache.misses c)
 
+let test_cache_rejects_bad_geometry () =
+  List.iter
+    (fun (size_bytes, line_bytes) ->
+      match Sim.Cache.create ~size_bytes ~line_bytes () with
+      | exception Support.Diag.Compile_error _ -> ()
+      | _ ->
+        Alcotest.failf "Cache.create accepted size=%d line=%d" size_bytes
+          line_bytes)
+    [ (3000, 32);  (* size not a power of two: set_mask would be wrong *)
+      (4096, 48);  (* line not a power of two: line_shift would round up *)
+      (1000, 24); (0, 32); (4096, 0); (16, 32) (* size < line *) ]
+
+let test_cache_legal_odd_geometry () =
+  (* A perfectly legal but unusual power-of-two geometry: 4 KiB with
+     64-byte lines = 64 sets. *)
+  let c = Sim.Cache.create ~size_bytes:4096 ~line_bytes:64 () in
+  Alcotest.(check bool) "first access misses" false (Sim.Cache.access c 0);
+  Alcotest.(check bool) "same 64B line hits" true (Sim.Cache.access c 63);
+  Alcotest.(check bool) "next line misses" false (Sim.Cache.access c 64);
+  (* 4096-byte direct-mapped: addresses 0 and 4096 collide. *)
+  Alcotest.(check bool) "wrap conflicts" false (Sim.Cache.access c 4096);
+  Alcotest.(check bool) "line 0 was evicted" false (Sim.Cache.access c 0);
+  (* A tiny 1-set cache is legal too: every distinct line conflicts. *)
+  let one = Sim.Cache.create ~size_bytes:32 ~line_bytes:32 () in
+  Alcotest.(check bool) "1-set miss" false (Sim.Cache.access one 0);
+  Alcotest.(check bool) "1-set hit" true (Sim.Cache.access one 16);
+  Alcotest.(check bool) "1-set conflict" false (Sim.Cache.access one 32)
+
 (* --- limit study ---------------------------------------------------------- *)
 
 let redundant_src =
@@ -512,7 +540,12 @@ let () =
       ( "layout",
         [ Alcotest.test_case "offsets" `Quick test_layout_offsets;
           Alcotest.test_case "inheritance" `Quick test_layout_inherited_offsets ] );
-      ( "cache", [ Alcotest.test_case "basics" `Quick test_cache_basics ] );
+      ( "cache",
+        [ Alcotest.test_case "basics" `Quick test_cache_basics;
+          Alcotest.test_case "rejects bad geometry" `Quick
+            test_cache_rejects_bad_geometry;
+          Alcotest.test_case "legal odd geometry" `Quick
+            test_cache_legal_odd_geometry ] );
       ( "limit",
         [ Alcotest.test_case "detects redundancy" `Quick test_limit_detects_redundancy;
           Alcotest.test_case "rle removes it" `Quick test_limit_rle_removes_redundancy;

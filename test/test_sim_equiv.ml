@@ -1,0 +1,337 @@
+(* Differential suite: the pre-compiled simulator engine
+   ([Sim.Interp.run] = [Sim.Precompile.run]) against the tree-walking
+   reference interpreter ([Sim.Interp.run_reference]).
+
+   The tentpole invariant of the fast path is that EVERY observable is
+   bit-identical: printed output, all six counters, cycles, cache
+   hits/misses, soft faults, halting — and, for traced runs, the full
+   on_load/on_access event streams including site identities (ids are
+   assigned lazily in order of first firing, so stream equality pins the
+   assignment order too). *)
+
+open Ir
+module I = Sim.Interp
+
+let lower src = Lower.lower_string ~file:"equiv" src
+
+let run_engine ~reference ?on_load ?on_access ?fuel program =
+  if reference then I.run_reference ?on_load ?on_access ?fuel program
+  else I.run ?on_load ?on_access ?fuel program
+
+let check_outcomes name (expect : I.outcome) (got : I.outcome) =
+  let ck what a b = Alcotest.(check int) (name ^ ": " ^ what) a b in
+  Alcotest.(check string) (name ^ ": output") expect.I.output got.I.output;
+  ck "instrs" expect.I.counters.I.instrs got.I.counters.I.instrs;
+  ck "heap loads" expect.I.counters.I.heap_loads got.I.counters.I.heap_loads;
+  ck "other loads" expect.I.counters.I.other_loads got.I.counters.I.other_loads;
+  ck "stores" expect.I.counters.I.stores got.I.counters.I.stores;
+  ck "calls" expect.I.counters.I.calls got.I.counters.I.calls;
+  ck "allocations" expect.I.counters.I.allocations
+    got.I.counters.I.allocations;
+  ck "cycles" expect.I.cycles got.I.cycles;
+  ck "soft faults" expect.I.soft_faults got.I.soft_faults;
+  ck "cache hits" expect.I.cache_hits got.I.cache_hits;
+  ck "cache misses" expect.I.cache_misses got.I.cache_misses;
+  Alcotest.(check bool) (name ^ ": halted") expect.I.halted got.I.halted
+
+let check_program name ?fuel program =
+  let a = run_engine ~reference:true ?fuel program in
+  let b = run_engine ~reference:false ?fuel program in
+  check_outcomes name a b;
+  a
+
+(* ------------------------------------------------------------------ *)
+(* Full-suite counter/cycle/output equality, 12-config matrix          *)
+(* ------------------------------------------------------------------ *)
+
+let kinds =
+  [ Opt.Pipeline.Otype_decl; Opt.Pipeline.Ofield_type_decl;
+    Opt.Pipeline.Osm_field_type_refs ]
+
+let configs =
+  List.concat_map
+    (fun kind ->
+      let base = Harness.Runner.rle_with kind in
+      let name v = Opt.Pipeline.oracle_name kind ^ ":" ^ v in
+      [ (name "rle", base);
+        (name "rle+cp", { base with Harness.Runner.copyprop = true });
+        (name "rle+pre", { base with Harness.Runner.pre = true });
+        (name "minv+rle", { base with Harness.Runner.minv = true }) ])
+    kinds
+
+let test_full_matrix () =
+  List.iter
+    (fun (w : Workloads.Workload.t) ->
+      List.iter
+        (fun (cname, config) ->
+          let program, _ = Harness.Runner.prepare w config in
+          ignore
+            (check_program (w.Workloads.Workload.name ^ "/" ^ cname) program))
+        configs)
+    Workloads.Suite.dynamic
+
+(* ------------------------------------------------------------------ *)
+(* Traced equality: full on_load / on_access stream fingerprints       *)
+(* ------------------------------------------------------------------ *)
+
+(* The streams can run to millions of events, so compare an order-
+   sensitive rolling hash plus exact counts instead of materializing
+   them. Both runs execute in the same process on the same (hash-consed)
+   program, so [Apath.hash] is directly comparable. *)
+type fingerprint = { mutable hash : int; mutable events : int }
+
+let mix fp x = fp.hash <- ((fp.hash * 31) + x) land max_int
+
+let mix_kind fp = function
+  | I.Sexplicit (ap, k) ->
+    mix fp 1;
+    mix fp (Apath.hash ap);
+    mix fp k
+  | I.Sdope ap ->
+    mix fp 2;
+    mix fp (Apath.hash ap)
+  | I.Snumber -> mix fp 3
+  | I.Sdispatch -> mix fp 4
+
+let traced_run ~reference program =
+  let loads = { hash = 0; events = 0 } in
+  let accs = { hash = 0; events = 0 } in
+  let on_load (e : I.load_event) =
+    loads.events <- loads.events + 1;
+    mix loads e.I.le_site.I.site_id;
+    mix loads (Support.Ident.id e.I.le_site.I.site_proc);
+    mix loads e.I.le_site.I.site_block;
+    mix loads e.I.le_site.I.site_index;
+    mix_kind loads e.I.le_site.I.site_kind;
+    mix loads e.I.le_addr;
+    mix loads (Hashtbl.hash e.I.le_value);
+    mix loads e.I.le_activation;
+    mix loads (Bool.to_int e.I.le_heap)
+  in
+  let on_access (a : I.access) =
+    accs.events <- accs.events + 1;
+    mix accs (Bool.to_int a.I.ac_store);
+    mix accs (Apath.hash a.I.ac_path);
+    mix accs a.I.ac_addr;
+    mix accs a.I.ac_activation;
+    mix accs (Bool.to_int a.I.ac_heap)
+  in
+  let o = run_engine ~reference ~on_load ~on_access program in
+  (o, loads, accs)
+
+let limit_stats ~reference program =
+  let t = Sim.Limit.create () in
+  let o = run_engine ~reference ~on_load:(Sim.Limit.on_load t) program in
+  let stats =
+    List.map
+      (fun (s : Sim.Limit.site_stat) ->
+        ( ( s.Sim.Limit.ss_site.I.site_id,
+            Support.Ident.id s.Sim.Limit.ss_site.I.site_proc,
+            s.Sim.Limit.ss_site.I.site_block,
+            s.Sim.Limit.ss_site.I.site_index ),
+          ( s.Sim.Limit.ss_loads, s.Sim.Limit.ss_redundant,
+            s.Sim.Limit.ss_breakup_prev ) ))
+      (Sim.Limit.sites t)
+  in
+  (o, Sim.Limit.total_heap_loads t, Sim.Limit.total_redundant t, stats)
+
+let traced_workloads = [ "format"; "write_pickle" ]
+
+let test_traced_streams () =
+  List.iter
+    (fun name ->
+      let w = Workloads.Suite.find name in
+      let program = Workloads.Workload.lower w in
+      let ro, rl, ra = traced_run ~reference:true program in
+      let no, nl, na = traced_run ~reference:false program in
+      check_outcomes (name ^ "/traced") ro no;
+      Alcotest.(check int) (name ^ ": load events") rl.events nl.events;
+      Alcotest.(check int) (name ^ ": load stream hash") rl.hash nl.hash;
+      Alcotest.(check int) (name ^ ": access events") ra.events na.events;
+      Alcotest.(check int) (name ^ ": access stream hash") ra.hash na.hash;
+      Alcotest.(check bool) (name ^ ": stream nonempty") true (rl.events > 0))
+    traced_workloads
+
+let test_traced_limit_stats () =
+  List.iter
+    (fun name ->
+      let w = Workloads.Suite.find name in
+      let program = Workloads.Workload.lower w in
+      let ro, rh, rr, rstats = limit_stats ~reference:true program in
+      let no, nh, nr, nstats = limit_stats ~reference:false program in
+      check_outcomes (name ^ "/limit") ro no;
+      Alcotest.(check int) (name ^ ": traced heap loads") rh nh;
+      Alcotest.(check int) (name ^ ": traced redundant") rr nr;
+      Alcotest.(check
+                  (list
+                     (pair
+                        (pair (pair int int) (pair int int))
+                        (triple int int int))))
+        (name ^ ": per-site stats")
+        (List.map (fun ((a, b, c, d), s) -> (((a, b), (c, d)), s)) rstats)
+        (List.map (fun ((a, b, c, d), s) -> (((a, b), (c, d)), s)) nstats))
+    traced_workloads
+
+(* A traced run of an OPTIMIZED program (the Figure 9 configuration). *)
+let test_traced_optimized () =
+  let w = Workloads.Suite.find "format" in
+  let program, _ =
+    Harness.Runner.prepare w
+      (Harness.Runner.rle_with Opt.Pipeline.Osm_field_type_refs)
+  in
+  let ro, rl, ra = traced_run ~reference:true program in
+  let no, nl, na = traced_run ~reference:false program in
+  check_outcomes "format/optimized+traced" ro no;
+  Alcotest.(check (pair int int))
+    "optimized load stream" (rl.events, rl.hash) (nl.events, nl.hash);
+  Alcotest.(check (pair int int))
+    "optimized access stream" (ra.events, ra.hash) (na.events, na.hash)
+
+(* ------------------------------------------------------------------ *)
+(* Double-hook regression (the mem_read single-force fix)              *)
+(* ------------------------------------------------------------------ *)
+
+let test_double_hook_same_sites () =
+  let program = Workloads.Workload.lower (Workloads.Suite.find "format") in
+  let load_stream ~reference ~with_access =
+    let fp = { hash = 0; events = 0 } in
+    let on_load (e : I.load_event) =
+      fp.events <- fp.events + 1;
+      mix fp e.I.le_site.I.site_id;
+      mix fp e.I.le_site.I.site_block;
+      mix fp e.I.le_site.I.site_index;
+      mix_kind fp e.I.le_site.I.site_kind
+    in
+    let o =
+      if with_access then
+        run_engine ~reference ~on_load ~on_access:(fun _ -> ()) program
+      else run_engine ~reference ~on_load program
+    in
+    (o, fp)
+  in
+  List.iter
+    (fun reference ->
+      let tag = if reference then "reference" else "compiled" in
+      let o1, single = load_stream ~reference ~with_access:false in
+      let o2, double = load_stream ~reference ~with_access:true in
+      check_outcomes (tag ^ ": single vs double hook") o1 o2;
+      Alcotest.(check (pair int int))
+        (tag ^ ": same sites/ordinals either way")
+        (single.events, single.hash)
+        (double.events, double.hash))
+    [ true; false ]
+
+(* ------------------------------------------------------------------ *)
+(* Soft-fault paths                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let check_faulting name src =
+  let o = check_program name (lower src) in
+  Alcotest.(check bool) (name ^ ": faults counted") true (o.I.soft_faults > 0)
+
+let test_nil_deref () =
+  check_faulting "nil deref"
+    {|
+MODULE M;
+TYPE Node = OBJECT val: INTEGER; next: Node; END;
+VAR n: Node;
+BEGIN
+  PrintInt (n.val);        (* read through NIL: null zone *)
+  n.val := 7;              (* write through NIL lands in the zone *)
+  PrintInt (n.val);        (* and persists: store-load forwarding *)
+  PrintInt (n.next.val);   (* chained NIL deref *)
+END M.
+|}
+
+let test_clamped_subscripts () =
+  check_faulting "clamped subscripts"
+    {|
+MODULE M;
+TYPE A = ARRAY [0..3] OF INTEGER; V = REF ARRAY OF INTEGER;
+VAR a: A; v: V; i: INTEGER;
+BEGIN
+  a[2] := 5;
+  i := 10;
+  a[i] := 9;               (* out of range: clamps to a[0] *)
+  PrintInt (a[0]); PrintInt (a[2]);
+  v := NEW (V, 3);
+  i := 0 - 1;
+  v[i] := 4;               (* negative subscript clamps too *)
+  PrintInt (v[0]);
+END M.
+|}
+
+(* DIV/MOD by zero is total (yields 0) but — unlike NIL derefs and
+   clamped subscripts — is not counted as a soft fault; the point here is
+   engine agreement on the zero-divisor path. *)
+let test_div_mod_zero () =
+  let o =
+    check_program "div/mod zero"
+      (lower
+         {|
+MODULE M;
+VAR x: INTEGER;
+BEGIN
+  x := 0;
+  PrintInt (7 DIV x);
+  PrintInt (7 MOD x);
+  PrintInt ((0 - 7) DIV x);
+END M.
+|})
+  in
+  Alcotest.(check string) "total zero-divisor semantics" "000" o.I.output
+
+let test_nil_receiver_dispatch () =
+  check_faulting "nil receiver"
+    {|
+MODULE M;
+TYPE Shape = OBJECT side: INTEGER; METHODS area (): INTEGER := Area; END;
+VAR s: Shape;
+PROCEDURE Area (self: Shape): INTEGER =
+  BEGIN RETURN self.side * self.side; END Area;
+BEGIN
+  PrintInt (s.area ());    (* NIL receiver: static-type dispatch *)
+END M.
+|}
+
+(* ------------------------------------------------------------------ *)
+(* Fuel exhaustion                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_fuel_exhaustion () =
+  let program =
+    lower
+      {|
+MODULE M;
+VAR n: INTEGER;
+BEGIN
+  n := 1;
+  LOOP
+    n := n + 1;
+    IF n = 0 THEN EXIT; END;
+  END;
+END M.
+|}
+  in
+  let o = check_program "fuel exhaustion" ~fuel:5_000 program in
+  Alcotest.(check bool) "halted by fuel" true o.I.halted
+
+let () =
+  Alcotest.run "sim_equiv"
+    [ ( "matrix",
+        [ Alcotest.test_case "full suite x 12 configs" `Slow test_full_matrix ]
+      );
+      ( "traced",
+        [ Alcotest.test_case "event streams" `Slow test_traced_streams;
+          Alcotest.test_case "limit stats" `Slow test_traced_limit_stats;
+          Alcotest.test_case "optimized traced run" `Slow
+            test_traced_optimized;
+          Alcotest.test_case "double hook" `Slow test_double_hook_same_sites ]
+      );
+      ( "faults",
+        [ Alcotest.test_case "nil deref" `Quick test_nil_deref;
+          Alcotest.test_case "clamped subscripts" `Quick
+            test_clamped_subscripts;
+          Alcotest.test_case "div/mod zero" `Quick test_div_mod_zero;
+          Alcotest.test_case "nil receiver" `Quick test_nil_receiver_dispatch;
+          Alcotest.test_case "fuel" `Quick test_fuel_exhaustion ] ) ]

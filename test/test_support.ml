@@ -198,6 +198,25 @@ let test_json_parse_errors () =
         Alcotest.failf "%S parsed as %s" bad (Support.Json.to_string v))
     [ ""; "{"; "[1,"; "{\"a\":}"; "tru"; "\"unterminated"; "1 2"; "{1:2}" ]
 
+let test_json_unicode_escapes () =
+  Alcotest.(check bool) "legal \\u escape" true
+    (Support.Json.of_string "\"\\u0041\"" = Support.Json.String "A");
+  Alcotest.(check bool) "control escape" true
+    (Support.Json.of_string "\"\\u000a\"" = Support.Json.String "\n");
+  List.iter
+    (fun bad ->
+      match Support.Json.of_string bad with
+      | exception Support.Json.Parse_error _ -> ()
+      | v -> Alcotest.failf "%S parsed as %s" bad (Support.Json.to_string v)
+      | exception e ->
+        Alcotest.failf "%S raised %s instead of Parse_error" bad
+          (Printexc.to_string e))
+    [ "\"\\u00";  (* truncated escape *)
+      "\"\\u00\"";  (* closing quote inside the four digits *)
+      "\"\\uZZZZ\"";  (* non-hex digits *)
+      "\"\\u12g4\"";  (* one bad digit *)
+      "\"\\u12_3\""  (* int_of_string would accept the underscore *) ]
+
 let test_json_accessors () =
   let v = Support.Json.of_string "{\"x\":3,\"y\":2.5,\"s\":\"hi\"}" in
   Alcotest.(check (option (float 0.0))) "int member" (Some 3.0)
@@ -234,6 +253,7 @@ let () =
       ( "json",
         [ Alcotest.test_case "round-trip" `Quick test_json_roundtrip;
           Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+          Alcotest.test_case "unicode escapes" `Quick test_json_unicode_escapes;
           Alcotest.test_case "accessors" `Quick test_json_accessors ] );
       ( "prng",
         [ Alcotest.test_case "determinism" `Quick test_prng_determinism;
