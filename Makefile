@@ -44,6 +44,7 @@ bench:
 bench-smoke:
 	dune exec bench/bench_alias.exe -- --check
 	dune exec bench/bench_sim.exe -- --check
+	dune exec bench/bench_incr.exe -- --check
 
 clean:
 	dune clean

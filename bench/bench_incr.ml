@@ -1,0 +1,260 @@
+(* The incremental-engine benchmark and its regression gate.
+
+   Times three ways of obtaining a full analysis (facts, oracles, and the
+   SMFieldTypeRefs merged mod-ref views) of the scaleN corpus
+   (Gen.Scale, N = 1200 worker procedures):
+
+   - cold:     Engine.create ~domains:1 from scratch;
+   - warm:     edit one procedure body in place (toggle an integer
+               constant — changes the fingerprint, preserves the
+               procedure's canonical oracle inputs), then Engine.update;
+   - parallel: Engine.create ~domains:(all available) from scratch.
+
+   Gates (ratios, not raw times, so the gate is meaningful across
+   machines):
+   - warm/cold: a single-procedure edit must re-analyze >= 10x faster
+     than from scratch;
+   - parallel/cold: >= 2x — checked only when the machine actually has
+     >= 4 domains to offer, otherwise reported as skipped.
+
+   Wall-clock time, not CPU time: the parallel leg burns CPU seconds on
+   every domain; Sys.time would sum them and hide the win.
+
+   Modes:
+     (none)    run and print the table
+     --write   also snapshot BENCH_incr.json
+     --check   the `make bench-smoke` gate: required ratios above, plus
+               each leg within 20% of its recorded speedup when
+               BENCH_incr.json exists.
+
+   Every run also asserts that the updated engine agrees with a fresh
+   from-scratch analysis (facts sizes, merged mod-ref views, sampled
+   may-alias answers) — the cheap in-bench version of the differential
+   suite in test_incr. *)
+
+open Support
+
+let snapshot_file = "BENCH_incr.json"
+let required_warm_speedup = 10.0
+let required_par_speedup = 2.0
+let regression_slack = 0.8 (* accept >= 80% of the recorded speedup *)
+let procs = 1200
+let sm = Tbaa.Engine.Sm_field_type_refs
+
+let lower () = Ir.Lower.lower_string ~file:"scale" (Gen.Scale.source procs)
+
+(* Pull every lazily built piece a client could ask for, so each timed
+   leg covers the same total work. *)
+let force engine =
+  List.iter
+    (fun p ->
+      ignore (Tbaa.Engine.modref_merged engine sm p.Ir.Cfg.pr_name))
+    (Tbaa.Engine.program engine).Ir.Cfg.prog_procs
+
+let now = Unix.gettimeofday
+
+let time_ns ?(reps = 3) f =
+  let best = ref infinity in
+  for _ = 1 to reps do
+    let t0 = now () in
+    f ();
+    let dt = (now () -. t0) *. 1e9 in
+    if dt < !best then best := dt
+  done;
+  !best
+
+(* Toggle the first integer constant in an ALU assignment of [proc] —
+   the canonical "edit one procedure" probe. *)
+let toggle_const proc =
+  let toggled = ref false in
+  Vec.iter
+    (fun b ->
+      if not !toggled then
+        b.Ir.Cfg.b_instrs <-
+          List.map
+            (function
+              | Ir.Instr.Iassign (v, Ir.Instr.Rbinop (op, a, Ir.Reg.Aint k))
+                when not !toggled ->
+                toggled := true;
+                Ir.Instr.Iassign
+                  (v, Ir.Instr.Rbinop (op, a, Ir.Reg.Aint (k + 1)))
+              | i -> i)
+            b.Ir.Cfg.b_instrs)
+    proc.Ir.Cfg.pr_blocks;
+  if not !toggled then failwith "bench_incr: no constant to toggle"
+
+let edited_proc program =
+  let name = Ident.intern (Printf.sprintf "P%d" (procs / 2)) in
+  match Ir.Cfg.find_proc_opt program name with
+  | Some p -> p
+  | None -> failwith "bench_incr: edited procedure not found"
+
+(* ------------------------------------------------------------------ *)
+(* Legs                                                                *)
+(* ------------------------------------------------------------------ *)
+
+type leg = {
+  leg_name : string;
+  leg_required : float;
+  old_ns : float;
+  new_ns : float;
+}
+
+let speedup l = if l.new_ns > 0. then l.old_ns /. l.new_ns else 0.
+
+let cold_ns program =
+  time_ns (fun () -> force (Tbaa.Engine.create ~domains:1 program))
+
+let warm_leg program cold =
+  let engine = Tbaa.Engine.create ~domains:1 program in
+  force engine;
+  let proc = edited_proc program in
+  let warm =
+    time_ns ~reps:5 (fun () ->
+        toggle_const proc;
+        force (Tbaa.Engine.update engine program))
+  in
+  (* The updated engine must agree with a from-scratch analysis of the
+     now-edited program. *)
+  let fresh = Tbaa.Engine.create ~domains:1 program in
+  force fresh;
+  let facts_u = Tbaa.Engine.facts engine and facts_f = Tbaa.Engine.facts fresh in
+  assert (
+    List.length facts_u.Tbaa.Facts.assignments
+    = List.length facts_f.Tbaa.Facts.assignments);
+  assert (
+    List.length facts_u.Tbaa.Facts.memrefs
+    = List.length facts_f.Tbaa.Facts.memrefs);
+  List.iter
+    (fun p ->
+      let name = p.Ir.Cfg.pr_name in
+      assert (
+        Tbaa.Effects.equal
+          (Tbaa.Engine.modref_merged engine sm name)
+          (Tbaa.Engine.modref_merged fresh sm name)))
+    program.Ir.Cfg.prog_procs;
+  (match Tbaa.Engine.last_update engine with
+  | Some r ->
+    assert (not r.Tbaa.Engine.ur_oracles_rebuilt);
+    assert (List.length r.Tbaa.Engine.ur_recomputed = 1)
+  | None -> assert false);
+  { leg_name = "warm-edit-one-proc";
+    leg_required = required_warm_speedup;
+    old_ns = cold;
+    new_ns = warm }
+
+let parallel_leg program cold =
+  let domains = Domain_pool.available () in
+  if domains < 4 then begin
+    Printf.printf
+      "(parallel-cold: skipped, only %d domain%s available — gate needs 4)\n"
+      domains
+      (if domains = 1 then "" else "s");
+    None
+  end
+  else begin
+    let par =
+      time_ns (fun () -> force (Tbaa.Engine.create ~domains program))
+    in
+    Some
+      { leg_name = "parallel-cold";
+        leg_required = required_par_speedup;
+        old_ns = cold;
+        new_ns = par }
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Reporting, snapshotting, gating                                     *)
+(* ------------------------------------------------------------------ *)
+
+let json_of_run legs =
+  Json.Obj
+    [ ("microbench", Json.String "incremental-engine");
+      ("procs", Json.Int procs);
+      ( "legs",
+        Json.List
+          (List.map
+             (fun l ->
+               Json.Obj
+                 [ ("name", Json.String l.leg_name);
+                   ("old_ns", Json.Float l.old_ns);
+                   ("new_ns", Json.Float l.new_ns);
+                   ("required", Json.Float l.leg_required);
+                   ("speedup", Json.Float (speedup l)) ])
+             legs) ) ]
+
+let print_table legs =
+  Printf.printf "%-24s %14s %14s %10s %10s\n" "leg" "cold ms" "leg ms"
+    "speedup" "required";
+  List.iter
+    (fun l ->
+      Printf.printf "%-24s %14.1f %14.1f %9.1fx %9.1fx\n" l.leg_name
+        (l.old_ns /. 1e6) (l.new_ns /. 1e6) (speedup l) l.leg_required)
+    legs
+
+let recorded_speedups () =
+  if not (Sys.file_exists snapshot_file) then []
+  else
+    let ic = open_in snapshot_file in
+    let len = in_channel_length ic in
+    let text = really_input_string ic len in
+    close_in ic;
+    match Json.member "legs" (Json.of_string text) with
+    | Some (Json.List legs) ->
+      List.filter_map
+        (fun leg ->
+          match (Json.member "name" leg, Json.member "speedup" leg) with
+          | Some (Json.String name), Some v -> (
+            match Json.to_float v with
+            | Some s -> Some (name, s)
+            | None -> None)
+          | _ -> None)
+        legs
+    | _ -> []
+
+let check legs =
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun m -> failures := m :: !failures) fmt in
+  List.iter
+    (fun l ->
+      if speedup l < l.leg_required then
+        fail "%s: speedup %.1fx below required %.1fx" l.leg_name (speedup l)
+          l.leg_required)
+    legs;
+  let recorded = recorded_speedups () in
+  if recorded = [] then
+    print_endline
+      "(no BENCH_incr.json snapshot; gating on the required floors only)"
+  else
+    List.iter
+      (fun l ->
+        match List.assoc_opt l.leg_name recorded with
+        | None -> ()  (* e.g. snapshot from a wider machine *)
+        | Some r ->
+          if speedup l < r *. regression_slack then
+            fail
+              "%s: speedup %.1fx regressed more than 20%% from recorded %.1fx"
+              l.leg_name (speedup l) r)
+      legs;
+  match !failures with
+  | [] -> print_endline "bench-smoke: all legs within bounds"
+  | fs ->
+    List.iter (fun m -> prerr_endline ("bench-smoke FAIL: " ^ m)) fs;
+    exit 1
+
+let () =
+  let arg a = Array.exists (String.equal a) Sys.argv in
+  let program = lower () in
+  let cold = cold_ns program in
+  let legs =
+    (warm_leg program cold :: Option.to_list (parallel_leg program cold))
+  in
+  print_table legs;
+  if arg "--write" then begin
+    let oc = open_out snapshot_file in
+    output_string oc (Json.to_string (json_of_run legs));
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "(snapshot written to %s)\n" snapshot_file
+  end;
+  if arg "--check" then check legs

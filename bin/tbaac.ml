@@ -653,11 +653,27 @@ let experiment_cmd =
        ~doc:"Regenerate a table or figure from the paper's evaluation.")
     Term.(const run $ which_arg)
 
+let gen_scale_cmd =
+  let run n = print_string (Gen.Scale.source n) in
+  let n_arg =
+    Arg.(
+      required
+      & pos 0 (some int) None
+      & info [] ~docv:"N" ~doc:"Worker procedure count.")
+  in
+  Cmd.v
+    (Cmd.info "gen-scale"
+       ~doc:
+         "Emit the deterministic scaleN MiniM3 corpus: N worker procedures \
+          over a fixed library layer and 200-type hierarchy (the \
+          incremental engine's benchmark subject).")
+    Term.(const run $ n_arg)
+
 let main =
   Cmd.group
     (Cmd.info "tbaac" ~version:"1.0.0"
        ~doc:"Type-based alias analysis for MiniM3 (Diwan, McKinley & Moss, PLDI 1998)")
     [ check_cmd; format_cmd; ir_cmd; aliases_cmd; optimize_cmd; run_cmd;
-      audit_cmd; fuzz_cmd; experiment_cmd ]
+      audit_cmd; fuzz_cmd; gen_scale_cmd; experiment_cmd ]
 
 let () = exit (Cmd.eval main)

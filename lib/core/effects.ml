@@ -1,0 +1,45 @@
+open Ir
+
+type t = { e_mods : Aloc.Set.t; e_refs : Aloc.Set.t }
+
+let empty = { e_mods = Aloc.Set.empty; e_refs = Aloc.Set.empty }
+
+let equal a b =
+  Aloc.Set.equal a.e_mods b.e_mods && Aloc.Set.equal a.e_refs b.e_refs
+
+let union a b =
+  { e_mods = Aloc.Set.union a.e_mods b.e_mods;
+    e_refs = Aloc.Set.union a.e_refs b.e_refs }
+
+(* Direct (one-procedure) effects, in a single traversal: each instruction
+   contributes its store/load class and — for any instruction — the global
+   variables it reads. (Historically this was two back-to-back
+   [Cfg.iter_instrs] passes, the second existing only for the global-var
+   refs; the sets are unions, so folding the loops is observationally
+   identical.) A register assignment is externally visible only when the
+   target is a global or a variable whose address escaped.
+
+   Pure given pure [store_class]/[addr_taken_var] (the raw oracles' are:
+   pattern matches over O(1) path reads, and lookups in frozen
+   [Address_taken] tables) — safe to run on many procedures concurrently. *)
+let direct ~(store_class : Apath.t -> Aloc.t) ~(addr_taken_var : Reg.var -> bool)
+    proc =
+  let mods = ref Aloc.Set.empty and refs = ref Aloc.Set.empty in
+  let mod_var v =
+    if v.Reg.v_kind = Reg.Vglobal || addr_taken_var v then
+      mods := Aloc.Set.add (Aloc.Lvar (v.Reg.v_id, v.Reg.v_ty)) !mods
+  in
+  Cfg.iter_instrs proc (fun _ instr ->
+      (match instr with
+      | Instr.Istore (ap, _) -> mods := Aloc.Set.add (store_class ap) !mods
+      | Instr.Iload (_, ap) -> refs := Aloc.Set.add (store_class ap) !refs
+      | Instr.Iassign (v, _) | Instr.Inew (v, _, _) -> mod_var v
+      | Instr.Ibuiltin (Some v, _, _) -> mod_var v
+      | Instr.Iaddr _ | Instr.Icall _ | Instr.Ibuiltin (None, _, _) -> ());
+      (* Reads of globals also count as refs. *)
+      List.iter
+        (fun v ->
+          if v.Reg.v_kind = Reg.Vglobal then
+            refs := Aloc.Set.add (Aloc.Lvar (v.Reg.v_id, v.Reg.v_ty)) !refs)
+        (Instr.vars_used instr));
+  { e_mods = !mods; e_refs = !refs }

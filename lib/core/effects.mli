@@ -1,0 +1,24 @@
+(** Per-procedure mod-ref effects over TBAA location classes — the value
+    the incremental engine summarizes, invalidates and merges. The
+    optimizer's {!Opt.Modref} views are built from these.
+
+    [direct] is one procedure's own externally visible effects (heap
+    stores/loads by location class, global and escaped-variable writes,
+    global reads); the engine closes them over the call-graph condensation
+    into merged views. *)
+
+open Ir
+
+type t = { e_mods : Aloc.Set.t; e_refs : Aloc.Set.t }
+
+val empty : t
+val equal : t -> t -> bool
+val union : t -> t -> t
+
+val direct :
+  store_class:(Apath.t -> Aloc.t) ->
+  addr_taken_var:(Reg.var -> bool) ->
+  Cfg.proc -> t
+(** One procedure's direct effects, in a single instruction traversal.
+    Safe to call concurrently on distinct procedures when the two
+    callbacks are pure (the raw oracles' are). *)

@@ -43,3 +43,52 @@ type t = {
 }
 
 val collect : Ir.Cfg.program -> t
+(** The whole-program pass: {!merge} of {!collect_proc} over every
+    procedure in program order — the monolithic entry point, and the
+    differential baseline for the incremental engine. *)
+
+(** {1 Per-procedure collection (the incremental engine's unit of work)} *)
+
+type contrib = {
+  c_assignments : (Minim3.Types.tid * Minim3.Types.tid) list;
+  c_field_addrs : field_addr list;
+  c_elem_addrs : elem_addr list;
+  c_var_addrs : Ir.Reg.var list;
+  c_byref : Minim3.Types.tid list;  (** deduplicated within the procedure *)
+  c_memrefs : memref list;
+}
+(** One procedure's facts, each list in encounter order. *)
+
+val index : Ir.Cfg.program -> Ident.t -> Ir.Cfg.proc option
+(** An O(1) procedure lookup built once over the procedure list
+    (first binding wins, like [Cfg.find_proc_opt]). Read-only after
+    construction — safe to share across domains. *)
+
+val collect_proc :
+  Ir.Cfg.program -> find:(Ident.t -> Ir.Cfg.proc option) -> Ir.Cfg.proc -> contrib
+(** Collect one procedure's facts. Pure (interns nothing, reads only the
+    IR and [tenv] through [find]); safe to call concurrently on distinct
+    procedures. *)
+
+val merge : Minim3.Types.env -> contrib list -> t
+(** Merge per-procedure contributions given in program order. Produces
+    lists *byte-identical* to the historical monolithic pass: [collect]
+    is [merge] of [collect_proc]s by definition. *)
+
+(** {1 Canonical oracle inputs} *)
+
+type oracle_inputs
+(** The projection of a contribution that oracle construction consumes
+    (assignment pairs, address-taken occurrences, by-ref formal types —
+    not memrefs), canonicalized to sorted deduplicated integer lists.
+    Every consumer has set semantics, so procedures whose edits preserve
+    their [oracle_inputs] cannot change any oracle's answers. *)
+
+val oracle_inputs : contrib -> oracle_inputs
+val oracle_inputs_equal : oracle_inputs -> oracle_inputs -> bool
+
+val contrib_equal : contrib -> contrib -> bool
+(** Structural equality of two contributions (interned idents by id,
+    hash-consed paths by node identity). When every re-collected
+    procedure's contribution is unchanged, the merged whole-program facts
+    are unchanged too — the engine's fast path past {!merge}. *)

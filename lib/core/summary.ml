@@ -1,0 +1,42 @@
+open Support
+open Ir
+
+type t = {
+  sp_name : Ident.t;
+  sp_fingerprint : int;
+  sp_signature : int;
+  sp_callees : Ident.Set.t;
+  sp_callee_sigs : (Ident.t * int option) list;
+  sp_contrib : Facts.contrib;
+  sp_inputs : Facts.oracle_inputs;
+}
+
+let callee_sigs ~find callees =
+  List.map
+    (fun callee ->
+      match find callee with
+      | Some cp -> (callee, Some (Fingerprint.signature cp))
+      | None -> (callee, None))
+    (Ident.Set.elements callees)
+
+(* Pure given a frozen program and [find] table: fingerprinting, callee
+   resolution (type-environment reads) and fact collection all intern
+   nothing — safe to run on many procedures concurrently. *)
+let compute program ~find (proc : Cfg.proc) =
+  let callees = Callgraph.callees program proc in
+  let contrib = Facts.collect_proc program ~find proc in
+  { sp_name = proc.Cfg.pr_name;
+    sp_fingerprint = Fingerprint.proc proc;
+    sp_signature = Fingerprint.signature proc;
+    sp_callees = callees;
+    sp_callee_sigs = callee_sigs ~find callees;
+    sp_contrib = contrib;
+    sp_inputs = Facts.oracle_inputs contrib }
+
+let signature_of ~find name = Option.map Fingerprint.signature (find name)
+
+let reusable old ~proc ~signature_of =
+  old.sp_fingerprint = Fingerprint.proc proc
+  && List.for_all
+       (fun (callee, sg) -> sg = signature_of callee)
+       old.sp_callee_sigs

@@ -18,3 +18,26 @@ val transitive_closure : Cfg.program -> (Ident.t, Ident.Set.t) Hashtbl.t
     itself if recursive). *)
 
 val is_recursive : Cfg.program -> Ident.t -> bool
+
+type condensation = {
+  cond_comps : Ident.t list array;
+      (** Strongly connected components in topological order: every
+          component's successors (callees) have *smaller* indices, so a
+          left-to-right scan sees callees before callers. Members are
+          sorted by [Ident.compare]. *)
+  cond_index : (Ident.t, int) Hashtbl.t;
+      (** Procedure -> index of its component in [cond_comps]. *)
+  cond_succs : int list array;
+      (** Per component, the distinct successor components (sorted,
+          self-loops elided) — the condensation DAG's edges. *)
+}
+
+val condense :
+  nodes:Ident.t list -> callees:(Ident.t -> Ident.Set.t) -> condensation
+(** Tarjan SCC condensation of an arbitrary callee graph (callee names
+    without a node are ignored). Deterministic: depends only on [nodes]
+    order and the callee sets. Iterative — safe on graphs thousands of
+    procedures deep. *)
+
+val condense_program : Cfg.program -> condensation
+(** [condense] over the program's procedures and {!callees}. *)

@@ -1,0 +1,101 @@
+open Support
+
+(* Structural fingerprints of procedures, the invalidation key of the
+   incremental analysis engine (the same idiom as [Sim.Precompile]'s
+   heap-hint keys: hash everything a consumer could observe, compare ints).
+
+   Two procedures with equal fingerprints produce identical analysis
+   summaries — fact contributions, direct mod-ref effects, callee sets —
+   provided the surrounding type environment is unchanged (the engine
+   checks [tenv] physical equality separately). The hash therefore covers
+   every instruction and terminator with full payloads: constructor tags,
+   atom values, variable ids and types, interned path ids, call targets.
+   [Apath.id] and [Ident.hash] are process-local intern ids, so
+   fingerprints are stable within a process (where the engine lives) but
+   not across processes — they are memo keys, never serialized.
+
+   Mixing uses a splitmix-style finalizer rather than the classic
+   [h*31 + x] fold: summaries of thousands of near-identical generated
+   procedures differ only in a few small integers, exactly the regime
+   where weak mixing collides. *)
+
+let mix h k =
+  let h = (h lxor (k + 0x5851f42d)) * 0x2545F4914F6CDD1D in
+  (h lxor (h lsr 29)) land max_int
+
+let mix_var h (v : Reg.var) =
+  let h = mix h v.Reg.v_id in
+  let h = mix h (Ident.hash v.Reg.v_name) in
+  let h = mix h v.Reg.v_ty in
+  mix h (Hashtbl.hash v.Reg.v_kind)
+
+let mix_atom h = function
+  | Reg.Avar v -> mix_var (mix h 1) v
+  | Reg.Aint n -> mix (mix h 2) n
+  | Reg.Abool b -> mix (mix h 3) (Bool.to_int b)
+  | Reg.Achar c -> mix (mix h 4) (Char.code c)
+  | Reg.Anil -> mix h 5
+
+(* Interned path ids are O(1) and cover the base variable and every
+   selector with its type — except index atoms, which [Apath]'s intern key
+   does include, so the id covers them too. *)
+let mix_path h ap = mix h (Apath.id ap)
+
+let mix_rvalue h = function
+  | Instr.Ratom a -> mix_atom (mix h 1) a
+  | Instr.Rbinop (op, a, b) ->
+    mix_atom (mix_atom (mix (mix h 2) (Hashtbl.hash op)) a) b
+  | Instr.Runop (op, a) -> mix_atom (mix (mix h 3) (Hashtbl.hash op)) a
+
+let mix_target h = function
+  | Instr.Cdirect p -> mix (mix h 1) (Ident.hash p)
+  | Instr.Cvirtual (m, recv_ty) -> mix (mix (mix h 2) (Ident.hash m)) recv_ty
+
+let mix_opt mixer h = function None -> mix h 0 | Some x -> mixer (mix h 1) x
+
+let mix_instr h = function
+  | Instr.Iassign (v, rv) -> mix_rvalue (mix_var (mix h 1) v) rv
+  | Instr.Iload (v, ap) -> mix_path (mix_var (mix h 2) v) ap
+  | Instr.Istore (ap, a) -> mix_atom (mix_path (mix h 3) ap) a
+  | Instr.Iaddr (v, ap) -> mix_path (mix_var (mix h 4) v) ap
+  | Instr.Inew (v, t, len) ->
+    mix_opt mix_atom (mix (mix_var (mix h 5) v) t) len
+  | Instr.Icall (dst, target, args) ->
+    let h = mix_opt mix_var (mix h 6) dst in
+    let h = mix_target h target in
+    List.fold_left mix_atom (mix h (List.length args)) args
+  | Instr.Ibuiltin (dst, b, args) ->
+    let h = mix_opt mix_var (mix h 7) dst in
+    let h = mix h (Hashtbl.hash b) in
+    List.fold_left mix_atom (mix h (List.length args)) args
+
+let mix_terminator h = function
+  | Instr.Tjump l -> mix (mix h 1) l
+  | Instr.Tbranch (a, t, f) -> mix (mix (mix_atom (mix h 2) a) t) f
+  | Instr.Treturn a -> mix_opt mix_atom (mix h 3) a
+
+let proc (p : Cfg.proc) =
+  let h = mix 0x7f4a7c15 (Ident.hash p.Cfg.pr_name) in
+  let h = List.fold_left mix_var (mix h (List.length p.Cfg.pr_params)) p.Cfg.pr_params in
+  let h = mix_opt mix (mix h 11) p.Cfg.pr_ret in
+  let h = mix h p.Cfg.pr_entry in
+  Vec.fold_left
+    (fun h (b : Cfg.block) ->
+      let h = mix h b.Cfg.b_id in
+      let h = List.fold_left mix_instr h b.Cfg.b_instrs in
+      mix_terminator h b.Cfg.b_term)
+    h p.Cfg.pr_blocks
+
+(* The caller-visible interface of a procedure: callers contribute
+   argument- and return-binding assignment facts computed from the callee's
+   formal types, modes, and return type — and from nothing else — so this
+   is all a caller's summary needs to revalidate about each callee. *)
+let signature (p : Cfg.proc) =
+  let h =
+    List.fold_left
+      (fun h (v : Reg.var) ->
+        mix (mix h v.Reg.v_ty) (Hashtbl.hash v.Reg.v_kind))
+      (mix 0x2c1b3c6d (List.length p.Cfg.pr_params))
+      p.Cfg.pr_params
+  in
+  mix_opt mix h p.Cfg.pr_ret

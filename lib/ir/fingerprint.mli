@@ -1,0 +1,21 @@
+(** Structural fingerprints of procedures — the invalidation keys of the
+    incremental analysis engine.
+
+    A fingerprint covers everything about a procedure's body and header
+    that any per-procedure analysis summary depends on: parameters (ids,
+    names, types, kinds), return type, entry block, and every block's
+    instructions and terminator with full payloads. Equal fingerprints
+    (under an unchanged type environment) imply identical fact
+    contributions, direct mod-ref effects and callee sets.
+
+    Fingerprints hash process-local intern ids ({!Apath.id},
+    [Ident.hash]), so they are stable within a process only — memo keys,
+    never to be serialized. *)
+
+val proc : Cfg.proc -> int
+(** Structural hash of the whole procedure. *)
+
+val signature : Cfg.proc -> int
+(** Hash of the caller-visible interface only: formal types and modes (in
+    order) and the return type. A caller's summary stays valid across any
+    callee edit that preserves the callee's signature. *)

@@ -6,41 +6,26 @@ type summary = { mods : Aloc.Set.t; refs : Aloc.Set.t }
 
 type t = {
   program : Cfg.program;
-  summaries : (Ident.t, summary) Hashtbl.t;
+  lookup : Ident.t -> summary;
   kill_all : bool;
 }
 
 let empty = { mods = Aloc.Set.empty; refs = Aloc.Set.empty }
 
-(* Direct (one-procedure) effects. A register assignment is externally
-   visible only when the target is a global or a variable whose address
-   escaped. *)
-let direct_summary (oracle : Oracle.t) proc =
-  let mods = ref Aloc.Set.empty and refs = ref Aloc.Set.empty in
-  Cfg.iter_instrs proc (fun _ instr ->
-      match instr with
-      | Instr.Istore (ap, _) ->
-        mods := Aloc.Set.add (oracle.Oracle.store_class ap) !mods
-      | Instr.Iload (_, ap) ->
-        refs := Aloc.Set.add (oracle.Oracle.store_class ap) !refs
-      | Instr.Iassign (v, _) | Instr.Inew (v, _, _) ->
-        if
-          v.Reg.v_kind = Reg.Vglobal || oracle.Oracle.addr_taken_var v
-        then mods := Aloc.Set.add (Aloc.Lvar (v.Reg.v_id, v.Reg.v_ty)) !mods
-      | Instr.Iaddr _ | Instr.Icall _ -> ()
-      | Instr.Ibuiltin (Some v, _, _) ->
-        if v.Reg.v_kind = Reg.Vglobal || oracle.Oracle.addr_taken_var v then
-          mods := Aloc.Set.add (Aloc.Lvar (v.Reg.v_id, v.Reg.v_ty)) !mods
-      | Instr.Ibuiltin (None, _, _) -> ());
-  (* Reads of globals also count as refs. *)
-  Cfg.iter_instrs proc (fun _ instr ->
-      List.iter
-        (fun v ->
-          if v.Reg.v_kind = Reg.Vglobal then
-            refs := Aloc.Set.add (Aloc.Lvar (v.Reg.v_id, v.Reg.v_ty)) !refs)
-        (Instr.vars_used instr));
-  { mods = !mods; refs = !refs }
+let of_effects (e : Effects.t) =
+  { mods = e.Effects.e_mods; refs = e.Effects.e_refs }
 
+(* Direct (one-procedure) effects, via the shared single-pass collector.
+   Built from the oracle's raw store_class/addr_taken_var — the fault
+   layer never wraps those, so fault-injected runs summarize exactly as
+   before. *)
+let direct_summary (oracle : Oracle.t) proc =
+  of_effects
+    (Effects.direct ~store_class:oracle.Oracle.store_class
+       ~addr_taken_var:oracle.Oracle.addr_taken_var proc)
+
+(* The monolithic whole-program computation — kept as the differential
+   baseline for {!of_engine} (the suite checks they agree). *)
 let compute program oracle =
   let closure = Callgraph.transitive_closure program in
   let direct = Hashtbl.create 32 in
@@ -68,12 +53,21 @@ let compute program oracle =
       in
       Hashtbl.replace summaries name merged)
     program.Cfg.prog_procs;
-  { program; summaries; kill_all = false }
+  { program;
+    lookup =
+      (fun name ->
+        Option.value (Hashtbl.find_opt summaries name) ~default:empty);
+    kill_all = false }
+
+let of_engine engine kind =
+  { program = Engine.program engine;
+    lookup = (fun name -> of_effects (Engine.modref_merged engine kind name));
+    kill_all = false }
 
 let conservative program =
-  { program; summaries = Hashtbl.create 1; kill_all = true }
+  { program; lookup = (fun _ -> empty); kill_all = true }
 
-let summary t name = Option.value (Hashtbl.find_opt t.summaries name) ~default:empty
+let summary t name = t.lookup name
 
 (* Resolves the possible callees' mod sets once; the returned predicate
    takes the expression's query paths (its base variable as a path followed

@@ -17,6 +17,14 @@ type summary = { mods : Aloc.Set.t; refs : Aloc.Set.t }
 type t
 
 val compute : Ir.Cfg.program -> Oracle.t -> t
+(** The monolithic whole-program computation (single-pass direct effects,
+    transitive closure over the call graph) — the differential baseline
+    the suite checks {!of_engine} against. *)
+
+val of_engine : Engine.t -> Engine.kind -> t
+(** A view over the incremental engine's merged mod-ref effects — same
+    answers as {!compute} on the engine's program and oracle, but built
+    from the per-procedure summaries the engine caches and invalidates. *)
 
 val conservative : Ir.Cfg.program -> t
 (** No summaries: every call may write anything (the ABL3 ablation —

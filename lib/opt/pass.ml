@@ -12,6 +12,11 @@ let select (a : Analysis.t) = function
   | Ofield_type_decl -> a.Analysis.field_type_decl
   | Osm_field_type_refs -> a.Analysis.sm_field_type_refs
 
+let engine_kind = function
+  | Otype_decl -> Engine.Type_decl
+  | Ofield_type_decl -> Engine.Field_type_decl
+  | Osm_field_type_refs -> Engine.Sm_field_type_refs
+
 (* ------------------------------------------------------------------ *)
 (* Shared analysis context                                             *)
 (* ------------------------------------------------------------------ *)
@@ -32,6 +37,7 @@ type context = {
   oracle_kind : oracle_kind;
   mutable analysis_memo : Analysis.t option;
   mutable oracle_memo : Oracle.t option;  (* cached wrapper over analysis_memo *)
+  mutable modref_memo : Modref.t option;  (* engine view over analysis_memo *)
   oracle_counters : Oracle_cache.counters;
       (* accumulates across wrapper incarnations *)
   mutable analyses_run : int;
@@ -43,12 +49,13 @@ type context = {
 
 let create ?(world = World.Closed) ?(oracle_kind = Osm_field_type_refs) () =
   { world; oracle_kind; analysis_memo = None; oracle_memo = None;
-    oracle_counters = Oracle_cache.fresh_counters (); analyses_run = 0;
-    claims = None; fault = None; oracle_log = None }
+    modref_memo = None; oracle_counters = Oracle_cache.fresh_counters ();
+    analyses_run = 0; claims = None; fault = None; oracle_log = None }
 
 let invalidate ctx =
   ctx.analysis_memo <- None;
-  ctx.oracle_memo <- None
+  ctx.oracle_memo <- None;
+  ctx.modref_memo <- None
 
 let analysis ctx program =
   match ctx.analysis_memo with
@@ -76,6 +83,19 @@ let oracle ctx program =
     let o = Oracle_cache.wrap ~counters:ctx.oracle_counters ?log:ctx.oracle_log raw in
     ctx.oracle_memo <- Some o;
     o
+
+let modref ctx program =
+  match ctx.modref_memo with
+  | Some m -> m
+  | None ->
+    (* Built from the engine's merged effect views, not a fresh
+       whole-program closure. Summaries depend only on the oracle's raw
+       store_class/addr_taken_var — the fault layer never wraps those —
+       so this is also the right view for fault-injected runs. *)
+    let a = analysis ctx program in
+    let m = Modref.of_engine a.Analysis.engine (engine_kind ctx.oracle_kind) in
+    ctx.modref_memo <- Some m;
+    m
 
 let type_refs ctx program = (analysis ctx program).Analysis.type_refs_table
 

@@ -40,6 +40,7 @@ type context = {
   oracle_kind : oracle_kind;
   mutable analysis_memo : Analysis.t option;
   mutable oracle_memo : Oracle.t option;
+  mutable modref_memo : Modref.t option;
   oracle_counters : Oracle_cache.counters;
       (** cumulative across re-analyses; the pass manager diffs it per pass *)
   mutable analyses_run : int;
@@ -66,6 +67,13 @@ val analysis : context -> Ir.Cfg.program -> Analysis.t
 val oracle : context -> Ir.Cfg.program -> Oracle.t
 (** The configured-precision oracle over {!analysis}, wrapped in the
     memoizing cache. Query counts land in [oracle_counters]. *)
+
+val modref : context -> Ir.Cfg.program -> Modref.t
+(** The memoized mod-ref view of the configured precision, served from the
+    engine's cached per-procedure summaries ({!Modref.of_engine}) rather
+    than a fresh whole-program closure per pass. Valid under fault
+    injection too: summaries read only the oracle's raw
+    store_class/addr_taken_var, which the fault layer never wraps. *)
 
 val type_refs : context -> Ir.Cfg.program -> Minim3.Types.tid -> Minim3.Types.tid list
 (** The TypeRefsTable of the memoized analysis (method resolution's input). *)

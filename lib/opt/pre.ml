@@ -152,8 +152,10 @@ let run_proc program oracle modref proc stats =
         Hashtbl.replace by_edge key
           (e :: Option.value (Hashtbl.find_opt by_edge key) ~default:[]))
       !insertions;
-    Hashtbl.iter
-      (fun (p, b) es ->
+    (* Emit in sorted edge order: iteration order decides fresh-var ids and
+       instruction placement, and Hashtbl order is seed-dependent. *)
+    List.iter
+      (fun ((p, b), es) ->
         let pred_block = Cfg.block proc p in
         let target =
           if List.length (Cfg.successors pred_block.Cfg.b_term) > 1 then begin
@@ -171,7 +173,7 @@ let run_proc program oracle modref proc stats =
             target.Cfg.b_instrs <- target.Cfg.b_instrs @ [ Instr.Iload (t, ap) ];
             stats.inserted <- stats.inserted + 1)
           (List.sort_uniq compare es))
-      by_edge
+      (List.sort compare (Hashtbl.fold (fun k es acc -> (k, es) :: acc) by_edge []))
   end
 
 let run ?modref program oracle =
@@ -189,7 +191,10 @@ let pass =
     role = Pass.Transform;
     run =
       (fun ctx program ->
-        let s = run program (Pass.oracle ctx program) in
+        let s =
+          run ~modref:(Pass.modref ctx program) program
+            (Pass.oracle ctx program)
+        in
         { Pass.stats =
             [ ("inserted", s.inserted); ("edges_split", s.edges_split) ];
           changed = s.inserted > 0;

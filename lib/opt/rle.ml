@@ -418,7 +418,10 @@ let pass =
     role = Pass.Transform;
     run =
       (fun ctx program ->
-        let s = run ?claims:ctx.Pass.claims program (Pass.oracle ctx program) in
+        let s =
+          run ~modref:(Pass.modref ctx program) ?claims:ctx.Pass.claims
+            program (Pass.oracle ctx program)
+        in
         { Pass.stats =
             [ ("hoisted", s.hoisted); ("eliminated", s.eliminated);
               ("shortened", s.shortened) ];

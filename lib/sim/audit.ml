@@ -91,11 +91,15 @@ let check t =
         in
         let witness = ref None in
         let hits = ref 0 in
+        (* Report the least shared cell, not the first in Hashtbl order —
+           the witness must not depend on the hash seed. *)
         Hashtbl.iter
           (fun cell () ->
             if Hashtbl.mem big cell then begin
               incr hits;
-              if !witness = None then witness := Some cell
+              match !witness with
+              | Some w when compare w cell <= 0 -> ()
+              | _ -> witness := Some cell
             end)
           small;
         (match !witness with

@@ -1,0 +1,50 @@
+(* A minimal fork-join pool over OCaml 5 domains.
+
+   [run ~domains n f] applies [f] to every index in [0, n): index [i] runs
+   on domain [i mod workers] (static striping — no work queue, no locks).
+   Callers are responsible for making [f] write only into per-index slots
+   (e.g. a pre-allocated array) and for keeping [f] free of shared mutable
+   state; the helpers in this repository follow the pattern
+
+     let slots = Array.make n default in
+     Domain_pool.run ~domains n (fun i -> slots.(i) <- work i)
+
+   which is race-free because distinct indices touch distinct slots.
+
+   [domains <= 1] (the default) degrades to a plain sequential loop with no
+   domain spawned at all, so sequential and parallel runs share one code
+   path and differ only in scheduling. Exceptions raised by [f] are
+   re-raised in the caller after every domain has been joined (the first
+   one encountered wins; stripe 0 runs on the calling domain, so its
+   failures take precedence). *)
+
+let available () = Domain.recommended_domain_count ()
+
+let run ?(domains = 1) n f =
+  if n > 0 then begin
+    let workers = if domains <= 1 then 1 else min domains n in
+    if workers <= 1 then
+      for i = 0 to n - 1 do
+        f i
+      done
+    else begin
+      let stripe w () =
+        let i = ref w in
+        while !i < n do
+          f !i;
+          i := !i + workers
+        done
+      in
+      let spawned =
+        Array.init (workers - 1) (fun k -> Domain.spawn (stripe (k + 1)))
+      in
+      let first_exn = ref None in
+      (try stripe 0 () with e -> first_exn := Some e);
+      Array.iter
+        (fun d ->
+          try Domain.join d
+          with e -> if Option.is_none !first_exn then first_exn := Some e)
+        spawned;
+      match !first_exn with Some e -> raise e | None -> ()
+    end
+  end

@@ -1,0 +1,20 @@
+(** A minimal fork-join pool over OCaml 5 domains.
+
+    The analysis engine's parallel phases are all shaped like "compute [n]
+    independent results into [n] pre-allocated slots"; this module provides
+    exactly that and nothing more. Work is striped statically (index [i]
+    runs on domain [i mod workers]), so a run is deterministic in *what*
+    executes where — results must not depend on execution order, which the
+    slot-per-index pattern guarantees. *)
+
+val available : unit -> int
+(** [Domain.recommended_domain_count ()] — the parallelism the machine can
+    actually deliver. *)
+
+val run : ?domains:int -> int -> (int -> unit) -> unit
+(** [run ~domains n f] applies [f] to every index in [0, n) across at most
+    [domains] domains (including the calling one) and returns when all are
+    done. [f] must confine its writes to per-index state. With
+    [domains <= 1] (the default) no domain is spawned and the indices run
+    sequentially in order. If any [f] raises, the first exception observed
+    is re-raised after all domains have been joined. *)
