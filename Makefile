@@ -1,4 +1,4 @@
-.PHONY: all build test check audit fuzz bench bench-smoke clean
+.PHONY: all build test check audit fuzz bench bench-smoke serve-smoke clean
 
 all: build
 
@@ -45,6 +45,19 @@ bench-smoke:
 	dune exec bench/bench_alias.exe -- --check
 	dune exec bench/bench_sim.exe -- --check
 	dune exec bench/bench_incr.exe -- --check
+	dune exec bench/bench_server.exe -- --check
+
+# The daemon robustness gate: storm tbaad's dispatch stack with the
+# seeded chaos harness (malformed JSON, ill-typed documents, oversized
+# batches, deadline-busting queries, fault-injected engines) across
+# several seeds, then fire the load generator's shed/backoff burst via
+# the server bench. Fails on any crash, any non-structured error, any
+# unsound degraded answer, or any document that does not recover.
+serve-smoke:
+	dune build bin
+	dune exec bin/tbaad.exe -- --chaos 1 --chaos-ops 400
+	dune exec bin/tbaad.exe -- --chaos 2 --chaos-ops 400
+	dune exec bin/tbaad.exe -- --chaos 3 --chaos-ops 400
 
 clean:
 	dune clean

@@ -1,0 +1,320 @@
+(* The daemon throughput benchmark, its load generator, and the
+   regression gate behind `make bench-smoke`.
+
+   Two ways of answering the same batched may-alias queries over the
+   scaleN corpus, both through the real tbaad binary over pipes so they
+   share every byte of the protocol path:
+
+   - fork-per-batch: every batch pays a fresh process — spawn tbaad,
+     open the document (parse + typecheck + lower + engine build),
+     answer one batch, shut down. The pre-daemon workflow.
+   - warm: one long-lived daemon, the document opened once, then many
+     batches against the persistent engine.
+
+   Gate (a ratio, so it is meaningful across machines): the warm daemon
+   must answer >= 5x more queries per second than fork-per-batch, and
+   stay within 20% of the speedup recorded in BENCH_server.json.
+
+   The client half doubles as the load generator: every request goes
+   through [call], which retries Overloaded responses with exponential
+   backoff plus deterministic jitter. A burst leg fires more
+   concurrent-in-flight requests than the daemon's pending queue allows,
+   asserts the overflow was shed with structured responses (not stalls,
+   not crashes), and that retries eventually land every request.
+
+   Modes:
+     (none)    run and print the table
+     --write   also snapshot BENCH_server.json
+     --check   the `make bench-smoke` gate *)
+
+open Support
+
+let snapshot_file = "BENCH_server.json"
+let required_speedup = 5.0
+let regression_slack = 0.8 (* accept >= 80% of the recorded speedup *)
+let procs = 120
+let batch_pairs = 500
+let warm_batches = 20
+let fork_trials = 3
+
+let now = Unix.gettimeofday
+
+(* ------------------------------------------------------------------ *)
+(* Daemon over pipes                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let daemon_exe =
+  let candidates =
+    [ "../bin/tbaad.exe"; "_build/default/bin/tbaad.exe"; "bin/tbaad.exe" ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some exe -> exe
+  | None -> failwith "bench_server: tbaad.exe not found (run dune build bin)"
+
+type daemon = {
+  pid : int;
+  ic : in_channel;
+  oc : out_channel;
+  rng : Prng.t;
+  mutable shed_seen : int;
+  mutable retries : int;
+}
+
+let spawn ?(args = []) () =
+  let child_in_r, child_in_w = Unix.pipe ~cloexec:false () in
+  let child_out_r, child_out_w = Unix.pipe ~cloexec:false () in
+  let pid =
+    Unix.create_process daemon_exe
+      (Array.of_list (daemon_exe :: args))
+      child_in_r child_out_w Unix.stderr
+  in
+  Unix.close child_in_r;
+  Unix.close child_out_w;
+  { pid;
+    ic = Unix.in_channel_of_descr child_out_r;
+    oc = Unix.out_channel_of_descr child_in_w;
+    rng = Prng.create 0xb0ffL;
+    shed_seen = 0;
+    retries = 0 }
+
+let send d line =
+  output_string d.oc line;
+  output_char d.oc '\n';
+  flush d.oc
+
+let recv d = Json.of_string (input_line d.ic)
+
+let stop d =
+  send d "{\"jsonrpc\":\"2.0\",\"id\":0,\"method\":\"shutdown\"}";
+  ignore (recv d);
+  close_out_noerr d.oc;
+  close_in_noerr d.ic;
+  ignore (Unix.waitpid [] d.pid)
+
+let is_overloaded resp =
+  match Json.member "error" resp with
+  | Some err -> Json.member "code" err = Some (Json.Int (-32001))
+  | None -> false
+
+(* The load generator's one verb: send, and on an Overloaded shed retry
+   with exponential backoff and jitter so synchronized clients spread
+   out instead of stampeding back in step. *)
+let call ?(max_tries = 8) d line =
+  let rec go tries delay =
+    send d line;
+    let resp = recv d in
+    if is_overloaded resp && tries < max_tries then begin
+      d.retries <- d.retries + 1;
+      let jitter =
+        delay *. 0.5 *. (float_of_int (Prng.int d.rng 1000) /. 1000.0)
+      in
+      Unix.sleepf (delay +. jitter);
+      go (tries + 1) (delay *. 2.0)
+    end
+    else resp
+  in
+  go 1 0.001
+
+let expect_result what resp =
+  match Json.member "result" resp with
+  | Some r -> r
+  | None ->
+    failwith
+      (Printf.sprintf "bench_server: %s failed: %s" what
+         (Json.to_string resp))
+
+(* ------------------------------------------------------------------ *)
+(* Requests                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let source = lazy (Gen.Scale.source procs)
+
+let open_req =
+  lazy
+    (Json.to_string
+       (Json.Obj
+          [ ("jsonrpc", Json.String "2.0"); ("id", Json.Int 1);
+            ("method", Json.String "open");
+            ( "params",
+              Json.Obj
+                [ ("name", Json.String "scale");
+                  ("source", Json.String (Lazy.force source)) ] ) ]))
+
+let open_doc d =
+  let result = expect_result "open" (call d (Lazy.force open_req)) in
+  match Json.member "memrefs" result with
+  | Some (Json.Int n) when n > 0 -> n
+  | _ -> failwith "bench_server: open returned no memrefs"
+
+let alias_req rng n =
+  let pairs =
+    List.init batch_pairs (fun _ ->
+        Json.List [ Json.Int (Prng.int rng n); Json.Int (Prng.int rng n) ])
+  in
+  Json.to_string
+    (Json.Obj
+       [ ("jsonrpc", Json.String "2.0"); ("id", Json.Int 2);
+         ("method", Json.String "alias");
+         ( "params",
+           Json.Obj
+             [ ("doc", Json.String "scale"); ("pairs", Json.List pairs) ] )
+       ])
+
+let run_batch d req =
+  let result = expect_result "alias" (call d req) in
+  match Json.member "answers" result with
+  | Some (Json.List answers) -> List.length answers
+  | _ -> failwith "bench_server: alias returned no answers"
+
+(* ------------------------------------------------------------------ *)
+(* Legs                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let fork_leg () =
+  let rng = Prng.create 0xf02cL in
+  let best = ref infinity in
+  let answered = ref 0 in
+  for _ = 1 to fork_trials do
+    let t0 = now () in
+    let d = spawn () in
+    let n = open_doc d in
+    answered := run_batch d (alias_req rng n);
+    stop d;
+    let dt = now () -. t0 in
+    if dt < !best then best := dt
+  done;
+  float_of_int !answered /. !best
+
+let warm_leg () =
+  let rng = Prng.create 0x3a3aL in
+  let d = spawn () in
+  let n = open_doc d in
+  (* One untimed batch to warm the memoized oracle handles. *)
+  ignore (run_batch d (alias_req rng n));
+  let answered = ref 0 in
+  let t0 = now () in
+  for _ = 1 to warm_batches do
+    answered := !answered + run_batch d (alias_req rng n)
+  done;
+  let dt = now () -. t0 in
+  stop d;
+  float_of_int !answered /. dt
+
+(* Overrun the pending queue on purpose; every overflow must come back
+   as a structured shed, and backoff retries must land all of them. *)
+let burst_leg () =
+  let max_pending = 8 in
+  let d = spawn ~args:[ "--max-pending"; string_of_int max_pending ] () in
+  let burst = (3 * max_pending) + 4 in
+  for i = 1 to burst do
+    send d
+      (Printf.sprintf "{\"jsonrpc\":\"2.0\",\"id\":%d,\"method\":\"ping\"}" i)
+  done;
+  let served = ref 0 in
+  for _ = 1 to burst do
+    let resp = recv d in
+    if is_overloaded resp then d.shed_seen <- d.shed_seen + 1
+    else begin
+      ignore (expect_result "ping" resp);
+      incr served
+    end
+  done;
+  (* Retry exactly the shed requests through the backoff path. *)
+  for i = 1 to d.shed_seen do
+    ignore
+      (expect_result "ping retry"
+         (call d
+            (Printf.sprintf
+               "{\"jsonrpc\":\"2.0\",\"id\":%d,\"method\":\"ping\"}" (-i))));
+    incr served
+  done;
+  stop d;
+  if d.shed_seen = 0 then
+    failwith "bench_server: burst never overran the pending queue";
+  if !served <> burst then
+    failwith
+      (Printf.sprintf "bench_server: burst lost requests (%d of %d served)"
+         !served burst);
+  (burst, d.shed_seen)
+
+(* ------------------------------------------------------------------ *)
+(* Reporting, snapshotting, gating                                     *)
+(* ------------------------------------------------------------------ *)
+
+let json_of_run ~fork_qps ~warm_qps ~burst ~shed =
+  Json.Obj
+    [ ("microbench", Json.String "server");
+      ("procs", Json.Int procs);
+      ("batch_pairs", Json.Int batch_pairs);
+      ( "legs",
+        Json.List
+          [ Json.Obj
+              [ ("name", Json.String "warm-vs-fork");
+                ("fork_qps", Json.Float fork_qps);
+                ("warm_qps", Json.Float warm_qps);
+                ("required", Json.Float required_speedup);
+                ("speedup", Json.Float (warm_qps /. fork_qps)) ] ] );
+      ( "burst",
+        Json.Obj [ ("requests", Json.Int burst); ("shed", Json.Int shed) ]
+      ) ]
+
+let recorded_speedup () =
+  if not (Sys.file_exists snapshot_file) then None
+  else
+    let ic = open_in snapshot_file in
+    let len = in_channel_length ic in
+    let text = really_input_string ic len in
+    close_in ic;
+    match Json.member "legs" (Json.of_string text) with
+    | Some (Json.List (leg :: _)) -> (
+      match Json.member "speedup" leg with
+      | Some v -> Json.to_float v
+      | None -> None)
+    | _ -> None
+
+let () =
+  let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "" in
+  let fork_qps = fork_leg () in
+  let warm_qps = warm_leg () in
+  let burst, shed = burst_leg () in
+  let speedup = warm_qps /. fork_qps in
+  Printf.printf "%-16s %14s %14s %10s %10s\n" "leg" "fork qps" "warm qps"
+    "speedup" "required";
+  Printf.printf "%-16s %14.0f %14.0f %9.1fx %9.1fx\n" "warm-vs-fork"
+    fork_qps warm_qps speedup required_speedup;
+  Printf.printf "burst: %d requests against max-pending 8, %d shed, all \
+                 served after backoff\n"
+    burst shed;
+  let run_json = json_of_run ~fork_qps ~warm_qps ~burst ~shed in
+  (match mode with
+  | "--write" ->
+    let oc = open_out snapshot_file in
+    output_string oc (Json.to_string run_json);
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "wrote %s\n" snapshot_file
+  | "--check" ->
+    let failures = ref [] in
+    let fail fmt =
+      Printf.ksprintf (fun m -> failures := m :: !failures) fmt
+    in
+    if speedup < required_speedup then
+      fail "warm-vs-fork: speedup %.1fx below required %.1fx" speedup
+        required_speedup;
+    (match recorded_speedup () with
+    | None ->
+      print_endline
+        "(no BENCH_server.json snapshot; gating on the required floor only)"
+    | Some recorded ->
+      if speedup < recorded *. regression_slack then
+        fail "warm-vs-fork: speedup %.1fx regressed below %.0f%% of \
+              recorded %.1fx"
+          speedup
+          (regression_slack *. 100.0)
+          recorded);
+    if !failures <> [] then begin
+      List.iter (fun m -> Printf.printf "FAIL %s\n" m) !failures;
+      exit 1
+    end;
+    print_endline "bench-server gate: OK"
+  | _ -> ())

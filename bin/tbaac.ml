@@ -676,4 +676,30 @@ let main =
     [ check_cmd; format_cmd; ir_cmd; aliases_cmd; optimize_cmd; run_cmd;
       audit_cmd; fuzz_cmd; gen_scale_cmd; experiment_cmd ]
 
-let () = exit (Cmd.eval main)
+(* Usage errors are machine-recognisable: unknown subcommands and bad
+   flags produce exactly one diagnostic line on stderr and exit code 2,
+   instead of cmdliner's multi-paragraph dump and exit 124. *)
+let () =
+  let buf = Buffer.create 256 in
+  let err = Format.formatter_of_buffer buf in
+  match Cmd.eval_value ~err main with
+  | Ok (`Ok ()) | Ok `Help | Ok `Version -> exit 0
+  | Error (`Parse | `Term) ->
+    Format.pp_print_flush err ();
+    let first_line =
+      match String.split_on_char '\n' (String.trim (Buffer.contents buf)) with
+      | l :: _ ->
+        let prefix = "tbaac: " in
+        if String.length l > String.length prefix
+           && String.sub l 0 (String.length prefix) = prefix
+        then String.sub l (String.length prefix)
+               (String.length l - String.length prefix)
+        else l
+      | [] -> "invalid command line"
+    in
+    Printf.eprintf "tbaac: usage error: %s (try 'tbaac --help')\n" first_line;
+    exit 2
+  | Error `Exn ->
+    Format.pp_print_flush err ();
+    prerr_string (Buffer.contents buf);
+    exit 125

@@ -1,0 +1,295 @@
+(* tbaad: the long-lived alias-query daemon.
+
+   Transports only — all request semantics (dispatch, deadlines, batch
+   caps, degradation) live in [Server.Dispatch]. Line-delimited JSON-RPC
+   over stdio by default, or over a unix-domain socket with [--socket]
+   (multiple concurrent clients, served round-robin). Lines that arrive
+   faster than they are served land in a bounded pending queue; overflow
+   is shed immediately with a structured Overloaded response rather than
+   growing the heap. *)
+
+open Cmdliner
+module Dispatch = Server.Dispatch
+
+(* ------------------------------------------------------------------ *)
+(* Line framing                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let strip_cr line =
+  let n = String.length line in
+  if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
+
+(* Split [buf ^ chunk] into complete lines, leaving the unterminated
+   tail in [buf]. *)
+let take_lines buf =
+  let s = Buffer.contents buf in
+  Buffer.clear buf;
+  match String.split_on_char '\n' s with
+  | [] -> []
+  | parts ->
+    let rec go acc = function
+      | [ tail ] ->
+        Buffer.add_string buf tail;
+        List.rev acc
+      | line :: rest -> go (strip_cr line :: acc) rest
+      | [] -> List.rev acc
+    in
+    go [] parts
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let off = ref 0 in
+  while !off < n do
+    off := !off + Unix.write fd b !off (n - !off)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* stdio transport                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let serve_stdio srv =
+  let cfg = Dispatch.config srv in
+  let pending = Queue.create () in
+  let inbuf = Buffer.create 4096 in
+  let chunk = Bytes.create 65536 in
+  let eof = ref false in
+  let enqueue line =
+    if String.trim line = "" then ()
+    else if Queue.length pending >= cfg.Dispatch.max_pending then begin
+      print_endline (Dispatch.shed_line srv ~reason:"pending queue full");
+      flush stdout
+    end
+    else Queue.add line pending
+  in
+  let drain_input ~block =
+    let readable =
+      block
+      ||
+      match Unix.select [ Unix.stdin ] [] [] 0.0 with
+      | [ _ ], _, _ -> true
+      | _ -> false
+    in
+    if readable && not !eof then begin
+      let n = Unix.read Unix.stdin chunk 0 (Bytes.length chunk) in
+      if n = 0 then eof := true
+      else begin
+        Buffer.add_subbytes inbuf chunk 0 n;
+        List.iter enqueue (take_lines inbuf)
+      end
+    end
+  in
+  while
+    (not (Dispatch.shutting_down srv))
+    && ((not !eof) || not (Queue.is_empty pending))
+  do
+    if Queue.is_empty pending then drain_input ~block:true
+    else begin
+      (* Pull in anything that already arrived so the queue bound (and
+         shedding) reflects true backlog, then serve one request. *)
+      drain_input ~block:false;
+      print_endline (Dispatch.handle_line srv (Queue.pop pending));
+      flush stdout
+    end
+  done
+
+(* ------------------------------------------------------------------ *)
+(* unix-socket transport                                               *)
+(* ------------------------------------------------------------------ *)
+
+type client = {
+  cl_fd : Unix.file_descr;
+  cl_buf : Buffer.t;
+  cl_pending : string Queue.t;
+  mutable cl_eof : bool;
+}
+
+let serve_socket srv path =
+  let cfg = Dispatch.config srv in
+  if Sys.file_exists path then Sys.remove path;
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listen_fd (Unix.ADDR_UNIX path);
+  Unix.listen listen_fd 16;
+  prerr_endline ("tbaad: listening on " ^ path);
+  let clients = ref [] in
+  let chunk = Bytes.create 65536 in
+  let respond cl line =
+    match write_all cl.cl_fd (line ^ "\n") with
+    | () -> ()
+    | exception Unix.Unix_error _ -> cl.cl_eof <- true
+  in
+  let read_client cl =
+    match Unix.read cl.cl_fd chunk 0 (Bytes.length chunk) with
+    | 0 -> cl.cl_eof <- true
+    | n ->
+      Buffer.add_subbytes cl.cl_buf chunk 0 n;
+      List.iter
+        (fun line ->
+          if String.trim line = "" then ()
+          else if Queue.length cl.cl_pending >= cfg.Dispatch.max_pending
+          then respond cl (Dispatch.shed_line srv ~reason:"pending queue full")
+          else Queue.add line cl.cl_pending)
+        (take_lines cl.cl_buf)
+    | exception Unix.Unix_error _ -> cl.cl_eof <- true
+  in
+  while not (Dispatch.shutting_down srv) do
+    let backlog = List.exists (fun c -> not (Queue.is_empty c.cl_pending)) !clients in
+    let fds = listen_fd :: List.map (fun c -> c.cl_fd) !clients in
+    let readable, _, _ =
+      Unix.select fds [] [] (if backlog then 0.0 else 1.0)
+    in
+    if List.mem listen_fd readable then begin
+      let fd, _ = Unix.accept listen_fd in
+      clients :=
+        { cl_fd = fd; cl_buf = Buffer.create 4096;
+          cl_pending = Queue.create (); cl_eof = false }
+        :: !clients
+    end;
+    List.iter
+      (fun cl -> if List.mem cl.cl_fd readable then read_client cl)
+      !clients;
+    (* One request per client per round: a client with a huge backlog
+       cannot starve the others. *)
+    List.iter
+      (fun cl ->
+        if not (Queue.is_empty cl.cl_pending) then
+          respond cl (Dispatch.handle_line srv (Queue.pop cl.cl_pending)))
+      !clients;
+    clients :=
+      List.filter
+        (fun cl ->
+          if cl.cl_eof && Queue.is_empty cl.cl_pending then begin
+            (try Unix.close cl.cl_fd with Unix.Unix_error _ -> ());
+            false
+          end
+          else true)
+        !clients
+  done;
+  List.iter
+    (fun cl -> try Unix.close cl.cl_fd with Unix.Unix_error _ -> ())
+    !clients;
+  (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+  if Sys.file_exists path then Sys.remove path
+
+(* ------------------------------------------------------------------ *)
+(* Entry                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let run socket chaos_seed chaos_ops max_batch max_pending deadline_ms
+    max_docs allow_inject =
+  let config =
+    { Dispatch.default_config with
+      Dispatch.max_batch;
+      max_pending;
+      default_deadline_ms = deadline_ms;
+      max_docs;
+      allow_inject = allow_inject || chaos_seed <> None }
+  in
+  match chaos_seed with
+  | Some seed ->
+    (* Self-test mode: storm an in-process server and report. *)
+    let report = Server.Chaos.run ~seed ~ops:chaos_ops in
+    print_endline (Support.Json.to_string (Server.Chaos.report_json report));
+    if report.Server.Chaos.violations <> [] then exit 1
+  | None -> (
+    let srv = Dispatch.create ~config () in
+    match socket with
+    | Some path -> serve_socket srv path
+    | None -> serve_stdio srv)
+
+let main =
+  let socket_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Serve on a unix-domain socket instead of stdio.")
+  in
+  let chaos_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "chaos" ] ~docv:"SEED"
+          ~doc:
+            "Run the chaos harness against an in-process server (implies \
+             fault injection), print the report as JSON and exit nonzero \
+             on any invariant violation.")
+  in
+  let chaos_ops_arg =
+    Arg.(
+      value & opt int 400
+      & info [ "chaos-ops" ] ~docv:"N" ~doc:"Storm length in requests.")
+  in
+  let max_batch_arg =
+    Arg.(
+      value
+      & opt int Dispatch.default_config.Dispatch.max_batch
+      & info [ "max-batch" ] ~docv:"N"
+          ~doc:"Maximum query pairs (or batched requests) per request.")
+  in
+  let max_pending_arg =
+    Arg.(
+      value
+      & opt int Dispatch.default_config.Dispatch.max_pending
+      & info [ "max-pending" ] ~docv:"N"
+          ~doc:
+            "Maximum queued requests per client before the daemon sheds \
+             with a structured Overloaded response.")
+  in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt float Dispatch.default_config.Dispatch.default_deadline_ms
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:
+            "Default per-request deadline; clients may override per \
+             request with the deadline_ms param.")
+  in
+  let max_docs_arg =
+    Arg.(
+      value
+      & opt int Dispatch.default_config.Dispatch.max_docs
+      & info [ "max-docs" ] ~docv:"N" ~doc:"Document-store capacity.")
+  in
+  let inject_arg =
+    Arg.(
+      value & flag
+      & info [ "allow-inject" ]
+          ~doc:
+            "Honour fault-injection params on open/update (testing only).")
+  in
+  Cmd.v
+    (Cmd.info "tbaad" ~version:"1.0.0"
+       ~doc:
+         "Fault-tolerant alias-query daemon for MiniM3 (JSON-RPC over \
+          stdio or a unix socket)")
+    Term.(
+      const run $ socket_arg $ chaos_arg $ chaos_ops_arg $ max_batch_arg
+      $ max_pending_arg $ deadline_arg $ max_docs_arg $ inject_arg)
+
+(* Usage errors are machine-recognisable: one line on stderr, exit 2 —
+   the same contract tbaac follows. *)
+let () =
+  let buf = Buffer.create 256 in
+  let err = Format.formatter_of_buffer buf in
+  match Cmd.eval_value ~err main with
+  | Ok (`Ok ()) | Ok `Help | Ok `Version -> exit 0
+  | Error (`Parse | `Term) ->
+    Format.pp_print_flush err ();
+    let first_line =
+      match String.split_on_char '\n' (String.trim (Buffer.contents buf)) with
+      | l :: _ ->
+        let prefix = "tbaad: " in
+        if String.length l > String.length prefix
+           && String.sub l 0 (String.length prefix) = prefix
+        then String.sub l (String.length prefix)
+               (String.length l - String.length prefix)
+        else l
+      | [] -> "invalid command line"
+    in
+    Printf.eprintf "tbaad: usage error: %s\n" first_line;
+    exit 2
+  | Error `Exn ->
+    Format.pp_print_flush err ();
+    prerr_string (Buffer.contents buf);
+    exit 125

@@ -295,23 +295,35 @@ let drop_oracle_state t =
   t.effects <- []
 
 (* Everything changed (or the type environment did, which every summary
-   and oracle reads through): recompute from scratch, in place. *)
+   and oracle reads through): recompute from scratch.
+
+   Exception safety (here and in [update]): every computation that can
+   raise — summarizing an ill-formed edited procedure, re-merging facts,
+   rebuilding oracles — runs to completion into locals *before* the first
+   field of [t] is assigned. If anything raises mid-update the engine is
+   untouched and stays fully usable on its last-good analysis; only the
+   [incr] statistics counters may reflect the aborted attempt. *)
 let rebuild t program =
   let (find, sums, facts), facts_ms =
     timed (fun () -> summarize ~domains:t.domains program)
   in
-  t.program <- program;
-  t.find <- find;
-  t.find_procs <- program.Ir.Cfg.prog_procs;
-  t.proc_names <-
-    List.map (fun p -> p.Ir.Cfg.pr_name) program.Ir.Cfg.prog_procs;
-  t.summaries <- summaries_table sums;
-  t.cond <- condense_summaries t.proc_names t.summaries;
-  t.facts <- facts;
+  let summaries = summaries_table sums in
+  let proc_names =
+    List.map (fun p -> p.Ir.Cfg.pr_name) program.Ir.Cfg.prog_procs
+  in
+  let cond = condense_summaries proc_names summaries in
   let type_decl, field_type_decl, sm_field_type_refs, sm,
       type_decl_ms, field_type_decl_ms, sm_ms =
     build_oracles t.config facts
   in
+  (* Commit: nothing below raises. *)
+  t.program <- program;
+  t.find <- find;
+  t.find_procs <- program.Ir.Cfg.prog_procs;
+  t.proc_names <- proc_names;
+  t.summaries <- summaries;
+  t.cond <- cond;
+  t.facts <- facts;
   t.type_decl <- type_decl;
   t.field_type_decl <- field_type_decl;
   t.sm_field_type_refs <- sm_field_type_refs;
@@ -330,16 +342,22 @@ let rebuild t program =
    procedure name set is unchanged). Only [changed] procedures get fresh
    directs; when the condensation was reused, a component's merged view is
    recomputed only when a member's direct effects actually changed
-   ([Effects.equal] cutoff) or a callee component's merged view did. *)
-let update_effects_state t kind old_st ~changed ~cond_reused =
+   ([Effects.equal] cutoff) or a callee component's merged view did.
+
+   [old_st] is never mutated — the new state is built over copies of its
+   tables, so an exception part-way through an update leaves the engine's
+   installed effects views intact. [find]/[cond] are the post-update
+   procedure index and condensation (passed in because the engine's own
+   fields are only assigned once the whole update has succeeded). *)
+let update_effects_state t kind old_st ~find ~cond ~nprocs ~changed
+    ~cond_reused =
   let incr = t.incr in
   let o = oracle t kind in
-  let nprocs = List.length t.proc_names in
-  let ef_direct = old_st.ef_direct in
+  let ef_direct = Ident.Tbl.copy old_st.ef_direct in
   let direct_changed = Ident.Tbl.create 16 in
   List.iter
     (fun name ->
-      match t.find name with
+      match find name with
       | None -> ()
       | Some proc ->
         let d =
@@ -353,7 +371,6 @@ let update_effects_state t kind old_st ~changed ~cond_reused =
   let nchanged = List.length changed in
   incr.effects_recomputed <- incr.effects_recomputed + nchanged;
   incr.effects_reused <- incr.effects_reused + (nprocs - nchanged);
-  let cond = t.cond in
   let nc = Array.length cond.Ir.Callgraph.cond_comps in
   if not cond_reused then begin
     (* The call graph itself changed: every merged view is suspect. *)
@@ -366,9 +383,9 @@ let update_effects_state t kind old_st ~changed ~cond_reused =
     { ef_direct; ef_merged; ef_cond = cond }
   end
   else begin
-    (* Same condensation: patch the merged table in place, touching only
+    (* Same condensation: patch a copy of the merged table, touching only
        components on the affected slice. *)
-    let ef_merged = old_st.ef_merged in
+    let ef_merged = Ident.Tbl.copy old_st.ef_merged in
     let comp_merged = Array.make nc Effects.empty in
     let comp_changed = Array.make nc false in
     for c = 0 to nc - 1 do
@@ -509,56 +526,80 @@ let update t program =
                  sums.(i).Summary.sp_callees)
            invalid
     in
-    t.program <- program;
-    t.find <- find;
-    t.find_procs <- program.Ir.Cfg.prog_procs;
-    t.proc_names <- new_names;
-    (* Patch the summary table in place when the (unique) name set is
-       unchanged; rebuild on any add/remove/reorder or duplicate names. *)
-    if same_procs && Ident.Tbl.length t.summaries = n then
-      Array.iter
-        (fun i ->
-          Ident.Tbl.replace t.summaries procs.(i).Ir.Cfg.pr_name sums.(i))
-        invalid
-    else t.summaries <- summaries_table sums;
-    if not cond_reused then
-      t.cond <- condense_summaries new_names t.summaries;
-    let facts_ms =
-      if contribs_unchanged then t.timings.facts_ms
-      else begin
+    (* Fallible phase continues: merge facts, rebuild oracles and re-derive
+       the effects views into locals — only then commit. A raise anywhere
+       above the commit leaves the engine on its last-good analysis. *)
+    let new_summaries =
+      (* Patch the existing summary table at commit when the (unique) name
+         set is unchanged and the condensation survives; build a fresh
+         table on any add/remove/reorder, duplicate names, or call-graph
+         change (the new condensation needs the full new table now). *)
+      if cond_reused && same_procs && Ident.Tbl.length t.summaries = n then
+        None
+      else Some (summaries_table sums)
+    in
+    let new_cond =
+      if cond_reused then t.cond
+      else
+        match new_summaries with
+        | Some tbl -> condense_summaries new_names tbl
+        | None -> assert false (* [None] only when [cond_reused] *)
+    in
+    let new_facts, facts_ms =
+      if contribs_unchanged then (None, t.timings.facts_ms)
+      else
         let facts, ms =
           timed (fun () ->
               Facts.merge program.Ir.Cfg.tenv
                 (Array.to_list
                    (Array.map (fun s -> s.Summary.sp_contrib) sums)))
         in
-        t.facts <- facts;
-        ms
-      end
+        (Some facts, ms)
     in
-    if oracles_ok then begin
-      t.timings <- { t.timings with facts_ms };
-      t.effects <-
+    let new_oracles =
+      if oracles_ok then None
+      else
+        Some
+          (build_oracles t.config
+             (match new_facts with Some f -> f | None -> t.facts))
+    in
+    let new_effects =
+      if oracles_ok then
         List.map
           (fun (kind, st) ->
             ( kind,
-              update_effects_state t kind st ~changed:recomputed_names
-                ~cond_reused ))
+              update_effects_state t kind st ~find ~cond:new_cond ~nprocs:n
+                ~changed:recomputed_names ~cond_reused ))
           t.effects
-    end
-    else begin
-      let type_decl, field_type_decl, sm_field_type_refs, sm,
-          type_decl_ms, field_type_decl_ms, sm_ms =
-        build_oracles t.config t.facts
-      in
+      else []
+    in
+    (* Commit: nothing below raises. *)
+    t.program <- program;
+    t.find <- find;
+    t.find_procs <- program.Ir.Cfg.prog_procs;
+    t.proc_names <- new_names;
+    (match new_summaries with
+    | Some tbl -> t.summaries <- tbl
+    | None ->
+      Array.iter
+        (fun i ->
+          Ident.Tbl.replace t.summaries procs.(i).Ir.Cfg.pr_name sums.(i))
+        invalid);
+    t.cond <- new_cond;
+    (match new_facts with Some f -> t.facts <- f | None -> ());
+    (match new_oracles with
+    | None ->
+      t.timings <- { t.timings with facts_ms };
+      t.effects <- new_effects
+    | Some (type_decl, field_type_decl, sm_field_type_refs, sm,
+            type_decl_ms, field_type_decl_ms, sm_ms) ->
       t.type_decl <- type_decl;
       t.field_type_decl <- field_type_decl;
       t.sm_field_type_refs <- sm_field_type_refs;
       t.sm <- sm;
       t.timings <- { facts_ms; type_decl_ms; field_type_decl_ms; sm_ms };
       drop_oracle_state t;
-      incr.oracles_rebuilt <- incr.oracles_rebuilt + 1
-    end;
+      incr.oracles_rebuilt <- incr.oracles_rebuilt + 1);
     incr.last_report <-
       Some { ur_recomputed = sorted_names recomputed_names;
              ur_oracles_rebuilt = not oracles_ok;

@@ -61,7 +61,13 @@ val update : t -> Ir.Cfg.program -> t
     engine. [program] may be the engine's own program edited in place or
     a fresh one — only a physically identical type environment enables
     any reuse. Cached oracle handles and effect views are dropped
-    whenever the underlying oracles are rebuilt. *)
+    whenever the underlying oracles are rebuilt.
+
+    Exception-safe: all fallible re-analysis completes before the engine
+    is touched, so if revalidation raises mid-update (e.g. on an
+    ill-formed edited procedure) the original engine value remains fully
+    usable — every query keeps answering from the last successfully
+    installed analysis, and a later {!update} can still succeed. *)
 
 val oracle : t -> kind -> Oracle.t
 (** The raw (unmemoized) oracle handle. *)

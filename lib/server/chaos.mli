@@ -1,0 +1,41 @@
+(** The chaos harness: drive a server through a seeded storm of hostile
+    traffic and check the robustness invariants the daemon promises.
+
+    The op mix covers every failure class in the issue: malformed JSON,
+    broken envelopes, unknown methods, ill-typed documents, out-of-range
+    and oversized batches, deadline-busting slow queries, and documents
+    whose engines are fault-injected ({!Store.inject}) to flip answers or
+    crash mid-query and mid-rebuild.
+
+    Invariants checked, all violations collected into the report:
+
+    - {b No crashes}: every request line yields exactly one structured
+      JSON-RPC response ([result] or an [error] with a known code) and
+      [handle_line] never raises.
+    - {b Soundness of degradation}: on documents with no fault injection,
+      alias answers must be byte-identical to a fresh from-scratch engine
+      over the document's last successfully built source — whether the
+      document is Fresh or Stale. A Conservative document must answer
+      MayAlias for every pair.
+    - {b Recovery}: after the storm, one clean rebuild per surviving
+      document must return it to Fresh with answers byte-identical to a
+      fresh engine — including documents that spent the storm flipping,
+      crashing, or quarantined.
+
+    Fully deterministic: the same (seed, ops) replays the same storm. *)
+
+type report = {
+  ops : int;  (** requests sent *)
+  oks : int;  (** result responses *)
+  errors : int;  (** structured error responses *)
+  by_code : (string * int) list;  (** error responses per code name *)
+  checked_answers : int;  (** alias answers compared against an oracle *)
+  recovered_docs : int;  (** documents that passed the recovery sweep *)
+  violations : string list;  (** empty iff every invariant held *)
+}
+
+val run : seed:int -> ops:int -> report
+(** Build a fault-injection-enabled server (small limits, so capacity
+    shedding actually triggers) and storm it. *)
+
+val report_json : report -> Support.Json.t

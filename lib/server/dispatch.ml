@@ -1,0 +1,382 @@
+(* Transport-free JSON-RPC dispatch over the document store. *)
+
+open Support
+
+type config = {
+  max_batch : int;
+  max_pending : int;
+  max_request_bytes : int;
+  max_docs : int;
+  default_deadline_ms : float;
+  allow_inject : bool;
+}
+
+let default_config =
+  { max_batch = 4096; max_pending = 64; max_request_bytes = 8 * 1024 * 1024;
+    max_docs = 64; default_deadline_ms = 2000.0; allow_inject = false }
+
+type t = {
+  cfg : config;
+  st : Store.t;
+  mutable shutdown : bool;
+  mutable sv_requests : int;
+  mutable sv_ok : int;
+  mutable sv_errors : int;
+  mutable sv_timeouts : int;
+  mutable sv_shed : int;
+  mutable sv_alias_answers : int;
+}
+
+let create ?(config = default_config) () =
+  { cfg = config;
+    st = Store.create ~max_docs:config.max_docs
+           ~allow_inject:config.allow_inject ();
+    shutdown = false; sv_requests = 0; sv_ok = 0; sv_errors = 0;
+    sv_timeouts = 0; sv_shed = 0; sv_alias_answers = 0 }
+
+let config t = t.cfg
+let store t = t.st
+let shutting_down t = t.shutdown
+
+(* ------------------------------------------------------------------ *)
+(* Param decoding beyond the generic Rpc accessors                     *)
+(* ------------------------------------------------------------------ *)
+
+let kind_of_name rq = function
+  | "TypeDecl" | "type_decl" -> Tbaa.Engine.Type_decl
+  | "FieldTypeDecl" | "field_type_decl" -> Tbaa.Engine.Field_type_decl
+  | "SMFieldTypeRefs" | "sm_field_type_refs" -> Tbaa.Engine.Sm_field_type_refs
+  | other ->
+    Rpc.rejectf ~id:rq.Rpc.rq_id Rpc.Invalid_params
+      "unknown oracle %S (expected TypeDecl, FieldTypeDecl or \
+       SMFieldTypeRefs)" other
+
+let oracle_param rq =
+  match Rpc.str_param_opt rq "oracle" with
+  | None -> Tbaa.Engine.Sm_field_type_refs
+  | Some name -> kind_of_name rq name
+
+let doc_param t rq =
+  let name = Rpc.str_param rq "doc" in
+  match Store.find t.st name with
+  | Some d -> (name, d)
+  | None ->
+    Rpc.rejectf ~id:rq.Rpc.rq_id Rpc.Invalid_params "unknown document %S"
+      name
+
+let inject_param rq =
+  match Rpc.list_param_opt rq "inject" with
+  | None -> []
+  | Some items ->
+    List.map
+      (fun item ->
+        let sub = { rq with Rpc.rq_params = item } in
+        let seed () =
+          match Rpc.int_param_opt sub "seed" with Some s -> s | None -> 0
+        in
+        let rate () =
+          match Rpc.float_param_opt sub "rate" with
+          | Some r -> r
+          | None -> 0.0
+        in
+        match Rpc.str_param sub "kind" with
+        | "flip" -> Store.Flip { seed = seed (); rate = rate () }
+        | "crash" -> Store.Crash { seed = seed (); rate = rate () }
+        | "slow" ->
+          let ms =
+            match Rpc.float_param_opt sub "ms" with
+            | Some ms -> ms
+            | None -> 1.0
+          in
+          Store.Slow { ms }
+        | other ->
+          Rpc.rejectf ~id:rq.Rpc.rq_id Rpc.Invalid_params
+            "unknown inject kind %S" other)
+      items
+
+(* The per-request deadline: every batched query checks it, so one
+   pathological request degrades into one structured Timeout response
+   instead of stalling the serve loop. *)
+let deadline_of rq default_ms =
+  let ms =
+    match Rpc.float_param_opt rq "deadline_ms" with
+    | Some ms when ms > 0.0 -> ms
+    | Some _ | None -> default_ms
+  in
+  Unix.gettimeofday () +. (ms /. 1000.0)
+
+let check_deadline t rq ~deadline ~completed =
+  if Unix.gettimeofday () > deadline then begin
+    t.sv_timeouts <- t.sv_timeouts + 1;
+    Rpc.reject ~id:rq.Rpc.rq_id
+      ~data:[ ("completed", Json.Int completed) ]
+      Rpc.Timeout "deadline expired"
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Method handlers (each returns the "result" payload)                 *)
+(* ------------------------------------------------------------------ *)
+
+let doc_summary name d =
+  Json.Obj
+    [ ("doc", Json.String name);
+      ("mode", Json.String (Store.mode_name (Store.doc_mode d)));
+      ("generation", Json.Int (Store.generation d));
+      ("memrefs", Json.Int (Store.n_paths d)) ]
+
+let handle_open t rq =
+  let name = Rpc.str_param rq "name" in
+  let source = Rpc.str_param rq "source" in
+  let inject = inject_param rq in
+  if Store.find t.st name = None && Store.count t.st >= Store.max_docs t.st
+  then
+    Rpc.rejectf ~id:rq.Rpc.rq_id
+      ~data:[ ("max_docs", Json.Int (Store.max_docs t.st)) ]
+      Rpc.Overloaded "document store full (%d documents)"
+      (Store.count t.st);
+  match Store.open_or_update t.st ~name ~source ~inject with
+  | Store.Updated d -> doc_summary name d
+  | Store.Rejected (doc, diags) ->
+    let mode =
+      match doc with
+      | Some d -> Store.mode_name (Store.doc_mode d)
+      | None -> "closed"
+    in
+    Rpc.reject ~id:rq.Rpc.rq_id
+      ~data:
+        [ ("mode", Json.String mode);
+          ( "diagnostics",
+            Json.List
+              (List.map (fun d -> Json.String (Diag.to_string d)) diags) ) ]
+      Rpc.Document_error "source failed to compile"
+  | Store.Crashed (doc, msg) ->
+    let mode =
+      match doc with
+      | Some d -> Store.mode_name (Store.doc_mode d)
+      | None -> "closed"
+    in
+    Rpc.rejectf ~id:rq.Rpc.rq_id
+      ~data:
+        [ ("mode", Json.String mode);
+          ("rolled_back", Json.Bool (doc <> None)) ]
+      Rpc.Document_error "analysis crashed: %s" msg
+
+let handle_alias t rq =
+  let _, d = doc_param t rq in
+  let kind = oracle_param rq in
+  let pairs =
+    match Rpc.list_param_opt rq "pairs" with
+    | Some ps -> ps
+    | None ->
+      Rpc.rejectf ~id:rq.Rpc.rq_id Rpc.Invalid_params "missing param \"pairs\""
+  in
+  if List.length pairs > t.cfg.max_batch then begin
+    t.sv_shed <- t.sv_shed + 1;
+    Rpc.rejectf ~id:rq.Rpc.rq_id
+      ~data:[ ("max_batch", Json.Int t.cfg.max_batch) ]
+      Rpc.Overloaded "batch of %d pairs exceeds max_batch %d"
+      (List.length pairs) t.cfg.max_batch
+  end;
+  let n = Store.n_paths d in
+  let deadline = deadline_of rq t.cfg.default_deadline_ms in
+  let completed = ref 0 in
+  let answers =
+    List.map
+      (fun pair ->
+        check_deadline t rq ~deadline ~completed:!completed;
+        let i, j =
+          match pair with
+          | Json.List [ Json.Int i; Json.Int j ] -> (i, j)
+          | _ ->
+            Rpc.rejectf ~id:rq.Rpc.rq_id Rpc.Invalid_params
+              "each pair must be a two-int array"
+        in
+        if i < 0 || i >= n || j < 0 || j >= n then
+          Rpc.rejectf ~id:rq.Rpc.rq_id
+            ~data:[ ("memrefs", Json.Int n) ]
+            Rpc.Invalid_params "pair [%d,%d] out of range (memrefs %d)" i j n;
+        incr completed;
+        t.sv_alias_answers <- t.sv_alias_answers + 1;
+        Json.Bool (Store.may_alias d kind i j))
+      pairs
+  in
+  Json.Obj
+    [ ("oracle", Json.String (Tbaa.Engine.kind_name kind));
+      ("mode", Json.String (Store.mode_name (Store.doc_mode d)));
+      ("answers", Json.List answers) ]
+
+let handle_modref t rq =
+  let _, d = doc_param t rq in
+  let kind = oracle_param rq in
+  let proc = Rpc.str_param rq "proc" in
+  let program = Store.program d in
+  let pr =
+    List.find_opt
+      (fun p -> Ident.name p.Ir.Cfg.pr_name = proc)
+      program.Ir.Cfg.prog_procs
+  in
+  let pname =
+    match pr with
+    | Some p -> p.Ir.Cfg.pr_name
+    | None ->
+      Rpc.rejectf ~id:rq.Rpc.rq_id Rpc.Invalid_params "unknown procedure %S"
+        proc
+  in
+  let tenv = (Tbaa.Engine.facts (Store.engine d)).Tbaa.Facts.tenv in
+  let aloc_list set =
+    Json.List
+      (List.map
+         (fun a -> Json.String (Format.asprintf "%a" (Tbaa.Aloc.pp tenv) a))
+         (Tbaa.Aloc.Set.elements set))
+  in
+  let mode = Json.String (Store.mode_name (Store.doc_mode d)) in
+  match Store.modref d kind pname with
+  | Some eff ->
+    Json.Obj
+      [ ("oracle", Json.String (Tbaa.Engine.kind_name kind));
+        ("mode", mode);
+        ("mods", aloc_list eff.Tbaa.Effects.e_mods);
+        ("refs", aloc_list eff.Tbaa.Effects.e_refs) ]
+  | None ->
+    (* Conservative/quarantined: the sound "may mod and ref anything". *)
+    Json.Obj
+      [ ("oracle", Json.String (Tbaa.Engine.kind_name kind));
+        ("mode", mode); ("top", Json.Bool true) ]
+
+let handle_paths t rq =
+  let _, d = doc_param t rq in
+  let n = Store.n_paths d in
+  let limit =
+    match Rpc.int_param_opt rq "limit" with
+    | Some l when l >= 0 -> min l n
+    | Some _ | None -> n
+  in
+  let rows = ref [] in
+  for i = limit - 1 downto 0 do
+    let proc, path, is_store = Store.path d i in
+    rows :=
+      Json.Obj
+        [ ("index", Json.Int i);
+          ("proc", Json.String (Ident.name proc));
+          ("path", Json.String (Ir.Apath.to_string path));
+          ("is_store", Json.Bool is_store) ]
+      :: !rows
+  done;
+  Json.Obj [ ("memrefs", Json.Int n); ("paths", Json.List !rows) ]
+
+let handle_stats t rq =
+  let name, d = doc_param t rq in
+  Json.Obj
+    [ ("doc", Json.String name);
+      ("mode", Json.String (Store.mode_name (Store.doc_mode d)));
+      ("generation", Json.Int (Store.generation d));
+      ("engine", Tbaa.Engine.stats (Store.engine d)) ]
+
+let server_counters t =
+  Json.Obj
+    [ ("requests", Json.Int t.sv_requests);
+      ("ok", Json.Int t.sv_ok);
+      ("errors", Json.Int t.sv_errors);
+      ("timeouts", Json.Int t.sv_timeouts);
+      ("shed", Json.Int t.sv_shed);
+      ("alias_answers", Json.Int t.sv_alias_answers) ]
+
+let health_json t =
+  let docs =
+    List.filter_map
+      (fun name -> Option.map Store.health_json (Store.find t.st name))
+      (Store.names t.st)
+  in
+  Json.Obj
+    [ ("status", Json.String (if t.shutdown then "stopping" else "ok"));
+      ("documents", Json.List docs);
+      ("counters", server_counters t);
+      ( "limits",
+        Json.Obj
+          [ ("max_batch", Json.Int t.cfg.max_batch);
+            ("max_pending", Json.Int t.cfg.max_pending);
+            ("max_request_bytes", Json.Int t.cfg.max_request_bytes);
+            ("max_docs", Json.Int t.cfg.max_docs);
+            ("default_deadline_ms", Json.Float t.cfg.default_deadline_ms) ] )
+    ]
+
+let handle_close t rq =
+  let name = Rpc.str_param rq "name" in
+  Json.Obj [ ("closed", Json.Bool (Store.close t.st name)) ]
+
+let dispatch t rq =
+  match rq.Rpc.rq_method with
+  | "open" | "update" -> handle_open t rq
+  | "alias" -> handle_alias t rq
+  | "modref" -> handle_modref t rq
+  | "paths" -> handle_paths t rq
+  | "stats" -> handle_stats t rq
+  | "health" -> health_json t
+  | "close" -> handle_close t rq
+  | "ping" -> Json.Obj [ ("pong", Json.Bool true) ]
+  | "shutdown" ->
+    t.shutdown <- true;
+    Json.Obj [ ("stopping", Json.Bool true) ]
+  | m ->
+    Rpc.rejectf ~id:rq.Rpc.rq_id Rpc.Method_not_found "unknown method %S" m
+
+(* ------------------------------------------------------------------ *)
+(* The never-raise boundary                                            *)
+(* ------------------------------------------------------------------ *)
+
+let handle_single t j =
+  t.sv_requests <- t.sv_requests + 1;
+  match
+    let rq = Rpc.request_of_json j in
+    Rpc.response_ok rq.Rpc.rq_id (dispatch t rq)
+  with
+  | resp ->
+    t.sv_ok <- t.sv_ok + 1;
+    resp
+  | exception Rpc.Reject (id, code, msg, data) ->
+    t.sv_errors <- t.sv_errors + 1;
+    Rpc.response_error id code msg data
+  | exception e ->
+    (* The catch-all: nothing a request does may take the server down. *)
+    t.sv_errors <- t.sv_errors + 1;
+    Rpc.response_error Json.Null Rpc.Internal_error (Printexc.to_string e) []
+
+let handle_value t j =
+  match j with
+  | Json.List [] ->
+    t.sv_requests <- t.sv_requests + 1;
+    t.sv_errors <- t.sv_errors + 1;
+    Rpc.response_error Json.Null Rpc.Invalid_request "empty batch" []
+  | Json.List items when List.length items > t.cfg.max_batch ->
+    t.sv_requests <- t.sv_requests + 1;
+    t.sv_errors <- t.sv_errors + 1;
+    t.sv_shed <- t.sv_shed + 1;
+    Rpc.response_error Json.Null Rpc.Overloaded
+      (Printf.sprintf "batch of %d requests exceeds max_batch %d"
+         (List.length items) t.cfg.max_batch)
+      [ ("max_batch", Json.Int t.cfg.max_batch) ]
+  | Json.List items -> Json.List (List.map (handle_single t) items)
+  | _ -> handle_single t j
+
+let shed_line t ~reason =
+  t.sv_requests <- t.sv_requests + 1;
+  t.sv_errors <- t.sv_errors + 1;
+  t.sv_shed <- t.sv_shed + 1;
+  Json.to_string
+    (Rpc.response_error Json.Null Rpc.Overloaded reason
+       [ ("max_pending", Json.Int t.cfg.max_pending) ])
+
+let handle_line t line =
+  if String.length line > t.cfg.max_request_bytes then
+    shed_line t
+      ~reason:
+        (Printf.sprintf "request of %d bytes exceeds max_request_bytes %d"
+           (String.length line) t.cfg.max_request_bytes)
+  else
+    match Json.parse line with
+    | Error d ->
+      t.sv_requests <- t.sv_requests + 1;
+      t.sv_errors <- t.sv_errors + 1;
+      Json.to_string
+        (Rpc.response_error Json.Null Rpc.Parse_error d.Diag.message [])
+    | Ok v -> Json.to_string (handle_value t v)

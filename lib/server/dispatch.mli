@@ -1,0 +1,62 @@
+(** The alias-query daemon's request dispatcher — transport-free.
+
+    One {!t} hosts a {!Store.t} and serves line-delimited JSON-RPC:
+    {!handle_line} maps one request line to exactly one response line and
+    never raises, whatever the input — malformed JSON, a bad envelope, an
+    unknown method, an ill-typed document, an engine that crashes
+    mid-query — every failure becomes a structured {!Rpc} error response.
+    Transports (stdio, socket, the in-process chaos harness and tests)
+    stay dumb byte movers.
+
+    Methods: [open], [update] (aliases — both upsert a document),
+    [alias] (batched may-alias over memref-index pairs), [modref],
+    [paths], [stats], [health], [close], [shutdown].
+
+    Robustness knobs in {!config}: per-request deadlines (checked between
+    queries inside a batch, the interpreter's fuel idiom applied to
+    serving), a batch-size cap and a request-byte cap (both shed with
+    [Overloaded] rather than slow everyone down), and a document-store
+    capacity cap. *)
+
+open Support
+
+type config = {
+  max_batch : int;  (** max query pairs per request (default 4096) *)
+  max_pending : int;
+      (** max requests a transport may queue before shedding (default 64;
+          enforced by transports, advertised by [health]) *)
+  max_request_bytes : int;  (** max request line length (default 8 MiB) *)
+  max_docs : int;  (** document-store capacity (default 64) *)
+  default_deadline_ms : float;
+      (** per-request deadline when the client sends none (default 2000) *)
+  allow_inject : bool;
+      (** honour fault-injection params (chaos harness only) *)
+}
+
+val default_config : config
+
+type t
+
+val create : ?config:config -> unit -> t
+
+val config : t -> config
+val store : t -> Store.t
+
+val shutting_down : t -> bool
+(** Set once a [shutdown] request was served; transports drain and exit. *)
+
+val handle_line : t -> string -> string
+(** One request line in, one compact JSON response line out (no trailing
+    newline). Never raises. *)
+
+val handle_value : t -> Json.t -> Json.t
+(** The same dispatch on an already-parsed value. A top-level array is
+    served as a JSON-RPC batch (one response per element). Never
+    raises. *)
+
+val shed_line : t -> reason:string -> string
+(** A pre-built [Overloaded] response for transports shedding a request
+    they refuse to parse (queue overflow, oversized line). Counted. *)
+
+val health_json : t -> Json.t
+(** The [health] result: per-document states plus server counters. *)

@@ -1,0 +1,276 @@
+(* Per-document engines with crash isolation and graceful degradation. *)
+
+open Support
+
+type mode = Fresh | Stale | Conservative
+
+let mode_name = function
+  | Fresh -> "fresh"
+  | Stale -> "stale"
+  | Conservative -> "conservative"
+
+type inject =
+  | Flip of { seed : int; rate : float }
+  | Crash of { seed : int; rate : float }
+  | Slow of { ms : float }
+
+exception Injected_fault of string
+
+let () =
+  Printexc.register_printer (function
+    | Injected_fault msg -> Some ("Injected_fault: " ^ msg)
+    | _ -> None)
+
+type doc = {
+  dc_name : string;
+  mutable dc_source : string;  (* last-good source *)
+  mutable dc_program : Ir.Cfg.program;  (* last-good lowered program *)
+  mutable dc_engine : Tbaa.Engine.t;  (* last-good engine *)
+  mutable dc_paths : (Ident.t * Ir.Apath.t * bool) array;
+  mutable dc_mode : mode;
+  mutable dc_last_error : string option;
+  mutable dc_inject : inject list;
+  mutable dc_oracles : (Tbaa.Engine.kind * Tbaa.Oracle.t) list;
+      (* injection-wrapped handles, rebuilt after every install *)
+  mutable dc_generation : int;  (* successful builds installed *)
+  mutable dc_attempts : int;  (* build attempts, for seeded build crashes *)
+  mutable dc_queries : int;
+  mutable dc_degraded : int;  (* queries answered below Fresh *)
+  mutable dc_failed_updates : int;
+}
+
+type t = {
+  docs : (string, doc) Hashtbl.t;
+  st_max_docs : int;
+  allow_inject : bool;
+}
+
+let create ?(max_docs = 64) ~allow_inject () =
+  { docs = Hashtbl.create 16; st_max_docs = max_docs; allow_inject }
+
+let find t name = Hashtbl.find_opt t.docs name
+let count t = Hashtbl.length t.docs
+let max_docs t = t.st_max_docs
+
+let close t name =
+  let existed = Hashtbl.mem t.docs name in
+  Hashtbl.remove t.docs name;
+  existed
+
+let names t =
+  List.sort String.compare
+    (Hashtbl.fold (fun name _ acc -> name :: acc) t.docs [])
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic fault decisions                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* A pure coin: same (seed, key) always lands the same side, so injected
+   faults repeat across retries exactly like a real deterministic bug. *)
+let chance ~seed ~rate key =
+  rate > 0.0
+  && float_of_int (Hashtbl.hash (seed, key) land 0xFFFF) /. 65536.0 < rate
+
+let busy_wait_ms ms =
+  let until = Unix.gettimeofday () +. (ms /. 1000.0) in
+  while Unix.gettimeofday () < until do
+    ignore (Sys.opaque_identity ())
+  done
+
+let wrap_inject inject (o : Tbaa.Oracle.t) =
+  List.fold_left
+    (fun (o : Tbaa.Oracle.t) inj ->
+      match inj with
+      | Flip { seed; rate } -> Tbaa.Oracle_fault.wrap ~seed ~rate o
+      | Crash { seed; rate } ->
+        { o with
+          Tbaa.Oracle.may_alias =
+            (fun p q ->
+              if chance ~seed ~rate ("alias", Ir.Apath.id p, Ir.Apath.id q)
+              then raise (Injected_fault "oracle fault (injected)")
+              else o.Tbaa.Oracle.may_alias p q) }
+      | Slow { ms } ->
+        { o with
+          Tbaa.Oracle.may_alias =
+            (fun p q ->
+              busy_wait_ms ms;
+              o.Tbaa.Oracle.may_alias p q) })
+    o inject
+
+(* ------------------------------------------------------------------ *)
+(* Building                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type update_outcome =
+  | Updated of doc
+  | Rejected of doc option * Diag.t list
+  | Crashed of doc option * string
+
+let paths_of engine =
+  let facts = Tbaa.Engine.facts engine in
+  Array.of_list
+    (List.map
+       (fun (r : Tbaa.Facts.memref) ->
+         (r.Tbaa.Facts.mr_proc, r.Tbaa.Facts.mr_path, r.Tbaa.Facts.mr_is_store))
+       facts.Tbaa.Facts.memrefs)
+
+let degrade_on_failure existing msg =
+  match existing with
+  | None -> ()
+  | Some d ->
+    d.dc_failed_updates <- d.dc_failed_updates + 1;
+    d.dc_last_error <- Some msg;
+    (* A quarantined engine stays quarantined — a failed rebuild cannot
+       promote Conservative back to merely Stale. *)
+    if d.dc_mode = Fresh then d.dc_mode <- Stale
+
+let open_or_update t ~name ~source ~inject =
+  let inject = if t.allow_inject then inject else [] in
+  let existing = Hashtbl.find_opt t.docs name in
+  let attempts =
+    match existing with Some d -> d.dc_attempts + 1 | None -> 1
+  in
+  (match existing with Some d -> d.dc_attempts <- attempts | None -> ());
+  try
+    (* Seeded build crashes fire before and independently of compilation,
+       standing in for "the analysis crashed on this revision". *)
+    List.iter
+      (function
+        | Crash { seed; rate }
+          when chance ~seed ~rate ("build", name, attempts) ->
+          raise (Injected_fault "build fault (injected)")
+        | _ -> ())
+      inject;
+    match Minim3.Typecheck.check_string_all ~file:name source with
+    | Error diags ->
+      degrade_on_failure existing
+        (match diags with
+        | d :: _ -> Diag.to_string d
+        | [] -> "compile error");
+      Rejected (existing, diags)
+    | Ok tast ->
+      let program = Ir.Lower.lower_program tast in
+      let engine =
+        match existing with
+        | Some d -> Tbaa.Engine.update d.dc_engine program
+        | None -> Tbaa.Engine.create program
+      in
+      let paths = paths_of engine in
+      let doc =
+        match existing with
+        | Some d ->
+          d.dc_source <- source;
+          d.dc_program <- program;
+          d.dc_engine <- engine;
+          d.dc_paths <- paths;
+          d.dc_mode <- Fresh;
+          d.dc_last_error <- None;
+          d.dc_inject <- inject;
+          d.dc_oracles <- [];
+          d.dc_generation <- d.dc_generation + 1;
+          d
+        | None ->
+          let d =
+            { dc_name = name; dc_source = source; dc_program = program;
+              dc_engine = engine; dc_paths = paths; dc_mode = Fresh;
+              dc_last_error = None; dc_inject = inject; dc_oracles = [];
+              dc_generation = 1; dc_attempts = attempts; dc_queries = 0;
+              dc_degraded = 0; dc_failed_updates = 0 }
+          in
+          Hashtbl.replace t.docs name d;
+          d
+      in
+      Updated doc
+  with
+  | Diag.Compile_error d ->
+    (* Lowering raised on a program the typechecker accepted — treat it
+       like any other rejected revision. *)
+    degrade_on_failure existing (Diag.to_string d);
+    Rejected (existing, [ d ])
+  | e ->
+    (* Engine.update is exception-safe: the existing document still holds
+       its fully usable last-good engine. Roll back and flag. *)
+    let msg = Printexc.to_string e in
+    degrade_on_failure existing msg;
+    Crashed (existing, msg)
+
+(* ------------------------------------------------------------------ *)
+(* Views                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let name d = d.dc_name
+let doc_mode d = d.dc_mode
+let generation d = d.dc_generation
+let queries d = d.dc_queries
+let degraded_queries d = d.dc_degraded
+let failed_updates d = d.dc_failed_updates
+let last_error d = d.dc_last_error
+let source d = d.dc_source
+let engine d = d.dc_engine
+let program d = d.dc_program
+
+let n_paths d = Array.length d.dc_paths
+let path d i = d.dc_paths.(i)
+
+(* ------------------------------------------------------------------ *)
+(* Queries                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let oracle d kind =
+  match List.assoc_opt kind d.dc_oracles with
+  | Some o -> o
+  | None ->
+    let o = wrap_inject d.dc_inject (Tbaa.Engine.cached d.dc_engine kind) in
+    d.dc_oracles <- (kind, o) :: d.dc_oracles;
+    o
+
+let quarantine d msg =
+  d.dc_mode <- Conservative;
+  d.dc_last_error <- Some msg
+
+let may_alias d kind i j =
+  d.dc_queries <- d.dc_queries + 1;
+  match d.dc_mode with
+  | Conservative ->
+    (* The quarantined engine is not consulted at all; every memory
+       reference pair gets the sound top answer. *)
+    d.dc_degraded <- d.dc_degraded + 1;
+    true
+  | Fresh | Stale ->
+    if d.dc_mode = Stale then d.dc_degraded <- d.dc_degraded + 1;
+    let _, p, _ = d.dc_paths.(i) and _, q, _ = d.dc_paths.(j) in
+    (match (oracle d kind).Tbaa.Oracle.may_alias p q with
+    | answer -> answer
+    | exception e ->
+      quarantine d (Printexc.to_string e);
+      d.dc_degraded <- d.dc_degraded + 1;
+      true)
+
+let modref d kind proc =
+  d.dc_queries <- d.dc_queries + 1;
+  match d.dc_mode with
+  | Conservative ->
+    d.dc_degraded <- d.dc_degraded + 1;
+    None
+  | Fresh | Stale ->
+    if d.dc_mode = Stale then d.dc_degraded <- d.dc_degraded + 1;
+    (match Tbaa.Engine.modref_merged d.dc_engine kind proc with
+    | eff -> Some eff
+    | exception e ->
+      quarantine d (Printexc.to_string e);
+      None)
+
+let health_json d =
+  Json.Obj
+    [ ("doc", Json.String d.dc_name);
+      ("mode", Json.String (mode_name d.dc_mode));
+      ("generation", Json.Int d.dc_generation);
+      ("procs", Json.Int (List.length d.dc_program.Ir.Cfg.prog_procs));
+      ("memrefs", Json.Int (Array.length d.dc_paths));
+      ("queries", Json.Int d.dc_queries);
+      ("degraded_queries", Json.Int d.dc_degraded);
+      ("failed_updates", Json.Int d.dc_failed_updates);
+      ( "last_error",
+        match d.dc_last_error with
+        | Some e -> Json.String e
+        | None -> Json.Null ) ]

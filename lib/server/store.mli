@@ -1,0 +1,114 @@
+(** The daemon's document store: one persistent {!Tbaa.Engine} per open
+    MiniM3 document, with per-document crash isolation and a three-rung
+    degradation ladder.
+
+    Every document is always in exactly one mode:
+
+    - {b Fresh} — the engine was built from the document's current source;
+      answers are the precise analysis results.
+    - {b Stale} — the most recent [open]/[update] failed (compile error or
+      an analysis crash), and queries are served from the engine of the
+      last source that built successfully. Stale answers are sound for
+      that last-good source — the rollback mirrors
+      [Opt.Pass_manager.run_guarded]'s quarantine of a crashing pass.
+    - {b Conservative} — the engine itself misbehaved while answering (a
+      query raised), so the engine is quarantined and every may-alias
+      query answers [MayAlias] without consulting it. Always sound: the
+      paper's analyses only ever refine MayAlias downward.
+
+    A successful rebuild from any rung returns the document to Fresh with
+    answers byte-identical to a from-scratch engine — the chaos harness
+    pins this.
+
+    Fault injection (flip/crash/slow) exists for the chaos harness and is
+    compiled in but inert unless the store was created with
+    [allow_inject:true]. *)
+
+open Support
+
+type mode = Fresh | Stale | Conservative
+
+val mode_name : mode -> string
+
+(** Deterministic fault injection, per document. *)
+type inject =
+  | Flip of { seed : int; rate : float }
+      (** {!Tbaa.Oracle_fault.wrap}: silently flip a fraction of answers
+          (the daemon cannot detect these; it must merely survive them and
+          recover on rebuild) *)
+  | Crash of { seed : int; rate : float }
+      (** raise {!Injected_fault} from a seeded fraction of may-alias
+          queries, and from a seeded fraction of rebuild attempts *)
+  | Slow of { ms : float }
+      (** busy-wait this long inside every may-alias query (deadline
+          testing) *)
+
+exception Injected_fault of string
+
+type doc
+
+type t
+
+val create : ?max_docs:int -> allow_inject:bool -> unit -> t
+
+val find : t -> string -> doc option
+val count : t -> int
+val max_docs : t -> int
+val close : t -> string -> bool
+val names : t -> string list
+(** Sorted. *)
+
+type update_outcome =
+  | Updated of doc  (** fresh build installed; mode is Fresh *)
+  | Rejected of doc option * Diag.t list
+      (** the source failed to compile; the existing document (if any)
+          degrades to Stale and keeps serving *)
+  | Crashed of doc option * string
+      (** the build or engine update raised; the existing document (if
+          any) is rolled back to last-good and degrades to Stale *)
+
+val open_or_update :
+  t -> name:string -> source:string -> inject:inject list -> update_outcome
+(** Compile and (re)analyze [source] under the document [name], creating
+    the document on first sight. Never raises. Injection requests on a
+    store created with [allow_inject:false] are ignored. *)
+
+(** {1 Per-document views} *)
+
+val name : doc -> string
+val doc_mode : doc -> mode
+val generation : doc -> int
+(** Successful builds installed. *)
+
+val queries : doc -> int
+val degraded_queries : doc -> int
+val failed_updates : doc -> int
+val last_error : doc -> string option
+val source : doc -> string
+(** Last-good source. *)
+
+val engine : doc -> Tbaa.Engine.t
+(** Last-good engine. *)
+
+val program : doc -> Ir.Cfg.program
+
+val n_paths : doc -> int
+val path : doc -> int -> Ident.t * Ir.Apath.t * bool
+(** [path doc i]: procedure, access path and is-store of the [i]th heap
+    memory reference of the last-good program (the unit clients query
+    over). Raises [Invalid_argument] out of range — callers bounds-check
+    against {!n_paths}. *)
+
+val may_alias : doc -> Tbaa.Engine.kind -> int -> int -> bool
+(** Answer a may-alias query between two path indices. Never raises: a
+    query that makes the (possibly fault-injected) engine raise
+    quarantines the document to Conservative and answers [true]
+    (MayAlias) — as do all subsequent queries until a rebuild. *)
+
+val modref : doc -> Tbaa.Engine.kind -> Ident.t -> Tbaa.Effects.t option
+(** Merged mod-ref effects of a procedure, [None] when the document is
+    Conservative (the sound reading of [None] is "may mod/ref
+    everything"). Never raises; a crash quarantines like {!may_alias}. *)
+
+val health_json : doc -> Json.t
+(** One structured row for the health endpoint. *)

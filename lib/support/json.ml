@@ -70,6 +70,12 @@ exception Parse_error of string
 
 let parse_fail fmt = Printf.ksprintf (fun m -> raise (Parse_error m)) fmt
 
+(* Adversarial-input bound: the parser recurses once per nesting level, so
+   unbounded depth turns attacker-controlled input into [Stack_overflow]
+   (an asynchronous exception no server loop can treat as a request
+   error). 512 is far beyond anything our emitters produce. *)
+let max_depth = 512
+
 let of_string s =
   let n = String.length s in
   let pos = ref 0 in
@@ -154,14 +160,25 @@ let of_string s =
       advance ()
     done;
     let text = String.sub s start (!pos - start) in
+    let is_integer_text =
+      text <> ""
+      && String.for_all (function '0' .. '9' | '-' -> true | _ -> false) text
+    in
     match int_of_string_opt text with
     | Some i -> Int i
+    | None when is_integer_text ->
+      (* A decimal integer [int_of_string] rejected is out of the 63-bit
+         range: refuse it rather than silently rounding through float. *)
+      parse_fail "integer %S out of range at %d" text start
     | None -> (
       match float_of_string_opt text with
-      | Some f -> Float f
+      | Some f when Float.is_finite f -> Float f
+      | Some _ -> parse_fail "number %S out of range at %d" text start
       | None -> parse_fail "bad number %S at %d" text start)
   in
-  let rec parse_value () =
+  let rec parse_value depth =
+    if depth > max_depth then
+      parse_fail "nesting deeper than %d at %d" max_depth !pos;
     skip_ws ();
     match peek () with
     | None -> parse_fail "unexpected end of input"
@@ -178,7 +195,7 @@ let of_string s =
           let k = parse_string () in
           skip_ws ();
           expect ':';
-          let v = parse_value () in
+          let v = parse_value (depth + 1) in
           skip_ws ();
           match peek () with
           | Some ',' ->
@@ -200,7 +217,7 @@ let of_string s =
       end
       else begin
         let rec elements acc =
-          let v = parse_value () in
+          let v = parse_value (depth + 1) in
           skip_ws ();
           match peek () with
           | Some ',' ->
@@ -219,10 +236,22 @@ let of_string s =
     | Some 'n' -> literal "null" Null
     | Some _ -> parse_number ()
   in
-  let v = parse_value () in
+  let v = parse_value 0 in
   skip_ws ();
   if !pos <> n then parse_fail "trailing input at %d" !pos;
   v
+
+let parse s =
+  match of_string s with
+  | v -> Ok v
+  | exception Parse_error msg ->
+    Error { Diag.severity = Diag.Error; loc = Loc.dummy; message = msg }
+  (* Belt and braces: the depth cap should make this unreachable, but a
+     server must never die on attacker-controlled input. *)
+  | exception Stack_overflow ->
+    Error
+      { Diag.severity = Diag.Error; loc = Loc.dummy;
+        message = "json: input too deeply nested" }
 
 let member key = function Obj kvs -> List.assoc_opt key kvs | _ -> None
 

@@ -25,9 +25,17 @@ exception Parse_error of string
 
 val of_string : string -> t
 (** Parse one JSON value (the subset {!to_string} emits, plus whitespace).
-    Raises {!Parse_error} on malformed input. Numbers that fit an OCaml
+    Raises {!Parse_error} on malformed input — including adversarial
+    shapes that must not take the process down: nesting deeper than 512
+    levels (bounded recursion, never [Stack_overflow]), decimal integers
+    outside the OCaml [int] range (refused, never silently wrapped or
+    rounded) and non-finite float literals. Numbers that fit an OCaml
     [int] parse as [Int], others as [Float]; [\\u] escapes above Latin-1
     degrade to ['?'] (our emitter never produces them). *)
+
+val parse : string -> (t, Diag.t) result
+(** Exception-free {!of_string}: malformed input becomes a structured
+    {!Diag.t} instead of an exception — the form server loops consume. *)
 
 val member : string -> t -> t option
 (** [member k (Obj kvs)] looks up [k]; [None] on missing key or non-object. *)

@@ -217,6 +217,130 @@ let test_json_unicode_escapes () =
       "\"\\u12g4\"";  (* one bad digit *)
       "\"\\u12_3\""  (* int_of_string would accept the underscore *) ]
 
+let test_json_hardening () =
+  (* Adversarial inputs must produce Parse_error — never Stack_overflow,
+     never a silently wrapped or rounded number. *)
+  let expect_parse_error what s =
+    match Support.Json.of_string s with
+    | exception Support.Json.Parse_error _ -> ()
+    | exception e ->
+      Alcotest.failf "%s raised %s instead of Parse_error" what
+        (Printexc.to_string e)
+    | v -> Alcotest.failf "%s parsed as %s" what (Support.Json.to_string v)
+  in
+  expect_parse_error "unclosed depth bomb" (String.make 4000 '[');
+  expect_parse_error "balanced depth bomb"
+    (String.make 600 '[' ^ "1" ^ String.make 600 ']');
+  expect_parse_error "nested object bomb"
+    (String.concat "" (List.init 600 (fun _ -> "{\"a\":")) ^ "1");
+  expect_parse_error "integer overflow" "99999999999999999999999";
+  expect_parse_error "negative integer overflow" "-99999999999999999999999";
+  expect_parse_error "non-finite float" "1e99999";
+  (* Deep-but-legal nesting still parses. *)
+  let ok = String.make 100 '[' ^ "1" ^ String.make 100 ']' in
+  Alcotest.(check bool) "100 levels parse" true
+    (match Support.Json.of_string ok with
+    | _ -> true
+    | exception _ -> false);
+  Alcotest.(check bool) "max_int round-trips" true
+    (Support.Json.of_string (string_of_int max_int)
+    = Support.Json.Int max_int)
+
+let test_json_parse_result () =
+  (match Support.Json.parse "{\"a\":1}" with
+  | Ok (Support.Json.Obj [ ("a", Support.Json.Int 1) ]) -> ()
+  | Ok v -> Alcotest.failf "parsed wrong: %s" (Support.Json.to_string v)
+  | Error d -> Alcotest.failf "rejected: %s" d.Support.Diag.message);
+  List.iter
+    (fun bad ->
+      match Support.Json.parse bad with
+      | Error d ->
+        Alcotest.(check bool) "diagnostic has a message" true
+          (String.length d.Support.Diag.message > 0)
+      | Ok v ->
+        Alcotest.failf "%S accepted as %s" bad (Support.Json.to_string v))
+    [ "{"; "nope"; String.make 2000 '['; "1e99999" ]
+
+(* A generator of arbitrary Json values; shrinking is structural. *)
+let json_gen =
+  let open QCheck.Gen in
+  sized (fun size ->
+      fix
+        (fun self n ->
+          let scalar =
+            oneof
+              [ return Support.Json.Null;
+                map (fun b -> Support.Json.Bool b) bool;
+                map (fun i -> Support.Json.Int i) small_signed_int;
+                map (fun f -> Support.Json.Float f) (float_bound_inclusive 1e6);
+                map (fun s -> Support.Json.String s) (small_string ?gen:None) ]
+          in
+          if n <= 0 then scalar
+          else
+            frequency
+              [ (3, scalar);
+                ( 1,
+                  map
+                    (fun l -> Support.Json.List l)
+                    (list_size (int_bound 4) (self (n / 2))) );
+                ( 1,
+                  map
+                    (fun kvs ->
+                      Support.Json.Obj
+                        (List.mapi
+                           (fun i (k, v) -> (k ^ string_of_int i, v))
+                           kvs))
+                    (list_size (int_bound 4)
+                       (pair (small_string ?gen:None) (self (n / 2)))) ) ])
+        (min size 6))
+
+let prop_json_roundtrip_fixpoint =
+  QCheck.Test.make ~name:"json: to_string output re-parses to itself"
+    ~count:300
+    (QCheck.make json_gen)
+    (fun v ->
+      let s = Support.Json.to_string v in
+      match Support.Json.of_string s with
+      | reparsed -> Support.Json.to_string reparsed = s
+      | exception Support.Json.Parse_error _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Domain_pool edge cases                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_domain_pool_size_one () =
+  let slots = Array.make 16 (-1) in
+  Domain_pool.run ~domains:1 16 (fun i -> slots.(i) <- i * i);
+  Alcotest.(check bool) "all slots written" true
+    (Array.for_all (fun x -> x >= 0) slots);
+  Alcotest.(check int) "sequential result" 225 slots.(15);
+  (* Degenerate shapes. *)
+  Domain_pool.run ~domains:1 0 (fun _ -> Alcotest.fail "ran on n=0");
+  Domain_pool.run ~domains:8 2 (fun i -> slots.(i) <- -i)
+
+let test_domain_pool_exception_propagation () =
+  let ran = Array.make 8 false in
+  (match
+     Domain_pool.run ~domains:4 8 (fun i ->
+         ran.(i) <- true;
+         if i = 5 then failwith "task 5 exploded")
+   with
+  | () -> Alcotest.fail "exception was swallowed"
+  | exception Failure msg ->
+    Alcotest.(check string) "the task's own exception" "task 5 exploded" msg);
+  Alcotest.(check bool) "failing task did run" true ran.(5)
+
+let test_domain_pool_reuse_after_failure () =
+  (* A failed batch must not wedge subsequent runs (fresh domains are
+     joined even when a task raises). *)
+  (try
+     Domain_pool.run ~domains:4 4 (fun _ -> failwith "all tasks explode")
+   with Failure _ -> ());
+  let slots = Array.make 32 0 in
+  Domain_pool.run ~domains:4 32 (fun i -> slots.(i) <- i + 1);
+  Alcotest.(check int) "pool still works" (32 * 33 / 2)
+    (Array.fold_left ( + ) 0 slots)
+
 let test_json_accessors () =
   let v = Support.Json.of_string "{\"x\":3,\"y\":2.5,\"s\":\"hi\"}" in
   Alcotest.(check (option (float 0.0))) "int member" (Some 3.0)
@@ -254,7 +378,18 @@ let () =
         [ Alcotest.test_case "round-trip" `Quick test_json_roundtrip;
           Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
           Alcotest.test_case "unicode escapes" `Quick test_json_unicode_escapes;
-          Alcotest.test_case "accessors" `Quick test_json_accessors ] );
+          Alcotest.test_case "accessors" `Quick test_json_accessors;
+          Alcotest.test_case "hardening" `Quick test_json_hardening;
+          Alcotest.test_case "exception-free parse" `Quick
+            test_json_parse_result;
+          QCheck_alcotest.to_alcotest ~rand:(pinned_rand ())
+            prop_json_roundtrip_fixpoint ] );
+      ( "domain_pool",
+        [ Alcotest.test_case "size-one pool" `Quick test_domain_pool_size_one;
+          Alcotest.test_case "exception propagation" `Quick
+            test_domain_pool_exception_propagation;
+          Alcotest.test_case "reuse after failure" `Quick
+            test_domain_pool_reuse_after_failure ] );
       ( "prng",
         [ Alcotest.test_case "determinism" `Quick test_prng_determinism;
           Alcotest.test_case "bounds" `Quick test_prng_bounds ] ) ]
