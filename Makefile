@@ -14,11 +14,11 @@ test:
 check:
 	dune build @all
 	dune runtest
-	dune exec bin/tbaac.exe -- optimize --workload format --stats
+	dune exec bin/tbaac.exe -- optimize --workload format --licm --slf --dse --stats
 	dune exec bin/tbaac.exe -- fuzz --count 25 --seed 1 --out ""
 
 # The full differential-testing sweep: 200 generated programs through the
-# 12-configuration matrix and all four oracles, then a fault-injected run
+# 24-configuration matrix and all four oracles, then a fault-injected run
 # that must produce shrunk, replaying counterexamples (the fuzzer testing
 # itself). Slower than `check`; run before releases.
 fuzz:
@@ -27,10 +27,14 @@ fuzz:
 
 # The defense-in-depth gate: the whole workload suite through the guarded
 # pipeline (IR validated after every pass) and the simulator under the
-# dynamic soundness auditor. Fails on any quarantined pass or any no-alias
-# claim contradicted by a concrete execution.
+# dynamic soundness auditor — once with the paper's RLE configuration,
+# once with the LICM/SLF/DSE clients stacked on top, so every client's
+# claims are discharged on every dynamic workload. Fails on any
+# quarantined pass or any no-alias claim contradicted by a concrete
+# execution.
 audit:
 	dune exec bin/tbaac.exe -- audit
+	dune exec bin/tbaac.exe -- audit --licm --slf --dse
 
 bench:
 	dune exec bench/main.exe

@@ -170,12 +170,13 @@ let aliases_cmd =
     Term.(const run $ file_arg $ workload_arg $ world_arg $ trt_arg)
 
 let optimize_cmd =
-  let run file workload analysis world minv pre copyprop stats verify =
+  let run file workload analysis world minv pre copyprop licm slf dse stats
+      verify =
     with_source file workload (fun name src ->
         let program = Ir.Lower.lower_string ~file:name src in
         let config =
           { Opt.Pipeline.oracle_kind = analysis; world;
-            devirt_inline = minv; rle = true; pre; copyprop }
+            devirt_inline = minv; rle = true; pre; copyprop; licm; slf; dse }
         in
         let result =
           if verify then Opt.Pipeline.run_guarded ~verify:true program config
@@ -187,7 +188,8 @@ let optimize_cmd =
               (("rle:" ^ Opt.Pipeline.oracle_name analysis)
                :: List.filter_map
                     (fun (on, tag) -> if on then Some tag else None)
-                    [ (minv, "minv"); (pre, "pre"); (copyprop, "cp");
+                    [ (minv, "minv"); (licm, "licm"); (pre, "pre");
+                      (slf, "slf"); (copyprop, "cp"); (dse, "dse");
                       (world = Tbaa.World.Open, "open") ])
           in
           List.iter
@@ -217,6 +219,18 @@ let optimize_cmd =
         (match result.Opt.Pipeline.copyprop_stats with
         | Some c -> Printf.printf "copy propagation: %d uses rewritten\n"
             c.Opt.Copyprop.replaced
+        | None -> ());
+        (match result.Opt.Pipeline.licm_stats with
+        | Some l -> Printf.printf "LICM: %d loads hoisted\n" l.Opt.Licm.hoisted
+        | None -> ());
+        (match result.Opt.Pipeline.slf_stats with
+        | Some s ->
+          Printf.printf "store-to-load forwarding: %d loads forwarded\n"
+            s.Opt.Slf.forwarded
+        | None -> ());
+        (match result.Opt.Pipeline.dse_stats with
+        | Some d ->
+          Printf.printf "DSE: %d dead stores removed\n" d.Opt.Dse.removed
         | None -> ());
         (match result.Opt.Pipeline.rle_stats with
         | Some s ->
@@ -252,6 +266,23 @@ let optimize_cmd =
       & info [ "copyprop" ]
           ~doc:"Also run copy propagation and a second RLE pass (extension).")
   in
+  let licm_arg =
+    Arg.(
+      value & flag
+      & info [ "licm" ]
+          ~doc:"Also run standalone loop-invariant load motion (extension).")
+  in
+  let slf_arg =
+    Arg.(
+      value & flag
+      & info [ "slf" ]
+          ~doc:"Also run store-to-load forwarding (extension).")
+  in
+  let dse_arg =
+    Arg.(
+      value & flag
+      & info [ "dse" ] ~doc:"Also run dead-store elimination (extension).")
+  in
   let stats_arg =
     Arg.(
       value & flag
@@ -273,7 +304,8 @@ let optimize_cmd =
     (Cmd.info "optimize" ~doc:"Run the optimizer and report what it did.")
     Term.(
       const run $ file_arg $ workload_arg $ analysis_arg $ world_arg $ minv_arg
-      $ pre_arg $ copyprop_arg $ stats_arg $ verify_arg)
+      $ pre_arg $ copyprop_arg $ licm_arg $ slf_arg $ dse_arg $ stats_arg
+      $ verify_arg)
 
 let fuel_arg =
   Arg.(
@@ -373,7 +405,8 @@ let run_cmd =
       $ audit_arg $ fuel_arg $ quiet_arg $ reference_arg)
 
 let audit_cmd =
-  let run file workload analysis world minv fault_rate fault_seed fuel json =
+  let run file workload analysis world minv licm slf dse fault_rate fault_seed
+      fuel json =
     let programs =
       match (file, workload) with
       | None, None ->
@@ -405,7 +438,8 @@ let audit_cmd =
           let program = Ir.Lower.lower_string ~file:name src in
           let config =
             { Opt.Pipeline.oracle_kind = analysis; world;
-              devirt_inline = minv; rle = true; pre = false; copyprop = false }
+              devirt_inline = minv; rle = true; pre = false; copyprop = false;
+              licm; slf; dse }
           in
           let result =
             Opt.Pipeline.run_guarded ~verify:true ~claims ?fault program config
@@ -493,6 +527,21 @@ let audit_cmd =
       value & flag
       & info [ "minv" ] ~doc:"Also run method resolution and inlining first.")
   in
+  let licm_arg =
+    Arg.(
+      value & flag
+      & info [ "licm" ]
+          ~doc:"Also audit standalone loop-invariant load motion.")
+  in
+  let slf_arg =
+    Arg.(
+      value & flag
+      & info [ "slf" ] ~doc:"Also audit store-to-load forwarding.")
+  in
+  let dse_arg =
+    Arg.(
+      value & flag & info [ "dse" ] ~doc:"Also audit dead-store elimination.")
+  in
   let json_arg =
     Arg.(
       value & flag
@@ -507,7 +556,8 @@ let audit_cmd =
           violation.")
     Term.(
       const run $ file_arg $ workload_arg $ analysis_arg $ world_arg $ minv_arg
-      $ fault_rate_arg $ fault_seed_arg $ fuel_arg $ json_arg)
+      $ licm_arg $ slf_arg $ dse_arg $ fault_rate_arg $ fault_seed_arg
+      $ fuel_arg $ json_arg)
 
 let fuzz_cmd =
   let run count seed size fault_rate fault_seed out fuel max_cx replay =

@@ -17,7 +17,14 @@ module Pair_tbl = Hashtbl.Make (struct
   let hash (a, b) = (Apath.hash a * 31) + Apath.hash b
 end)
 
-type cell = { mutable c_yes : int; mutable c_no : int }
+type cell = {
+  mutable c_yes : int;
+  mutable c_no : int;
+  (* Which clients bet on this pair ("rle", "dse", "slf", "licm"); a
+     violation report names them so a bad bet is attributable to the pass
+     that made it. Tiny sets — a sorted list beats a hashtable here. *)
+  mutable c_kinds : string list;
+}
 
 type t = {
   cl_oracle : string;
@@ -38,17 +45,27 @@ let oracle_name t = t.cl_oracle
 
 let canonical p1 p2 = if Apath.compare p1 p2 <= 0 then (p1, p2) else (p2, p1)
 
-let record t p1 p2 answer =
+let add_kind cell kind =
+  if not (List.mem kind cell.c_kinds) then
+    cell.c_kinds <- List.sort String.compare (kind :: cell.c_kinds)
+
+let record ?(kind = "rle") t p1 p2 answer =
   let key = canonical p1 p2 in
   let cell =
     match Pair_tbl.find_opt t.cl_pairs key with
     | Some c -> c
     | None ->
-      let c = { c_yes = 0; c_no = 0 } in
+      let c = { c_yes = 0; c_no = 0; c_kinds = [] } in
       Pair_tbl.add t.cl_pairs key c;
       c
   in
+  add_kind cell kind;
   if answer then cell.c_yes <- cell.c_yes + 1 else cell.c_no <- cell.c_no + 1
+
+let kinds t p1 p2 =
+  match Pair_tbl.find_opt t.cl_pairs (canonical p1 p2) with
+  | Some c -> c.c_kinds
+  | None -> []
 
 let note_home t (v : Reg.var) path = Hashtbl.replace t.cl_homes v.Reg.v_id path
 let home t v_id = Hashtbl.find_opt t.cl_homes v_id
@@ -76,7 +93,8 @@ let to_json t =
       [ ("p1", Json.String (Apath.to_string p1));
         ("p2", Json.String (Apath.to_string p2));
         ("yes", Json.Int c.c_yes);
-        ("no", Json.Int c.c_no) ]
+        ("no", Json.Int c.c_no);
+        ("kinds", Json.List (List.map (fun k -> Json.String k) c.c_kinds)) ]
   in
   Json.Obj
     [ ("oracle", Json.String t.cl_oracle);

@@ -19,9 +19,16 @@ val create : oracle:string -> t
 
 val oracle_name : t -> string
 
-val record : t -> Apath.t -> Apath.t -> bool -> unit
+val record : ?kind:string -> t -> Apath.t -> Apath.t -> bool -> unit
 (** [record t p1 p2 answer] logs one oracle answer about the pair
-    (order-insensitive): [true] = may alias / may kill. *)
+    (order-insensitive): [true] = may alias / may kill. [kind] names the
+    client making the bet (default ["rle"]; the other clients pass
+    ["dse"], ["slf"], ["licm"]) so the auditor can attribute a violated
+    claim to the pass that relied on it. *)
+
+val kinds : t -> Apath.t -> Apath.t -> string list
+(** The clients that recorded answers about the pair, sorted. Empty for a
+    never-queried pair. *)
 
 val note_home : t -> Reg.var -> Apath.t -> unit
 (** Register a scalar home temp introduced by RLE/LICM together with the

@@ -19,6 +19,13 @@ let union a b =
    identical.) A register assignment is externally visible only when the
    target is a global or a variable whose address escaped.
 
+   Refs cover every cell an instruction observes, not just the final one:
+   navigating [a.b^.c] reads the pointer cells [a.b] and [a.b^] on the
+   way, so a load contributes every prefix of its path and a store or
+   address computation every *proper* prefix (the addressed cell itself
+   is written, or not touched at all). The mod side stays the final cell
+   only — navigation never writes.
+
    Pure given pure [store_class]/[addr_taken_var] (the raw oracles' are:
    pattern matches over O(1) path reads, and lookups in frozen
    [Address_taken] tables) — safe to run on many procedures concurrently. *)
@@ -29,13 +36,23 @@ let direct ~(store_class : Apath.t -> Aloc.t) ~(addr_taken_var : Reg.var -> bool
     if v.Reg.v_kind = Reg.Vglobal || addr_taken_var v then
       mods := Aloc.Set.add (Aloc.Lvar (v.Reg.v_id, v.Reg.v_ty)) !mods
   in
+  let ref_prefixes ?(proper = false) ap =
+    List.iter
+      (fun p ->
+        if not (proper && Apath.equal p ap) then
+          refs := Aloc.Set.add (store_class p) !refs)
+      (Apath.prefixes ap)
+  in
   Cfg.iter_instrs proc (fun _ instr ->
       (match instr with
-      | Instr.Istore (ap, _) -> mods := Aloc.Set.add (store_class ap) !mods
-      | Instr.Iload (_, ap) -> refs := Aloc.Set.add (store_class ap) !refs
+      | Instr.Istore (ap, _) ->
+        mods := Aloc.Set.add (store_class ap) !mods;
+        ref_prefixes ~proper:true ap
+      | Instr.Iload (_, ap) -> ref_prefixes ap
+      | Instr.Iaddr (_, ap) -> ref_prefixes ~proper:true ap
       | Instr.Iassign (v, _) | Instr.Inew (v, _, _) -> mod_var v
       | Instr.Ibuiltin (Some v, _, _) -> mod_var v
-      | Instr.Iaddr _ | Instr.Icall _ | Instr.Ibuiltin (None, _, _) -> ());
+      | Instr.Icall _ | Instr.Ibuiltin (None, _, _) -> ());
       (* Reads of globals also count as refs. *)
       List.iter
         (fun v ->

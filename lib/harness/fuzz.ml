@@ -35,14 +35,22 @@ let variants =
   [ ("rle", fun c -> c);
     ("rle+copyprop", fun c -> { c with Opt.Pipeline.copyprop = true });
     ("rle+pre", fun c -> { c with Opt.Pipeline.pre = true });
-    ("minv+rle", fun c -> { c with Opt.Pipeline.devirt_inline = true }) ]
+    ("minv+rle", fun c -> { c with Opt.Pipeline.devirt_inline = true });
+    (* The non-RLE clients, each alone (isolating its bets for the audit
+       and lattice oracles), then everything at once (interactions). *)
+    ("licm", fun c -> { c with Opt.Pipeline.rle = false; licm = true });
+    ("slf", fun c -> { c with Opt.Pipeline.rle = false; slf = true });
+    ("dse", fun c -> { c with Opt.Pipeline.rle = false; dse = true });
+    ( "licm+slf+rle+dse",
+      fun c -> { c with Opt.Pipeline.licm = true; slf = true; dse = true } ) ]
 
 let all_configs () =
   List.concat_map
     (fun kind ->
       let base =
         { Opt.Pipeline.oracle_kind = kind; world = Tbaa.World.Closed;
-          devirt_inline = false; rle = true; pre = false; copyprop = false }
+          devirt_inline = false; rle = true; pre = false; copyprop = false;
+          licm = false; slf = false; dse = false }
       in
       List.map
         (fun (vname, f) ->

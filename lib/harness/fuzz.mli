@@ -5,7 +5,8 @@
 
     + {b differential semantics} — the unoptimized lowering and every
       optimized configuration (three analyses × RLE / +PRE / +copyprop /
-      Minv+RLE) must print identical output and terminate identically,
+      Minv+RLE / each standalone client LICM, SLF, DSE / all clients at
+      once) must print identical output and terminate identically,
       and the run must be audit-clean ({!Sim.Audit} finds no claim the
       execution contradicts);
     + {b precision lattice} — every may-alias query the optimizer
@@ -35,7 +36,8 @@ type failure = {
 }
 
 val config_names : unit -> string list
-(** The 12 optimized configurations of the matrix, in check order. *)
+(** The 24 optimized configurations of the matrix (three analyses × eight
+    pass variants), in check order. *)
 
 val check_source :
   ?fault:int * float ->

@@ -6,18 +6,31 @@ type config = {
   world : Tbaa.World.t;
   pre : bool;
   copyprop : bool;
+  licm : bool;
+  slf : bool;
+  dse : bool;
+  oracle : Opt.Pipeline.oracle_kind option;
 }
 
 let base =
   { rle = None; minv = false; world = Tbaa.World.Closed; pre = false;
-    copyprop = false }
+    copyprop = false; licm = false; slf = false; dse = false; oracle = None }
 
 let rle_with kind = { base with rle = Some kind }
+
+let oracle_kind c =
+  match (c.rle, c.oracle) with
+  | Some k, _ -> k
+  | None, Some k -> k
+  | None, None -> Opt.Pipeline.Osm_field_type_refs
 
 let config_name c =
   let rle =
     match c.rle with
-    | None -> "base"
+    | None -> (
+      match c.oracle with
+      | None -> "base"
+      | Some k -> Opt.Pipeline.oracle_name k)
     | Some k -> "rle:" ^ Opt.Pipeline.oracle_name k
   in
   let minv = if c.minv then "+minv" else "" in
@@ -25,18 +38,24 @@ let config_name c =
     match c.world with Tbaa.World.Closed -> "" | Tbaa.World.Open -> "+open"
   in
   let ext =
-    (if c.pre then "+pre" else "") ^ if c.copyprop then "+cp" else ""
+    (if c.licm then "+licm" else "")
+    ^ (if c.pre then "+pre" else "")
+    ^ (if c.slf then "+slf" else "")
+    ^ (if c.copyprop then "+cp" else "")
+    ^ if c.dse then "+dse" else ""
   in
   rle ^ minv ^ world ^ ext
 
 let pipeline_config config =
-  { Opt.Pipeline.oracle_kind =
-      Option.value config.rle ~default:Opt.Pipeline.Osm_field_type_refs;
+  { Opt.Pipeline.oracle_kind = oracle_kind config;
     world = config.world;
     devirt_inline = config.minv;
     rle = config.rle <> None;
     pre = config.pre;
-    copyprop = config.copyprop }
+    copyprop = config.copyprop;
+    licm = config.licm;
+    slf = config.slf;
+    dse = config.dse }
 
 let prepare w config =
   let program = Workload.lower w in

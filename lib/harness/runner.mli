@@ -17,11 +17,21 @@ type config = {
   world : Tbaa.World.t;
   pre : bool;  (* + partial redundancy elimination (extension) *)
   copyprop : bool;  (* + copy propagation, fixpointed with RLE (extension) *)
+  licm : bool;  (* + loop-invariant load motion (client extension) *)
+  slf : bool;  (* + store-to-load forwarding (client extension) *)
+  dse : bool;  (* + dead-store elimination (client extension) *)
+  oracle : Opt.Pipeline.oracle_kind option;
+      (* oracle for the non-RLE clients when [rle = None]
+         (default SMFieldTypeRefs); [rle]'s kind wins when set *)
 }
 
 val base : config
 val rle_with : Opt.Pipeline.oracle_kind -> config
 val config_name : config -> string
+
+val oracle_kind : config -> Opt.Pipeline.oracle_kind
+(** The oracle the configuration's clients consult: [rle]'s kind, else
+    [oracle], else SMFieldTypeRefs. *)
 
 val pipeline_config : config -> Opt.Pipeline.config
 (** The optimizer configuration a harness configuration denotes. *)

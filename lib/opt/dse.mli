@@ -1,0 +1,32 @@
+(** Dead-store elimination driven by the alias oracle and the
+    interprocedural ref summaries.
+
+    A store is removed when, on every path below it, another store to the
+    exact same access path overwrites its cell before anything may read
+    it: no load of a may-aliasing prefix, no call whose callees'
+    transitive ref sets may read a cell of the store's class, no read of
+    a memory-resident register the store could have written, and no
+    redefinition of the path's variables. Backward must-analysis over
+    {!Ir.Dataflow}, iterated until no sweep removes a store.
+
+    Nothing is assumed dead at procedure exit, so last stores always
+    survive — which is also what makes a bad oracle answer auditable: the
+    surviving killer store and the may-aliasing load both touch the
+    contested cell at runtime. With [claims], every alias answer relied
+    on is logged under kind ["dse"]. *)
+
+open Tbaa
+
+type stats = { mutable removed : int }
+
+val run_proc :
+  ?claims:Claims.t -> Oracle.t -> Modref.t -> Ir.Cfg.proc -> stats -> unit
+
+val run :
+  ?modref:Modref.t -> ?claims:Claims.t -> Ir.Cfg.program -> Oracle.t -> stats
+(** Run over every procedure. Computes mod-ref summaries unless an
+    explicit [modref] is supplied. *)
+
+val pass : Pass.t
+(** Runs over the context's cached oracle and engine-backed mod-ref view.
+    [changed] and [mutated] iff any store was removed. Stats: [removed]. *)

@@ -74,24 +74,34 @@ let summary t name = t.lookup name
    by its prefixes). Path-outer so a memoizing oracle sees consecutive
    queries against the same path (it hashes each path once instead of once
    per class). *)
+let call_effect_pred sets (oracle : Oracle.t) =
+  fun paths ->
+    List.exists
+      (fun m ->
+        List.exists
+          (fun p ->
+            Aloc.Set.exists (fun cls -> oracle.Oracle.class_kills cls p) m)
+          paths)
+      sets
+
+let callee_sets t target select =
+  List.filter_map
+    (fun callee ->
+      let s = select (summary t callee) in
+      if Aloc.Set.is_empty s then None else Some s)
+    (Callgraph.callees_of_target t.program target)
+
 let call_kill_pred t (oracle : Oracle.t) target =
   if t.kill_all then fun _ -> true
-  else
-    let mods =
-      List.filter_map
-        (fun callee ->
-          let s = summary t callee in
-          if Aloc.Set.is_empty s.mods then None else Some s.mods)
-        (Callgraph.callees_of_target t.program target)
-    in
-    fun paths ->
-      List.exists
-        (fun m ->
-          List.exists
-            (fun p ->
-              Aloc.Set.exists (fun cls -> oracle.Oracle.class_kills cls p) m)
-            paths)
-        mods
+  else call_effect_pred (callee_sets t target (fun s -> s.mods)) oracle
+
+(* The read-side dual, for dead-store elimination: may some callee *read*
+   any of the expression's cells? A location of class [cls] may be read
+   where a location of class [cls] may be written, so the same
+   class-vs-path overlap test ([class_kills]) answers both directions. *)
+let call_ref_pred t (oracle : Oracle.t) target =
+  if t.kill_all then fun _ -> true
+  else call_effect_pred (callee_sets t target (fun s -> s.refs)) oracle
 
 let call_kills t oracle target ap =
   call_kill_pred t oracle target

@@ -44,3 +44,11 @@ val call_kill_pred :
     at partial application; the returned predicate takes precomputed query
     paths (the expression's base variable as a path followed by its
     prefixes). For callers that test one call against many expressions. *)
+
+val call_ref_pred :
+  t -> Oracle.t -> Ir.Instr.target -> Ir.Apath.t list -> bool
+(** The read-side dual of {!call_kill_pred}: may executing the call
+    {e read} any of the expression's cells (per the callees' transitive
+    ref sets)? Dead-store elimination keeps a store live across any call
+    that may observe it. Conservative ([fun _ -> true]) under
+    {!conservative}. *)

@@ -143,8 +143,9 @@ let failures reports =
 (* The standard schedule                                               *)
 (* ------------------------------------------------------------------ *)
 
-let schedule ?(devirt_inline = false) ?(pre = false) ?(rle = false)
-    ?(copyprop = false) ?(local_cse = false) () =
+let schedule ?(devirt_inline = false) ?(licm = false) ?(pre = false)
+    ?(slf = false) ?(rle = false) ?(copyprop = false) ?(dse = false)
+    ?(local_cse = false) () =
   let items = [] in
   let items =
     if devirt_inline then
@@ -152,7 +153,13 @@ let schedule ?(devirt_inline = false) ?(pre = false) ?(rle = false)
       :: items
     else items
   in
+  (* LICM first: hoisting while loop bodies still contain the original
+     loads maximizes what the later intra-block clients see. *)
+  let items = if licm then Run Licm.pass :: items else items in
   let items = if pre then Run Pre.pass :: items else items in
+  (* SLF before RLE: forwarding the stored atom directly beats routing
+     the value through an RLE home temporary. *)
+  let items = if slf then Run Slf.pass :: items else items in
   (* PRE inserts partially-redundant loads for RLE to harvest, and copy
      propagation unlocks further RLE matches: RLE runs once up front, then
      again inside a copyprop fixpoint when copy propagation is on. *)
@@ -165,6 +172,9 @@ let schedule ?(devirt_inline = false) ?(pre = false) ?(rle = false)
       else Run Copyprop.pass :: items
     else items
   in
+  (* DSE last: the load-removing clients above erase readers, so stores
+     go dead only once they have run. *)
+  let items = if dse then Run Dse.pass :: items else items in
   let items = if local_cse then Run Local_cse.pass :: items else items in
   List.rev items
 

@@ -37,16 +37,22 @@ val failures : Pass.report list -> (string * string) list
 
 val schedule :
   ?devirt_inline:bool ->
+  ?licm:bool ->
   ?pre:bool ->
+  ?slf:bool ->
   ?rle:bool ->
   ?copyprop:bool ->
+  ?dse:bool ->
   ?local_cse:bool ->
   unit ->
   item list
 (** The standard schedule for a configuration (all flags default false):
-    devirt+inline fixpoint, then PRE insertion, then RLE, then (when copy
-    propagation is on) a copyprop+RLE fixpoint, then the local-CSE
-    baseline. *)
+    devirt+inline fixpoint, then LICM (hoisting sees the original loop
+    bodies), then PRE insertion, then store-to-load forwarding (stored
+    atoms beat home-temp indirection), then RLE, then (when copy
+    propagation is on) a copyprop+RLE fixpoint, then DSE (stores go dead
+    once the load-removing clients have erased their readers), then the
+    local-CSE baseline. *)
 
 (** {1 Aggregation over report lists} *)
 

@@ -12,6 +12,9 @@ type config = {
   rle : bool;
   pre : bool;
   copyprop : bool;
+  licm : bool;
+  slf : bool;
+  dse : bool;
 }
 
 type result = {
@@ -21,6 +24,9 @@ type result = {
   inline_stats : Inline.stats option;
   pre_stats : Pre.stats option;
   copyprop_stats : Copyprop.stats option;
+  licm_stats : Licm.stats option;
+  slf_stats : Slf.stats option;
+  dse_stats : Dse.stats option;
   reports : Pass.report list;
 }
 
@@ -29,11 +35,13 @@ let select = Pass.select
 
 let default =
   { oracle_kind = Osm_field_type_refs; world = World.Closed;
-    devirt_inline = false; rle = true; pre = false; copyprop = false }
+    devirt_inline = false; rle = true; pre = false; copyprop = false;
+    licm = false; slf = false; dse = false }
 
 let schedule_of_config ?(local_cse = false) config =
-  Pass_manager.schedule ~devirt_inline:config.devirt_inline ~pre:config.pre
-    ~rle:config.rle ~copyprop:config.copyprop ~local_cse ()
+  Pass_manager.schedule ~devirt_inline:config.devirt_inline ~licm:config.licm
+    ~pre:config.pre ~slf:config.slf ~rle:config.rle ~copyprop:config.copyprop
+    ~dse:config.dse ~local_cse ()
 
 let context_of_config config =
   Pass.create ~world:config.world ~oracle_kind:config.oracle_kind ()
@@ -81,9 +89,25 @@ let assemble ctx program reports =
   let devirt_stats, inline_stats, pre_stats, rle_stats, copyprop_stats =
     stats_of_reports reports
   in
+  let open Pass_manager in
+  let licm_stats =
+    if ran "licm" reports then
+      Some { Licm.hoisted = sum_stat "licm" "hoisted" reports }
+    else None
+  in
+  let slf_stats =
+    if ran "slf" reports then
+      Some { Slf.forwarded = sum_stat "slf" "forwarded" reports }
+    else None
+  in
+  let dse_stats =
+    if ran "dse" reports then
+      Some { Dse.removed = sum_stat "dse" "removed" reports }
+    else None
+  in
   let analysis = Pass.analysis ctx program in
   { analysis; rle_stats; devirt_stats; inline_stats; pre_stats;
-    copyprop_stats; reports }
+    copyprop_stats; licm_stats; slf_stats; dse_stats; reports }
 
 let run program config =
   let ctx = context_of_config config in

@@ -22,6 +22,9 @@ type config = {
   rle : bool;
   pre : bool;  (* partial redundancy elimination (paper's future work) *)
   copyprop : bool;  (* copy propagation, fixpointed with RLE *)
+  licm : bool;  (* loop-invariant load motion (whole-path client) *)
+  slf : bool;  (* store-to-load forwarding (dual of RLE) *)
+  dse : bool;  (* dead-store elimination *)
 }
 
 type result = {
@@ -31,6 +34,9 @@ type result = {
   inline_stats : Inline.stats option;
   pre_stats : Pre.stats option;
   copyprop_stats : Copyprop.stats option;
+  licm_stats : Licm.stats option;
+  slf_stats : Slf.stats option;
+  dse_stats : Dse.stats option;
   reports : Pass.report list;  (* per-pass instrumented reports, in order *)
 }
 

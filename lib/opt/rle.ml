@@ -40,14 +40,16 @@ let query_paths ap =
    others (a global or address-taken variable) and a location of its class
    may underlie the path. A store kills per {!Oracle.kills_load}; a call
    kills what its callees' mod sets may write. *)
-let kill_pred ?claims (oracle : Oracle.t) modref instr =
+let kill_pred ?claims ?kind (oracle : Oracle.t) modref instr =
   (* Each oracle answer consulted here is a bet the rewrite stands on;
      with a ledger installed, log it against the witness paths so the
      dynamic auditor can cross-check the "no" answers against concrete
-     addresses. Call kills are exempt: mod-ref summaries are sets of
-     location classes with no witness path to audit. *)
+     addresses. [kind] attributes the bet to the client on whose behalf
+     the predicate runs (SLF and LICM reuse this predicate). Call kills
+     are exempt: mod-ref summaries are sets of location classes with no
+     witness path to audit. *)
   let note p1 p2 ans =
-    (match claims with Some c -> Claims.record c p1 p2 ans | None -> ());
+    (match claims with Some c -> Claims.record ?kind c p1 p2 ans | None -> ());
     ans
   in
   let def_pred v =
@@ -83,8 +85,8 @@ let kill_pred ?claims (oracle : Oracle.t) modref instr =
     fun qp -> dp qp || cp qp.qp_all
   | Instr.Ibuiltin (dst, _, _) -> dst_pred dst
 
-let instr_kills ?claims oracle modref instr ap =
-  kill_pred ?claims oracle modref instr (query_paths ap)
+let instr_kills ?claims ?kind oracle modref instr ap =
+  kill_pred ?claims ?kind oracle modref instr (query_paths ap)
 
 (* The memory *expressions* RLE tracks are the scalar-typed prefixes of a
    path: those denote one word the machine actually reads (a pointer or a

@@ -26,8 +26,39 @@ type stats = {
   mutable shortened : int;  (* loads whose available prefix was reused *)
 }
 
+type query_paths = {
+  qp_vars : Ir.Reg.var list;  (* variables the path reads (base and indices) *)
+  qp_base : Ir.Apath.t;  (* the base variable as a path *)
+  qp_prefixes : Ir.Apath.t list;  (* all prefixes, including the path itself *)
+  qp_all : Ir.Apath.t list;  (* qp_base :: qp_prefixes *)
+}
+(** The derived paths the kill test consults for one expression, resolved
+    once (shared by the other TBAA clients — SLF and LICM replay the same
+    invalidation reasoning). *)
+
+val query_paths : Ir.Apath.t -> query_paths
+
+val kill_pred :
+  ?claims:Claims.t ->
+  ?kind:string ->
+  Oracle.t ->
+  Modref.t ->
+  Ir.Instr.t ->
+  query_paths ->
+  bool
+(** [kill_pred oracle modref instr] resolves the instruction-side data
+    once and returns the per-expression kill test. With [claims], every
+    oracle answer consulted is logged against its witness paths under
+    client [kind] (default ["rle"]). *)
+
 val instr_kills :
-  ?claims:Claims.t -> Oracle.t -> Modref.t -> Ir.Instr.t -> Ir.Apath.t -> bool
+  ?claims:Claims.t ->
+  ?kind:string ->
+  Oracle.t ->
+  Modref.t ->
+  Ir.Instr.t ->
+  Ir.Apath.t ->
+  bool
 (** May executing this instruction change the value of the given memory
     expression? (Exposed for the limit-study classifier, which replays
     RLE's availability reasoning.) With [claims], every oracle answer

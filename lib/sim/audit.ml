@@ -14,6 +14,7 @@ type violation = {
   vi_activation : int;
   vi_hits : int;
   vi_oracle : string;
+  vi_kinds : string list;
 }
 
 type t = {
@@ -106,17 +107,21 @@ let check t =
         | Some (addr, act) ->
           Some
             { vi_p1 = p1; vi_p2 = p2; vi_addr = addr; vi_activation = act;
-              vi_hits = !hits; vi_oracle = oracle }
+              vi_hits = !hits; vi_oracle = oracle;
+              vi_kinds = Claims.kinds t.au_claims p1 p2 }
         | None -> None)
       | _ -> None)
     (Claims.disjoint_pairs t.au_claims)
 
 let violation_to_string v =
   Format.asprintf
-    "paths %a and %a claimed disjoint by %s but both touched address %d \
+    "paths %a and %a claimed disjoint by %s%s but both touched address %d \
      (activation %d, %d shared cell%s)"
-    Apath.pp v.vi_p1 Apath.pp v.vi_p2 v.vi_oracle v.vi_addr v.vi_activation
-    v.vi_hits
+    Apath.pp v.vi_p1 Apath.pp v.vi_p2 v.vi_oracle
+    (match v.vi_kinds with
+    | [] -> ""
+    | ks -> " via " ^ String.concat "+" ks)
+    v.vi_addr v.vi_activation v.vi_hits
     (if v.vi_hits = 1 then "" else "s")
 
 let violation_to_json v =
@@ -125,7 +130,8 @@ let violation_to_json v =
       ("p2", Json.String (Format.asprintf "%a" Apath.pp v.vi_p2));
       ("addr", Json.Int v.vi_addr); ("activation", Json.Int v.vi_activation);
       ("shared_cells", Json.Int v.vi_hits);
-      ("oracle", Json.String v.vi_oracle) ]
+      ("oracle", Json.String v.vi_oracle);
+      ("kinds", Json.List (List.map (fun k -> Json.String k) v.vi_kinds)) ]
 
 let report_json t violations =
   Json.Obj

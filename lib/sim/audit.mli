@@ -30,6 +30,8 @@ type violation = {
   vi_activation : int;
   vi_hits : int;  (** total cells shared by the pair *)
   vi_oracle : string;
+  vi_kinds : string list;
+      (** which clients bet on the pair ("rle", "dse", "slf", "licm") *)
 }
 
 type t

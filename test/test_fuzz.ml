@@ -101,6 +101,137 @@ let test_fault_injection_counterexample () =
           f.Harness.Fuzz.f_config
       | Error e -> Alcotest.fail ("replay failed: " ^ e)))
 
+(* --- configuration matrix ------------------------------------------------ *)
+
+let test_matrix_covers_new_clients () =
+  let names = Harness.Fuzz.config_names () in
+  Alcotest.(check int) "three analyses x eight variants" 24
+    (List.length names);
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) ("matrix includes " ^ n) true (List.mem n names))
+    [ "TypeDecl:licm"; "FieldTypeDecl:slf"; "SMFieldTypeRefs:dse";
+      "SMFieldTypeRefs:licm+slf+rle+dse"; "TypeDecl:rle";
+      "FieldTypeDecl:minv+rle" ]
+
+(* --- per-client fault injection caught by the auditor -------------------- *)
+
+(* Each trap program makes its client bet on exactly the kind of no-alias
+   answer a fault flip falsifies; the dynamic auditor must then report a
+   violated claim attributed to that client. Class-kill flips are left
+   off: those bets carry no witness path (they are claim-exempt), so only
+   may-alias flips are auditable. *)
+
+let client_config ~licm ~slf ~dse =
+  { Opt.Pipeline.oracle_kind = Opt.Pipeline.Osm_field_type_refs;
+    world = Tbaa.World.Closed; devirt_inline = false; rle = false;
+    pre = false; copyprop = false; licm; slf; dse }
+
+let audit_trap ?fault config src =
+  let program = Ir.Lower.lower_string ~file:"<trap>" src in
+  let claims = Tbaa.Claims.create ~oracle:"SMFieldTypeRefs" in
+  let _ = Opt.Pipeline.run_guarded ~verify:true ~claims ?fault program config in
+  let auditor = Sim.Audit.create claims in
+  let _ = Sim.Interp.run ~on_access:(Sim.Audit.on_access auditor) program in
+  Sim.Audit.check auditor
+
+let check_fault_caught ~kind config src =
+  (* The clean run must discharge every claim... *)
+  Alcotest.(check int) (kind ^ ": clean run is audit-clean") 0
+    (List.length (audit_trap config src));
+  (* ...and some deterministic fault seed must flip the load-bearing
+     answer into a violation the auditor attributes to the client. *)
+  let rec scan seed =
+    if seed > 100 then
+      Alcotest.fail (kind ^ ": no fault seed produced an audit violation")
+    else
+      let fault =
+        Opt.Pass.fault ~flip_class_kills:false ~seed ~rate:0.5 ()
+      in
+      match audit_trap ~fault config src with
+      | [] -> scan (seed + 1)
+      | violations ->
+        Alcotest.(check bool)
+          (kind ^ ": violation attributed to the client")
+          true
+          (List.exists
+             (fun v -> List.mem kind v.Sim.Audit.vi_kinds)
+             violations)
+  in
+  scan 1
+
+let test_fault_in_dse_caught () =
+  check_fault_caught ~kind:"dse"
+    (client_config ~licm:false ~slf:false ~dse:true)
+    {|
+MODULE T;
+TYPE Node = OBJECT val: INTEGER; END;
+VAR n: Node; m: Node; sink: INTEGER;
+PROCEDURE P () =
+  BEGIN
+    n.val := 1;
+    sink := m.val;   (* the read DSE must not lose: m is n *)
+    n.val := 2;
+  END P;
+BEGIN
+  n := NEW (Node);
+  m := n;
+  P ();
+  PrintInt (n.val * 10 + sink);
+END T.
+|}
+
+let test_fault_in_slf_caught () =
+  check_fault_caught ~kind:"slf"
+    (client_config ~licm:false ~slf:true ~dse:false)
+    {|
+MODULE T;
+TYPE Node = OBJECT val: INTEGER; END;
+VAR n: Node; m: Node; sink: INTEGER;
+PROCEDURE P () =
+  VAR x: INTEGER;
+  BEGIN
+    n.val := 1;
+    m.val := 2;      (* overwrites the binding: m is n *)
+    x := n.val;
+    sink := x;
+  END P;
+BEGIN
+  n := NEW (Node);
+  m := n;
+  P ();
+  PrintInt (sink);
+END T.
+|}
+
+let test_fault_in_licm_caught () =
+  (* The blocker is an in-loop *store* through an alias — a call's mod
+     summary is class-set based and claim-exempt, so only the store form
+     leaves an auditable witness. *)
+  check_fault_caught ~kind:"licm"
+    (client_config ~licm:true ~slf:false ~dse:false)
+    {|
+MODULE T;
+TYPE Node = OBJECT val: INTEGER; END;
+VAR n: Node; m: Node; sink: INTEGER;
+PROCEDURE P (k: INTEGER) =
+  VAR s: INTEGER;
+  BEGIN
+    s := 0;
+    FOR i := 1 TO k DO
+      s := s + n.val;
+      m.val := i;    (* variant: m is n *)
+    END;
+    sink := s;
+  END P;
+BEGIN
+  n := NEW (Node);
+  m := n;
+  P (3);
+  PrintInt (sink);
+END T.
+|}
+
 (* --- guarded-manager rejection paths ------------------------------------- *)
 
 (* A pass that corrupts the IR must be caught by the verifier, rolled
@@ -201,6 +332,16 @@ let () =
         [ Alcotest.test_case "clean pipeline is clean" `Slow test_clean_fuzz_run;
           Alcotest.test_case "fault injection yields replaying counterexample"
             `Slow test_fault_injection_counterexample ] );
+      ( "matrix",
+        [ Alcotest.test_case "covers the new clients" `Quick
+            test_matrix_covers_new_clients ] );
+      ( "client faults",
+        [ Alcotest.test_case "dse fault caught by audit" `Quick
+            test_fault_in_dse_caught;
+          Alcotest.test_case "slf fault caught by audit" `Quick
+            test_fault_in_slf_caught;
+          Alcotest.test_case "licm fault caught by audit" `Quick
+            test_fault_in_licm_caught ] );
       ( "verify-rejects",
         [ Alcotest.test_case "malformed CFG edge" `Quick
             test_verify_rejects_bad_edge;

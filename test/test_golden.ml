@@ -16,7 +16,11 @@ let config kind =
     minv = true;
     world = Tbaa.World.Closed;
     pre = true;
-    copyprop = false }
+    copyprop = false;
+    licm = false;
+    slf = false;
+    dse = false;
+    oracle = None }
 
 let kinds =
   [ ("TypeDecl", Opt.Pipeline.Otype_decl);
@@ -75,8 +79,7 @@ let expected_rows =
     "m3cg/FieldTypeDecl: devirt=0/26 inline=18 rle=103 pre=0";
     "m3cg/SMFieldTypeRefs: devirt=0/26 inline=18 rle=103 pre=0" ]
 
-let test_golden_stats () =
-  let actual = actual_rows () in
+let check_rows ~expected ~actual =
   let by_key rows =
     List.map
       (fun row ->
@@ -85,7 +88,7 @@ let test_golden_stats () =
         | None -> (row, row))
       rows
   in
-  let exp_k = by_key expected_rows and act_k = by_key actual in
+  let exp_k = by_key expected and act_k = by_key actual in
   let diffs = ref [] in
   List.iter
     (fun (k, exp_row) ->
@@ -100,61 +103,152 @@ let test_golden_stats () =
       if not (List.mem_assoc k exp_k) then
         diffs := Printf.sprintf "  - (missing)\n  + %s" act_row :: !diffs)
     act_k;
-  (match List.rev !diffs with
+  match List.rev !diffs with
   | [] -> ()
   | ds ->
     Alcotest.fail
       (Printf.sprintf
          "golden stats moved (-expected, +actual); update test_golden.ml \
           if intentional:\n%s"
-         (String.concat "\n" ds)))
+         (String.concat "\n" ds))
+
+let test_golden_stats () =
+  check_rows ~expected:expected_rows ~actual:(actual_rows ())
+
+(* --- the newer TBAA clients: LICM, SLF, DSE ----------------------------- *)
+
+(* Second table, isolating the three post-RLE clients: devirt+inline to
+   expose cross-call opportunities, RLE off so each count is the
+   client's own. Row format: "<workload>/<analysis>: licm=L slf=S dse=D"
+   (loads hoisted, loads forwarded, stores removed). *)
+
+let client_config kind =
+  { Harness.Runner.base with
+    Harness.Runner.minv = true;
+    oracle = Some kind;
+    licm = true;
+    slf = true;
+    dse = true }
+
+let client_row_of (w : Workloads.Workload.t) (kname, kind) =
+  let _program, reports = Harness.Runner.prepare w (client_config kind) in
+  let sum name key =
+    List.fold_left
+      (fun acc (r : Opt.Pass.report) ->
+        if r.Opt.Pass.r_pass = name then acc + Opt.Pass.stat r key else acc)
+      0 reports
+  in
+  Printf.sprintf "%s/%s: licm=%d slf=%d dse=%d" w.Workloads.Workload.name
+    kname
+    (sum "licm" "hoisted")
+    (sum "slf" "forwarded")
+    (sum "dse" "removed")
+
+let expected_client_rows =
+  [ "format/TypeDecl: licm=0 slf=0 dse=0";
+    "format/FieldTypeDecl: licm=0 slf=0 dse=0";
+    "format/SMFieldTypeRefs: licm=0 slf=0 dse=0";
+    "dformat/TypeDecl: licm=0 slf=0 dse=0";
+    "dformat/FieldTypeDecl: licm=0 slf=0 dse=0";
+    "dformat/SMFieldTypeRefs: licm=0 slf=0 dse=0";
+    "write_pickle/TypeDecl: licm=0 slf=0 dse=0";
+    "write_pickle/FieldTypeDecl: licm=0 slf=0 dse=0";
+    "write_pickle/SMFieldTypeRefs: licm=0 slf=0 dse=0";
+    "ktree/TypeDecl: licm=2 slf=0 dse=0";
+    "ktree/FieldTypeDecl: licm=2 slf=0 dse=0";
+    "ktree/SMFieldTypeRefs: licm=2 slf=0 dse=0";
+    "slisp/TypeDecl: licm=0 slf=0 dse=0";
+    "slisp/FieldTypeDecl: licm=0 slf=0 dse=0";
+    "slisp/SMFieldTypeRefs: licm=0 slf=0 dse=0";
+    "pp/TypeDecl: licm=0 slf=1 dse=0";
+    "pp/FieldTypeDecl: licm=0 slf=1 dse=0";
+    "pp/SMFieldTypeRefs: licm=0 slf=1 dse=0";
+    "dom/TypeDecl: licm=0 slf=0 dse=0";
+    "dom/FieldTypeDecl: licm=0 slf=0 dse=0";
+    "dom/SMFieldTypeRefs: licm=0 slf=0 dse=0";
+    "postcard/TypeDecl: licm=0 slf=2 dse=1";
+    "postcard/FieldTypeDecl: licm=0 slf=6 dse=5";
+    "postcard/SMFieldTypeRefs: licm=0 slf=6 dse=5";
+    "m2tom3/TypeDecl: licm=0 slf=0 dse=0";
+    "m2tom3/FieldTypeDecl: licm=0 slf=0 dse=0";
+    "m2tom3/SMFieldTypeRefs: licm=0 slf=0 dse=0";
+    "m3cg/TypeDecl: licm=0 slf=22 dse=0";
+    "m3cg/FieldTypeDecl: licm=1 slf=22 dse=0";
+    "m3cg/SMFieldTypeRefs: licm=1 slf=22 dse=0" ]
+
+let test_golden_client_stats () =
+  check_rows ~expected:expected_client_rows
+    ~actual:
+      (List.concat_map
+         (fun w -> List.map (client_row_of w) kinds)
+         Workloads.Suite.all)
 
 (* The precision ordering the paper establishes (Section 5): refining
    the analysis must never lose optimization opportunities on these
    benchmarks. Checked structurally rather than baked into the table so
    a table update cannot silently invert the lattice. *)
+let value row =
+  match String.index_opt row ':' with
+  | None -> Alcotest.fail ("bad row: " ^ row)
+  | Some i -> String.sub row (i + 1) (String.length row - i - 1)
+
+let field prefix row =
+  (* extract the integer following "<prefix>=" in a row body *)
+  let body = value row in
+  let pat = " " ^ prefix ^ "=" in
+  let rec find i =
+    if i + String.length pat > String.length body then
+      Alcotest.fail ("no field " ^ prefix ^ " in " ^ row)
+    else if String.sub body i (String.length pat) = pat then
+      let j = ref (i + String.length pat) in
+      let start = !j in
+      while !j < String.length body && body.[!j] >= '0' && body.[!j] <= '9' do
+        incr j
+      done;
+      int_of_string (String.sub body start (!j - start))
+    else find (i + 1)
+  in
+  find 0
+
+let row_for rows w k =
+  List.find
+    (fun r ->
+      String.length r > String.length w + String.length k + 1
+      && String.sub r 0 (String.length w + String.length k + 1) = w ^ "/" ^ k)
+    rows
+
 let test_golden_lattice () =
-  let value row =
-    match String.index_opt row ':' with
-    | None -> Alcotest.fail ("bad row: " ^ row)
-    | Some i -> String.sub row (i + 1) (String.length row - i - 1)
-  in
-  let field prefix row =
-    (* extract the integer following "<prefix>=" in a row body *)
-    let body = value row in
-    let pat = " " ^ prefix ^ "=" in
-    let rec find i =
-      if i + String.length pat > String.length body then
-        Alcotest.fail ("no field " ^ prefix ^ " in " ^ row)
-      else if String.sub body i (String.length pat) = pat then
-        let j = ref (i + String.length pat) in
-        let start = !j in
-        while
-          !j < String.length body && body.[!j] >= '0' && body.[!j] <= '9'
-        do
-          incr j
-        done;
-        int_of_string (String.sub body start (!j - start))
-      else find (i + 1)
-    in
-    find 0
-  in
-  let row_for w k =
-    List.find
-      (fun r ->
-        String.length r > String.length w + String.length k + 1
-        && String.sub r 0 (String.length w + String.length k + 1)
-           = w ^ "/" ^ k)
-      expected_rows
-  in
   List.iter
     (fun (w : Workloads.Workload.t) ->
       let n = w.Workloads.Workload.name in
-      let td = row_for n "TypeDecl" and ftd = row_for n "FieldTypeDecl" in
+      let td = row_for expected_rows n "TypeDecl"
+      and ftd = row_for expected_rows n "FieldTypeDecl" in
       if field "rle" ftd < field "rle" td then
         Alcotest.fail
           (Printf.sprintf "%s: FieldTypeDecl rle (%d) < TypeDecl rle (%d)" n
              (field "rle" ftd) (field "rle" td)))
+    Workloads.Suite.all
+
+(* Same ordering for the client table, across both refinement steps and
+   every client: TypeDecl ⊑ FieldTypeDecl ⊑ SMFieldTypeRefs must never
+   cost a hoist, a forward, or a removal. *)
+let test_golden_client_lattice () =
+  List.iter
+    (fun (w : Workloads.Workload.t) ->
+      let n = w.Workloads.Workload.name in
+      let td = row_for expected_client_rows n "TypeDecl"
+      and ftd = row_for expected_client_rows n "FieldTypeDecl"
+      and smf = row_for expected_client_rows n "SMFieldTypeRefs" in
+      List.iter
+        (fun client ->
+          let a = field client td
+          and b = field client ftd
+          and c = field client smf in
+          if not (a <= b && b <= c) then
+            Alcotest.fail
+              (Printf.sprintf "%s: %s counts not monotone (%d, %d, %d)" n
+                 client a b c))
+        [ "licm"; "slf"; "dse" ])
     Workloads.Suite.all
 
 let () =
@@ -163,4 +257,9 @@ let () =
         [ Alcotest.test_case "workload suite optimization counts" `Quick
             test_golden_stats;
           Alcotest.test_case "precision lattice on pinned rows" `Quick
-            test_golden_lattice ] ) ]
+            test_golden_lattice ] );
+      ( "clients",
+        [ Alcotest.test_case "client suite optimization counts" `Quick
+            test_golden_client_stats;
+          Alcotest.test_case "client precision lattice" `Quick
+            test_golden_client_lattice ] ) ]

@@ -456,6 +456,50 @@ let test_modref_of_engine_matches_compute () =
         kinds)
     (programs ())
 
+(* The refs-side call predicate is what DSE stakes store removals on;
+   both mod-ref views must answer it identically for every call site ×
+   stored path in the corpus (workloads and fuzz-seed programs alike). *)
+let test_call_ref_pred_differential () =
+  List.iter
+    (fun (name, program) ->
+      let store_paths =
+        let tbl = Ir.Apath.Tbl.create 32 in
+        List.iter
+          (fun p ->
+            Cfg.iter_instrs p (fun _ i ->
+                match i with
+                | Ir.Instr.Istore (ap, _) -> Ir.Apath.Tbl.replace tbl ap ()
+                | _ -> ()))
+          program.Cfg.prog_procs;
+        Ir.Apath.Tbl.fold (fun ap () acc -> ap :: acc) tbl []
+      in
+      let engine = Tbaa.Engine.create program in
+      List.iter
+        (fun kind ->
+          let oracle = Tbaa.Engine.oracle engine kind in
+          let mono = Opt.Modref.compute program oracle in
+          let view = Opt.Modref.of_engine engine kind in
+          List.iter
+            (fun p ->
+              Cfg.iter_instrs p (fun _ instr ->
+                  match instr with
+                  | Ir.Instr.Icall (_, target, _) ->
+                    let mp = Opt.Modref.call_ref_pred mono oracle target
+                    and vp = Opt.Modref.call_ref_pred view oracle target in
+                    List.iter
+                      (fun sp ->
+                        if mp [ sp ] <> vp [ sp ] then
+                          Alcotest.failf
+                            "%s: call_ref_pred views differ in %s on %s (%s)"
+                            name (Ident.name p.Cfg.pr_name)
+                            (Ir.Apath.to_string sp)
+                            (Tbaa.Engine.kind_name kind))
+                      store_paths
+                  | _ -> ()))
+            program.Cfg.prog_procs)
+        kinds)
+    (programs ())
+
 (* ------------------------------------------------------------------ *)
 (* Scale corpus                                                        *)
 (* ------------------------------------------------------------------ *)
@@ -523,7 +567,9 @@ let () =
             test_parallel_create_equiv ] );
       ( "modref",
         [ Alcotest.test_case "of_engine = monolithic compute" `Quick
-            test_modref_of_engine_matches_compute ] );
+            test_modref_of_engine_matches_compute;
+          Alcotest.test_case "call_ref_pred agrees across views" `Quick
+            test_call_ref_pred_differential ] );
       ( "scale",
         [ Alcotest.test_case "corpus typechecks" `Quick
             test_scale_typechecks;

@@ -634,6 +634,315 @@ let test_dce_fixpoint_on_workload () =
   let second = Opt.Dce.run program in
   Alcotest.(check int) "idempotent" 0 second.Opt.Dce.removed
 
+(* --- new TBAA clients: DSE, SLF, LICM ---------------------------------- *)
+
+let client_with run src oracle_of =
+  let program = lower src in
+  let before = run_out program in
+  let analysis = analyze program in
+  let stats = run program (oracle_of analysis) in
+  let after = run_out program in
+  (stats, before, after)
+
+let test_dse_removes_overwritten_store () =
+  let stats, before, after =
+    client_with
+      (fun p o -> Opt.Dse.run p o)
+      {|
+MODULE M;
+TYPE Node = OBJECT val: INTEGER; END;
+VAR n: Node; sink: INTEGER;
+PROCEDURE P () =
+  BEGIN
+    n.val := 1;   (* dead: overwritten below, nothing reads in between *)
+    sink := 3;
+    n.val := 2;
+  END P;
+BEGIN
+  n := NEW (Node);
+  P ();
+  PrintInt (n.val + sink);
+END M.
+|}
+      sm
+  in
+  Alcotest.(check int) "dead store removed" 1 stats.Opt.Dse.removed;
+  Alcotest.(check string) "behaviour preserved" before after;
+  Alcotest.(check string) "output is 5" "5" before
+
+let test_dse_kept_by_may_alias_load () =
+  (* The intervening load goes through another name for the same object:
+     every oracle must keep the first store. *)
+  let src =
+    {|
+MODULE M;
+TYPE Node = OBJECT val: INTEGER; END;
+VAR n: Node; m: Node; sink: INTEGER;
+PROCEDURE P () =
+  BEGIN
+    n.val := 1;
+    sink := m.val;   (* may alias n.val — reads the 1 *)
+    n.val := 2;
+  END P;
+BEGIN
+  n := NEW (Node);
+  m := n;
+  P ();
+  PrintInt (n.val * 10 + sink);
+END M.
+|}
+  in
+  List.iter
+    (fun oracle_of ->
+      let stats, before, after =
+        client_with (fun p o -> Opt.Dse.run p o) src oracle_of
+      in
+      Alcotest.(check int) "store kept" 0 stats.Opt.Dse.removed;
+      Alcotest.(check string) "behaviour preserved" before after;
+      Alcotest.(check string) "output is 21" "21" before)
+    [ sm; td ]
+
+let test_dse_kept_by_reading_call () =
+  (* Regression (fuzz seed 58): the callee reads the cell only through an
+     address computation's navigation (NUMBER takes the array's address),
+     so the interprocedural ref summary must cover navigation reads. *)
+  let stats, before, after =
+    client_with
+      (fun p o -> Opt.Dse.run p o)
+      {|
+MODULE M;
+TYPE Arr = REF ARRAY OF INTEGER;
+TYPE Box = OBJECT buf: Arr; END;
+VAR b: Box; sink: INTEGER;
+PROCEDURE Len (): INTEGER = BEGIN RETURN Number (b.buf); END Len;
+PROCEDURE P () =
+  BEGIN
+    b.buf := NEW (Arr, 3);
+    sink := Len ();
+    b.buf := NEW (Arr, 5);
+  END P;
+BEGIN
+  b := NEW (Box);
+  P ();
+  PrintInt (sink + Number (b.buf));
+END M.
+|}
+      sm
+  in
+  Alcotest.(check int) "store read by call kept" 0 stats.Opt.Dse.removed;
+  Alcotest.(check string) "behaviour preserved" before after;
+  Alcotest.(check string) "output is 8" "8" before
+
+let test_slf_forwards_stored_atom () =
+  let stats, before, after =
+    client_with
+      (fun p o -> Opt.Slf.run p o)
+      {|
+MODULE M;
+TYPE Node = OBJECT val: INTEGER; END;
+VAR n: Node; sink: INTEGER;
+PROCEDURE P () =
+  VAR x: INTEGER;
+  BEGIN
+    n.val := 3;
+    x := n.val;   (* forwarded: x := 3, no load *)
+    sink := x;
+  END P;
+BEGIN
+  n := NEW (Node);
+  P ();
+  PrintInt (sink);
+END M.
+|}
+      sm
+  in
+  Alcotest.(check int) "load forwarded" 1 stats.Opt.Slf.forwarded;
+  Alcotest.(check string) "behaviour preserved" before after;
+  Alcotest.(check string) "output is 3" "3" before
+
+let test_slf_blocked_by_supertype_store () =
+  (* The intervening store goes through a supertype-typed name for the
+     same field; the binding must die under every oracle. *)
+  let src =
+    {|
+MODULE M;
+TYPE A = OBJECT val: INTEGER; END;
+TYPE B = A OBJECT END;
+VAR pa: A; pb: B; sink: INTEGER;
+PROCEDURE P () =
+  VAR x: INTEGER;
+  BEGIN
+    pb.val := 1;
+    pa.val := 2;   (* same object, supertype path *)
+    x := pb.val;
+    sink := x;
+  END P;
+BEGIN
+  pb := NEW (B);
+  pa := pb;
+  P ();
+  PrintInt (sink);
+END M.
+|}
+  in
+  List.iter
+    (fun oracle_of ->
+      let stats, before, after =
+        client_with (fun p o -> Opt.Slf.run p o) src oracle_of
+      in
+      Alcotest.(check int) "forwarding blocked" 0 stats.Opt.Slf.forwarded;
+      Alcotest.(check string) "behaviour preserved" before after;
+      Alcotest.(check string) "output is 2" "2" before)
+    [ sm; td ]
+
+let test_slf_blocked_by_byref_atom_write () =
+  (* Regression (fuzz seed 176): the stored atom is a global mutated by
+     the callee through a VAR formal — forwarding it past the call would
+     resurrect the stale value. *)
+  let stats, before, after =
+    client_with
+      (fun p o -> Opt.Slf.run p o)
+      {|
+MODULE M;
+TYPE Node = OBJECT val: INTEGER; END;
+VAR n: Node; g: INTEGER; sink: INTEGER;
+PROCEDURE Bump (VAR z: INTEGER) = BEGIN z := 9; END Bump;
+PROCEDURE P () =
+  VAR x: INTEGER;
+  BEGIN
+    n.val := g;
+    Bump (g);
+    x := n.val;   (* must reload: g no longer holds the stored value *)
+    sink := x;
+  END P;
+BEGIN
+  n := NEW (Node);
+  g := 4;
+  P ();
+  PrintInt (sink);
+END M.
+|}
+      sm
+  in
+  Alcotest.(check int) "stale atom not forwarded" 0 stats.Opt.Slf.forwarded;
+  Alcotest.(check string) "behaviour preserved" before after;
+  Alcotest.(check string) "output is 4" "4" before
+
+let test_licm_hoists_invariant_load () =
+  let stats, before, after =
+    client_with
+      (fun p o -> Opt.Licm.run p o)
+      {|
+MODULE M;
+TYPE Node = OBJECT val: INTEGER; END;
+VAR n: Node; sink: INTEGER;
+PROCEDURE P (k: INTEGER) =
+  VAR s: INTEGER;
+  BEGIN
+    s := 0;
+    FOR i := 1 TO k DO
+      s := s + n.val;   (* invariant: nothing in the loop writes it *)
+    END;
+    sink := s;
+  END P;
+BEGIN
+  n := NEW (Node);
+  n.val := 2;
+  P (3);
+  PrintInt (sink);
+END M.
+|}
+      sm
+  in
+  Alcotest.(check int) "load hoisted" 1 stats.Opt.Licm.hoisted;
+  Alcotest.(check string) "behaviour preserved" before after;
+  Alcotest.(check string) "output is 6" "6" before
+
+let test_licm_blocked_by_modding_call () =
+  (* The in-loop call's transitive Effects summary writes the loaded
+     cell's class, so the load is not invariant. *)
+  let stats, before, after =
+    client_with
+      (fun p o -> Opt.Licm.run p o)
+      {|
+MODULE M;
+TYPE Node = OBJECT val: INTEGER; END;
+VAR n: Node; sink: INTEGER;
+PROCEDURE Bump () = BEGIN n.val := n.val + 1; END Bump;
+PROCEDURE P (k: INTEGER) =
+  VAR s: INTEGER;
+  BEGIN
+    s := 0;
+    FOR i := 1 TO k DO
+      s := s + n.val;
+      Bump ();
+    END;
+    sink := s;
+  END P;
+BEGIN
+  n := NEW (Node);
+  n.val := 1;
+  P (3);
+  PrintInt (sink);
+END M.
+|}
+      sm
+  in
+  Alcotest.(check int) "hoist blocked" 0 stats.Opt.Licm.hoisted;
+  Alcotest.(check string) "behaviour preserved" before after;
+  Alcotest.(check string) "output is 6" "6" before
+
+let test_clients_record_claim_kinds () =
+  (* Each client attributes its oracle bets in the shared ledger, so an
+     audit violation can name the pass that relied on the answer. *)
+  let src =
+    {|
+MODULE M;
+TYPE Node = OBJECT val: INTEGER; END;
+TYPE Other = OBJECT w: INTEGER; END;
+VAR n: Node; o: Other; sink: INTEGER;
+PROCEDURE P (k: INTEGER) =
+  VAR x: INTEGER;
+  BEGIN
+    n.val := 1;
+    o.w := 2;       (* disjoint classes: the clients bet on no-alias *)
+    x := n.val;
+    FOR i := 1 TO k DO
+      sink := sink + o.w;
+    END;
+    n.val := x;
+  END P;
+BEGIN
+  n := NEW (Node);
+  o := NEW (Other);
+  P (2);
+  PrintInt (sink + n.val);
+END M.
+|}
+  in
+  let kinds_used run kind =
+    let program = lower src in
+    let analysis = analyze program in
+    let claims = Tbaa.Claims.create ~oracle:"SMFieldTypeRefs" in
+    ignore (run ~claims program (sm analysis));
+    let pairs = Tbaa.Claims.disjoint_pairs claims in
+    Alcotest.(check bool)
+      (kind ^ " made at least one no-alias bet")
+      true (pairs <> []);
+    List.for_all
+      (fun (p1, p2) ->
+        List.for_all
+          (fun k -> String.equal k kind)
+          (Tbaa.Claims.kinds claims p1 p2))
+      pairs
+  in
+  Alcotest.(check bool) "dse bets carry kind dse" true
+    (kinds_used (fun ~claims p o -> Opt.Dse.run ~claims p o) "dse");
+  Alcotest.(check bool) "slf bets carry kind slf" true
+    (kinds_used (fun ~claims p o -> Opt.Slf.run ~claims p o) "slf");
+  Alcotest.(check bool) "licm bets carry kind licm" true
+    (kinds_used (fun ~claims p o -> Opt.Licm.run ~claims p o) "licm")
+
 (* --- pipeline ----------------------------------------------------------- *)
 
 let test_pipeline_full () =
@@ -643,7 +952,8 @@ let test_pipeline_full () =
     Opt.Pipeline.run program
       { Opt.Pipeline.oracle_kind = Opt.Pipeline.Osm_field_type_refs;
         world = Tbaa.World.Closed; devirt_inline = true; rle = true;
-        pre = false; copyprop = false }
+        pre = false; copyprop = false; licm = false; slf = false;
+        dse = false }
   in
   Alcotest.(check bool) "devirt ran" true (result.Opt.Pipeline.devirt_stats <> None);
   Alcotest.(check string) "behaviour preserved" before (run_out program)
@@ -775,6 +1085,28 @@ let () =
         [ Alcotest.test_case "dead chain" `Quick test_dce_removes_dead_chain;
           Alcotest.test_case "effects kept" `Quick test_dce_keeps_effects;
           Alcotest.test_case "idempotent" `Quick test_dce_fixpoint_on_workload ] );
+      ( "dse",
+        [ Alcotest.test_case "removes overwritten" `Quick
+            test_dse_removes_overwritten_store;
+          Alcotest.test_case "kept by aliasing load" `Quick
+            test_dse_kept_by_may_alias_load;
+          Alcotest.test_case "kept by reading call" `Quick
+            test_dse_kept_by_reading_call ] );
+      ( "slf",
+        [ Alcotest.test_case "forwards stored atom" `Quick
+            test_slf_forwards_stored_atom;
+          Alcotest.test_case "blocked by supertype store" `Quick
+            test_slf_blocked_by_supertype_store;
+          Alcotest.test_case "blocked by byref atom write" `Quick
+            test_slf_blocked_by_byref_atom_write ] );
+      ( "licm",
+        [ Alcotest.test_case "hoists invariant load" `Quick
+            test_licm_hoists_invariant_load;
+          Alcotest.test_case "blocked by modding call" `Quick
+            test_licm_blocked_by_modding_call ] );
+      ( "claims",
+        [ Alcotest.test_case "clients record kinds" `Quick
+            test_clients_record_claim_kinds ] );
       ( "pipeline",
         [ Alcotest.test_case "full pipeline" `Quick test_pipeline_full ] );
       ( "pass manager",

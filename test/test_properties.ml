@@ -38,7 +38,8 @@ let prop_full_pipeline_preserves =
            (Opt.Pipeline.run program
               { Opt.Pipeline.oracle_kind = Opt.Pipeline.Osm_field_type_refs;
                 world = Tbaa.World.Closed; devirt_inline = true; rle = true;
-                pre = true; copyprop = true });
+                pre = true; copyprop = true; licm = true; slf = true;
+                dse = true });
          ignore (Opt.Local_cse.run program)))
 
 let prop_dce_preserves =
@@ -249,7 +250,8 @@ let prop_audit_clean =
         Opt.Pipeline.run_guarded ~verify:true ~claims program
           { Opt.Pipeline.oracle_kind = Opt.Pipeline.Osm_field_type_refs;
             world = Tbaa.World.Closed; devirt_inline = true; rle = true;
-            pre = false; copyprop = true }
+            pre = false; copyprop = true; licm = true; slf = true;
+            dse = true }
       in
       let failures = Opt.Pass_manager.failures result.Opt.Pipeline.reports in
       let auditor = Sim.Audit.create claims in
@@ -277,7 +279,8 @@ let prop_fault_injection_caught =
         Opt.Pipeline.run_guarded ~verify:true ~claims ~fault program
           { Opt.Pipeline.oracle_kind = Opt.Pipeline.Osm_field_type_refs;
             world = Tbaa.World.Closed; devirt_inline = false; rle = true;
-            pre = false; copyprop = false }
+            pre = false; copyprop = false; licm = false; slf = false;
+            dse = false }
       in
       ignore (Opt.Pass_manager.failures result.Opt.Pipeline.reports);
       let auditor = Sim.Audit.create claims in

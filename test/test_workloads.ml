@@ -71,7 +71,8 @@ let test_minv_inlining_preserves () =
         (Opt.Pipeline.run program
            { Opt.Pipeline.oracle_kind = Opt.Pipeline.Osm_field_type_refs;
              world = Tbaa.World.Closed; devirt_inline = true; rle = true;
-             pre = true; copyprop = true });
+             pre = true; copyprop = true; licm = true; slf = true;
+             dse = true });
       ignore (Opt.Local_cse.run program);
       let o = Sim.Interp.run program in
       Alcotest.(check string) w.Workloads.Workload.name reference.Sim.Interp.output
