@@ -41,10 +41,13 @@ let hoist ?claims program oracle modref proc stats =
         (not (List.exists (fun u -> defs_in_loop body_instrs u) qp.Rle.qp_vars))
         && not
              (List.exists
-                (fun i ->
-                  match i with
-                  | Instr.Iload _ -> false  (* loads don't write memory *)
-                  | _ -> Rle.kill_pred ?claims ~kind oracle modref i qp)
+                (* Loads go through the kill test too: one whose
+                   destination is a global or address-taken variable
+                   rewrites that variable's memory slot, which can
+                   underlie a cell the candidate path navigates through.
+                   [Rle.kill_pred] reduces to that cheap def test for
+                   loads. *)
+                (fun i -> Rle.kill_pred ?claims ~kind oracle modref i qp)
                 body_instrs)
       in
       (* Collect candidates before mutating: (block, load). The load's

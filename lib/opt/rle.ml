@@ -127,10 +127,12 @@ let hoist_loops ?claims program oracle modref proc stats =
         (not (List.exists (fun u -> defs_in_loop body_instrs u) qp.qp_vars))
         && not
              (List.exists
-                (fun i ->
-                  match i with
-                  | Instr.Iload _ -> false  (* loads don't write memory *)
-                  | _ -> kill_pred ?claims oracle modref i qp)
+                (* Loads go through the kill test too: one whose
+                   destination is a global or address-taken variable
+                   rewrites that variable's memory slot, which can
+                   underlie a cell the candidate prefix navigates through.
+                   [kill_pred] reduces to that cheap def test for loads. *)
+                (fun i -> kill_pred ?claims oracle modref i qp)
                 body_instrs)
       in
       let longest_invariant_prefix ap =

@@ -102,21 +102,27 @@ let run_proc ?claims (oracle : Oracle.t) modref proc stats =
     let nb = Cfg.n_blocks proc in
     let gen = Array.init nb (fun _ -> Bitset.create n) in
     let kill = Array.init nb (fun _ -> Bitset.create n) in
-    let simulate instr ~gen ~kill =
-      let ks = kill_set_of instr in
-      Bitset.diff_into ~dst:gen ks;
-      Bitset.union_into ~dst:kill ks;
-      List.iter
-        (fun e ->
-          Bitset.add gen e;
-          Bitset.remove kill e)
-        (gens_of instr)
-    in
+    (* Each instruction's kill set and gens are computed exactly once,
+       here; the rewrite walk below replays the saved sets, so each
+       oracle answer lands in the claims ledger once, not once per use. *)
+    let transfers = Array.make nb [] in
     Vec.iter
       (fun b ->
+        let ts =
+          List.map (fun i -> (i, kill_set_of i, gens_of i)) b.Cfg.b_instrs
+        in
+        transfers.(b.Cfg.b_id) <- ts;
+        let gen = gen.(b.Cfg.b_id) and kill = kill.(b.Cfg.b_id) in
         List.iter
-          (fun i -> simulate i ~gen:gen.(b.Cfg.b_id) ~kill:kill.(b.Cfg.b_id))
-          b.Cfg.b_instrs)
+          (fun (_, ks, gs) ->
+            Bitset.diff_into ~dst:gen ks;
+            Bitset.union_into ~dst:kill ks;
+            List.iter
+              (fun e ->
+                Bitset.add gen e;
+                Bitset.remove kill e)
+              gs)
+          ts)
       proc.Cfg.pr_blocks;
     let result =
       Dataflow.run ~proc ~universe:n ~confluence:Dataflow.Must
@@ -129,7 +135,7 @@ let run_proc ?claims (oracle : Oracle.t) modref proc stats =
         let avail = Bitset.copy result.Dataflow.inn.(b.Cfg.b_id) in
         let rewritten =
           List.map
-            (fun instr ->
+            (fun (instr, ks, gs) ->
               let out =
                 match instr with
                 | Instr.Iload (v, ap) -> (
@@ -150,11 +156,10 @@ let run_proc ?claims (oracle : Oracle.t) modref proc stats =
               (* The replacement defines the same register the load did,
                  so the original instruction's transfer is the right one
                  to track availability with. *)
-              let ks = kill_set_of instr in
               Bitset.diff_into ~dst:avail ks;
-              List.iter (Bitset.add avail) (gens_of instr);
+              List.iter (Bitset.add avail) gs;
               out)
-            b.Cfg.b_instrs
+            transfers.(b.Cfg.b_id)
         in
         b.Cfg.b_instrs <- rewritten)
       proc.Cfg.pr_blocks

@@ -733,6 +733,79 @@ END M.
   Alcotest.(check string) "behaviour preserved" before after;
   Alcotest.(check string) "output is 8" "8" before
 
+let test_dse_kept_by_prefix_store () =
+  (* Regression: an intervening store that rewrites the prefix pointer
+     cell changes what the tracked path denotes — the later store to the
+     same syntactic path overwrites a *different* cell, so the first
+     store's value stays observable through the old pointer and the store
+     must be kept. *)
+  let src =
+    {|
+MODULE M;
+TYPE Node = OBJECT val: INTEGER; END;
+TYPE Box = OBJECT ptr: Node; END;
+VAR b: Box; orig: Node; other: Node;
+PROCEDURE P () =
+  BEGIN
+    b.ptr.val := 1;   (* must stay: b.ptr is redirected below *)
+    b.ptr := other;   (* the path now denotes other.val *)
+    b.ptr.val := 2;
+  END P;
+BEGIN
+  b := NEW (Box);
+  orig := NEW (Node);
+  other := NEW (Node);
+  b.ptr := orig;
+  P ();
+  PrintInt (orig.val * 10 + b.ptr.val);
+END M.
+|}
+  in
+  List.iter
+    (fun oracle_of ->
+      let stats, before, after =
+        client_with (fun p o -> Opt.Dse.run p o) src oracle_of
+      in
+      Alcotest.(check int) "store kept" 0 stats.Opt.Dse.removed;
+      Alcotest.(check string) "behaviour preserved" before after;
+      Alcotest.(check string) "output is 12" "12" before)
+    [ sm; td ]
+
+let test_dse_kept_by_redirecting_call () =
+  (* Regression: the intervening call *writes* the path's global base
+     variable (a mod, not a ref) — afterwards n.val denotes a different
+     cell, so the later store is no overwrite and the first must stay. *)
+  let src =
+    {|
+MODULE M;
+TYPE Node = OBJECT val: INTEGER; END;
+VAR n: Node; other: Node; orig: Node;
+PROCEDURE Swap () = BEGIN n := other; END Swap;
+PROCEDURE P () =
+  BEGIN
+    n.val := 1;   (* must stay: Swap redirects n below *)
+    Swap ();
+    n.val := 2;
+  END P;
+BEGIN
+  n := NEW (Node);
+  other := NEW (Node);
+  orig := n;
+  P ();
+  PrintInt (orig.val * 10 + n.val);
+END M.
+|}
+  in
+  List.iter
+    (fun oracle_of ->
+      let stats, before, after =
+        client_with (fun p o -> Opt.Dse.run p o) src oracle_of
+      in
+      Alcotest.(check int) "store kept" 0 stats.Opt.Dse.removed;
+      Alcotest.(check string) "behaviour preserved" before after;
+      Alcotest.(check string) "output is 12" "12" before)
+    [ sm; td ]
+
 let test_slf_forwards_stored_atom () =
   let stats, before, after =
     client_with
@@ -1091,7 +1164,11 @@ let () =
           Alcotest.test_case "kept by aliasing load" `Quick
             test_dse_kept_by_may_alias_load;
           Alcotest.test_case "kept by reading call" `Quick
-            test_dse_kept_by_reading_call ] );
+            test_dse_kept_by_reading_call;
+          Alcotest.test_case "kept by prefix store" `Quick
+            test_dse_kept_by_prefix_store;
+          Alcotest.test_case "kept by redirecting call" `Quick
+            test_dse_kept_by_redirecting_call ] );
       ( "slf",
         [ Alcotest.test_case "forwards stored atom" `Quick
             test_slf_forwards_stored_atom;
