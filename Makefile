@@ -15,6 +15,7 @@ check:
 	dune build @all
 	dune runtest
 	dune exec bin/tbaac.exe -- optimize --workload format --licm --slf --dse --stats
+	dune exec bin/tbaac.exe -- optimize --workload format --licm --slf --dse --jobs 2 --stats
 	dune exec bin/tbaac.exe -- fuzz --count 25 --seed 1 --out ""
 
 # The full differential-testing sweep: 200 generated programs through the
@@ -41,15 +42,17 @@ bench:
 
 # Ratio-based regression gates: the alias-query legs must stay >= 5x and
 # within 20% of the recorded BENCH_alias.json snapshot; the simulator
-# fast-path legs must stay >= 3x and within 20% of BENCH_sim.json
-# (regenerate the snapshots with
+# fast-path legs must stay >= 3x and within 20% of BENCH_sim.json; the
+# optimizer-pipeline warm-edit leg must stay >= 5x of cold (regenerate
+# any snapshot with the same bench's --write flag, e.g.
 #   dune exec bench/bench_alias.exe -- --write
-#   dune exec bench/bench_sim.exe -- --write).
+#   dune exec bench/bench_pipeline.exe -- --write).
 bench-smoke:
 	dune exec bench/bench_alias.exe -- --check
 	dune exec bench/bench_sim.exe -- --check
 	dune exec bench/bench_incr.exe -- --check
 	dune exec bench/bench_server.exe -- --check
+	dune exec bench/bench_pipeline.exe -- --check
 
 # The daemon robustness gate: storm tbaad's dispatch stack with the
 # seeded chaos harness (malformed JSON, ill-typed documents, oversized

@@ -159,7 +159,7 @@ let may_alias_tracked label program =
 (* ------------------------------------------------------------------ *)
 
 let json_of_run legs tracked =
-  Json.Obj
+  Json.envelope
     [ ("microbench", Json.String "alias-query-engine");
       ( "legs",
         Json.List

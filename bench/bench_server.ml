@@ -242,7 +242,7 @@ let burst_leg () =
 (* ------------------------------------------------------------------ *)
 
 let json_of_run ~fork_qps ~warm_qps ~burst ~shed =
-  Json.Obj
+  Json.envelope
     [ ("microbench", Json.String "server");
       ("procs", Json.Int procs);
       ("batch_pairs", Json.Int batch_pairs);

@@ -134,7 +134,7 @@ let traced ~reference program =
 (* ------------------------------------------------------------------ *)
 
 let json_of_run legs =
-  Json.Obj
+  Json.envelope
     [ ("microbench", Json.String "simulator-fast-path");
       ( "legs",
         Json.List

@@ -170,13 +170,16 @@ let aliases_cmd =
     Term.(const run $ file_arg $ workload_arg $ world_arg $ trt_arg)
 
 let optimize_cmd =
-  let run file workload analysis world minv pre copyprop licm slf dse stats
-      verify =
+  let run file workload analysis world minv pre copyprop licm slf dse jobs
+      stats verify =
     with_source file workload (fun name src ->
         let program = Ir.Lower.lower_string ~file:name src in
         let config =
           { Opt.Pipeline.oracle_kind = analysis; world;
-            devirt_inline = minv; rle = true; pre; copyprop; licm; slf; dse }
+            passes =
+              { Opt.Pass_manager.Config.devirt_inline = minv; licm; pre; slf;
+                rle = true; copyprop; dse; local_cse = false };
+            jobs }
         in
         let result =
           if verify then Opt.Pipeline.run_guarded ~verify:true program config
@@ -194,13 +197,18 @@ let optimize_cmd =
           in
           List.iter
             (fun r ->
-              print_endline
-                (Support.Json.to_string
-                   (Opt.Pass.report_to_json
-                      ~extra:
-                        [ ("workload", Support.Json.String name);
-                          ("config", Support.Json.String config_desc) ]
-                      r)))
+              let record =
+                match
+                  Opt.Pass.report_to_json
+                    ~extra:
+                      [ ("workload", Support.Json.String name);
+                        ("config", Support.Json.String config_desc) ]
+                    r
+                with
+                | Support.Json.Obj fields -> Support.Json.envelope fields
+                | j -> j
+              in
+              print_endline (Support.Json.to_string record))
             result.Opt.Pipeline.reports
         end;
         (match result.Opt.Pipeline.devirt_stats with
@@ -283,6 +291,14 @@ let optimize_cmd =
       value & flag
       & info [ "dse" ] ~doc:"Also run dead-store elimination (extension).")
   in
+  let jobs_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs" ] ~docv:"N"
+          ~doc:
+            "Run per-procedure passes across $(docv) domains. Output is \
+             byte-identical to a sequential run.")
+  in
   let stats_arg =
     Arg.(
       value & flag
@@ -304,8 +320,8 @@ let optimize_cmd =
     (Cmd.info "optimize" ~doc:"Run the optimizer and report what it did.")
     Term.(
       const run $ file_arg $ workload_arg $ analysis_arg $ world_arg $ minv_arg
-      $ pre_arg $ copyprop_arg $ licm_arg $ slf_arg $ dse_arg $ stats_arg
-      $ verify_arg)
+      $ pre_arg $ copyprop_arg $ licm_arg $ slf_arg $ dse_arg $ jobs_arg
+      $ stats_arg $ verify_arg)
 
 let fuel_arg =
   Arg.(
@@ -438,8 +454,11 @@ let audit_cmd =
           let program = Ir.Lower.lower_string ~file:name src in
           let config =
             { Opt.Pipeline.oracle_kind = analysis; world;
-              devirt_inline = minv; rle = true; pre = false; copyprop = false;
-              licm; slf; dse }
+              passes =
+                { Opt.Pass_manager.Config.devirt_inline = minv; licm;
+                  pre = false; slf; rle = true; copyprop = false; dse;
+                  local_cse = false };
+              jobs = 1 }
           in
           let result =
             Opt.Pipeline.run_guarded ~verify:true ~claims ?fault program config

@@ -176,14 +176,15 @@ let serve_socket srv path =
 (* ------------------------------------------------------------------ *)
 
 let run socket chaos_seed chaos_ops max_batch max_pending deadline_ms
-    max_docs allow_inject =
+    max_docs allow_inject optimize =
   let config =
     { Dispatch.default_config with
       Dispatch.max_batch;
       max_pending;
       default_deadline_ms = deadline_ms;
       max_docs;
-      allow_inject = allow_inject || chaos_seed <> None }
+      allow_inject = allow_inject || chaos_seed <> None;
+      optimize }
   in
   match chaos_seed with
   | Some seed ->
@@ -258,6 +259,16 @@ let main =
           ~doc:
             "Honour fault-injection params on open/update (testing only).")
   in
+  let optimize_arg =
+    Arg.(
+      value & flag
+      & info [ "optimize" ]
+          ~doc:
+            "Incrementally re-optimize every installed revision on the \
+             side (per-procedure results memoized across revisions); \
+             stats surface under 'optimizer' in stats and health. Query \
+             answers are unaffected.")
+  in
   Cmd.v
     (Cmd.info "tbaad" ~version:"1.0.0"
        ~doc:
@@ -265,7 +276,8 @@ let main =
           stdio or a unix socket)")
     Term.(
       const run $ socket_arg $ chaos_arg $ chaos_ops_arg $ max_batch_arg
-      $ max_pending_arg $ deadline_arg $ max_docs_arg $ inject_arg)
+      $ max_pending_arg $ deadline_arg $ max_docs_arg $ inject_arg
+      $ optimize_arg)
 
 (* Usage errors are machine-recognisable: one line on stderr, exit 2 —
    the same contract tbaac follows. *)

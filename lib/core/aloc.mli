@@ -30,6 +30,10 @@ val id : t -> int
 val interned : unit -> int
 (** Number of distinct classes interned so far. *)
 
+val set_concurrent : bool -> unit
+(** Enter/leave concurrent-interning mode: while set, {!id} serializes
+    intern-table access under a mutex (see {!Ir.Apath.set_concurrent}). *)
+
 val pp : Types.env -> Format.formatter -> t -> unit
 
 module Set : Set.S with type elt = t

@@ -10,16 +10,17 @@ type t = {
   engine : Engine.t;
 }
 
-let analyze ?(world = World.Closed) program =
-  let engine =
-    Engine.create ~config:{ Engine.default_config with Engine.world } program
-  in
+let of_engine engine =
   { facts = Engine.facts engine;
-    world;
+    world = (Engine.config engine).Engine.world;
     type_decl = Engine.oracle engine Engine.Type_decl;
     field_type_decl = Engine.oracle engine Engine.Field_type_decl;
     sm_field_type_refs = Engine.oracle engine Engine.Sm_field_type_refs;
     type_refs_table = Engine.type_refs_table engine;
     engine }
+
+let analyze ?(world = World.Closed) program =
+  of_engine
+    (Engine.create ~config:{ Engine.default_config with Engine.world } program)
 
 let oracles t = [ t.type_decl; t.field_type_decl; t.sm_field_type_refs ]

@@ -21,6 +21,11 @@ type t = {
 
 val analyze : ?world:World.t -> Ir.Cfg.program -> t
 
+val of_engine : Engine.t -> t
+(** Re-project an existing engine's current state — after an
+    {!Engine.update} this is the incremental equivalent of a fresh
+    {!analyze} of the updated program. *)
+
 val oracles : t -> Oracle.t list
 (** The three oracles in increasing precision order:
     TypeDecl, FieldTypeDecl, SMFieldTypeRefs. *)

@@ -62,6 +62,30 @@ let record ?(kind = "rle") t p1 p2 answer =
   add_kind cell kind;
   if answer then cell.c_yes <- cell.c_yes + 1 else cell.c_no <- cell.c_no + 1
 
+(* Merge one ledger into another (the per-procedure pass engine records
+   into per-procedure ledgers and folds them in program order). Keys are
+   already canonical, counts add, kind sets union (re-sorted), and homes
+   replace — home temp ids are globally unique, so replacement never
+   loses a binding. All derived counts (n_pairs, n_records,
+   disjoint_pairs) are order-insensitive sums over the cells, so the
+   merged ledger is independent of merge order. *)
+let absorb ~into src =
+  Pair_tbl.iter
+    (fun key c ->
+      let cell =
+        match Pair_tbl.find_opt into.cl_pairs key with
+        | Some d -> d
+        | None ->
+          let d = { c_yes = 0; c_no = 0; c_kinds = [] } in
+          Pair_tbl.add into.cl_pairs key d;
+          d
+      in
+      cell.c_yes <- cell.c_yes + c.c_yes;
+      cell.c_no <- cell.c_no + c.c_no;
+      List.iter (add_kind cell) c.c_kinds)
+    src.cl_pairs;
+  Hashtbl.iter (Hashtbl.replace into.cl_homes) src.cl_homes
+
 let kinds t p1 p2 =
   match Pair_tbl.find_opt t.cl_pairs (canonical p1 p2) with
   | Some c -> c.c_kinds

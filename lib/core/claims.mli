@@ -26,6 +26,14 @@ val record : ?kind:string -> t -> Apath.t -> Apath.t -> bool -> unit
     ["dse"], ["slf"], ["licm"]) so the auditor can attribute a violated
     claim to the pass that relied on it. *)
 
+val absorb : into:t -> t -> unit
+(** [absorb ~into src] folds [src]'s cells and home registrations into
+    [into]: per-pair yes/no counts add, client-kind sets union, homes
+    replace. Used by the per-procedure pass engine to merge per-procedure
+    ledgers (in program order) into the caller's ledger; every derived
+    count is order-insensitive, so parallel and sequential execution
+    produce identical merged ledgers. *)
+
 val kinds : t -> Apath.t -> Apath.t -> string list
 (** The clients that recorded answers about the pair, sorted. Empty for a
     never-queried pair. *)

@@ -109,18 +109,27 @@ let summaries_table sums =
     sums;
   tbl
 
+(* The engine IS the sanctioned consumer of the deprecated per-analysis
+   constructors: every client route goes through here. *)
 let build_oracles config facts =
+  let open struct
+    [@@@alert "-deprecated"]
+
+    let type_decl_oracle = Type_decl.oracle
+    let field_type_decl_oracle = Field_type_decl.oracle
+    let sm_type_refs_oracle = Sm_type_refs.oracle
+  end in
   let world = config.world in
   let type_decl, type_decl_ms =
-    timed (fun () -> Type_decl.oracle ~facts ~world)
+    timed (fun () -> type_decl_oracle ~facts ~world)
   in
   let field_type_decl, field_type_decl_ms =
-    timed (fun () -> Field_type_decl.oracle ~facts ~world)
+    timed (fun () -> field_type_decl_oracle ~facts ~world)
   in
   let (sm, sm_field_type_refs), sm_ms =
     timed (fun () ->
         let sm = Sm_type_refs.build ~variant:config.variant ~facts ~world () in
-        (sm, Sm_type_refs.oracle ~variant:config.variant ~facts ~world ()))
+        (sm, sm_type_refs_oracle ~variant:config.variant ~facts ~world ()))
   in
   (type_decl, field_type_decl, sm_field_type_refs, sm,
    type_decl_ms, field_type_decl_ms, sm_ms)
@@ -157,6 +166,22 @@ let create ?(config = default_config) ?(domains = 1) program =
     timings = { facts_ms; type_decl_ms; field_type_decl_ms; sm_ms };
     counters = Oracle_cache.fresh_counters (); cached_type_decl = None;
     cached_field_type_decl = None; cached_sm = None; effects = [];
+    incr = fresh_incr () }
+
+(* An independent engine frozen at [t]'s current analysis state, O(procs).
+   [update] replaces every composite value wholesale (facts, oracles,
+   condensation, effects states — [update_effects_state] builds over
+   copies) except [summaries], which it patches in place; copying that one
+   table is enough to decouple the two engines' futures. Everything shared
+   is immutable. The copy gets its own counters, cached oracle handles and
+   incremental stats so the originals keep counting for [t] alone. *)
+let copy t =
+  { t with
+    summaries = Ident.Tbl.copy t.summaries;
+    counters = Oracle_cache.fresh_counters ();
+    cached_type_decl = None;
+    cached_field_type_decl = None;
+    cached_sm = None;
     incr = fresh_incr () }
 
 let facts t = t.facts
@@ -427,7 +452,7 @@ let update_effects_state t kind old_st ~find ~cond ~nprocs ~changed
 
 let update t program =
   t.incr.updates <- t.incr.updates + 1;
-  if t.program.Ir.Cfg.tenv != program.Ir.Cfg.tenv then begin
+  if not (Types.env_equal t.program.Ir.Cfg.tenv program.Ir.Cfg.tenv) then begin
     rebuild t program;
     t
   end

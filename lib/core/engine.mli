@@ -59,15 +59,28 @@ val update : t -> Ir.Cfg.program -> t
 (** Re-analyze after an edit, reusing everything the edit provably did
     not touch (see the module header). Mutates and returns the same
     engine. [program] may be the engine's own program edited in place or
-    a fresh one — only a physically identical type environment enables
-    any reuse. Cached oracle handles and effect views are dropped
-    whenever the underlying oracles are rebuilt.
+    a fresh one — a freshly re-lowered revision of the same source reuses
+    too, since deterministic lowering reproduces a structurally equal
+    type environment ({!Minim3.Types.env_equal}) and per-procedure
+    fingerprints; a structurally changed type environment forces a full
+    rebuild. Cached oracle handles and effect views are dropped whenever
+    the underlying oracles are rebuilt.
 
     Exception-safe: all fallible re-analysis completes before the engine
     is touched, so if revalidation raises mid-update (e.g. on an
     ill-formed edited procedure) the original engine value remains fully
     usable — every query keeps answering from the last successfully
     installed analysis, and a later {!update} can still succeed. *)
+
+val copy : t -> t
+(** An independent engine frozen at the receiver's current analysis
+    state, O(procedures): later {!update}s of either engine never affect
+    the other. Cheap — everything immutable is shared; only the one
+    in-place-patched table is duplicated. The copy starts with fresh
+    query counters, cached oracle handles and incremental stats. Lets a
+    client keep per-pipeline-position analysis snapshots (e.g. the pass
+    manager's incremental sessions) so each position re-analyzes only
+    its own diff. *)
 
 val oracle : t -> kind -> Oracle.t
 (** The raw (unmemoized) oracle handle. *)

@@ -40,6 +40,7 @@ val compat_matrix : t -> Compat.t
     query is one bitset probe. This is the core the SM oracles run on. *)
 
 val oracle : ?variant:variant -> facts:Facts.t -> world:World.t -> unit -> Oracle.t
+[@@deprecated "Build a Tbaa.Engine with the variant in its config and use Engine.oracle."]
 (** SMFieldTypeRefs: the FieldTypeDecl case analysis over the TypeRefs
     compatibility core.
 

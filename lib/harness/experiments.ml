@@ -187,10 +187,15 @@ let traced_run ?(future_work = false) w ~optimize =
      over that analysis, so it stays valid across invalidations. *)
   let oracle = Opt.Pass.oracle ctx program in
   let schedule =
-    if optimize then
-      Opt.Pass_manager.schedule ~pre:future_work ~rle:true
-        ~copyprop:future_work ~local_cse:true ()
-    else Opt.Pass_manager.schedule ~local_cse:true ()
+    let base =
+      { Opt.Pass_manager.Config.none with Opt.Pass_manager.Config.local_cse = true }
+    in
+    Opt.Pass_manager.schedule
+      (if optimize then
+         { base with
+           Opt.Pass_manager.Config.rle = true; pre = future_work;
+           copyprop = future_work }
+       else base)
   in
   ignore (Opt.Pass_manager.run ctx program schedule);
   let tracer = Sim.Limit.create () in

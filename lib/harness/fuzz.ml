@@ -31,26 +31,47 @@ let kinds =
   [ Opt.Pipeline.Otype_decl; Opt.Pipeline.Ofield_type_decl;
     Opt.Pipeline.Osm_field_type_refs ]
 
+let with_passes c f =
+  { c with Opt.Pipeline.passes = f c.Opt.Pipeline.passes }
+
 let variants =
   [ ("rle", fun c -> c);
-    ("rle+copyprop", fun c -> { c with Opt.Pipeline.copyprop = true });
-    ("rle+pre", fun c -> { c with Opt.Pipeline.pre = true });
-    ("minv+rle", fun c -> { c with Opt.Pipeline.devirt_inline = true });
+    ( "rle+copyprop",
+      fun c ->
+        with_passes c (fun p -> { p with Opt.Pass_manager.Config.copyprop = true }) );
+    ( "rle+pre",
+      fun c -> with_passes c (fun p -> { p with Opt.Pass_manager.Config.pre = true }) );
+    ( "minv+rle",
+      fun c ->
+        with_passes c (fun p ->
+            { p with Opt.Pass_manager.Config.devirt_inline = true }) );
     (* The non-RLE clients, each alone (isolating its bets for the audit
        and lattice oracles), then everything at once (interactions). *)
-    ("licm", fun c -> { c with Opt.Pipeline.rle = false; licm = true });
-    ("slf", fun c -> { c with Opt.Pipeline.rle = false; slf = true });
-    ("dse", fun c -> { c with Opt.Pipeline.rle = false; dse = true });
+    ( "licm",
+      fun c ->
+        with_passes c (fun p ->
+            { p with Opt.Pass_manager.Config.rle = false; licm = true }) );
+    ( "slf",
+      fun c ->
+        with_passes c (fun p ->
+            { p with Opt.Pass_manager.Config.rle = false; slf = true }) );
+    ( "dse",
+      fun c ->
+        with_passes c (fun p ->
+            { p with Opt.Pass_manager.Config.rle = false; dse = true }) );
     ( "licm+slf+rle+dse",
-      fun c -> { c with Opt.Pipeline.licm = true; slf = true; dse = true } ) ]
+      fun c ->
+        with_passes c (fun p ->
+            { p with Opt.Pass_manager.Config.licm = true; slf = true; dse = true }) ) ]
 
 let all_configs () =
   List.concat_map
     (fun kind ->
       let base =
         { Opt.Pipeline.oracle_kind = kind; world = Tbaa.World.Closed;
-          devirt_inline = false; rle = true; pre = false; copyprop = false;
-          licm = false; slf = false; dse = false }
+          passes =
+            { Opt.Pass_manager.Config.none with Opt.Pass_manager.Config.rle = true };
+          jobs = 1 }
       in
       List.map
         (fun (vname, f) ->

@@ -35,9 +35,14 @@ type failure = {
   f_detail : string;
 }
 
-val config_names : unit -> string list
+val all_configs : unit -> (string * Opt.Pipeline.config) list
 (** The 24 optimized configurations of the matrix (three analyses × eight
-    pass variants), in check order. *)
+    pass variants), in check order, each paired with its name. Exposed so
+    other suites (the parallel-pipeline byte-identity test) can sweep
+    exactly the configurations the fuzzer exercises. *)
+
+val config_names : unit -> string list
+(** [List.map fst (all_configs ())]. *)
 
 val check_source :
   ?fault:int * float ->

@@ -49,13 +49,16 @@ let config_name c =
 let pipeline_config config =
   { Opt.Pipeline.oracle_kind = oracle_kind config;
     world = config.world;
-    devirt_inline = config.minv;
-    rle = config.rle <> None;
-    pre = config.pre;
-    copyprop = config.copyprop;
-    licm = config.licm;
-    slf = config.slf;
-    dse = config.dse }
+    passes =
+      { Opt.Pass_manager.Config.devirt_inline = config.minv;
+        licm = config.licm;
+        pre = config.pre;
+        slf = config.slf;
+        rle = config.rle <> None;
+        copyprop = config.copyprop;
+        dse = config.dse;
+        local_cse = false };
+    jobs = 1 }
 
 let prepare w config =
   let program = Workload.lower w in

@@ -101,6 +101,13 @@ val id : t -> int
 val interned : unit -> int
 (** Number of distinct paths interned so far (process-wide). *)
 
+val set_concurrent : bool -> unit
+(** Enter/leave concurrent-interning mode. While set, {!of_var} and
+    {!extend} serialize intern-table access under a mutex so parallel
+    clients (the per-procedure pass engine) may intern new paths from
+    several domains; while clear they cost nothing extra. Reads of
+    already-interned paths are unaffected either way. *)
+
 val vars_used : t -> Reg.var list
 (** The base variable and every variable appearing in an index position —
     redefining any of them changes what the path denotes. *)

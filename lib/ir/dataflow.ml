@@ -26,19 +26,23 @@ let default_cap n = n + 8
 
 (* Cumulative instrumentation: every [run]/[run_backward] logs one solve
    plus the number of sweeps it took. The pass manager snapshots this
-   around each pass to attribute dataflow work per pass. *)
-let total_solves = ref 0
-let total_iterations = ref 0
+   around each pass to attribute dataflow work per pass. Atomics, because
+   the per-procedure pass engine solves on several domains at once; the
+   totals are sums of commuting increments, so they are deterministic
+   regardless of scheduling. *)
+let total_solves = Atomic.make 0
+let total_iterations = Atomic.make 0
 
-let counters () = { solves = !total_solves; iterations = !total_iterations }
+let counters () =
+  { solves = Atomic.get total_solves; iterations = Atomic.get total_iterations }
 
 let diff_counters ~before ~after =
   { solves = after.solves - before.solves;
     iterations = after.iterations - before.iterations }
 
 let record ~iterations =
-  incr total_solves;
-  total_iterations := !total_iterations + iterations
+  Atomic.incr total_solves;
+  ignore (Atomic.fetch_and_add total_iterations iterations)
 
 let run ?max_sweeps ~proc ~universe ~confluence ~gen ~kill ~entry_fact () =
   let n = Cfg.n_blocks proc in

@@ -318,6 +318,19 @@ let rec methods_visible env t =
 
 let equal (_ : env) (a : tid) (b : tid) = a = b
 
+(* Descriptors hold only ints, interned idents, strings and tids, so
+   polymorphic equality is structural equality; [next_uid] is per-env, so
+   two lowerings of one source assign identical uids. *)
+let env_equal a b =
+  a == b
+  || (a.len = b.len
+      && (try
+            for i = 0 to a.len - 1 do
+              if a.descs.(i) <> b.descs.(i) then raise Exit
+            done;
+            true
+          with Exit -> false))
+
 let rec pp env ppf t =
   match desc env t with
   | Dunit -> Format.pp_print_string ppf "<unit>"

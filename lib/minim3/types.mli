@@ -149,5 +149,13 @@ val methods_visible : env -> tid -> Ident.t list
 (** All method names an instance of [t] responds to. *)
 
 val equal : env -> tid -> tid -> bool
+
+val env_equal : env -> env -> bool
+(** Structural equality of two whole environments: same tid count, same
+    descriptor at every tid. Two environments this accepts are fully
+    interchangeable — every tid denotes the same type in both — so an
+    analysis keyed on one may serve queries phrased against the other
+    (the incremental engine's cross-lowering reuse gate). O(count). *)
+
 val pp : env -> Format.formatter -> tid -> unit
 val to_string : env -> tid -> string

@@ -172,9 +172,11 @@ let run program =
 let pass =
   { Pass.name = "copyprop";
     role = Pass.Enabling;
-    run =
-      (fun _ctx program ->
-        let s = run program in
-        { Pass.stats = [ ("replaced", s.replaced) ];
-          changed = s.replaced > 0;
-          mutated = s.replaced > 0 }) }
+    scope =
+      Pass.Per_procedure
+        (fun pc proc ->
+          let s = { replaced = 0 } in
+          run_proc pc.Pass.pc_program proc s;
+          { Pass.stats = [ ("replaced", s.replaced) ];
+            changed = s.replaced > 0;
+            mutated = s.replaced > 0 }) }

@@ -125,9 +125,11 @@ let run program =
 let pass =
   { Pass.name = "dce";
     role = Pass.Transform;
-    run =
-      (fun _ctx program ->
-        let s = run program in
-        { Pass.stats = [ ("removed", s.removed) ];
-          changed = s.removed > 0;
-          mutated = s.removed > 0 }) }
+    scope =
+      Pass.Per_procedure
+        (fun _pc proc ->
+          let s = { removed = 0 } in
+          run_proc proc s;
+          { Pass.stats = [ ("removed", s.removed) ];
+            changed = s.removed > 0;
+            mutated = s.removed > 0 }) }

@@ -41,9 +41,10 @@ let run program ~type_refs =
 let pass =
   { Pass.name = "devirt";
     role = Pass.Transform;
-    run =
-      (fun ctx program ->
-        let s = run program ~type_refs:(Pass.type_refs ctx program) in
+    scope =
+      Pass.Whole_program
+        (fun ctx program ->
+          let s = run program ~type_refs:(Pass.type_refs ctx program) in
         { Pass.stats =
             [ ("resolved", s.resolved); ("unresolved", s.unresolved) ];
           changed = s.resolved > 0;

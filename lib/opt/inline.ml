@@ -140,9 +140,10 @@ let run ?(max_size = 60) ?(max_growth = 3000) program =
 let pass =
   { Pass.name = "inline";
     role = Pass.Transform;
-    run =
-      (fun _ctx program ->
-        let s = run program in
-        { Pass.stats = [ ("inlined", s.inlined) ];
-          changed = s.inlined > 0;
-          mutated = s.inlined > 0 }) }
+    scope =
+      Pass.Whole_program
+        (fun _ctx program ->
+          let s = run program in
+          { Pass.stats = [ ("inlined", s.inlined) ];
+            changed = s.inlined > 0;
+            mutated = s.inlined > 0 }) }

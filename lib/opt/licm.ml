@@ -30,7 +30,12 @@ let defs_in_loop instrs v =
       | None -> false)
     instrs
 
-let hoist ?claims program oracle modref proc stats =
+let hoist ?claims ?fresh program oracle modref proc stats =
+  let fresh =
+    match fresh with
+    | Some f -> f
+    | None -> fun ~name ~ty ~kind -> Cfg.fresh_var program ~name ~ty ~kind
+  in
   let dom = Dom.compute proc in
   let loops = Loops.find proc dom in
   List.iter
@@ -83,10 +88,7 @@ let hoist ?claims program oracle modref proc stats =
           match Apath.Tbl.find_opt homes p with
           | Some v -> v
           | None ->
-            let v =
-              Cfg.fresh_var program ~name:"licm" ~ty:(Apath.ty p)
-                ~kind:Reg.Vtemp
-            in
+            let v = fresh ~name:"licm" ~ty:(Apath.ty p) ~kind:Reg.Vtemp in
             (match claims with
             | Some c -> Claims.note_home c v p
             | None -> ());
@@ -114,12 +116,12 @@ let hoist ?claims program oracle modref proc stats =
       end)
     loops
 
-let run_proc ?claims program oracle modref proc =
+let run_proc ?claims ?fresh program oracle modref proc =
   let stats = { hoisted = 0 } in
   (* Iterate so loads escape nested loops level by level; each round
      recomputes dominators over the preheaders of the previous one. *)
   let rec rounds budget prev =
-    hoist ?claims program oracle modref proc stats;
+    hoist ?claims ?fresh program oracle modref proc stats;
     if stats.hoisted > prev && budget > 0 then rounds (budget - 1) stats.hoisted
   in
   rounds 4 0;
@@ -142,12 +144,13 @@ let run ?modref ?claims program oracle =
 let pass =
   { Pass.name = "licm";
     role = Pass.Transform;
-    run =
-      (fun ctx program ->
-        let s =
-          run ~modref:(Pass.modref ctx program) ?claims:ctx.Pass.claims
-            program (Pass.oracle ctx program)
-        in
-        { Pass.stats = [ ("hoisted", s.hoisted) ];
-          changed = s.hoisted > 0;
-          mutated = s.hoisted > 0 }) }
+    scope =
+      Pass.Per_procedure
+        (fun pc proc ->
+          let s =
+            run_proc ?claims:pc.Pass.pc_claims ~fresh:pc.Pass.pc_fresh
+              pc.Pass.pc_program pc.Pass.pc_oracle pc.Pass.pc_modref proc
+          in
+          { Pass.stats = [ ("hoisted", s.hoisted) ];
+            changed = s.hoisted > 0;
+            mutated = s.hoisted > 0 }) }

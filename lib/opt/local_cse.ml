@@ -73,9 +73,13 @@ let run program =
 let pass =
   { Pass.name = "local-cse";
     role = Pass.Transform;
-    run =
-      (fun _ctx program ->
-        let s = run program in
-        { Pass.stats = [ ("eliminated", s.eliminated) ];
-          changed = s.eliminated > 0;
-          mutated = s.eliminated > 0 }) }
+    scope =
+      Pass.Per_procedure
+        (fun pc proc ->
+          let s = { eliminated = 0 } in
+          Vec.iter
+            (fun b -> run_block pc.Pass.pc_program.Cfg.tenv b s)
+            proc.Cfg.pr_blocks;
+          { Pass.stats = [ ("eliminated", s.eliminated) ];
+            changed = s.eliminated > 0;
+            mutated = s.eliminated > 0 }) }

@@ -80,15 +80,22 @@ let call_effect_pred sets (oracle : Oracle.t) =
       (fun m ->
         List.exists
           (fun p ->
-            Aloc.Set.exists (fun cls -> oracle.Oracle.class_kills cls p) m)
+            List.exists (fun cls -> oracle.Oracle.class_kills cls p) m)
           paths)
       sets
 
+(* The classes are materialized as sorted lists ([Set.elements]), not
+   probed with [Set.exists]: [exists] visits the tree root first, so its
+   short-circuit order depends on the set's construction history — two
+   equal summaries built by different union sequences (incremental vs
+   from-scratch merge) would issue different query streams and drift the
+   oracle counters the differential suite compares. Element order makes
+   the stream a function of the summary's value alone. *)
 let callee_sets t target select =
   List.filter_map
     (fun callee ->
       let s = select (summary t callee) in
-      if Aloc.Set.is_empty s then None else Some s)
+      if Aloc.Set.is_empty s then None else Some (Aloc.Set.elements s))
     (Callgraph.callees_of_target t.program target)
 
 let call_kill_pred t (oracle : Oracle.t) target =

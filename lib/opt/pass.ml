@@ -35,7 +35,10 @@ let fault ?(flip_class_kills = true) ~seed ~rate () =
 type context = {
   world : World.t;
   oracle_kind : oracle_kind;
+  mutable jobs : int;  (* domains for per-procedure passes; <= 1 sequential *)
   mutable analysis_memo : Analysis.t option;
+  mutable engine_memo : Engine.t option;
+      (* survives invalidation: re-analyses go through Engine.update *)
   mutable oracle_memo : Oracle.t option;  (* cached wrapper over analysis_memo *)
   mutable modref_memo : Modref.t option;  (* engine view over analysis_memo *)
   oracle_counters : Oracle_cache.counters;
@@ -47,10 +50,12 @@ type context = {
       (* when set, observes every distinct may_alias query (fuzzer hook) *)
 }
 
-let create ?(world = World.Closed) ?(oracle_kind = Osm_field_type_refs) () =
-  { world; oracle_kind; analysis_memo = None; oracle_memo = None;
-    modref_memo = None; oracle_counters = Oracle_cache.fresh_counters ();
-    analyses_run = 0; claims = None; fault = None; oracle_log = None }
+let create ?(world = World.Closed) ?(oracle_kind = Osm_field_type_refs)
+    ?(jobs = 1) () =
+  { world; oracle_kind; jobs; analysis_memo = None; engine_memo = None;
+    oracle_memo = None; modref_memo = None;
+    oracle_counters = Oracle_cache.fresh_counters (); analyses_run = 0;
+    claims = None; fault = None; oracle_log = None }
 
 let invalidate ctx =
   ctx.analysis_memo <- None;
@@ -61,26 +66,43 @@ let analysis ctx program =
   match ctx.analysis_memo with
   | Some a -> a
   | None ->
-    let a = Analysis.analyze ~world:ctx.world program in
+    (* Re-analyses after a mutating pass go through the incremental
+       engine kept in [engine_memo]: unchanged procedures reuse their
+       summaries by fingerprint, so the cost of "analyze again" tracks
+       how much of the program the pass actually rewrote. The first
+       analysis builds the engine (via [Analysis.analyze]). *)
+    let a =
+      match ctx.engine_memo with
+      | Some e -> Analysis.of_engine (Engine.update e program)
+      | None -> Analysis.analyze ~world:ctx.world program
+    in
     ctx.analysis_memo <- Some a;
+    ctx.engine_memo <- Some a.Analysis.engine;
     ctx.analyses_run <- ctx.analyses_run + 1;
     a
+
+(* The analysis oracle of the configured precision with the fault layer
+   (when installed) applied, but no memoizing cache: the per-procedure
+   engine wraps this per procedure so parallel and sequential execution
+   share one caching structure. *)
+let raw_oracle ctx program =
+  let raw = select (analysis ctx program) ctx.oracle_kind in
+  match ctx.fault with
+  | None -> raw
+  | Some f ->
+    Oracle_fault.wrap ~flip_class_kills:f.f_class_kills ~stats:f.f_stats
+      ~seed:f.f_seed ~rate:f.f_rate raw
 
 let oracle ctx program =
   match ctx.oracle_memo with
   | Some o -> o
   | None ->
-    let raw = select (analysis ctx program) ctx.oracle_kind in
     (* The fault layer sits *under* the cache: flips are deterministic per
        query, so memoizing flipped answers keeps the view consistent. *)
-    let raw =
-      match ctx.fault with
-      | None -> raw
-      | Some f ->
-        Oracle_fault.wrap ~flip_class_kills:f.f_class_kills ~stats:f.f_stats
-          ~seed:f.f_seed ~rate:f.f_rate raw
+    let o =
+      Oracle_cache.wrap ~counters:ctx.oracle_counters ?log:ctx.oracle_log
+        (raw_oracle ctx program)
     in
-    let o = Oracle_cache.wrap ~counters:ctx.oracle_counters ?log:ctx.oracle_log raw in
     ctx.oracle_memo <- Some o;
     o
 
@@ -113,11 +135,52 @@ let unchanged stats = { stats; changed = false; mutated = false }
 
 type role = Transform | Enabling
 
+type proc_context = {
+  pc_program : Ir.Cfg.program;
+  pc_oracle : Oracle.t;
+  pc_modref : Modref.t;
+  pc_claims : Claims.t option;
+  pc_fresh :
+    name:string -> ty:Minim3.Types.tid -> kind:Ir.Reg.kind -> Ir.Reg.var;
+}
+
+type scope =
+  | Whole_program of (context -> Ir.Cfg.program -> outcome)
+  | Per_procedure of (proc_context -> Ir.Cfg.proc -> outcome)
+
 type t = {
   name : string;
   role : role;
-  run : context -> Ir.Cfg.program -> outcome;
+  scope : scope;
 }
+
+let per_procedure p =
+  match p.scope with Per_procedure _ -> true | Whole_program _ -> false
+
+(* Deterministic merge of per-procedure outcomes, in program (array)
+   order: stats sum per key (key order = first appearance, i.e. the
+   uniform key list every client pass emits), flags OR. *)
+let merge_outcomes (outcomes : outcome array) =
+  let keys = ref [] in
+  let totals : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let changed = ref false and mutated = ref false in
+  Array.iter
+    (fun o ->
+      if o.changed then changed := true;
+      if o.mutated then mutated := true;
+      List.iter
+        (fun (k, n) ->
+          match Hashtbl.find_opt totals k with
+          | Some m -> Hashtbl.replace totals k (m + n)
+          | None ->
+            keys := k :: !keys;
+            Hashtbl.add totals k n)
+        o.stats)
+    outcomes;
+  { stats =
+      List.rev_map (fun k -> (k, Hashtbl.find totals k)) !keys;
+    changed = !changed;
+    mutated = !mutated }
 
 (* ------------------------------------------------------------------ *)
 (* Reports                                                             *)

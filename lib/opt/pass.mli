@@ -1,16 +1,20 @@
-(** The uniform optimization-pass interface and its shared analysis
-    context.
+(** The optimization-pass interface and its shared analysis context.
 
-    A pass is a named transformation over the whole program that reports
-    what it did as an immutable list of named counters. Passes pull the
-    alias analysis they need from a {!context}, which memoizes one
-    {!Tbaa.Analysis.t} per program state and hands out a *cached* oracle
-    ({!Tbaa.Oracle_cache}) so repeated may-alias/compat/kill queries hit a
-    table instead of recomputing subtype or TypeRefs intersections. The
-    {!Pass_manager} invalidates the context whenever a pass mutates the
-    program, so a later pass transparently re-analyzes — this replaces the
-    seed pipeline's hand-rolled "analyze three times and patch the stats
-    records" sequencing. *)
+    A pass is a named transformation that declares its {!scope}: a
+    whole-program pass (devirtualization, inlining — anything that moves
+    code across procedure boundaries) receives the shared {!context} and
+    the whole program; a per-procedure pass (the paper's clients — RLE,
+    and DSE/SLF/LICM/PRE/copyprop/local-CSE/DCE) provides a [run_proc]
+    over one procedure and a {!proc_context}, and the {!Pass_manager}
+    derives the whole-program run generically — sequentially or across
+    {!Support.Domain_pool} domains, with byte-identical results either
+    way.
+
+    Passes pull the alias analysis they need from a {!context}, which
+    memoizes one {!Tbaa.Analysis.t} per program state. Re-analyses after
+    a mutating pass go through the incremental {!Tbaa.Engine} kept inside
+    the context, so their cost tracks how much of the program actually
+    changed. *)
 
 open Tbaa
 
@@ -20,6 +24,8 @@ val oracle_name : oracle_kind -> string
 
 val select : Analysis.t -> oracle_kind -> Oracle.t
 (** The *uncached* oracle of that kind from an analysis. *)
+
+val engine_kind : oracle_kind -> Engine.kind
 
 (** {1 Context} *)
 
@@ -38,35 +44,50 @@ val fault : ?flip_class_kills:bool -> seed:int -> rate:float -> unit -> fault
 type context = {
   world : World.t;
   oracle_kind : oracle_kind;
+  mutable jobs : int;
+      (** domains the per-procedure engine runs across; [<= 1] runs the
+          same code path sequentially (results are identical either way) *)
   mutable analysis_memo : Analysis.t option;
+  mutable engine_memo : Engine.t option;
+      (** the incremental engine behind [analysis_memo]; survives
+          {!invalidate}, so re-analyses are {!Tbaa.Engine.update}s *)
   mutable oracle_memo : Oracle.t option;
   mutable modref_memo : Modref.t option;
   oracle_counters : Oracle_cache.counters;
       (** cumulative across re-analyses; the pass manager diffs it per pass *)
   mutable analyses_run : int;
   mutable claims : Claims.t option;
-      (** when set, RLE records every alias/kill answer it relies on here
-          (the dynamic auditor's input); [None] costs nothing *)
+      (** when set, the clients record every alias/kill answer they rely
+          on here (the dynamic auditor's input); [None] costs nothing *)
   mutable fault : fault option;
   mutable oracle_log : (Ir.Apath.t -> Ir.Apath.t -> bool -> unit) option;
       (** when set, installed as the {!Tbaa.Oracle_cache.wrap} [log]
           observer: fires once per distinct may-alias pair the optimizer
           queries, with the (possibly fault-injected) answer. The fuzzer's
-          precision-lattice oracle hangs off this; [None] costs nothing *)
+          precision-lattice oracle hangs off this; [None] costs nothing.
+          Installing it (or [fault]) forces per-procedure passes onto the
+          shared sequential path, where "once per distinct pair" is
+          well-defined. *)
 }
 
-val create : ?world:World.t -> ?oracle_kind:oracle_kind -> unit -> context
-(** Defaults: closed world, SMFieldTypeRefs. One context serves one
-    program instance; create a fresh context per (program, configuration)
-    run. *)
+val create :
+  ?world:World.t -> ?oracle_kind:oracle_kind -> ?jobs:int -> unit -> context
+(** Defaults: closed world, SMFieldTypeRefs, sequential. One context
+    serves one program instance; create a fresh context per
+    (program, configuration) run. *)
 
 val analysis : context -> Ir.Cfg.program -> Analysis.t
 (** The memoized analysis of the program's *current* state; recomputed
-    after {!invalidate}. *)
+    (incrementally, through the context's engine) after {!invalidate}. *)
 
 val oracle : context -> Ir.Cfg.program -> Oracle.t
 (** The configured-precision oracle over {!analysis}, wrapped in the
     memoizing cache. Query counts land in [oracle_counters]. *)
+
+val raw_oracle : context -> Ir.Cfg.program -> Oracle.t
+(** The configured-precision oracle with the fault layer (when installed)
+    but *no* memoizing cache: the per-procedure engine wraps this once per
+    procedure, so cache state never crosses domains. *)
 
 val modref : context -> Ir.Cfg.program -> Modref.t
 (** The memoized mod-ref view of the configured precision, served from the
@@ -80,7 +101,8 @@ val type_refs : context -> Ir.Cfg.program -> Minim3.Types.tid -> Minim3.Types.ti
 
 val invalidate : context -> unit
 (** Drop the memoized analysis and its cached oracle — called by the pass
-    manager after any pass that mutated the program. *)
+    manager after any pass that mutated the program. The underlying
+    engine is kept: the next {!analysis} is an incremental update. *)
 
 (** {1 Passes} *)
 
@@ -97,6 +119,10 @@ type outcome = {
 val unchanged : (string * int) list -> outcome
 (** [{ stats; changed = false; mutated = false }]. *)
 
+val merge_outcomes : outcome array -> outcome
+(** Deterministic fold of per-procedure outcomes in program order: stats
+    sum per key (key order is first appearance), flags OR. *)
+
 type role =
   | Transform
       (** its [changed] flag counts toward fixed-point convergence *)
@@ -105,11 +131,41 @@ type role =
           [changed] flag is ignored by the convergence test, since such
           passes may keep finding cosmetic work forever *)
 
+type proc_context = {
+  pc_program : Ir.Cfg.program;
+      (** the enclosing program — read-only shared state (type
+          environment, procedure list); per-procedure passes must not
+          mutate anything outside their own procedure *)
+  pc_oracle : Oracle.t;  (** memoizing-cached, private to this procedure *)
+  pc_modref : Modref.t;  (** shared, read-only (forced before use) *)
+  pc_claims : Claims.t option;
+      (** private per-procedure ledger, merged in program order *)
+  pc_fresh :
+    name:string -> ty:Minim3.Types.tid -> kind:Ir.Reg.kind -> Ir.Reg.var;
+      (** deterministic fresh-variable allocator: the k-th temp of
+          procedure [i] gets the same id whether the pass runs
+          sequentially or across domains (ids are laced
+          [start + i + k*nprocs], so procedures never contend) *)
+}
+(** What a per-procedure pass may touch while transforming one procedure.
+    Replaces the whole-program trio (context-cached oracle, shared claims
+    ledger, [Cfg.fresh_var] on the shared program counter), all of which
+    are unsafe or non-deterministic across domains. *)
+
+type scope =
+  | Whole_program of (context -> Ir.Cfg.program -> outcome)
+  | Per_procedure of (proc_context -> Ir.Cfg.proc -> outcome)
+      (** [run_proc]: transform one procedure against a snapshot analysis
+          of the pre-pass program; must confine writes to the procedure
+          itself (and allocations to [pc_fresh]) *)
+
 type t = {
   name : string;
   role : role;
-  run : context -> Ir.Cfg.program -> outcome;
+  scope : scope;
 }
+
+val per_procedure : t -> bool
 
 (** {1 Reports} *)
 

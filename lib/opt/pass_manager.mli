@@ -1,4 +1,5 @@
-(** Declarative pass scheduling with per-pass instrumentation.
+(** Declarative pass scheduling with per-pass instrumentation, a
+    parallel per-procedure execution engine, and incremental re-runs.
 
     A schedule is a list of items: [Run p] executes a pass once; [Fixpoint]
     re-runs a group of passes until no {!Pass.Transform} member reports
@@ -8,6 +9,13 @@
     program it actually receives; this subsumes the seed pipeline's
     hard-coded second devirtualization leg and post-copy-propagation RLE
     harvest.
+
+    A {!Pass.Per_procedure} pass never sees the whole program: the manager
+    derives its whole-program run generically, executing [run_proc] over
+    every procedure — across [context.jobs] {!Support.Domain_pool} domains
+    when asked — and merging outcomes, oracle counters and claims ledgers
+    in program order. Results are byte-identical at any domain count (see
+    {!Pass.proc_context} for the determinism contract).
 
     Each pass execution yields one immutable {!Pass.report} carrying its
     wall-clock time, named counters, and the oracle-cache and dataflow
@@ -20,8 +28,44 @@ type item =
   | Run of Pass.t
   | Fixpoint of { passes : Pass.t list; max_rounds : int }
 
+(** {1 Configuration} *)
+
+module Config : sig
+  type t = {
+    devirt_inline : bool;
+    licm : bool;
+    pre : bool;
+    slf : bool;
+    rle : bool;
+    copyprop : bool;
+    dse : bool;
+    local_cse : bool;
+  }
+  (** Which passes a run enables — the one record every front end (tbaac,
+      the fuzz matrix, the golden-stat table, the daemon) passes to
+      {!schedule}, replacing the former eight optional booleans. *)
+
+  val none : t
+  (** Everything off; enable fields with record update syntax. *)
+
+  val to_stats : t -> (string * int) list
+  (** 0/1 named flags, for structured-stats records. *)
+end
+
+val schedule : Config.t -> item list
+(** The standard schedule for a configuration: devirt+inline fixpoint,
+    then LICM (hoisting sees the original loop bodies), then PRE
+    insertion, then store-to-load forwarding (stored atoms beat home-temp
+    indirection), then RLE, then (when copy propagation is on) a
+    copyprop+RLE fixpoint, then DSE (stores go dead once the load-removing
+    clients have erased their readers), then the local-CSE baseline. *)
+
+(** {1 Execution} *)
+
 val run : Pass.context -> Ir.Cfg.program -> item list -> Pass.report list
-(** Execute the schedule; reports are in execution order. *)
+(** Execute the schedule; reports are in execution order. Per-procedure
+    passes run across [context.jobs] domains (sequentially when [<= 1])
+    with byte-identical results either way. *)
 
 val run_guarded :
   ?verify:bool -> Pass.context -> Ir.Cfg.program -> item list -> Pass.report list
@@ -35,24 +79,42 @@ val run_guarded :
 val failures : Pass.report list -> (string * string) list
 (** The [(pass, reason)] failures among the reports, in execution order. *)
 
-val schedule :
-  ?devirt_inline:bool ->
-  ?licm:bool ->
-  ?pre:bool ->
-  ?slf:bool ->
-  ?rle:bool ->
-  ?copyprop:bool ->
-  ?dse:bool ->
-  ?local_cse:bool ->
-  unit ->
-  item list
-(** The standard schedule for a configuration (all flags default false):
-    devirt+inline fixpoint, then LICM (hoisting sees the original loop
-    bodies), then PRE insertion, then store-to-load forwarding (stored
-    atoms beat home-temp indirection), then RLE, then (when copy
-    propagation is on) a copyprop+RLE fixpoint, then DSE (stores go dead
-    once the load-removing clients have erased their readers), then the
-    local-CSE baseline. *)
+(** {1 Incremental re-runs}
+
+    A session re-optimizes successive versions of one program, memoizing
+    per-procedure pass results keyed by (schedule slot, procedure). On
+    [rerun], a procedure whose pass input is provably unchanged — same
+    input fingerprint and allocator state, no edit in it or in anything it
+    transitively calls (mod-ref summaries flow callee-to-caller), and no
+    change to the whole-program type oracles (checked by a gate
+    {!Tbaa.Engine} fed only the pre-optimization program versions) — has
+    its recorded output body, stats, oracle counters and claims spliced in
+    instead of re-running the pass. Misses run live (in parallel, when the
+    context asks) and refresh the memo. Reports and the resulting program
+    are byte-identical to a from-scratch {!run} with a fresh context.
+    Whole-program passes always run live. *)
+
+type session
+
+val session : Pass.context -> session
+(** A fresh session around the given context. The context must not be
+    shared with other runs while the session is live. *)
+
+val session_context : session -> Pass.context
+
+val rerun : session -> Ir.Cfg.program -> item list -> Pass.report list
+(** Re-optimize the program (in place, like {!run}) against the memo. The
+    first call is a cold run that populates it. The program must be the
+    *pre-optimization* form of the next version (the caller re-lowers or
+    edits the unoptimized IR, then calls [rerun]). *)
+
+val session_stats : session -> Support.Json.t
+(** [{runs, reused, reran, flushes}]: cumulative run count, last run's
+    spliced and live (pass execution × procedure) counts, and how often
+    oracle/call-graph churn flushed the whole memo. *)
+
+val session_counts : session -> int * int
+(** Last run's [(reused, reran)] pair. *)
 
 (** {1 Aggregation over report lists} *)
 

@@ -8,13 +8,8 @@ type oracle_kind = Pass.oracle_kind =
 type config = {
   oracle_kind : oracle_kind;
   world : World.t;
-  devirt_inline : bool;
-  rle : bool;
-  pre : bool;
-  copyprop : bool;
-  licm : bool;
-  slf : bool;
-  dse : bool;
+  passes : Pass_manager.Config.t;
+  jobs : int;
 }
 
 type result = {
@@ -35,16 +30,18 @@ let select = Pass.select
 
 let default =
   { oracle_kind = Osm_field_type_refs; world = World.Closed;
-    devirt_inline = false; rle = true; pre = false; copyprop = false;
-    licm = false; slf = false; dse = false }
+    passes = { Pass_manager.Config.none with Pass_manager.Config.rle = true };
+    jobs = 1 }
 
 let schedule_of_config ?(local_cse = false) config =
-  Pass_manager.schedule ~devirt_inline:config.devirt_inline ~licm:config.licm
-    ~pre:config.pre ~slf:config.slf ~rle:config.rle ~copyprop:config.copyprop
-    ~dse:config.dse ~local_cse ()
+  Pass_manager.schedule
+    (if local_cse then
+       { config.passes with Pass_manager.Config.local_cse = true }
+     else config.passes)
 
 let context_of_config config =
-  Pass.create ~world:config.world ~oracle_kind:config.oracle_kind ()
+  Pass.create ~world:config.world ~oracle_kind:config.oracle_kind
+    ~jobs:config.jobs ()
 
 let stats_of_reports reports =
   let open Pass_manager in

@@ -18,13 +18,12 @@ type oracle_kind = Pass.oracle_kind =
 type config = {
   oracle_kind : oracle_kind;
   world : World.t;
-  devirt_inline : bool;  (* paper's "Minv + Inlining" leg *)
-  rle : bool;
-  pre : bool;  (* partial redundancy elimination (paper's future work) *)
-  copyprop : bool;  (* copy propagation, fixpointed with RLE *)
-  licm : bool;  (* loop-invariant load motion (whole-path client) *)
-  slf : bool;  (* store-to-load forwarding (dual of RLE) *)
-  dse : bool;  (* dead-store elimination *)
+  passes : Pass_manager.Config.t;
+      (* which passes run — the same record every front end hands to
+         {!Pass_manager.schedule} *)
+  jobs : int;
+      (* domains for per-procedure passes; <= 1 is sequential, results are
+         byte-identical at any value *)
 }
 
 type result = {
@@ -79,5 +78,5 @@ val run_guarded :
     auditor's input); [fault] installs a fault-injected oracle. *)
 
 val default : config
-(** SMFieldTypeRefs + RLE, closed world, no inlining — the paper's primary
-    configuration. *)
+(** SMFieldTypeRefs + RLE, closed world, no inlining, sequential — the
+    paper's primary configuration. *)

@@ -23,7 +23,12 @@ let split_edge proc (p : Cfg.block) b_id =
   | _ -> ());
   fresh
 
-let run_proc program oracle modref proc stats =
+let run_proc ?fresh program oracle modref proc stats =
+  let fresh =
+    match fresh with
+    | Some f -> f
+    | None -> fun ~name ~ty ~kind -> Cfg.fresh_var program ~name ~ty ~kind
+  in
   let tenv = program.Cfg.tenv in
   (* Universe of scalar load-expression prefixes, as in Rle.cse. *)
   let ids = Apath.Tbl.create 64 in
@@ -167,9 +172,7 @@ let run_proc program oracle modref proc stats =
         List.iter
           (fun e ->
             let ap = Vec.get exprs e in
-            let t =
-              Cfg.fresh_var program ~name:"pre" ~ty:(Apath.ty ap) ~kind:Reg.Vtemp
-            in
+            let t = fresh ~name:"pre" ~ty:(Apath.ty ap) ~kind:Reg.Vtemp in
             target.Cfg.b_instrs <- target.Cfg.b_instrs @ [ Instr.Iload (t, ap) ];
             stats.inserted <- stats.inserted + 1)
           (List.sort_uniq compare es))
@@ -189,13 +192,13 @@ let run ?modref program oracle =
 let pass =
   { Pass.name = "pre";
     role = Pass.Transform;
-    run =
-      (fun ctx program ->
-        let s =
-          run ~modref:(Pass.modref ctx program) program
-            (Pass.oracle ctx program)
-        in
-        { Pass.stats =
-            [ ("inserted", s.inserted); ("edges_split", s.edges_split) ];
-          changed = s.inserted > 0;
-          mutated = s.inserted > 0 || s.edges_split > 0 }) }
+    scope =
+      Pass.Per_procedure
+        (fun pc proc ->
+          let s = { inserted = 0; edges_split = 0 } in
+          run_proc ~fresh:pc.Pass.pc_fresh pc.Pass.pc_program pc.Pass.pc_oracle
+            pc.Pass.pc_modref proc s;
+          { Pass.stats =
+              [ ("inserted", s.inserted); ("edges_split", s.edges_split) ];
+            changed = s.inserted > 0;
+            mutated = s.inserted > 0 || s.edges_split > 0 }) }

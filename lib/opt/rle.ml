@@ -116,7 +116,13 @@ let defs_in_loop instrs v =
       | None -> false)
     instrs
 
-let hoist_loops ?claims program oracle modref proc stats =
+let default_fresh program ~name ~ty ~kind =
+  Cfg.fresh_var program ~name ~ty ~kind
+
+let hoist_loops ?claims ?fresh program oracle modref proc stats =
+  let fresh =
+    match fresh with Some f -> f | None -> default_fresh program
+  in
   let dom = Dom.compute proc in
   let loops = Loops.find proc dom in
   List.iter
@@ -180,9 +186,7 @@ let hoist_loops ?claims program oracle modref proc stats =
           match Apath.Tbl.find_opt hoisted_homes p with
           | Some v -> v
           | None ->
-            let v =
-              Cfg.fresh_var program ~name:"licm" ~ty:(Apath.ty p) ~kind:Reg.Vtemp
-            in
+            let v = fresh ~name:"licm" ~ty:(Apath.ty p) ~kind:Reg.Vtemp in
             (match claims with
             | Some c -> Claims.note_home c v p
             | None -> ());
@@ -222,7 +226,10 @@ let hoist_loops ?claims program oracle modref proc stats =
    the longest available prefix. A store generates its proper prefixes (it
    reads them to navigate) and its own path (store-to-load forwarding). *)
 
-let cse ?claims program oracle modref proc stats =
+let cse ?claims ?fresh program oracle modref proc stats =
+  let fresh =
+    match fresh with Some f -> f | None -> default_fresh program
+  in
   let tenv = program.Cfg.tenv in
   let ids = Apath.Tbl.create 64 in
   let exprs = Vec.create () in
@@ -297,9 +304,7 @@ let cse ?claims program oracle modref proc stats =
       | Some v -> v
       | None ->
         let ap = Vec.get exprs e in
-        let v =
-          Cfg.fresh_var program ~name:"rle" ~ty:(Apath.ty ap) ~kind:Reg.Vtemp
-        in
+        let v = fresh ~name:"rle" ~ty:(Apath.ty ap) ~kind:Reg.Vtemp in
         (match claims with
         | Some c -> Claims.note_home c v ap
         | None -> ());
@@ -389,16 +394,16 @@ let cse ?claims program oracle modref proc stats =
       proc.Cfg.pr_blocks
   end
 
-let run_proc ?claims program oracle modref proc =
+let run_proc ?claims ?fresh program oracle modref proc =
   let stats = { hoisted = 0; eliminated = 0; shortened = 0 } in
   (* Iterate hoisting so loads escape nested loops level by level; each
      round recomputes dominators over the preheaders of the previous one. *)
   let rec rounds budget prev =
-    hoist_loops ?claims program oracle modref proc stats;
+    hoist_loops ?claims ?fresh program oracle modref proc stats;
     if stats.hoisted > prev && budget > 0 then rounds (budget - 1) stats.hoisted
   in
   rounds 4 0;
-  cse ?claims program oracle modref proc stats;
+  cse ?claims ?fresh program oracle modref proc stats;
   stats
 
 let run ?modref ?claims program oracle =
@@ -420,17 +425,18 @@ let run ?modref ?claims program oracle =
 let pass =
   { Pass.name = "rle";
     role = Pass.Transform;
-    run =
-      (fun ctx program ->
-        let s =
-          run ~modref:(Pass.modref ctx program) ?claims:ctx.Pass.claims
-            program (Pass.oracle ctx program)
-        in
-        { Pass.stats =
-            [ ("hoisted", s.hoisted); ("eliminated", s.eliminated);
-              ("shortened", s.shortened) ];
-          changed = removed s > 0;
-          (* Even a zero-stat run rewrites loads through home temporaries,
-             so the program text (and thus the analysis) is always stale
-             afterwards. *)
-          mutated = true }) }
+    scope =
+      Pass.Per_procedure
+        (fun pc proc ->
+          let s =
+            run_proc ?claims:pc.Pass.pc_claims ~fresh:pc.Pass.pc_fresh
+              pc.Pass.pc_program pc.Pass.pc_oracle pc.Pass.pc_modref proc
+          in
+          { Pass.stats =
+              [ ("hoisted", s.hoisted); ("eliminated", s.eliminated);
+                ("shortened", s.shortened) ];
+            changed = removed s > 0;
+            (* Even a zero-stat run rewrites loads through home temporaries,
+               so the program text (and thus the analysis) is always stale
+               afterwards. *)
+            mutated = true }) }

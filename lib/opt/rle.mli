@@ -68,7 +68,12 @@ val removed : stats -> int
 (** Total loads removed statically — the paper's Table 6 number. *)
 
 val run_proc :
-  ?claims:Claims.t -> Ir.Cfg.program -> Oracle.t -> Modref.t -> Ir.Cfg.proc -> stats
+  ?claims:Claims.t ->
+  ?fresh:(name:string -> ty:Minim3.Types.tid -> kind:Ir.Reg.kind -> Ir.Reg.var) ->
+  Ir.Cfg.program -> Oracle.t -> Modref.t -> Ir.Cfg.proc -> stats
+(** One procedure. [fresh] overrides the home-temporary allocator
+    (defaults to {!Ir.Cfg.fresh_var} on the program counter); the
+    per-procedure engine passes its deterministic laced allocator. *)
 
 val run : ?modref:Modref.t -> ?claims:Claims.t -> Ir.Cfg.program -> Oracle.t -> stats
 (** Run over every procedure. Computes mod-ref summaries unless an

@@ -180,12 +180,12 @@ let run ?modref ?claims program oracle =
 let pass =
   { Pass.name = "slf";
     role = Pass.Transform;
-    run =
-      (fun ctx program ->
-        let s =
-          run ~modref:(Pass.modref ctx program) ?claims:ctx.Pass.claims
-            program (Pass.oracle ctx program)
-        in
-        { Pass.stats = [ ("forwarded", s.forwarded) ];
-          changed = s.forwarded > 0;
-          mutated = s.forwarded > 0 }) }
+    scope =
+      Pass.Per_procedure
+        (fun pc proc ->
+          let s = { forwarded = 0 } in
+          run_proc ?claims:pc.Pass.pc_claims pc.Pass.pc_oracle
+            pc.Pass.pc_modref proc s;
+          { Pass.stats = [ ("forwarded", s.forwarded) ];
+            changed = s.forwarded > 0;
+            mutated = s.forwarded > 0 }) }

@@ -9,11 +9,13 @@ type config = {
   max_docs : int;
   default_deadline_ms : float;
   allow_inject : bool;
+  optimize : bool;  (* incrementally re-optimize each installed revision *)
 }
 
 let default_config =
   { max_batch = 4096; max_pending = 64; max_request_bytes = 8 * 1024 * 1024;
-    max_docs = 64; default_deadline_ms = 2000.0; allow_inject = false }
+    max_docs = 64; default_deadline_ms = 2000.0; allow_inject = false;
+    optimize = false }
 
 type t = {
   cfg : config;
@@ -29,7 +31,7 @@ type t = {
 
 let create ?(config = default_config) () =
   { cfg = config;
-    st = Store.create ~max_docs:config.max_docs
+    st = Store.create ~max_docs:config.max_docs ~optimize:config.optimize
            ~allow_inject:config.allow_inject ();
     shutdown = false; sv_requests = 0; sv_ok = 0; sv_errors = 0;
     sv_timeouts = 0; sv_shed = 0; sv_alias_answers = 0 }
@@ -266,11 +268,12 @@ let handle_paths t rq =
 
 let handle_stats t rq =
   let name, d = doc_param t rq in
-  Json.Obj
+  Json.envelope
     [ ("doc", Json.String name);
       ("mode", Json.String (Store.mode_name (Store.doc_mode d)));
       ("generation", Json.Int (Store.generation d));
-      ("engine", Tbaa.Engine.stats (Store.engine d)) ]
+      ("engine", Tbaa.Engine.stats (Store.engine d));
+      ("optimizer", Option.value (Store.opt_stats d) ~default:Json.Null) ]
 
 let server_counters t =
   Json.Obj

@@ -31,6 +31,10 @@ type config = {
       (** per-request deadline when the client sends none (default 2000) *)
   allow_inject : bool;
       (** honour fault-injection params (chaos harness only) *)
+  optimize : bool;
+      (** incrementally re-optimize every installed revision on the side
+          ({!Store.create}'s [optimize]); stats surface under
+          ["optimizer"] in [stats] and [health] (default false) *)
 }
 
 val default_config : config

@@ -26,6 +26,9 @@ type doc = {
   mutable dc_source : string;  (* last-good source *)
   mutable dc_program : Ir.Cfg.program;  (* last-good lowered program *)
   mutable dc_engine : Tbaa.Engine.t;  (* last-good engine *)
+  mutable dc_opt_session : Opt.Pass_manager.session option;
+      (* incremental optimizer state, carried across revisions *)
+  mutable dc_opt : Json.t option;  (* last optimizer run's stats *)
   mutable dc_paths : (Ident.t * Ir.Apath.t * bool) array;
   mutable dc_mode : mode;
   mutable dc_last_error : string option;
@@ -43,10 +46,12 @@ type t = {
   docs : (string, doc) Hashtbl.t;
   st_max_docs : int;
   allow_inject : bool;
+  st_optimize : bool;
 }
 
-let create ?(max_docs = 64) ~allow_inject () =
-  { docs = Hashtbl.create 16; st_max_docs = max_docs; allow_inject }
+let create ?(max_docs = 64) ?(optimize = false) ~allow_inject () =
+  { docs = Hashtbl.create 16; st_max_docs = max_docs; allow_inject;
+    st_optimize = optimize }
 
 let find t name = Hashtbl.find_opt t.docs name
 let count t = Hashtbl.length t.docs
@@ -124,6 +129,101 @@ let degrade_on_failure existing msg =
        promote Conservative back to merely Stale. *)
     if d.dc_mode = Fresh then d.dc_mode <- Stale
 
+(* ------------------------------------------------------------------ *)
+(* Incremental re-optimization                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* The daemon's pipeline: every per-procedure client, sequential. The
+   alias queries it answers are over the *unoptimized* program (that is
+   what the paths index), so each revision is optimized on the side —
+   run over the fresh lowering, stats recorded, then the lowering is
+   restored byte-for-byte. The session's per-(pass, procedure) memo and
+   gate engine persist across revisions, so a body-local edit re-runs
+   only the edited procedure and its transitive callers. *)
+let optimizer_config =
+  { Opt.Pipeline.oracle_kind = Opt.Pipeline.Osm_field_type_refs;
+    world = Tbaa.World.Closed;
+    passes =
+      { Opt.Pass_manager.Config.none with
+        Opt.Pass_manager.Config.licm = true; pre = true; slf = true;
+        rle = true; copyprop = true; dse = true };
+    jobs = 1 }
+
+let snapshot_program (p : Ir.Cfg.program) =
+  ( p.Ir.Cfg.prog_procs, p.Ir.Cfg.next_var_id,
+    List.map
+      (fun (proc : Ir.Cfg.proc) ->
+        ( proc, proc.Ir.Cfg.pr_entry, proc.Ir.Cfg.pr_locals,
+          Array.init (Ir.Cfg.n_blocks proc) (fun i ->
+              let b = Ir.Cfg.block proc i in
+              (b.Ir.Cfg.b_instrs, b.Ir.Cfg.b_term)) ))
+      p.Ir.Cfg.prog_procs )
+
+let restore_program (p : Ir.Cfg.program) (procs, next_id, saved) =
+  p.Ir.Cfg.prog_procs <- procs;
+  List.iter
+    (fun ((proc : Ir.Cfg.proc), entry, locals, blocks) ->
+      let nb = Array.length blocks in
+      while Ir.Cfg.n_blocks proc < nb do
+        ignore (Ir.Cfg.new_block proc (Ir.Instr.Treturn None))
+      done;
+      if Ir.Cfg.n_blocks proc > nb then Vec.truncate proc.Ir.Cfg.pr_blocks nb;
+      Array.iteri
+        (fun i (instrs, term) ->
+          let b = Ir.Cfg.block proc i in
+          b.Ir.Cfg.b_instrs <- instrs;
+          b.Ir.Cfg.b_term <- term)
+        blocks;
+      proc.Ir.Cfg.pr_entry <- entry;
+      proc.Ir.Cfg.pr_locals <- locals)
+    saved;
+  p.Ir.Cfg.next_var_id <- next_id
+
+let optimize_doc d program =
+  let saved = snapshot_program program in
+  match
+    let s =
+      match d.dc_opt_session with
+      | Some s -> s
+      | None ->
+        let s =
+          Opt.Pass_manager.session
+            (Opt.Pipeline.context_of_config optimizer_config)
+        in
+        d.dc_opt_session <- Some s;
+        s
+    in
+    let t0 = Unix.gettimeofday () in
+    let reports =
+      Opt.Pass_manager.rerun s program
+        (Opt.Pipeline.schedule_of_config optimizer_config)
+    in
+    let ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+    let changed =
+      List.length (List.filter (fun r -> r.Opt.Pass.r_changed) reports)
+    in
+    let session_fields =
+      match Opt.Pass_manager.session_stats s with
+      | Json.Obj fields -> fields
+      | j -> [ ("session", j) ]
+    in
+    Json.Obj
+      (("time_ms", Json.Float ms)
+      :: ("passes", Json.Int (List.length reports))
+      :: ("passes_changed", Json.Int changed)
+      :: session_fields)
+  with
+  | stats ->
+    restore_program program saved;
+    d.dc_opt <- Some stats
+  | exception e ->
+    (* The optimizer is advisory: a crash there must not degrade the
+       query path. Restore the lowering, drop the (possibly corrupt)
+       session, and surface the error in the stats instead. *)
+    restore_program program saved;
+    d.dc_opt_session <- None;
+    d.dc_opt <- Some (Json.Obj [ ("error", Json.String (Printexc.to_string e)) ])
+
 let open_or_update t ~name ~source ~inject =
   let inject = if t.allow_inject then inject else [] in
   let existing = Hashtbl.find_opt t.docs name in
@@ -172,7 +272,8 @@ let open_or_update t ~name ~source ~inject =
         | None ->
           let d =
             { dc_name = name; dc_source = source; dc_program = program;
-              dc_engine = engine; dc_paths = paths; dc_mode = Fresh;
+              dc_engine = engine; dc_opt_session = None; dc_opt = None;
+              dc_paths = paths; dc_mode = Fresh;
               dc_last_error = None; dc_inject = inject; dc_oracles = [];
               dc_generation = 1; dc_attempts = attempts; dc_queries = 0;
               dc_degraded = 0; dc_failed_updates = 0 }
@@ -180,6 +281,7 @@ let open_or_update t ~name ~source ~inject =
           Hashtbl.replace t.docs name d;
           d
       in
+      if t.st_optimize then optimize_doc doc program;
       Updated doc
   with
   | Diag.Compile_error d ->
@@ -208,6 +310,7 @@ let last_error d = d.dc_last_error
 let source d = d.dc_source
 let engine d = d.dc_engine
 let program d = d.dc_program
+let opt_stats d = d.dc_opt
 
 let n_paths d = Array.length d.dc_paths
 let path d i = d.dc_paths.(i)
@@ -273,4 +376,5 @@ let health_json d =
       ( "last_error",
         match d.dc_last_error with
         | Some e -> Json.String e
-        | None -> Json.Null ) ]
+        | None -> Json.Null );
+      ("optimizer", Option.value d.dc_opt ~default:Json.Null) ]

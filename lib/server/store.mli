@@ -49,7 +49,14 @@ type doc
 
 type t
 
-val create : ?max_docs:int -> allow_inject:bool -> unit -> t
+val create : ?max_docs:int -> ?optimize:bool -> allow_inject:bool -> unit -> t
+(** [optimize] (default [false]) re-optimizes every successfully
+    installed revision through a per-document incremental
+    {!Opt.Pass_manager.session}: the pipeline runs over the fresh
+    lowering (reusing memoized per-procedure results from the previous
+    revision), its stats land in {!opt_stats}, and the lowering is then
+    restored — query answers are always over the unoptimized program
+    and are unaffected by the flag. *)
 
 val find : t -> string -> doc option
 val count : t -> int
@@ -91,6 +98,12 @@ val engine : doc -> Tbaa.Engine.t
 (** Last-good engine. *)
 
 val program : doc -> Ir.Cfg.program
+
+val opt_stats : doc -> Json.t option
+(** The last incremental re-optimization of this document (stores created
+    with [optimize:true] only): wall-clock, pass counts and the session's
+    cumulative reused/reran/flush counters — or an [error] field if the
+    optimizer crashed (the document itself is unaffected). *)
 
 val n_paths : doc -> int
 val path : doc -> int -> Ident.t * Ir.Apath.t * bool

@@ -62,6 +62,20 @@ let to_string v =
 
 let of_stats stats = Obj (List.map (fun (k, n) -> (k, Int n)) stats)
 
+(* The one structured-output envelope every machine-readable emitter in
+   this repository shares (tbaac --stats records, bench snapshots, tbaad
+   stats responses): a versioned object whose first key is the schema
+   number, so consumers can dispatch before reading anything else. *)
+let schema_version = 1
+
+let envelope ?(schema = schema_version) fields =
+  Obj (("schema", Int schema) :: fields)
+
+let schema_of = function
+  | Obj kvs -> (
+    match List.assoc_opt "schema" kvs with Some (Int n) -> Some n | _ -> None)
+  | _ -> None
+
 (* ------------------------------------------------------------------ *)
 (* Parsing                                                             *)
 (* ------------------------------------------------------------------ *)

@@ -21,6 +21,18 @@ val to_string : t -> string
 val of_stats : (string * int) list -> t
 (** Convenience: a named-counter list as a JSON object. *)
 
+val schema_version : int
+(** The current structured-output schema number (1). *)
+
+val envelope : ?schema:int -> (string * t) list -> t
+(** The versioned envelope shared by every machine-readable emitter
+    ([tbaac --stats] records, bench snapshots, [tbaad] stats responses):
+    an object whose first field is [("schema", Int schema)] (default
+    {!schema_version}) followed by [fields]. *)
+
+val schema_of : t -> int option
+(** The envelope's schema number, [None] for non-enveloped values. *)
+
 exception Parse_error of string
 
 val of_string : string -> t

@@ -133,10 +133,15 @@ let test_engine_matches_direct_constructors () =
       let engine = Tbaa.Engine.create program in
       let facts = Tbaa.Engine.facts engine in
       let refs = paths_of facts in
+      (* This differential test is exactly the reason the deprecated raw
+         constructors still exist: it checks the engine against them. *)
       let direct =
-        [ Tbaa.Type_decl.oracle ~facts ~world:Tbaa.World.Closed;
-          Tbaa.Field_type_decl.oracle ~facts ~world:Tbaa.World.Closed;
-          Tbaa.Sm_type_refs.oracle ~facts ~world:Tbaa.World.Closed () ]
+        [ (Tbaa.Type_decl.oracle [@alert "-deprecated"])
+            ~facts ~world:Tbaa.World.Closed;
+          (Tbaa.Field_type_decl.oracle [@alert "-deprecated"])
+            ~facts ~world:Tbaa.World.Closed;
+          (Tbaa.Sm_type_refs.oracle [@alert "-deprecated"])
+            ~facts ~world:Tbaa.World.Closed () ]
       in
       List.iter2
         (fun (o : Tbaa.Oracle.t) (d : Tbaa.Oracle.t) ->

@@ -124,8 +124,9 @@ let test_matrix_covers_new_clients () =
 
 let client_config ~licm ~slf ~dse =
   { Opt.Pipeline.oracle_kind = Opt.Pipeline.Osm_field_type_refs;
-    world = Tbaa.World.Closed; devirt_inline = false; rle = false;
-    pre = false; copyprop = false; licm; slf; dse }
+    world = Tbaa.World.Closed;
+    passes = { Opt.Pass_manager.Config.none with Opt.Pass_manager.Config.licm; slf; dse };
+    jobs = 1 }
 
 let audit_trap ?fault config src =
   let program = Ir.Lower.lower_string ~file:"<trap>" src in
@@ -255,10 +256,11 @@ let run_evil name corrupt =
   let pass =
     { Opt.Pass.name;
       role = Opt.Pass.Transform;
-      run =
-        (fun _ctx program ->
-          corrupt program;
-          { Opt.Pass.stats = []; changed = true; mutated = true }) }
+      scope =
+        Opt.Pass.Whole_program
+          (fun _ctx program ->
+            corrupt program;
+            { Opt.Pass.stats = []; changed = true; mutated = true }) }
   in
   let ctx = Opt.Pass.create () in
   let reports =

@@ -1,0 +1,76 @@
+(* Program mutations shared by the incremental-engine tests (test_incr)
+   and the incremental-pipeline tests (test_pipeline). Each edits the
+   program in place and returns the name of the procedure it touched,
+   [None] when the program offers no mutation site. *)
+
+open Support
+open Ir
+
+(* Toggle the first integer constant in an ALU assignment: changes the
+   fingerprint, leaves every collected fact untouched. *)
+let toggle_const (program : Cfg.program) =
+  let hit = ref None in
+  List.iter
+    (fun (proc : Cfg.proc) ->
+      if Option.is_none !hit then
+        Vec.iter
+          (fun b ->
+            if Option.is_none !hit then
+              b.Cfg.b_instrs <-
+                List.map
+                  (function
+                    | Instr.Iassign (v, Instr.Rbinop (op, a, Reg.Aint k))
+                      when Option.is_none !hit ->
+                      hit := Some proc.Cfg.pr_name;
+                      Instr.Iassign
+                        (v, Instr.Rbinop (op, a, Reg.Aint (k + 1)))
+                    | i -> i)
+                  b.Cfg.b_instrs)
+          proc.Cfg.pr_blocks)
+    program.Cfg.prog_procs;
+  !hit
+
+(* Duplicate the first heap store: the memref list grows (facts re-merge)
+   but the canonical oracle inputs are sets, so oracles must survive. *)
+let dup_store (program : Cfg.program) =
+  let hit = ref None in
+  List.iter
+    (fun (proc : Cfg.proc) ->
+      if Option.is_none !hit then
+        Vec.iter
+          (fun b ->
+            if Option.is_none !hit then
+              b.Cfg.b_instrs <-
+                List.concat_map
+                  (function
+                    | Instr.Istore _ as i when Option.is_none !hit ->
+                      hit := Some proc.Cfg.pr_name;
+                      [ i; i ]
+                    | i -> [ i ])
+                  b.Cfg.b_instrs)
+          proc.Cfg.pr_blocks)
+    program.Cfg.prog_procs;
+  !hit
+
+(* Erase the body of a block containing a heap store: the procedure's
+   direct effects shrink, so its dependents' merged views must be
+   recomputed — the propagation path through the condensation. *)
+let erase_store_block (program : Cfg.program) =
+  let hit = ref None in
+  List.iter
+    (fun (proc : Cfg.proc) ->
+      if Option.is_none !hit then
+        Vec.iter
+          (fun b ->
+            if
+              Option.is_none !hit
+              && List.exists
+                   (function Instr.Istore _ -> true | _ -> false)
+                   b.Cfg.b_instrs
+            then begin
+              hit := Some proc.Cfg.pr_name;
+              b.Cfg.b_instrs <- []
+            end)
+          proc.Cfg.pr_blocks)
+    program.Cfg.prog_procs;
+  !hit

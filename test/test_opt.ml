@@ -1024,9 +1024,11 @@ let test_pipeline_full () =
   let result =
     Opt.Pipeline.run program
       { Opt.Pipeline.oracle_kind = Opt.Pipeline.Osm_field_type_refs;
-        world = Tbaa.World.Closed; devirt_inline = true; rle = true;
-        pre = false; copyprop = false; licm = false; slf = false;
-        dse = false }
+        world = Tbaa.World.Closed;
+        passes =
+          { Opt.Pass_manager.Config.none with
+            Opt.Pass_manager.Config.devirt_inline = true; rle = true };
+        jobs = 1 }
   in
   Alcotest.(check bool) "devirt ran" true (result.Opt.Pipeline.devirt_stats <> None);
   Alcotest.(check string) "behaviour preserved" before (run_out program)

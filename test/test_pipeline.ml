@@ -1,0 +1,220 @@
+(* The per-procedure optimizer pipeline:
+
+   - parallel execution (jobs > 1) is byte-identical to sequential over
+     the full fuzz configuration matrix and the generator seeds —
+     program text, per-pass stats, oracle counters, and claims-ledger
+     totals all equal;
+   - incremental [Pass_manager.rerun] is indistinguishable from a
+     from-scratch run for each mutation kind (constant toggle, store
+     duplication, store-block erasure, procedure removal), and actually
+     reuses memoized work for a body-local single-procedure edit;
+   - the versioned JSON envelope round-trips. *)
+
+open Support
+open Ir
+
+let seeds = [ 1; 2; 3; 5; 8; 13; 21; 34; 55; 89 ]
+
+let lower_gen seed =
+  let g = Gen.Generator.generate ~size:((seed mod 3) + 1) seed in
+  Lower.lower_string ~file:"<gen>" g.Gen.Generator.source
+
+let print_program program = Format.asprintf "%a" Cfg.pp_program program
+
+let stats_sig reports =
+  String.concat ";"
+    (List.map
+       (fun (r : Opt.Pass.report) ->
+         Printf.sprintf "%s#%d changed=%b %s oracle=%d/%d" r.Opt.Pass.r_pass
+           r.Opt.Pass.r_round r.Opt.Pass.r_changed
+           (String.concat ","
+              (List.map
+                 (fun (k, v) -> Printf.sprintf "%s=%d" k v)
+                 r.Opt.Pass.r_stats))
+           (Tbaa.Oracle_cache.queries r.Opt.Pass.r_oracle)
+           (Tbaa.Oracle_cache.hits r.Opt.Pass.r_oracle))
+       reports)
+
+(* ------------------------------------------------------------------ *)
+(* Parallel ≡ sequential                                               *)
+(* ------------------------------------------------------------------ *)
+
+let run_once ~jobs cfg program =
+  let cfg = { cfg with Opt.Pipeline.jobs } in
+  let ctx = Opt.Pipeline.context_of_config cfg in
+  let claims =
+    Tbaa.Claims.create ~oracle:(Opt.Pipeline.oracle_name cfg.Opt.Pipeline.oracle_kind)
+  in
+  ctx.Opt.Pass.claims <- Some claims;
+  let reports =
+    Opt.Pass_manager.run ctx program (Opt.Pipeline.schedule_of_config cfg)
+  in
+  (reports, claims)
+
+let test_parallel_matches_sequential () =
+  let configs = Harness.Fuzz.all_configs () in
+  Alcotest.(check int) "fuzz matrix size" 24 (List.length configs);
+  List.iter
+    (fun seed ->
+      List.iter
+        (fun (cname, cfg) ->
+          let p_seq = lower_gen seed and p_par = lower_gen seed in
+          let r_seq, c_seq = run_once ~jobs:1 cfg p_seq in
+          let r_par, c_par = run_once ~jobs:4 cfg p_par in
+          let label = Printf.sprintf "%s seed=%d" cname seed in
+          Alcotest.(check string)
+            (label ^ ": program bytes") (print_program p_seq)
+            (print_program p_par);
+          Alcotest.(check string)
+            (label ^ ": report stats") (stats_sig r_seq) (stats_sig r_par);
+          Alcotest.(check int)
+            (label ^ ": claim pairs") (Tbaa.Claims.n_pairs c_seq)
+            (Tbaa.Claims.n_pairs c_par);
+          Alcotest.(check int)
+            (label ^ ": claim records") (Tbaa.Claims.n_records c_seq)
+            (Tbaa.Claims.n_records c_par))
+        configs)
+    seeds
+
+(* ------------------------------------------------------------------ *)
+(* Incremental rerun ≡ from-scratch                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* The daemon's configuration: every per-procedure client on, plus the
+   whole-program fixpoint in front to prove whole-program passes rerun
+   live. *)
+let rerun_config =
+  { Opt.Pipeline.oracle_kind = Opt.Pipeline.Osm_field_type_refs;
+    world = Tbaa.World.Closed;
+    passes =
+      { Opt.Pass_manager.Config.devirt_inline = true; licm = true; pre = true;
+        slf = true; rle = true; copyprop = true; dse = true;
+        local_cse = false };
+    jobs = 2 }
+
+let drop_last_proc (program : Cfg.program) =
+  match List.rev program.Cfg.prog_procs with
+  | [] | [ _ ] -> None
+  | last :: _ ->
+    program.Cfg.prog_procs <-
+      List.filter
+        (fun (p : Cfg.proc) -> p != last)
+        program.Cfg.prog_procs;
+    Some last.Cfg.pr_name
+
+let mutations =
+  [ ("toggle-const", fun p -> Option.is_some (Test_mutations.toggle_const p));
+    ("dup-store", fun p -> Option.is_some (Test_mutations.dup_store p));
+    ( "erase-store-block",
+      fun p -> Option.is_some (Test_mutations.erase_store_block p) );
+    ("drop-proc", fun p -> Option.is_some (drop_last_proc p)) ]
+
+let check_rerun_matches_scratch ~label ~mutate seed =
+  let schedule = Opt.Pipeline.schedule_of_config rerun_config in
+  let ctx = Opt.Pipeline.context_of_config rerun_config in
+  let s = Opt.Pass_manager.session ctx in
+  (* Cold run over the unedited program populates the memo. *)
+  let p0 = lower_gen seed in
+  ignore (Opt.Pass_manager.rerun s p0 schedule);
+  (* The next version: re-lowered from source (the daemon's
+     document-change path), then edited pre-optimization. *)
+  let p1 = lower_gen seed in
+  if not (mutate p1) then ()
+  else begin
+    let claims1 = Tbaa.Claims.create ~oracle:"rerun" in
+    ctx.Opt.Pass.claims <- Some claims1;
+    let r1 = Opt.Pass_manager.rerun s p1 schedule in
+    (* From-scratch reference on an identically edited copy. *)
+    let p2 = lower_gen seed in
+    ignore (mutate p2);
+    let ctx2 = Opt.Pipeline.context_of_config rerun_config in
+    let claims2 = Tbaa.Claims.create ~oracle:"rerun" in
+    ctx2.Opt.Pass.claims <- Some claims2;
+    let r2 = Opt.Pass_manager.run ctx2 p2 schedule in
+    let l = Printf.sprintf "%s seed=%d" label seed in
+    Alcotest.(check string)
+      (l ^ ": program bytes") (print_program p2) (print_program p1);
+    Alcotest.(check string) (l ^ ": report stats") (stats_sig r2) (stats_sig r1);
+    Alcotest.(check int)
+      (l ^ ": claim pairs") (Tbaa.Claims.n_pairs claims2)
+      (Tbaa.Claims.n_pairs claims1);
+    Alcotest.(check int)
+      (l ^ ": claim records") (Tbaa.Claims.n_records claims2)
+      (Tbaa.Claims.n_records claims1)
+  end
+
+let test_rerun_mutations () =
+  List.iter
+    (fun (label, mutate) ->
+      List.iter (check_rerun_matches_scratch ~label ~mutate) seeds)
+    mutations
+
+(* A digest-changing but fact-preserving single-procedure edit must
+   actually hit the memo: procedures outside the edit's caller closure
+   splice their recorded results. *)
+let test_rerun_reuses () =
+  let schedule = Opt.Pipeline.schedule_of_config rerun_config in
+  let hit = ref false in
+  List.iter
+    (fun seed ->
+      let ctx = Opt.Pipeline.context_of_config rerun_config in
+      let s = Opt.Pass_manager.session ctx in
+      let p0 = lower_gen seed in
+      ignore (Opt.Pass_manager.rerun s p0 schedule);
+      let p1 = lower_gen seed in
+      if
+        Option.is_some (Test_mutations.toggle_const p1)
+        && List.length p1.Cfg.prog_procs > 2
+      then begin
+        ignore (Opt.Pass_manager.rerun s p1 schedule);
+        let reused, reran = Opt.Pass_manager.session_counts s in
+        if reused > 0 then hit := true;
+        Alcotest.(check bool)
+          (Printf.sprintf "seed %d reran something" seed)
+          true (reran > 0)
+      end)
+    seeds;
+  Alcotest.(check bool) "some seed reused memoized procedure results" true !hit
+
+(* ------------------------------------------------------------------ *)
+(* The versioned JSON envelope                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_envelope_roundtrip () =
+  let v =
+    Json.envelope
+      [ ("tool", Json.String "tbaac");
+        ("stats", Json.Obj [ ("eliminated", Json.Int 7) ]);
+        ("ok", Json.Bool true) ]
+  in
+  let s = Json.to_string v in
+  let v' = Json.of_string s in
+  Alcotest.(check (option int)) "schema" (Some Json.schema_version)
+    (Json.schema_of v');
+  Alcotest.(check (option int))
+    "payload survives" (Some 7)
+    (match Json.member "stats" v' with
+    | Some stats -> (
+      match Json.member "eliminated" stats with
+      | Some (Json.Int n) -> Some n
+      | _ -> None)
+    | None -> None);
+  (* The schema key leads, so stream consumers can dispatch on a prefix. *)
+  Alcotest.(check bool)
+    "schema key leads" true
+    (String.length s > 11 && String.sub s 0 11 = "{\"schema\":1");
+  Alcotest.(check (option int)) "non-enveloped" None (Json.schema_of (Json.Int 3))
+
+let () =
+  Alcotest.run "pipeline"
+    [ ( "parallel",
+        [ Alcotest.test_case "parallel == sequential over fuzz matrix" `Slow
+            test_parallel_matches_sequential ] );
+      ( "incremental",
+        [ Alcotest.test_case "rerun == from-scratch per mutation kind" `Slow
+            test_rerun_mutations;
+          Alcotest.test_case "single-proc edit reuses memo" `Quick
+            test_rerun_reuses ] );
+      ( "envelope",
+        [ Alcotest.test_case "versioned envelope round-trips" `Quick
+            test_envelope_roundtrip ] ) ]

@@ -37,9 +37,12 @@ let prop_full_pipeline_preserves =
          ignore
            (Opt.Pipeline.run program
               { Opt.Pipeline.oracle_kind = Opt.Pipeline.Osm_field_type_refs;
-                world = Tbaa.World.Closed; devirt_inline = true; rle = true;
-                pre = true; copyprop = true; licm = true; slf = true;
-                dse = true });
+                world = Tbaa.World.Closed;
+                passes =
+                  { Opt.Pass_manager.Config.devirt_inline = true; licm = true;
+                    pre = true; slf = true; rle = true; copyprop = true;
+                    dse = true; local_cse = false };
+                jobs = 1 });
          ignore (Opt.Local_cse.run program)))
 
 let prop_dce_preserves =
@@ -249,9 +252,12 @@ let prop_audit_clean =
       let result =
         Opt.Pipeline.run_guarded ~verify:true ~claims program
           { Opt.Pipeline.oracle_kind = Opt.Pipeline.Osm_field_type_refs;
-            world = Tbaa.World.Closed; devirt_inline = true; rle = true;
-            pre = false; copyprop = true; licm = true; slf = true;
-            dse = true }
+            world = Tbaa.World.Closed;
+            passes =
+              { Opt.Pass_manager.Config.devirt_inline = true; licm = true;
+                pre = false; slf = true; rle = true; copyprop = true;
+                dse = true; local_cse = false };
+            jobs = 1 }
       in
       let failures = Opt.Pass_manager.failures result.Opt.Pipeline.reports in
       let auditor = Sim.Audit.create claims in
@@ -278,9 +284,11 @@ let prop_fault_injection_caught =
       let result =
         Opt.Pipeline.run_guarded ~verify:true ~claims ~fault program
           { Opt.Pipeline.oracle_kind = Opt.Pipeline.Osm_field_type_refs;
-            world = Tbaa.World.Closed; devirt_inline = false; rle = true;
-            pre = false; copyprop = false; licm = false; slf = false;
-            dse = false }
+            world = Tbaa.World.Closed;
+            passes =
+              { Opt.Pass_manager.Config.none with
+                Opt.Pass_manager.Config.rle = true };
+            jobs = 1 }
       in
       ignore (Opt.Pass_manager.failures result.Opt.Pipeline.reports);
       let auditor = Sim.Audit.create claims in
@@ -315,7 +323,7 @@ let test_guarded_quarantines_crash () =
   let before = Format.asprintf "%a" Cfg.pp_program program in
   let boom =
     { Opt.Pass.name = "boom"; role = Opt.Pass.Transform;
-      run = (fun _ _ -> failwith "kaboom") }
+      scope = Opt.Pass.Whole_program (fun _ _ -> failwith "kaboom") }
   in
   let ctx = Opt.Pass.create () in
   let reports =
@@ -337,11 +345,12 @@ let test_guarded_rolls_back_invalid_ir () =
   let before = Format.asprintf "%a" Cfg.pp_program program in
   let corrupt =
     { Opt.Pass.name = "corrupt"; role = Opt.Pass.Transform;
-      run =
-        (fun _ (p : Cfg.program) ->
-          let proc = List.hd p.Cfg.prog_procs in
-          (Cfg.block proc proc.Cfg.pr_entry).Cfg.b_term <- Instr.Tjump 9999;
-          { Opt.Pass.stats = []; changed = true; mutated = true }) }
+      scope =
+        Opt.Pass.Whole_program
+          (fun _ (p : Cfg.program) ->
+            let proc = List.hd p.Cfg.prog_procs in
+            (Cfg.block proc proc.Cfg.pr_entry).Cfg.b_term <- Instr.Tjump 9999;
+            { Opt.Pass.stats = []; changed = true; mutated = true }) }
   in
   let ctx = Opt.Pass.create () in
   let reports =

@@ -70,9 +70,12 @@ let test_minv_inlining_preserves () =
       ignore
         (Opt.Pipeline.run program
            { Opt.Pipeline.oracle_kind = Opt.Pipeline.Osm_field_type_refs;
-             world = Tbaa.World.Closed; devirt_inline = true; rle = true;
-             pre = true; copyprop = true; licm = true; slf = true;
-             dse = true });
+             world = Tbaa.World.Closed;
+             passes =
+               { Opt.Pass_manager.Config.devirt_inline = true; licm = true;
+                 pre = true; slf = true; rle = true; copyprop = true;
+                 dse = true; local_cse = false };
+             jobs = 1 });
       ignore (Opt.Local_cse.run program);
       let o = Sim.Interp.run program in
       Alcotest.(check string) w.Workloads.Workload.name reference.Sim.Interp.output
