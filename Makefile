@@ -62,9 +62,9 @@ bench-smoke:
 # unsound degraded answer, or any document that does not recover.
 serve-smoke:
 	dune build bin
-	dune exec bin/tbaad.exe -- --chaos 1 --chaos-ops 400
-	dune exec bin/tbaad.exe -- --chaos 2 --chaos-ops 400
-	dune exec bin/tbaad.exe -- --chaos 3 --chaos-ops 400
+	dune exec bin/tbaad.exe -- --chaos 1 --chaos-ops 400 --workers 2
+	dune exec bin/tbaad.exe -- --chaos 2 --chaos-ops 400 --workers 2
+	dune exec bin/tbaad.exe -- --chaos 3 --chaos-ops 400 --workers 2
 
 clean:
 	dune clean

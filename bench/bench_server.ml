@@ -237,11 +237,135 @@ let burst_leg () =
          !served burst);
   (burst, d.shed_seen)
 
+(* Multi-client leg: the same daemon binary on a unix socket with a
+   worker pool, stormed by [mc_clients] concurrent clients. The gate is
+   a throughput ratio against the same clients taking turns on one
+   connection, so it only measures dispatch concurrency — protocol cost
+   and engine cost cancel out. Needs real parallelism to mean anything:
+   on fewer than [mc_clients] cores the leg skips with a notice instead
+   of recording noise (TBAAD_BENCH_FORCE_MULTI=1 overrides the skip to
+   exercise the plumbing; the ratio gate still applies under --check). *)
+
+let mc_clients = 4
+let mc_batches = 6
+let mc_required = 2.0
+
+type sclient = { sc_fd : Unix.file_descr; sc_ic : in_channel;
+                 sc_oc : out_channel }
+
+let sc_connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  { sc_fd = fd;
+    sc_ic = Unix.in_channel_of_descr fd;
+    sc_oc = Unix.out_channel_of_descr fd }
+
+let sc_call c line =
+  output_string c.sc_oc line;
+  output_char c.sc_oc '\n';
+  flush c.sc_oc;
+  Json.of_string (input_line c.sc_ic)
+
+let sc_close c = try Unix.close c.sc_fd with Unix.Unix_error _ -> ()
+
+let sc_batch c req =
+  match Json.member "answers" (expect_result "alias" (sc_call c req)) with
+  | Some (Json.List answers) -> List.length answers
+  | _ -> failwith "bench_server: alias returned no answers"
+
+let multi_client_leg () =
+  let cores = Domain_pool.available () in
+  if cores < mc_clients && Sys.getenv_opt "TBAAD_BENCH_FORCE_MULTI" = None then None
+  else begin
+    let path = Filename.temp_file "tbaad-bench" ".sock" in
+    Sys.remove path;
+    let d =
+      spawn
+        ~args:
+          [ "--socket"; path; "--workers"; string_of_int mc_clients;
+            "--deadline-ms"; "30000" ]
+        ()
+    in
+    let deadline = now () +. 10.0 in
+    let rec connect_retry () =
+      try sc_connect path
+      with Unix.Unix_error ((ECONNREFUSED | ENOENT), _, _)
+        when now () < deadline ->
+        Unix.sleepf 0.05;
+        connect_retry ()
+    in
+    let c0 = connect_retry () in
+    let n =
+      match
+        Json.member "memrefs"
+          (expect_result "open" (sc_call c0 (Lazy.force open_req)))
+      with
+      | Some (Json.Int n) when n > 0 -> n
+      | _ -> failwith "bench_server: open returned no memrefs"
+    in
+    (* Warm the per-worker oracle handles before timing anything. *)
+    ignore (sc_batch c0 (alias_req (Prng.create 0x7a22L) n));
+    (* Serialized baseline: one connection answers every batch in turn. *)
+    let serial_rng = Prng.create 0x5e41L in
+    let answered = ref 0 in
+    let t0 = now () in
+    for _ = 1 to mc_clients * mc_batches do
+      answered := !answered + sc_batch c0 (alias_req serial_rng n)
+    done;
+    let serial_qps = float_of_int !answered /. (now () -. t0) in
+    (* Concurrent: one connection per client, all storming at once. *)
+    let clients =
+      Array.init mc_clients (fun _ -> connect_retry ())
+    in
+    let t0 = now () in
+    let doms =
+      Array.mapi
+        (fun i c ->
+          Domain.spawn (fun () ->
+              let rng = Prng.create (Int64.of_int (0xc11e47 + i)) in
+              let got = ref 0 in
+              for _ = 1 to mc_batches do
+                got := !got + sc_batch c (alias_req rng n)
+              done;
+              !got))
+        clients
+    in
+    let conc_answered = Array.fold_left (fun a d -> a + Domain.join d) 0 doms in
+    let conc_qps = float_of_int conc_answered /. (now () -. t0) in
+    Array.iter sc_close clients;
+    ignore (sc_call c0 "{\"jsonrpc\":\"2.0\",\"id\":0,\"method\":\"shutdown\"}");
+    sc_close c0;
+    ignore (Unix.waitpid [] d.pid);
+    close_out_noerr d.oc;
+    close_in_noerr d.ic;
+    (try Sys.remove path with Sys_error _ -> ());
+    Some (serial_qps, conc_qps)
+  end
+
 (* ------------------------------------------------------------------ *)
 (* Reporting, snapshotting, gating                                     *)
 (* ------------------------------------------------------------------ *)
 
-let json_of_run ~fork_qps ~warm_qps ~burst ~shed =
+let json_of_run ~fork_qps ~warm_qps ~burst ~shed ~multi =
+  let multi_leg =
+    match multi with
+    | None ->
+      Json.Obj
+        [ ("name", Json.String "multi-client");
+          ("skipped", Json.Bool true);
+          ( "reason",
+            Json.String
+              (Printf.sprintf "needs >= %d cores, have %d" mc_clients
+                 (Domain_pool.available ())) ) ]
+    | Some (serial_qps, conc_qps) ->
+      Json.Obj
+        [ ("name", Json.String "multi-client");
+          ("clients", Json.Int mc_clients);
+          ("serial_qps", Json.Float serial_qps);
+          ("concurrent_qps", Json.Float conc_qps);
+          ("required", Json.Float mc_required);
+          ("ratio", Json.Float (conc_qps /. serial_qps)) ]
+  in
   Json.envelope
     [ ("microbench", Json.String "server");
       ("procs", Json.Int procs);
@@ -253,7 +377,8 @@ let json_of_run ~fork_qps ~warm_qps ~burst ~shed =
                 ("fork_qps", Json.Float fork_qps);
                 ("warm_qps", Json.Float warm_qps);
                 ("required", Json.Float required_speedup);
-                ("speedup", Json.Float (warm_qps /. fork_qps)) ] ] );
+                ("speedup", Json.Float (warm_qps /. fork_qps)) ];
+            multi_leg ] );
       ( "burst",
         Json.Obj [ ("requests", Json.Int burst); ("shed", Json.Int shed) ]
       ) ]
@@ -277,6 +402,7 @@ let () =
   let fork_qps = fork_leg () in
   let warm_qps = warm_leg () in
   let burst, shed = burst_leg () in
+  let multi = multi_client_leg () in
   let speedup = warm_qps /. fork_qps in
   Printf.printf "%-16s %14s %14s %10s %10s\n" "leg" "fork qps" "warm qps"
     "speedup" "required";
@@ -285,7 +411,17 @@ let () =
   Printf.printf "burst: %d requests against max-pending 8, %d shed, all \
                  served after backoff\n"
     burst shed;
-  let run_json = json_of_run ~fork_qps ~warm_qps ~burst ~shed in
+  (match multi with
+  | None ->
+    Printf.printf
+      "multi-client: SKIPPED (needs >= %d cores, have %d)\n" mc_clients
+      (Domain_pool.available ())
+  | Some (serial_qps, conc_qps) ->
+    Printf.printf
+      "multi-client: %d clients, serial %.0f qps, concurrent %.0f qps, \
+       ratio %.1fx (required %.1fx)\n"
+      mc_clients serial_qps conc_qps (conc_qps /. serial_qps) mc_required);
+  let run_json = json_of_run ~fork_qps ~warm_qps ~burst ~shed ~multi in
   (match mode with
   | "--write" ->
     let oc = open_out snapshot_file in
@@ -301,6 +437,12 @@ let () =
     if speedup < required_speedup then
       fail "warm-vs-fork: speedup %.1fx below required %.1fx" speedup
         required_speedup;
+    (match multi with
+    | None -> ()
+    | Some (serial_qps, conc_qps) ->
+      if conc_qps < serial_qps *. mc_required then
+        fail "multi-client: ratio %.1fx below required %.1fx"
+          (conc_qps /. serial_qps) mc_required);
     (match recorded_speedup () with
     | None ->
       print_endline

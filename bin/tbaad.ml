@@ -1,15 +1,29 @@
 (* tbaad: the long-lived alias-query daemon.
 
    Transports only — all request semantics (dispatch, deadlines, batch
-   caps, degradation) live in [Server.Dispatch]. Line-delimited JSON-RPC
-   over stdio by default, or over a unix-domain socket with [--socket]
-   (multiple concurrent clients, served round-robin). Lines that arrive
-   faster than they are served land in a bounded pending queue; overflow
-   is shed immediately with a structured Overloaded response rather than
-   growing the heap. *)
+   caps, degradation, cancellation) live in [Server.Dispatch].
+   Line-delimited JSON-RPC over stdio by default, or over a unix-domain
+   socket with [--socket] (multiple concurrent clients). Lines that
+   arrive faster than they are served land in a bounded pending queue;
+   overflow is shed immediately with a structured Overloaded response
+   rather than growing the heap.
+
+   With [--workers N] (N > 0) requests are dispatched concurrently over
+   a worker pool: each client's requests are still answered in order,
+   but different clients proceed in parallel and a [cancel] request can
+   overtake the work it targets. [--workers 0] (the default) keeps the
+   fully serialized transport loops.
+
+   Signal/EINTR discipline: SIGPIPE is ignored process-wide (a client
+   that disconnects mid-response must surface as EPIPE on that client's
+   fd, not kill the daemon), every read/write/select retries EINTR, and
+   EPIPE/ECONNRESET on a socket client tears down that client only. *)
 
 open Cmdliner
 module Dispatch = Server.Dispatch
+
+let rec retry_intr f =
+  try f () with Unix.Unix_error (Unix.EINTR, _, _) -> retry_intr f
 
 (* ------------------------------------------------------------------ *)
 (* Line framing                                                        *)
@@ -41,7 +55,7 @@ let write_all fd s =
   let n = Bytes.length b in
   let off = ref 0 in
   while !off < n do
-    off := !off + Unix.write fd b !off (n - !off)
+    off := !off + retry_intr (fun () -> Unix.write fd b !off (n - !off))
   done
 
 (* ------------------------------------------------------------------ *)
@@ -71,7 +85,10 @@ let serve_stdio srv =
       | _ -> false
     in
     if readable && not !eof then begin
-      let n = Unix.read Unix.stdin chunk 0 (Bytes.length chunk) in
+      let n =
+        retry_intr (fun () ->
+            Unix.read Unix.stdin chunk 0 (Bytes.length chunk))
+      in
       if n = 0 then eof := true
       else begin
         Buffer.add_subbytes inbuf chunk 0 n;
@@ -93,6 +110,36 @@ let serve_stdio srv =
     end
   done
 
+(* Concurrent stdio: the main thread only reads and submits; workers
+   compute and write responses under one output mutex (whole lines, so
+   interleaving is per-line and each client-visible response is
+   intact). *)
+let serve_stdio_concurrent srv =
+  let out_m = Mutex.create () in
+  let respond line =
+    Mutex.protect out_m (fun () ->
+        print_endline line;
+        flush stdout)
+  in
+  let inbuf = Buffer.create 4096 in
+  let chunk = Bytes.create 65536 in
+  let eof = ref false in
+  while (not (Dispatch.shutting_down srv)) && not !eof do
+    let n =
+      retry_intr (fun () -> Unix.read Unix.stdin chunk 0 (Bytes.length chunk))
+    in
+    if n = 0 then eof := true
+    else begin
+      Buffer.add_subbytes inbuf chunk 0 n;
+      List.iter
+        (fun line ->
+          if String.trim line <> "" then
+            Dispatch.submit srv ~client:"stdio" line ~respond)
+        (take_lines inbuf)
+    end
+  done;
+  Dispatch.stop srv
+
 (* ------------------------------------------------------------------ *)
 (* unix-socket transport                                               *)
 (* ------------------------------------------------------------------ *)
@@ -104,22 +151,40 @@ type client = {
   mutable cl_eof : bool;
 }
 
-let serve_socket srv path =
-  let cfg = Dispatch.config srv in
+let listen_on path =
   if Sys.file_exists path then Sys.remove path;
   let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Unix.bind listen_fd (Unix.ADDR_UNIX path);
   Unix.listen listen_fd 16;
   prerr_endline ("tbaad: listening on " ^ path);
+  listen_fd
+
+let close_listener listen_fd path =
+  (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+  if Sys.file_exists path then Sys.remove path
+
+(* Errors that mean "this client is gone" — never "the daemon is". *)
+let is_disconnect = function
+  | Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF | Unix.ESHUTDOWN
+  | Unix.ENOTCONN ->
+    true
+  | _ -> false
+
+let serve_socket srv path =
+  let cfg = Dispatch.config srv in
+  let listen_fd = listen_on path in
   let clients = ref [] in
   let chunk = Bytes.create 65536 in
   let respond cl line =
     match write_all cl.cl_fd (line ^ "\n") with
     | () -> ()
-    | exception Unix.Unix_error _ -> cl.cl_eof <- true
+    | exception Unix.Unix_error (e, _, _) when is_disconnect e ->
+      cl.cl_eof <- true
   in
   let read_client cl =
-    match Unix.read cl.cl_fd chunk 0 (Bytes.length chunk) with
+    match
+      retry_intr (fun () -> Unix.read cl.cl_fd chunk 0 (Bytes.length chunk))
+    with
     | 0 -> cl.cl_eof <- true
     | n ->
       Buffer.add_subbytes cl.cl_buf chunk 0 n;
@@ -130,16 +195,18 @@ let serve_socket srv path =
           then respond cl (Dispatch.shed_line srv ~reason:"pending queue full")
           else Queue.add line cl.cl_pending)
         (take_lines cl.cl_buf)
-    | exception Unix.Unix_error _ -> cl.cl_eof <- true
+    | exception Unix.Unix_error (e, _, _) when is_disconnect e ->
+      cl.cl_eof <- true
   in
   while not (Dispatch.shutting_down srv) do
     let backlog = List.exists (fun c -> not (Queue.is_empty c.cl_pending)) !clients in
     let fds = listen_fd :: List.map (fun c -> c.cl_fd) !clients in
     let readable, _, _ =
-      Unix.select fds [] [] (if backlog then 0.0 else 1.0)
+      retry_intr (fun () ->
+          Unix.select fds [] [] (if backlog then 0.0 else 1.0))
     in
     if List.mem listen_fd readable then begin
-      let fd, _ = Unix.accept listen_fd in
+      let fd, _ = retry_intr (fun () -> Unix.accept listen_fd) in
       clients :=
         { cl_fd = fd; cl_buf = Buffer.create 4096;
           cl_pending = Queue.create (); cl_eof = false }
@@ -168,15 +235,100 @@ let serve_socket srv path =
   List.iter
     (fun cl -> try Unix.close cl.cl_fd with Unix.Unix_error _ -> ())
     !clients;
-  (try Unix.close listen_fd with Unix.Unix_error _ -> ());
-  if Sys.file_exists path then Sys.remove path
+  close_listener listen_fd path
+
+(* ------------------------------------------------------------------ *)
+(* concurrent unix-socket transport (--workers > 0)                    *)
+(* ------------------------------------------------------------------ *)
+
+type cclient = {
+  cc_fd : Unix.file_descr;
+  cc_name : string;
+  cc_buf : Buffer.t;
+  cc_wm : Mutex.t;  (* workers write whole response lines under this *)
+  mutable cc_eof : bool;  (* reader saw EOF, or a write hit a dead peer *)
+}
+
+(* The main thread accepts, reads and submits; worker domains answer
+   each client directly through its per-client write mutex. A client is
+   torn down (fd closed, record dropped) only once its side is EOF *and*
+   the dispatcher has no queued or running work for it — so a worker can
+   never write into a closed descriptor, and one client vanishing
+   mid-batch leaves every other client's stream untouched. *)
+let serve_socket_concurrent srv path =
+  let listen_fd = listen_on path in
+  let clients = ref [] in
+  let chunk = Bytes.create 65536 in
+  let next_id = ref 0 in
+  let respond cl line =
+    Mutex.protect cl.cc_wm (fun () ->
+        if not cl.cc_eof then
+          match write_all cl.cc_fd (line ^ "\n") with
+          | () -> ()
+          | exception Unix.Unix_error (e, _, _) when is_disconnect e ->
+            cl.cc_eof <- true)
+  in
+  let read_client cl =
+    match
+      retry_intr (fun () -> Unix.read cl.cc_fd chunk 0 (Bytes.length chunk))
+    with
+    | 0 -> cl.cc_eof <- true
+    | n ->
+      Buffer.add_subbytes cl.cc_buf chunk 0 n;
+      List.iter
+        (fun line ->
+          if String.trim line <> "" then
+            Dispatch.submit srv ~client:cl.cc_name line ~respond:(respond cl))
+        (take_lines cl.cc_buf)
+    | exception Unix.Unix_error (e, _, _) when is_disconnect e ->
+      cl.cc_eof <- true
+  in
+  while not (Dispatch.shutting_down srv) do
+    let live = List.filter (fun c -> not c.cc_eof) !clients in
+    let fds = listen_fd :: List.map (fun c -> c.cc_fd) live in
+    let readable, _, _ =
+      retry_intr (fun () -> Unix.select fds [] [] 0.2)
+    in
+    if List.mem listen_fd readable then begin
+      let fd, _ = retry_intr (fun () -> Unix.accept listen_fd) in
+      incr next_id;
+      clients :=
+        { cc_fd = fd; cc_name = Printf.sprintf "c%d" !next_id;
+          cc_buf = Buffer.create 4096; cc_wm = Mutex.create ();
+          cc_eof = false }
+        :: !clients
+    end;
+    List.iter
+      (fun cl -> if List.mem cl.cc_fd readable then read_client cl)
+      live;
+    clients :=
+      List.filter
+        (fun cl ->
+          if cl.cc_eof && Dispatch.client_idle srv cl.cc_name then begin
+            Mutex.protect cl.cc_wm (fun () ->
+                try Unix.close cl.cc_fd with Unix.Unix_error _ -> ());
+            false
+          end
+          else true)
+        !clients
+  done;
+  (* Shutdown was served: let in-flight work drain, answer what can
+     still be answered, then tear everything down. *)
+  Dispatch.stop srv;
+  List.iter
+    (fun cl -> try Unix.close cl.cc_fd with Unix.Unix_error _ -> ())
+    !clients;
+  close_listener listen_fd path
 
 (* ------------------------------------------------------------------ *)
 (* Entry                                                               *)
 (* ------------------------------------------------------------------ *)
 
 let run socket chaos_seed chaos_ops max_batch max_pending deadline_ms
-    max_docs allow_inject optimize =
+    max_docs allow_inject optimize workers =
+  (* A client that disconnects mid-response must surface as EPIPE on its
+     own fd, not as a process-killing signal. *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   let config =
     { Dispatch.default_config with
       Dispatch.max_batch;
@@ -184,19 +336,22 @@ let run socket chaos_seed chaos_ops max_batch max_pending deadline_ms
       default_deadline_ms = deadline_ms;
       max_docs;
       allow_inject = allow_inject || chaos_seed <> None;
-      optimize }
+      optimize;
+      workers }
   in
   match chaos_seed with
   | Some seed ->
     (* Self-test mode: storm an in-process server and report. *)
-    let report = Server.Chaos.run ~seed ~ops:chaos_ops in
+    let report = Server.Chaos.run ~workers ~seed ~ops:chaos_ops () in
     print_endline (Support.Json.to_string (Server.Chaos.report_json report));
     if report.Server.Chaos.violations <> [] then exit 1
   | None -> (
     let srv = Dispatch.create ~config () in
-    match socket with
-    | Some path -> serve_socket srv path
-    | None -> serve_stdio srv)
+    match (socket, workers > 0) with
+    | Some path, true -> serve_socket_concurrent srv path
+    | Some path, false -> serve_socket srv path
+    | None, true -> serve_stdio_concurrent srv
+    | None, false -> serve_stdio srv)
 
 let main =
   let socket_arg =
@@ -269,6 +424,17 @@ let main =
              stats surface under 'optimizer' in stats and health. Query \
              answers are unaffected.")
   in
+  let workers_arg =
+    Arg.(
+      value
+      & opt int Dispatch.default_config.Dispatch.workers
+      & info [ "workers" ] ~docv:"N"
+          ~doc:
+            "Dispatch requests concurrently over N worker domains \
+             (per-client responses stay in submission order; cancel \
+             requests can overtake the work they target). 0 serializes \
+             all dispatch on the transport thread.")
+  in
   Cmd.v
     (Cmd.info "tbaad" ~version:"1.0.0"
        ~doc:
@@ -277,7 +443,7 @@ let main =
     Term.(
       const run $ socket_arg $ chaos_arg $ chaos_ops_arg $ max_batch_arg
       $ max_pending_arg $ deadline_arg $ max_docs_arg $ inject_arg
-      $ optimize_arg)
+      $ optimize_arg $ workers_arg)
 
 (* Usage errors are machine-recognisable: one line on stderr, exit 2 —
    the same contract tbaac follows. *)

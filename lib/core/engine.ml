@@ -450,7 +450,8 @@ let update_effects_state t kind old_st ~find ~cond ~nprocs ~changed
     { ef_direct; ef_merged; ef_cond = cond }
   end
 
-let update t program =
+let update ?(check = fun () -> ()) t program =
+  check ();
   t.incr.updates <- t.incr.updates + 1;
   if not (Types.env_equal t.program.Ir.Cfg.tenv program.Ir.Cfg.tenv) then begin
     rebuild t program;
@@ -492,6 +493,10 @@ let update t program =
       slots;
     let invalid = Array.of_list (List.rev !invalid) in
     Domain_pool.run ~domains:t.domains (Array.length invalid) (fun k ->
+        (* Cancellation point at per-procedure granularity: a raise here
+           (from any domain) aborts before anything is committed, so the
+           exception-safety contract below covers cancellation too. *)
+        check ();
         let i = invalid.(k) in
         slots.(i) <- Some (Summary.compute program ~find procs.(i)));
     let sums =
@@ -570,6 +575,7 @@ let update t program =
         | Some tbl -> condense_summaries new_names tbl
         | None -> assert false (* [None] only when [cond_reused] *)
     in
+    check ();
     let new_facts, facts_ms =
       if contribs_unchanged then (None, t.timings.facts_ms)
       else
@@ -581,6 +587,7 @@ let update t program =
         in
         (Some facts, ms)
     in
+    check ();
     let new_oracles =
       if oracles_ok then None
       else

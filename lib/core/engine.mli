@@ -55,7 +55,7 @@ val create : ?config:config -> ?domains:int -> Ir.Cfg.program -> t
     and build all three oracles. Each construction phase is timed; see
     {!timings}/{!stats}. Results are independent of [domains]. *)
 
-val update : t -> Ir.Cfg.program -> t
+val update : ?check:(unit -> unit) -> t -> Ir.Cfg.program -> t
 (** Re-analyze after an edit, reusing everything the edit provably did
     not touch (see the module header). Mutates and returns the same
     engine. [program] may be the engine's own program edited in place or
@@ -70,7 +70,15 @@ val update : t -> Ir.Cfg.program -> t
     is touched, so if revalidation raises mid-update (e.g. on an
     ill-formed edited procedure) the original engine value remains fully
     usable — every query keeps answering from the last successfully
-    installed analysis, and a later {!update} can still succeed. *)
+    installed analysis, and a later {!update} can still succeed.
+
+    [check] (default: no-op) is called at loop boundaries — on entry,
+    before each per-procedure re-summarization, and before the facts
+    merge and oracle rebuild. Raising from it aborts the update before
+    anything is committed, with the same exception-safety guarantee;
+    the daemon uses this as its cancellation point. Not called on the
+    full-rebuild path (structurally changed type environment), which is
+    all-or-nothing anyway. *)
 
 val copy : t -> t
 (** An independent engine frozen at the receiver's current analysis

@@ -9,6 +9,9 @@ type report = {
   by_code : (string * int) list;
   checked_answers : int;
   recovered_docs : int;
+  workers : int;
+  cancelled : int;
+  partial_edits : int;
   violations : string list;
 }
 
@@ -21,13 +24,16 @@ let report_json r =
         Json.Obj (List.map (fun (k, n) -> (k, Json.Int n)) r.by_code) );
       ("checked_answers", Json.Int r.checked_answers);
       ("recovered_docs", Json.Int r.recovered_docs);
+      ("workers", Json.Int r.workers);
+      ("cancelled", Json.Int r.cancelled);
+      ("partial_edits", Json.Int r.partial_edits);
       ( "violations",
         Json.List (List.map (fun v -> Json.String v) r.violations) ) ]
 
 let all_codes =
   [ Rpc.Parse_error; Rpc.Invalid_request; Rpc.Method_not_found;
     Rpc.Invalid_params; Rpc.Timeout; Rpc.Overloaded; Rpc.Document_error;
-    Rpc.Quarantined; Rpc.Internal_error ]
+    Rpc.Quarantined; Rpc.Internal_error; Rpc.Cancelled ]
 
 (* What the storm remembers about each document it managed to build. *)
 type model = {
@@ -49,6 +55,7 @@ type state = {
   code_counts : (string, int) Hashtbl.t;
   mutable n_checked : int;
   mutable n_recovered : int;
+  mutable n_edits : int;  (* successful partial-edit rebuilds *)
   mutable viol : string list;
 }
 
@@ -151,6 +158,49 @@ let req st meth params =
          ("id", Json.Int st.n_ops);
          ("method", Json.String meth);
          ("params", Json.Obj params) ])
+
+(* --- Concurrent submission ----------------------------------------- *)
+
+(* A one-shot ivar filled by [Dispatch.submit]'s respond callback
+   (possibly from a worker domain). The storm thread is the only party
+   that parses, classifies or checks — the callback just stores bytes —
+   so all harness state stays single-threaded. *)
+type future = { fm : Mutex.t; fc : Condition.t; mutable fv : string option }
+
+let send_async st ~client line =
+  st.n_ops <- st.n_ops + 1;
+  let fut = { fm = Mutex.create (); fc = Condition.create (); fv = None } in
+  let respond resp =
+    Mutex.protect fut.fm (fun () ->
+        fut.fv <- Some resp;
+        Condition.broadcast fut.fc)
+  in
+  (match Dispatch.submit st.srv ~client line ~respond with
+  | () -> ()
+  | exception e ->
+    violate st "submit raised %s" (Printexc.to_string e);
+    respond "null");
+  fut
+
+let await st fut =
+  let out =
+    Mutex.protect fut.fm (fun () ->
+        while fut.fv = None do
+          Condition.wait fut.fc fut.fm
+        done;
+        Option.get fut.fv)
+  in
+  match Json.parse out with
+  | Error d ->
+    violate st "unparseable async response (%s): %s" d.Diag.message out;
+    Json.Null
+  | Ok (Json.List items as batch) ->
+    List.iter (classify_one st) items;
+    batch
+  | Ok Json.Null -> Json.Null (* submit itself raised; already violated *)
+  | Ok resp ->
+    classify_one st resp;
+    resp
 
 let result_member resp name =
   match Json.member "result" resp with
@@ -441,6 +491,206 @@ let op_close st =
   ignore (send st (req st "close" [ ("name", Json.String name) ]))
 
 (* ------------------------------------------------------------------ *)
+(* Partial edits, cancellation, interleaving                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Ranged edits that rewrite [old_s] into [new_s]: trim the common
+   prefix/suffix, replace the differing middle — sometimes split into
+   two sequential edits to exercise LSP splice semantics (the second
+   edit's offsets address the text the first already produced). *)
+let edits_for st old_s new_s =
+  let lo = String.length old_s and ln = String.length new_s in
+  let p = ref 0 in
+  while !p < lo && !p < ln && old_s.[!p] = new_s.[!p] do
+    incr p
+  done;
+  let s = ref 0 in
+  while
+    !s < lo - !p && !s < ln - !p && old_s.[lo - 1 - !s] = new_s.[ln - 1 - !s]
+  do
+    incr s
+  done;
+  let start = !p and stop = lo - !s in
+  let text = String.sub new_s !p (ln - !s - !p) in
+  if String.length text > 1 && Prng.int st.rng 10 < 3 then begin
+    let k = String.length text / 2 in
+    [ (start, stop, String.sub text 0 k);
+      (start + k, start + k, String.sub text k (String.length text - k)) ]
+  end
+  else [ (start, stop, text) ]
+
+let edits_json edits =
+  Json.List
+    (List.map
+       (fun (start, stop, text) ->
+         Json.Obj
+           [ ("start", Json.Int start); ("end", Json.Int stop);
+             ("text", Json.String text) ])
+       edits)
+
+let change_req st name edits =
+  req st "change"
+    [ ("name", Json.String name); ("edits", edits_json edits) ]
+
+(* On an accepted change, the server's new source is the splice result;
+   mirror it into the model so the fresh-reference checks keep pinning
+   the server's answers against the *edited* source. *)
+let record_change st m expected resp =
+  match result_member resp "memrefs" with
+  | Some (Json.Int n) ->
+    m.md_good_source <- expected;
+    m.md_memrefs <- n;
+    st.n_edits <- st.n_edits + 1
+  | _ -> ()
+
+let op_partial_edit st =
+  let name = Prng.pick st.rng doc_pool in
+  match model_for st name with
+  | None -> ()
+  | Some m ->
+    let target = source_for st in
+    let edits = edits_for st m.md_good_source target in
+    (match Store.splice ~source:m.md_good_source ~edits with
+    | Ok spliced when spliced = target -> ()
+    | Ok _ -> violate st "edit construction for %S does not splice back" name
+    | Error e -> violate st "edit construction for %S is out of bounds: %s" name e);
+    let resp = send st (change_req st name edits) in
+    (* The doc may have been closed since the model last saw it
+       (invalid_params), the build crash-injected (document_error), or
+       accepted — only the accepted case advances the model. *)
+    record_change st m target resp
+
+(* Fire a long slow-injected alias batch on its own client, then cancel
+   it by id. Either the cancel wins (structured Cancelled rejection with
+   a partial completed count) or the batch finished first (full answer
+   set) — both legal; anything else is a violation. Afterwards the
+   document must still answer, pinning that cancellation never corrupts
+   an engine. *)
+let op_cancel_storm st =
+  let name = "cancelme" in
+  let source = source_for st in
+  let resp =
+    send st
+      (req st "open"
+         [ ("name", Json.String name); ("source", Json.String source);
+           ("inject", inject_json [ Store.Slow { ms = 5.0 } ]) ])
+  in
+  match result_member resp "memrefs" with
+  | Some (Json.Int n) when n > 0 ->
+    let pairs = random_pairs st n 16 in
+    let alias_id = st.n_ops in
+    let fut =
+      send_async st ~client:"cx"
+        (req st "alias"
+           [ ("doc", Json.String name);
+             ("deadline_ms", Json.Float 30_000.0);
+             ("pairs", Json.List pairs) ])
+    in
+    (* Give a worker a moment to pick the batch up, then cancel. On a
+       serialized dispatcher the batch already completed inline and the
+       cancel simply finds nothing — also a legal outcome. *)
+    Unix.sleepf 0.01;
+    let cfut =
+      send_async st ~client:"cx"
+        (req st "cancel" [ ("id", Json.Int alias_id) ])
+    in
+    ignore (await st cfut);
+    let resp = await st fut in
+    (match (result_member resp "answers", Json.member "error" resp) with
+    | Some (Json.List answers), None ->
+      if List.length answers <> List.length pairs then
+        violate st "uncancelled alias batch returned %d/%d answers"
+          (List.length answers) (List.length pairs)
+    | None, Some err when is_error_code resp Rpc.Cancelled -> (
+      match Json.member "data" err with
+      | Some data -> (
+        match Json.member "completed" data with
+        | Some (Json.Int k) when k >= 0 && k < List.length pairs -> ()
+        | Some (Json.Int k) ->
+          violate st "cancelled batch reports %d completed of %d" k
+            (List.length pairs)
+        | _ -> violate st "cancelled batch without a completed count")
+      | None -> violate st "cancelled batch without a completed count")
+    | _ ->
+      violate st "cancelled alias batch yielded neither answers nor \
+                  a Cancelled rejection");
+    (* The engine must be fully usable after a cancellation. *)
+    let resp =
+      send st
+        (req st "alias"
+           [ ("doc", Json.String name);
+             ("deadline_ms", Json.Float 30_000.0);
+             ("pairs", Json.List (random_pairs st n 4)) ])
+    in
+    if result_member resp "answers" = None then
+      violate st "document %S stopped answering after a cancellation" name;
+    ignore (send st (req st "close" [ ("name", Json.String name) ]))
+  | _ -> ()
+
+(* A partial edit on one document interleaved with alias traffic on
+   another, each on its own client — with workers these genuinely
+   overlap, exercising the exclusive-vs-shared lock split. *)
+let op_interleaved st =
+  let with_models =
+    List.filter (fun n -> model_for st n <> None) doc_pool
+  in
+  match with_models with
+  | a :: b :: _ ->
+    let ma = Option.get (model_for st a) in
+    let mb = Option.get (model_for st b) in
+    let target = source_for st in
+    let edits = edits_for st ma.md_good_source target in
+    let f1 = send_async st ~client:"e1" (change_req st a edits) in
+    let f2 =
+      send_async st ~client:"e2"
+        (req st "alias"
+           [ ("doc", Json.String b);
+             ("deadline_ms", Json.Float 30_000.0);
+             ("pairs", Json.List (random_pairs st mb.md_memrefs 6)) ])
+    in
+    let r1 = await st f1 in
+    ignore (await st f2);
+    record_change st ma target r1
+  | _ -> ()
+
+(* Injected latency must sleep, not spin: across a batch with ~240ms of
+   injected delay the process may burn only a fraction of that as CPU
+   time. The old busy-wait implementation pegged a core and fails this
+   immediately. *)
+let cpu_burn_check st =
+  let name = "sleepy" in
+  let source = source_for st in
+  let resp =
+    send st
+      (req st "open"
+         [ ("name", Json.String name); ("source", Json.String source);
+           ("inject", inject_json [ Store.Slow { ms = 30.0 } ]) ])
+  in
+  (match result_member resp "memrefs" with
+  | Some (Json.Int n) when n > 0 ->
+    let pairs = random_pairs st n 8 in
+    let cpu0 = Sys.time () in
+    let wall0 = Unix.gettimeofday () in
+    let resp =
+      send st
+        (req st "alias"
+           [ ("doc", Json.String name);
+             ("deadline_ms", Json.Float 30_000.0);
+             ("pairs", Json.List pairs) ])
+    in
+    let cpu = Sys.time () -. cpu0 in
+    let wall = Unix.gettimeofday () -. wall0 in
+    if result_member resp "answers" = None then
+      violate st "slow-injected alias batch failed during the burn check"
+    else if wall > 0.1 && cpu > 0.6 *. wall then
+      violate st
+        "injected latency burned %.0fms CPU over %.0fms wall — busy-wait \
+         regression"
+        (cpu *. 1000.0) (wall *. 1000.0)
+  | _ -> ());
+  ignore (send st (req st "close" [ ("name", Json.String name) ]))
+
+(* ------------------------------------------------------------------ *)
 (* Recovery sweep                                                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -454,7 +704,7 @@ let recovery_sweep st =
   List.iter
     (fun name ->
       ignore (send st (req st "close" [ ("name", Json.String name) ])))
-    ("slowpoke" :: doc_pool);
+    ("slowpoke" :: "cancelme" :: "sleepy" :: doc_pool);
   Hashtbl.iter
     (fun name m ->
       let resp =
@@ -504,11 +754,11 @@ let recovery_sweep st =
 
 (* ------------------------------------------------------------------ *)
 
-let run ~seed ~ops =
+let run ?(workers = 0) ~seed ~ops () =
   let config =
     { Dispatch.default_config with
       Dispatch.max_batch = 32; max_docs = 4; default_deadline_ms = 500.0;
-      max_request_bytes = 64 * 1024; allow_inject = true }
+      max_request_bytes = 64 * 1024; allow_inject = true; workers }
   in
   let st =
     { srv = Dispatch.create ~config ();
@@ -516,7 +766,7 @@ let run ~seed ~ops =
       docs = Hashtbl.create 8; refs = Hashtbl.create 8;
       ref_paths = Hashtbl.create 8; n_ops = 0; n_ok = 0; n_err = 0;
       code_counts = Hashtbl.create 8; n_checked = 0; n_recovered = 0;
-      viol = [] }
+      n_edits = 0; viol = [] }
   in
   (* Seed one document so query ops have a target from the start. *)
   op_good_update st;
@@ -524,7 +774,8 @@ let run ~seed ~ops =
     [ (6, op_good_update); (3, op_bad_source); (3, op_malformed);
       (2, op_bad_envelope); (1, op_unknown_method); (10, op_alias_check);
       (2, op_alias_oob); (1, op_oversized); (1, op_deadline);
-      (2, op_modref); (2, op_health); (1, op_batch); (1, op_close) ]
+      (2, op_modref); (2, op_health); (1, op_batch); (1, op_close);
+      (3, op_partial_edit); (1, op_cancel_storm); (1, op_interleaved) ]
   in
   let total = List.fold_left (fun a (w, _) -> a + w) 0 weighted in
   let pick_op n =
@@ -537,10 +788,24 @@ let run ~seed ~ops =
   while st.n_ops < ops do
     (pick_op (Prng.int st.rng total)) st
   done;
+  (* Free store capacity (max_docs is deliberately tiny), then pin the
+     sleeps-not-spins property before the recovery sweep. *)
+  List.iter
+    (fun name ->
+      ignore (send st (req st "close" [ ("name", Json.String name) ])))
+    ("slowpoke" :: "cancelme" :: doc_pool);
+  cpu_burn_check st;
   recovery_sweep st;
+  let pool_workers = Dispatch.workers st.srv in
+  Dispatch.stop st.srv;
   { ops = st.n_ops; oks = st.n_ok; errors = st.n_err;
     by_code =
       List.sort compare
         (Hashtbl.fold (fun k v acc -> (k, v) :: acc) st.code_counts []);
     checked_answers = st.n_checked; recovered_docs = st.n_recovered;
+    workers = pool_workers;
+    cancelled =
+      Option.value ~default:0
+        (Hashtbl.find_opt st.code_counts (Rpc.code_name Rpc.Cancelled));
+    partial_edits = st.n_edits;
     violations = List.rev st.viol }

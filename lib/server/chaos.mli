@@ -21,8 +21,19 @@
       document must return it to Fresh with answers byte-identical to a
       fresh engine — including documents that spent the storm flipping,
       crashing, or quarantined.
+    - {b Partial edits}: a [change] request with ranged edits must leave
+      the document answering exactly like a whole-source [update] to the
+      same target text.
+    - {b Cancellation}: a cancel storm against in-flight slow queries
+      must only ever produce full answers or structured [Cancelled]
+      rejections with a partial [completed] count, and the target
+      document must keep answering afterwards.
+    - {b Sleeps, not spins}: injected per-query latency must not burn
+      CPU (asserted by comparing process CPU time to wall time across a
+      batch of slow queries).
 
-    Fully deterministic: the same (seed, ops) replays the same storm. *)
+    Fully deterministic for a given [workers] count: the same
+    (workers, seed, ops) replays the same storm. *)
 
 type report = {
   ops : int;  (** requests sent *)
@@ -31,11 +42,17 @@ type report = {
   by_code : (string * int) list;  (** error responses per code name *)
   checked_answers : int;  (** alias answers compared against an oracle *)
   recovered_docs : int;  (** documents that passed the recovery sweep *)
+  workers : int;  (** worker-pool size the storm ran with *)
+  cancelled : int;  (** structured [Cancelled] rejections observed *)
+  partial_edits : int;  (** [change] requests verified against splices *)
   violations : string list;  (** empty iff every invariant held *)
 }
 
-val run : seed:int -> ops:int -> report
+val run : ?workers:int -> seed:int -> ops:int -> unit -> report
 (** Build a fault-injection-enabled server (small limits, so capacity
-    shedding actually triggers) and storm it. *)
+    shedding actually triggers) and storm it. With [workers > 0] the
+    async legs ([cancel] storms, interleaved edit/query traffic) run
+    through the concurrent {!Dispatch.submit} path; the pool is joined
+    before the report is returned. Default [workers = 0]. *)
 
 val report_json : report -> Support.Json.t

@@ -12,6 +12,7 @@ type code =
   | Document_error
   | Quarantined
   | Internal_error
+  | Cancelled
 
 let code_number = function
   | Parse_error -> -32700
@@ -23,6 +24,7 @@ let code_number = function
   | Document_error -> -32002
   | Quarantined -> -32003
   | Internal_error -> -32004
+  | Cancelled -> -32005
 
 let code_name = function
   | Parse_error -> "parse_error"
@@ -34,6 +36,7 @@ let code_name = function
   | Document_error -> "document_error"
   | Quarantined -> "quarantined"
   | Internal_error -> "internal_error"
+  | Cancelled -> "cancelled"
 
 type request = { rq_id : Json.t; rq_method : string; rq_params : Json.t }
 

@@ -19,6 +19,7 @@ type code =
   | Document_error  (** -32002: the submitted source failed to compile *)
   | Quarantined  (** -32003: the document's analysis crashed; degraded *)
   | Internal_error  (** -32004: unexpected exception (always caught) *)
+  | Cancelled  (** -32005: the client cancelled the request mid-service *)
 
 val code_number : code -> int
 val code_name : code -> string
@@ -56,6 +57,10 @@ val response_error :
 
 (** {1 Typed parameter accessors} — all raise {!Reject} with
     [Invalid_params] naming the offending member. *)
+
+val param : request -> string -> Json.t option
+(** The raw value of a param member, for the rare polymorphic one (e.g.
+    [cancel]'s [id], which mirrors the int-or-string request id). *)
 
 val str_param : request -> string -> string
 val str_param_opt : request -> string -> string option

@@ -21,6 +21,22 @@ let () =
     | Injected_fault msg -> Some ("Injected_fault: " ^ msg)
     | _ -> None)
 
+(* Concurrency discipline: documents follow a reader/writer protocol.
+   Queries ([may_alias]/[modref]/[path]/[health_json]) run under the
+   document's shared lock, concurrently with each other; mutations
+   ([open_or_update]/[change]/[close]) run under the exclusive lock.
+   Locks live in a store-level table keyed by name (they must exist
+   before the document does, and survive close/reopen); the table
+   itself — like the docs table — is guarded by a store mutex held only
+   for O(1) lookups, never across a build or a query.
+
+   Under the shared lock, the remaining mutation is confined: query
+   counters are [Atomic]s; quarantine writes immediate values
+   ([dc_mode], [dc_last_error]) whose races are benign (single word
+   writes, idempotent transition to Conservative); oracle handles are
+   per-domain (see [oracle]); and the engine's lazily-built mod-ref
+   state is serialized by [dc_omutex]. *)
+
 type doc = {
   dc_name : string;
   mutable dc_source : string;  (* last-good source *)
@@ -33,38 +49,65 @@ type doc = {
   mutable dc_mode : mode;
   mutable dc_last_error : string option;
   mutable dc_inject : inject list;
-  mutable dc_oracles : (Tbaa.Engine.kind * Tbaa.Oracle.t) list;
-      (* injection-wrapped handles, rebuilt after every install *)
+  dc_omutex : Mutex.t;
+      (* guards [dc_oracles] and the engine's lazy mod-ref state *)
+  dc_oracles : (int * Tbaa.Engine.kind, Tbaa.Oracle.t) Hashtbl.t;
+      (* injection-wrapped handles, one per (domain, kind) — the
+         memoizing oracle cache is single-threaded, so concurrent
+         readers must not share a handle; cleared on every install *)
   mutable dc_generation : int;  (* successful builds installed *)
   mutable dc_attempts : int;  (* build attempts, for seeded build crashes *)
-  mutable dc_queries : int;
-  mutable dc_degraded : int;  (* queries answered below Fresh *)
+  dc_queries : int Atomic.t;
+  dc_degraded : int Atomic.t;  (* queries answered below Fresh *)
   mutable dc_failed_updates : int;
 }
 
 type t = {
   docs : (string, doc) Hashtbl.t;
+  locks : (string, Rwlock.t) Hashtbl.t;
+  st_mutex : Mutex.t;  (* guards [docs] and [locks] table operations *)
   st_max_docs : int;
   allow_inject : bool;
   st_optimize : bool;
 }
 
 let create ?(max_docs = 64) ?(optimize = false) ~allow_inject () =
-  { docs = Hashtbl.create 16; st_max_docs = max_docs; allow_inject;
+  { docs = Hashtbl.create 16; locks = Hashtbl.create 16;
+    st_mutex = Mutex.create (); st_max_docs = max_docs; allow_inject;
     st_optimize = optimize }
 
-let find t name = Hashtbl.find_opt t.docs name
-let count t = Hashtbl.length t.docs
+let lock_for t name =
+  Mutex.protect t.st_mutex (fun () ->
+      match Hashtbl.find_opt t.locks name with
+      | Some l -> l
+      | None ->
+        let l = Rwlock.create () in
+        Hashtbl.replace t.locks name l;
+        l)
+
+let with_doc_read t name f =
+  Rwlock.read (lock_for t name) (fun () ->
+      f (Mutex.protect t.st_mutex (fun () -> Hashtbl.find_opt t.docs name)))
+
+let find t name =
+  Mutex.protect t.st_mutex (fun () -> Hashtbl.find_opt t.docs name)
+
+let count t = Mutex.protect t.st_mutex (fun () -> Hashtbl.length t.docs)
 let max_docs t = t.st_max_docs
 
 let close t name =
-  let existed = Hashtbl.mem t.docs name in
-  Hashtbl.remove t.docs name;
-  existed
+  (* The exclusive lock drains in-flight queries before the document
+     disappears; the lock entry itself survives for a later reopen. *)
+  Rwlock.write (lock_for t name) (fun () ->
+      Mutex.protect t.st_mutex (fun () ->
+          let existed = Hashtbl.mem t.docs name in
+          Hashtbl.remove t.docs name;
+          existed))
 
 let names t =
-  List.sort String.compare
-    (Hashtbl.fold (fun name _ acc -> name :: acc) t.docs [])
+  Mutex.protect t.st_mutex (fun () ->
+      List.sort String.compare
+        (Hashtbl.fold (fun name _ acc -> name :: acc) t.docs []))
 
 (* ------------------------------------------------------------------ *)
 (* Deterministic fault decisions                                       *)
@@ -76,12 +119,27 @@ let chance ~seed ~rate key =
   rate > 0.0
   && float_of_int (Hashtbl.hash (seed, key) land 0xFFFF) /. 65536.0 < rate
 
-let busy_wait_ms ms =
-  let until = Unix.gettimeofday () +. (ms /. 1000.0) in
-  while Unix.gettimeofday () < until do
-    ignore (Sys.opaque_identity ())
-  done
+(* Injected latency actually sleeps (the old implementation spun on
+   [Unix.gettimeofday], pegging a core per delayed request) and is
+   interruptible: the sleep is sliced so a flipped cancellation token
+   stops the delay within a couple of milliseconds — the caller's next
+   cancellation check then fields the token. Returning early (rather
+   than raising) keeps the query path's never-raises contract. *)
+let sleep_ms ?(cancelled = fun () -> false) ms =
+  let slice = 2.0 (* ms *) in
+  let deadline = Clock.now_ms () +. ms in
+  let rec go () =
+    let left = deadline -. Clock.now_ms () in
+    if left > 0.0 && not (cancelled ()) then begin
+      Unix.sleepf (Float.min left slice /. 1000.0);
+      go ()
+    end
+  in
+  go ()
 
+(* [Slow] is handled in [may_alias] itself (it needs the per-request
+   cancellation token, which oracle closures cannot see); this wrapper
+   folds only the answer-level faults. *)
 let wrap_inject inject (o : Tbaa.Oracle.t) =
   List.fold_left
     (fun (o : Tbaa.Oracle.t) inj ->
@@ -94,13 +152,13 @@ let wrap_inject inject (o : Tbaa.Oracle.t) =
               if chance ~seed ~rate ("alias", Ir.Apath.id p, Ir.Apath.id q)
               then raise (Injected_fault "oracle fault (injected)")
               else o.Tbaa.Oracle.may_alias p q) }
-      | Slow { ms } ->
-        { o with
-          Tbaa.Oracle.may_alias =
-            (fun p q ->
-              busy_wait_ms ms;
-              o.Tbaa.Oracle.may_alias p q) })
+      | Slow _ -> o)
     o inject
+
+let slow_ms_of inject =
+  List.fold_left
+    (fun acc -> function Slow { ms } -> acc +. ms | _ -> acc)
+    0.0 inject
 
 (* ------------------------------------------------------------------ *)
 (* Building                                                            *)
@@ -110,6 +168,11 @@ type update_outcome =
   | Updated of doc
   | Rejected of doc option * Diag.t list
   | Crashed of doc option * string
+  | Cancelled of doc option
+
+exception Update_cancelled
+(* Internal: raised by the [Engine.update] check hook; never escapes
+   [open_or_update]. *)
 
 let paths_of engine =
   let facts = Tbaa.Engine.facts engine in
@@ -193,12 +256,12 @@ let optimize_doc d program =
         d.dc_opt_session <- Some s;
         s
     in
-    let t0 = Unix.gettimeofday () in
+    let t0 = Clock.now_ms () in
     let reports =
       Opt.Pass_manager.rerun s program
         (Opt.Pipeline.schedule_of_config optimizer_config)
     in
-    let ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+    let ms = Clock.now_ms () -. t0 in
     let changed =
       List.length (List.filter (fun r -> r.Opt.Pass.r_changed) reports)
     in
@@ -224,77 +287,149 @@ let optimize_doc d program =
     d.dc_opt_session <- None;
     d.dc_opt <- Some (Json.Obj [ ("error", Json.String (Printexc.to_string e)) ])
 
-let open_or_update t ~name ~source ~inject =
+(* The body of [open_or_update], run under the document's exclusive
+   lock (callers below take it). *)
+let open_or_update_locked t ~name ~source ~inject ~cancelled =
   let inject = if t.allow_inject then inject else [] in
-  let existing = Hashtbl.find_opt t.docs name in
-  let attempts =
-    match existing with Some d -> d.dc_attempts + 1 | None -> 1
+  let existing =
+    Mutex.protect t.st_mutex (fun () -> Hashtbl.find_opt t.docs name)
   in
-  (match existing with Some d -> d.dc_attempts <- attempts | None -> ());
-  try
-    (* Seeded build crashes fire before and independently of compilation,
-       standing in for "the analysis crashed on this revision". *)
-    List.iter
-      (function
-        | Crash { seed; rate }
-          when chance ~seed ~rate ("build", name, attempts) ->
-          raise (Injected_fault "build fault (injected)")
-        | _ -> ())
-      inject;
-    match Minim3.Typecheck.check_string_all ~file:name source with
-    | Error diags ->
-      degrade_on_failure existing
-        (match diags with
-        | d :: _ -> Diag.to_string d
-        | [] -> "compile error");
-      Rejected (existing, diags)
-    | Ok tast ->
-      let program = Ir.Lower.lower_program tast in
-      let engine =
-        match existing with
-        | Some d -> Tbaa.Engine.update d.dc_engine program
-        | None -> Tbaa.Engine.create program
-      in
-      let paths = paths_of engine in
-      let doc =
-        match existing with
-        | Some d ->
-          d.dc_source <- source;
-          d.dc_program <- program;
-          d.dc_engine <- engine;
-          d.dc_paths <- paths;
-          d.dc_mode <- Fresh;
-          d.dc_last_error <- None;
-          d.dc_inject <- inject;
-          d.dc_oracles <- [];
-          d.dc_generation <- d.dc_generation + 1;
-          d
-        | None ->
-          let d =
-            { dc_name = name; dc_source = source; dc_program = program;
-              dc_engine = engine; dc_opt_session = None; dc_opt = None;
-              dc_paths = paths; dc_mode = Fresh;
-              dc_last_error = None; dc_inject = inject; dc_oracles = [];
-              dc_generation = 1; dc_attempts = attempts; dc_queries = 0;
-              dc_degraded = 0; dc_failed_updates = 0 }
-          in
-          Hashtbl.replace t.docs name d;
-          d
-      in
-      if t.st_optimize then optimize_doc doc program;
-      Updated doc
-  with
-  | Diag.Compile_error d ->
-    (* Lowering raised on a program the typechecker accepted — treat it
-       like any other rejected revision. *)
-    degrade_on_failure existing (Diag.to_string d);
-    Rejected (existing, [ d ])
-  | e ->
-    (* Engine.update is exception-safe: the existing document still holds
-       its fully usable last-good engine. Roll back and flag. *)
-    let msg = Printexc.to_string e in
-    degrade_on_failure existing msg;
-    Crashed (existing, msg)
+  if cancelled () then Cancelled existing
+  else begin
+    let attempts =
+      match existing with Some d -> d.dc_attempts + 1 | None -> 1
+    in
+    (match existing with Some d -> d.dc_attempts <- attempts | None -> ());
+    try
+      (* Seeded build crashes fire before and independently of compilation,
+         standing in for "the analysis crashed on this revision". *)
+      List.iter
+        (function
+          | Crash { seed; rate }
+            when chance ~seed ~rate ("build", name, attempts) ->
+            raise (Injected_fault "build fault (injected)")
+          | _ -> ())
+        inject;
+      match Minim3.Typecheck.check_string_all ~file:name source with
+      | Error diags ->
+        degrade_on_failure existing
+          (match diags with
+          | d :: _ -> Diag.to_string d
+          | [] -> "compile error");
+        Rejected (existing, diags)
+      | Ok tast ->
+        let program = Ir.Lower.lower_program tast in
+        let check () = if cancelled () then raise Update_cancelled in
+        let engine =
+          match existing with
+          | Some d -> Tbaa.Engine.update ~check d.dc_engine program
+          | None ->
+            check ();
+            Tbaa.Engine.create program
+        in
+        let paths = paths_of engine in
+        let doc =
+          match existing with
+          | Some d ->
+            d.dc_source <- source;
+            d.dc_program <- program;
+            d.dc_engine <- engine;
+            d.dc_paths <- paths;
+            d.dc_mode <- Fresh;
+            d.dc_last_error <- None;
+            d.dc_inject <- inject;
+            Hashtbl.reset d.dc_oracles;
+            d.dc_generation <- d.dc_generation + 1;
+            d
+          | None ->
+            let d =
+              { dc_name = name; dc_source = source; dc_program = program;
+                dc_engine = engine; dc_opt_session = None; dc_opt = None;
+                dc_paths = paths; dc_mode = Fresh;
+                dc_last_error = None; dc_inject = inject;
+                dc_omutex = Mutex.create ();
+                dc_oracles = Hashtbl.create 8;
+                dc_generation = 1; dc_attempts = attempts;
+                dc_queries = Atomic.make 0; dc_degraded = Atomic.make 0;
+                dc_failed_updates = 0 }
+            in
+            Mutex.protect t.st_mutex (fun () ->
+                Hashtbl.replace t.docs name d);
+            d
+        in
+        if t.st_optimize then optimize_doc doc program;
+        Updated doc
+    with
+    | Update_cancelled ->
+      (* Engine.update aborted before committing anything: the existing
+         document is untouched and still Fresh for its last-good source.
+         Cancellation is client-initiated, not a failure — no
+         degradation, no failed-update count. *)
+      Cancelled existing
+    | Diag.Compile_error d ->
+      (* Lowering raised on a program the typechecker accepted — treat it
+         like any other rejected revision. *)
+      degrade_on_failure existing (Diag.to_string d);
+      Rejected (existing, [ d ])
+    | e ->
+      (* Engine.update is exception-safe: the existing document still holds
+         its fully usable last-good engine. Roll back and flag. *)
+      let msg = Printexc.to_string e in
+      degrade_on_failure existing msg;
+      Crashed (existing, msg)
+  end
+
+let open_or_update ?(cancelled = fun () -> false) t ~name ~source ~inject =
+  Rwlock.write (lock_for t name) (fun () ->
+      open_or_update_locked t ~name ~source ~inject ~cancelled)
+
+(* ------------------------------------------------------------------ *)
+(* Partial edits                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* LSP-style sequential splice: each edit [(start, stop, text)] replaces
+   the byte range [start, stop) of the *already-spliced* text — later
+   edits see earlier edits' output, so offsets never need adjusting on
+   the client side. *)
+let splice ~source ~edits =
+  let apply src (start, stop, text) =
+    let len = String.length src in
+    if start < 0 || start > stop || stop > len then
+      Error
+        (Printf.sprintf "edit range [%d, %d) out of bounds for length %d"
+           start stop len)
+    else
+      Ok
+        (String.concat ""
+           [ String.sub src 0 start; text;
+             String.sub src stop (len - stop) ])
+  in
+  List.fold_left
+    (fun acc e -> Result.bind acc (fun src -> apply src e))
+    (Ok source) edits
+
+type change_outcome =
+  | Changed of update_outcome
+  | No_such_doc
+  | Bad_edit of string
+
+let change ?(cancelled = fun () -> false) t ~name ~edits =
+  Rwlock.write (lock_for t name) (fun () ->
+      match
+        Mutex.protect t.st_mutex (fun () -> Hashtbl.find_opt t.docs name)
+      with
+      | None -> No_such_doc
+      | Some d -> (
+        (* Edits are relative to the document's last-good source (the
+           one whose answers the client has been seeing — after a
+           Rejected revision the failed source was never retained, so
+           last-good is the only consistent base). *)
+        match splice ~source:d.dc_source ~edits with
+        | Error msg -> Bad_edit msg
+        | Ok source ->
+          Changed
+            (open_or_update_locked t ~name ~source ~inject:d.dc_inject
+               ~cancelled)))
 
 (* ------------------------------------------------------------------ *)
 (* Views                                                               *)
@@ -303,8 +438,8 @@ let open_or_update t ~name ~source ~inject =
 let name d = d.dc_name
 let doc_mode d = d.dc_mode
 let generation d = d.dc_generation
-let queries d = d.dc_queries
-let degraded_queries d = d.dc_degraded
+let queries d = Atomic.get d.dc_queries
+let degraded_queries d = Atomic.get d.dc_degraded
 let failed_updates d = d.dc_failed_updates
 let last_error d = d.dc_last_error
 let source d = d.dc_source
@@ -319,45 +454,62 @@ let path d i = d.dc_paths.(i)
 (* Queries                                                             *)
 (* ------------------------------------------------------------------ *)
 
+(* One memoizing handle per (domain, kind): [Oracle_cache.wrap]'s tables
+   are single-threaded by design, so concurrent readers on different
+   domains each get their own. Handles wrap the engine's *raw* oracle
+   (pure at query time) rather than [Engine.cached], whose shared
+   memoizing handle would race. The table is reset on every install. *)
 let oracle d kind =
-  match List.assoc_opt kind d.dc_oracles with
-  | Some o -> o
-  | None ->
-    let o = wrap_inject d.dc_inject (Tbaa.Engine.cached d.dc_engine kind) in
-    d.dc_oracles <- (kind, o) :: d.dc_oracles;
-    o
+  let key = ((Domain.self () :> int), kind) in
+  Mutex.protect d.dc_omutex (fun () ->
+      match Hashtbl.find_opt d.dc_oracles key with
+      | Some o -> o
+      | None ->
+        let o =
+          wrap_inject d.dc_inject
+            (Tbaa.Oracle_cache.wrap (Tbaa.Engine.oracle d.dc_engine kind))
+        in
+        Hashtbl.replace d.dc_oracles key o;
+        o)
 
 let quarantine d msg =
   d.dc_mode <- Conservative;
   d.dc_last_error <- Some msg
 
-let may_alias d kind i j =
-  d.dc_queries <- d.dc_queries + 1;
+let may_alias ?cancelled d kind i j =
+  Atomic.incr d.dc_queries;
   match d.dc_mode with
   | Conservative ->
     (* The quarantined engine is not consulted at all; every memory
        reference pair gets the sound top answer. *)
-    d.dc_degraded <- d.dc_degraded + 1;
+    Atomic.incr d.dc_degraded;
     true
   | Fresh | Stale ->
-    if d.dc_mode = Stale then d.dc_degraded <- d.dc_degraded + 1;
+    if d.dc_mode = Stale then Atomic.incr d.dc_degraded;
+    let slow = slow_ms_of d.dc_inject in
+    if slow > 0.0 then sleep_ms ?cancelled slow;
     let _, p, _ = d.dc_paths.(i) and _, q, _ = d.dc_paths.(j) in
     (match (oracle d kind).Tbaa.Oracle.may_alias p q with
     | answer -> answer
     | exception e ->
       quarantine d (Printexc.to_string e);
-      d.dc_degraded <- d.dc_degraded + 1;
+      Atomic.incr d.dc_degraded;
       true)
 
 let modref d kind proc =
-  d.dc_queries <- d.dc_queries + 1;
+  Atomic.incr d.dc_queries;
   match d.dc_mode with
   | Conservative ->
-    d.dc_degraded <- d.dc_degraded + 1;
+    Atomic.incr d.dc_degraded;
     None
   | Fresh | Stale ->
-    if d.dc_mode = Stale then d.dc_degraded <- d.dc_degraded + 1;
-    (match Tbaa.Engine.modref_merged d.dc_engine kind proc with
+    if d.dc_mode = Stale then Atomic.incr d.dc_degraded;
+    (* [modref_merged] builds the per-kind effects view lazily inside the
+       engine on first use — serialize that mutation across readers. *)
+    (match
+       Mutex.protect d.dc_omutex (fun () ->
+           Tbaa.Engine.modref_merged d.dc_engine kind proc)
+     with
     | eff -> Some eff
     | exception e ->
       quarantine d (Printexc.to_string e);
@@ -370,8 +522,8 @@ let health_json d =
       ("generation", Json.Int d.dc_generation);
       ("procs", Json.Int (List.length d.dc_program.Ir.Cfg.prog_procs));
       ("memrefs", Json.Int (Array.length d.dc_paths));
-      ("queries", Json.Int d.dc_queries);
-      ("degraded_queries", Json.Int d.dc_degraded);
+      ("queries", Json.Int (Atomic.get d.dc_queries));
+      ("degraded_queries", Json.Int (Atomic.get d.dc_degraded));
       ("failed_updates", Json.Int d.dc_failed_updates);
       ( "last_error",
         match d.dc_last_error with

@@ -22,7 +22,15 @@
 
     Fault injection (flip/crash/slow) exists for the chaos harness and is
     compiled in but inert unless the store was created with
-    [allow_inject:true]. *)
+    [allow_inject:true].
+
+    {b Concurrency.} The store is safe for concurrent use from multiple
+    domains under a per-document reader/writer discipline: queries
+    ({!may_alias}, {!modref}, {!path}, {!health_json} — reached through
+    {!with_doc_read}) run concurrently; {!open_or_update}, {!change} and
+    {!close} take the document's exclusive lock and run alone. Store-
+    level lookups ({!find}, {!count}, {!names}) are internally
+    synchronized. *)
 
 open Support
 
@@ -40,8 +48,9 @@ type inject =
       (** raise {!Injected_fault} from a seeded fraction of may-alias
           queries, and from a seeded fraction of rebuild attempts *)
   | Slow of { ms : float }
-      (** busy-wait this long inside every may-alias query (deadline
-          testing) *)
+      (** sleep this long inside every may-alias query (deadline and
+          cancellation testing); the sleep yields the CPU and is cut
+          short when the request's cancellation token flips *)
 
 exception Injected_fault of string
 
@@ -61,9 +70,18 @@ val create : ?max_docs:int -> ?optimize:bool -> allow_inject:bool -> unit -> t
 val find : t -> string -> doc option
 val count : t -> int
 val max_docs : t -> int
+
 val close : t -> string -> bool
+(** Takes the document's exclusive lock, so in-flight queries drain
+    before the document disappears. *)
+
 val names : t -> string list
 (** Sorted. *)
+
+val with_doc_read : t -> string -> (doc option -> 'a) -> 'a
+(** [with_doc_read t name f] runs [f] holding [name]'s shared lock, with
+    the document looked up under that lock ([None] if not open). All
+    query-side access from concurrent dispatch goes through this. *)
 
 type update_outcome =
   | Updated of doc  (** fresh build installed; mode is Fresh *)
@@ -73,12 +91,43 @@ type update_outcome =
   | Crashed of doc option * string
       (** the build or engine update raised; the existing document (if
           any) is rolled back to last-good and degrades to Stale *)
+  | Cancelled of doc option
+      (** the request's cancellation token flipped mid-build; the
+          existing document (if any) is untouched — still Fresh for its
+          last-good source, not counted as a failed update *)
 
 val open_or_update :
+  ?cancelled:(unit -> bool) ->
   t -> name:string -> source:string -> inject:inject list -> update_outcome
 (** Compile and (re)analyze [source] under the document [name], creating
     the document on first sight. Never raises. Injection requests on a
-    store created with [allow_inject:false] are ignored. *)
+    store created with [allow_inject:false] are ignored. Takes the
+    document's exclusive lock. [cancelled] (default: never) is polled at
+    {!Tbaa.Engine.update} loop boundaries; once it returns [true] the
+    build aborts with [Cancelled] without touching the document. *)
+
+val splice :
+  source:string -> edits:(int * int * string) list ->
+  (string, string) result
+(** Apply ranged edits sequentially, LSP-style: each [(start, stop,
+    text)] replaces byte range [\[start, stop)] of the text produced by
+    the edits before it. [Error] (with a message naming the offending
+    range) if any range is out of bounds or inverted; the source is
+    never partially applied. *)
+
+type change_outcome =
+  | Changed of update_outcome  (** edits spliced; build outcome inside *)
+  | No_such_doc  (** the document is not open *)
+  | Bad_edit of string  (** a range was out of bounds; nothing changed *)
+
+val change :
+  ?cancelled:(unit -> bool) ->
+  t -> name:string -> edits:(int * int * string) list -> change_outcome
+(** Incremental [didChange]: splice [edits] into the document's
+    last-good source and rebuild through the same fingerprint-keyed
+    {!Tbaa.Engine.update} path as {!open_or_update} (unchanged
+    procedures are not re-summarized), preserving the document's fault
+    injection. Takes the exclusive lock; never raises. *)
 
 (** {1 Per-document views} *)
 
@@ -112,11 +161,15 @@ val path : doc -> int -> Ident.t * Ir.Apath.t * bool
     over). Raises [Invalid_argument] out of range — callers bounds-check
     against {!n_paths}. *)
 
-val may_alias : doc -> Tbaa.Engine.kind -> int -> int -> bool
+val may_alias :
+  ?cancelled:(unit -> bool) -> doc -> Tbaa.Engine.kind -> int -> int -> bool
 (** Answer a may-alias query between two path indices. Never raises: a
     query that makes the (possibly fault-injected) engine raise
     quarantines the document to Conservative and answers [true]
-    (MayAlias) — as do all subsequent queries until a rebuild. *)
+    (MayAlias) — as do all subsequent queries until a rebuild.
+    [cancelled] only cuts short injected [Slow] latency (the answer is
+    still computed and valid); the caller's own cancellation check
+    decides whether to use it. *)
 
 val modref : doc -> Tbaa.Engine.kind -> Ident.t -> Tbaa.Effects.t option
 (** Merged mod-ref effects of a procedure, [None] when the document is

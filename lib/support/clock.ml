@@ -1,0 +1,44 @@
+(* A monotonic-clamped wall clock for deadline and duration math.
+
+   [Unix.gettimeofday] follows the system clock, which NTP slew (or a
+   manual date change) can step in either direction. Deadline math over a
+   raw reading is wrong in both directions: a backward step makes every
+   in-flight deadline recede (requests that should expire never do), a
+   forward step makes them all fire at once. [now_ms] clamps the raw
+   reading against a process-wide high-water mark, so time as seen by
+   deadline/duration code never moves backwards; a backward-stepped raw
+   clock simply holds still until real time catches back up.
+
+   The watermark is a CAS loop over an [Atomic], so the clamp is safe to
+   read from any domain (dispatch workers, transports, tests). *)
+
+let system_raw () = Unix.gettimeofday () *. 1000.0
+
+(* The raw source is swappable so tests can drive the clamp with an
+   adversarial (non-monotonic) clock. Reads race harmlessly: a stale
+   source pointer just yields one more reading from the old source. *)
+let raw = Atomic.make system_raw
+
+(* [neg_infinity] loses to every real reading, so the first call adopts
+   the raw clock as-is. *)
+let watermark = Atomic.make neg_infinity
+
+let rec clamp t =
+  let w = Atomic.get watermark in
+  if t <= w then w
+  else if Atomic.compare_and_set watermark w t then t
+  else clamp t
+
+let now_ms () = clamp ((Atomic.get raw) ())
+
+(* Tests only: run [f] with [source] as the raw clock and a reset
+   watermark, restoring the system source (and re-resetting the
+   watermark, so the huge system readings taken before [f] cannot clamp
+   a later [with_raw] run) on the way out. Not safe against concurrent
+   [now_ms] callers that expect system time — callers quiesce first. *)
+let with_raw source f =
+  Atomic.set raw source;
+  Atomic.set watermark neg_infinity;
+  Fun.protect f ~finally:(fun () ->
+      Atomic.set raw system_raw;
+      Atomic.set watermark neg_infinity)

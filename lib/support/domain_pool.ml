@@ -48,3 +48,74 @@ let run ?(domains = 1) n f =
       match !first_exn with Some e -> raise e | None -> ()
     end
   end
+
+(* --- Persistent pool ------------------------------------------------- *)
+
+(* Long-lived workers over a shared job queue, for workloads where jobs
+   arrive over time (the daemon's request dispatch) rather than as one
+   batch. Jobs are [unit -> unit] thunks; a job that raises is swallowed
+   after [on_error] (workers must survive any job), so submitters that
+   care about results or failures capture them inside the thunk. *)
+
+type pool = {
+  pm : Mutex.t;
+  pc : Condition.t;
+  jobs : (unit -> unit) Queue.t;
+  mutable stopping : bool;
+  mutable doms : unit Domain.t array;
+  on_error : exn -> unit;
+}
+
+let worker_loop p () =
+  let rec next () =
+    Mutex.lock p.pm;
+    let job =
+      let rec wait () =
+        if not (Queue.is_empty p.jobs) then Some (Queue.pop p.jobs)
+        else if p.stopping then None
+        else begin
+          Condition.wait p.pc p.pm;
+          wait ()
+        end
+      in
+      wait ()
+    in
+    Mutex.unlock p.pm;
+    match job with
+    | None -> ()
+    | Some f ->
+        (try f () with e -> (try p.on_error e with _ -> ()));
+        next ()
+  in
+  next ()
+
+let pool_create ?(on_error = fun _ -> ()) ~workers () =
+  let workers = max 1 workers in
+  let p =
+    {
+      pm = Mutex.create ();
+      pc = Condition.create ();
+      jobs = Queue.create ();
+      stopping = false;
+      doms = [||];
+      on_error;
+    }
+  in
+  p.doms <- Array.init workers (fun _ -> Domain.spawn (worker_loop p));
+  p
+
+let pool_submit p f =
+  Mutex.protect p.pm (fun () ->
+      if p.stopping then invalid_arg "Domain_pool.pool_submit: pool stopped";
+      Queue.push f p.jobs;
+      Condition.signal p.pc)
+
+let pool_shutdown p =
+  Mutex.protect p.pm (fun () ->
+      p.stopping <- true;
+      Condition.broadcast p.pc);
+  let doms = p.doms in
+  p.doms <- [||];
+  Array.iter Domain.join doms
+
+let pool_size p = Array.length p.doms

@@ -18,3 +18,28 @@ val run : ?domains:int -> int -> (int -> unit) -> unit
     [domains <= 1] (the default) no domain is spawned and the indices run
     sequentially in order. If any [f] raises, the first exception observed
     is re-raised after all domains have been joined. *)
+
+(** {2 Persistent pool}
+
+    Long-lived workers over a shared job queue, for workloads where jobs
+    arrive over time (the daemon's request dispatch) rather than as one
+    fork-join batch. *)
+
+type pool
+
+val pool_create : ?on_error:(exn -> unit) -> workers:int -> unit -> pool
+(** Spawn [max 1 workers] domains that drain the job queue until
+    {!pool_shutdown}. A job that raises does not kill its worker: the
+    exception is passed to [on_error] (default: ignored) and the worker
+    moves on. Submitters that need results or failures must capture them
+    inside the job thunk. *)
+
+val pool_submit : pool -> (unit -> unit) -> unit
+(** Enqueue a job. Raises [Invalid_argument] after {!pool_shutdown}. *)
+
+val pool_shutdown : pool -> unit
+(** Stop accepting jobs, let workers drain what is already queued, and
+    join them. Idempotent in effect (a second call joins no domains). *)
+
+val pool_size : pool -> int
+(** Number of worker domains. *)

@@ -1,0 +1,47 @@
+(* A writer-preferring reader/writer lock.
+
+   Readers run concurrently; a writer runs alone. Writer preference:
+   once a writer is waiting, new readers queue behind it, so a steady
+   stream of queries cannot starve an [open]/[change]/[optimize]. Both
+   combinators are exception-safe — the lock is released on raise. *)
+
+type t = {
+  m : Mutex.t;
+  c : Condition.t;
+  mutable readers : int;          (* active readers *)
+  mutable writer : bool;          (* a writer holds the lock *)
+  mutable waiting_writers : int;  (* writers blocked in [write] *)
+}
+
+let create () =
+  {
+    m = Mutex.create ();
+    c = Condition.create ();
+    readers = 0;
+    writer = false;
+    waiting_writers = 0;
+  }
+
+let read t f =
+  Mutex.protect t.m (fun () ->
+      while t.writer || t.waiting_writers > 0 do
+        Condition.wait t.c t.m
+      done;
+      t.readers <- t.readers + 1);
+  Fun.protect f ~finally:(fun () ->
+      Mutex.protect t.m (fun () ->
+          t.readers <- t.readers - 1;
+          if t.readers = 0 then Condition.broadcast t.c))
+
+let write t f =
+  Mutex.protect t.m (fun () ->
+      t.waiting_writers <- t.waiting_writers + 1;
+      while t.writer || t.readers > 0 do
+        Condition.wait t.c t.m
+      done;
+      t.waiting_writers <- t.waiting_writers - 1;
+      t.writer <- true);
+  Fun.protect f ~finally:(fun () ->
+      Mutex.protect t.m (fun () ->
+          t.writer <- false;
+          Condition.broadcast t.c))

@@ -1,0 +1,17 @@
+(** Writer-preferring reader/writer lock.
+
+    The store uses one per document: queries ([alias]/[modref]/[paths]/
+    [stats]) take the read side and run concurrently; mutations
+    ([open]/[change]/[optimize]) take the write side and run alone.
+    Writer preference keeps a query storm from starving an edit. *)
+
+type t
+
+val create : unit -> t
+
+val read : t -> (unit -> 'a) -> 'a
+(** [read t f] runs [f] holding the lock in shared mode. Exception-safe:
+    the lock is released if [f] raises. *)
+
+val write : t -> (unit -> 'a) -> 'a
+(** [write t f] runs [f] holding the lock exclusively. Exception-safe. *)

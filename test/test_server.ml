@@ -271,10 +271,343 @@ let test_shedding () =
     (Json.of_string (Dispatch.handle_line srv2 (String.make 100 ' ')))
 
 let test_chaos_smoke () =
-  let report = Chaos.run ~seed:11 ~ops:150 in
+  let report = Chaos.run ~seed:11 ~ops:150 () in
   Alcotest.(check (list string)) "no violations" [] report.Chaos.violations;
   Alcotest.(check bool) "answers were checked" true
     (report.Chaos.checked_answers > 0)
+
+(* ------------------------------------------------------------------ *)
+(* The monotonic-clamped clock                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_clock_monotonic () =
+  let last = ref (Clock.now_ms ()) in
+  for _ = 1 to 1000 do
+    let t = Clock.now_ms () in
+    if t < !last then Alcotest.failf "clock went backwards: %f < %f" t !last;
+    last := t
+  done;
+  (* Regression: a raw clock that steps backwards (NTP slew) must be
+     clamped to the high-water mark, never handed to deadline math. *)
+  let script = ref [ 100.0; 105.0; 103.0; 101.0; 110.0; 90.0; 120.0 ] in
+  Clock.with_raw
+    (fun () ->
+      match !script with
+      | [ final ] -> final
+      | r :: rest ->
+        script := rest;
+        r
+      | [] -> assert false)
+    (fun () ->
+      let seen = List.init 7 (fun _ -> Clock.now_ms ()) in
+      Alcotest.(check (list (float 0.0)))
+        "backward steps clamped"
+        [ 100.0; 105.0; 105.0; 105.0; 110.0; 110.0; 120.0 ]
+        seen)
+
+(* ------------------------------------------------------------------ *)
+(* Partial-edit splicing and incremental didChange                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_splice () =
+  let ok source edits want =
+    match Store.splice ~source ~edits with
+    | Ok got -> Alcotest.(check string) "splice result" want got
+    | Error e -> Alcotest.failf "splice rejected %S: %s" source e
+  in
+  ok "hello world" [ (0, 5, "goodbye") ] "goodbye world";
+  ok "hello" [] "hello";
+  ok "abcdef" [ (2, 4, "") ] "abef";
+  ok "abc" [ (3, 3, "def") ] "abcdef";
+  ok "" [ (0, 0, "x") ] "x";
+  (* Sequential LSP semantics: the second edit addresses the text the
+     first one produced ("abcdef" -> "Xdef" -> "XY"). *)
+  ok "abcdef" [ (0, 3, "X"); (1, 4, "Y") ] "XY";
+  let err what source edits =
+    match Store.splice ~source ~edits with
+    | Ok got -> Alcotest.failf "%s: accepted, produced %S" what got
+    | Error _ -> ()
+  in
+  err "stop past end" "abc" [ (0, 4, "x") ];
+  err "inverted range" "abc" [ (2, 1, "x") ];
+  err "negative start" "abc" [ (-1, 1, "x") ];
+  err "second edit out of bounds after first" "abc"
+    [ (0, 3, "x"); (2, 3, "y") ]
+
+(* One ranged edit turning [old_s] into [new_s]: trim the common prefix
+   and suffix, replace the middle. *)
+let diff_edit old_s new_s =
+  let ol = String.length old_s and nl = String.length new_s in
+  let p = ref 0 in
+  while !p < ol && !p < nl && old_s.[!p] = new_s.[!p] do
+    incr p
+  done;
+  let s = ref 0 in
+  while
+    !s < ol - !p && !s < nl - !p && old_s.[ol - 1 - !s] = new_s.[nl - 1 - !s]
+  do
+    incr s
+  done;
+  (!p, ol - !s, String.sub new_s !p (nl - !p - !s))
+
+let change_req srv name edits =
+  send srv "change"
+    [ ("name", Json.String name);
+      ( "edits",
+        Json.List
+          (List.map
+             (fun (start, stop, text) ->
+               Json.Obj
+                 [ ("start", Json.Int start); ("end", Json.Int stop);
+                   ("text", Json.String text) ])
+             edits) ) ]
+
+let test_didchange_equiv_fuzz () =
+  (* didChange with a ranged edit must leave the document answering
+     byte-identically to opening the edited source whole. *)
+  for seed = 1 to 10 do
+    let a = (Gen.Generator.generate ~size:1 seed).Gen.Generator.source in
+    let b =
+      (Gen.Generator.generate ~size:1 (seed + 40)).Gen.Generator.source
+    in
+    let srv = Dispatch.create () in
+    let reference = Dispatch.create () in
+    ignore (open_doc srv "d" a);
+    let changed = change_req srv "d" [ diff_edit a b ] in
+    Alcotest.(check string)
+      (Printf.sprintf "seed %d: fresh after change" seed)
+      "fresh" (mode_of changed);
+    let n = memrefs_of changed in
+    let n' = memrefs_of (open_doc reference "d" b) in
+    Alcotest.(check int) (Printf.sprintf "seed %d: memrefs agree" seed) n' n;
+    let pairs = all_pairs n 12 in
+    Alcotest.(check (list bool))
+      (Printf.sprintf "seed %d: answers agree" seed)
+      (answers_of (alias reference "d" pairs))
+      (answers_of (alias srv "d" pairs))
+  done
+
+let test_didchange_errors () =
+  let srv = Dispatch.create () in
+  ignore (open_doc srv "d" small_source);
+  check_code "change on unopened doc" Rpc.Invalid_params
+    (change_req srv "nope" [ (0, 0, "x") ]);
+  check_code "out-of-bounds edit" Rpc.Invalid_params
+    (change_req srv "d" [ (0, String.length small_source + 99, "x") ]);
+  (* A rejected edit must not have touched the document. *)
+  Alcotest.(check string) "doc still fresh" "fresh"
+    (mode_of (alias srv "d" [ (0, 0) ]))
+
+(* ------------------------------------------------------------------ *)
+(* Concurrent dispatch: determinism, cancellation, teardown            *)
+(* ------------------------------------------------------------------ *)
+
+let rpc_line id meth params =
+  Json.to_string
+    (Json.Obj
+       [ ("jsonrpc", Json.String "2.0"); ("id", Json.Int id);
+         ("method", Json.String meth); ("params", Json.Obj params) ])
+
+(* Collect submit responses behind a mutex+condition so tests can block
+   on arrival without polling. *)
+type collector = {
+  co_m : Mutex.t;
+  co_c : Condition.t;
+  mutable co_got : string list;  (* newest first *)
+}
+
+let collector () =
+  { co_m = Mutex.create (); co_c = Condition.create (); co_got = [] }
+
+let respond_to co line =
+  Mutex.protect co.co_m (fun () ->
+      co.co_got <- line :: co.co_got;
+      Condition.broadcast co.co_c)
+
+let wait_for co n =
+  Mutex.protect co.co_m (fun () ->
+      while List.length co.co_got < n do
+        Condition.wait co.co_c co.co_m
+      done;
+      List.rev co.co_got)
+
+let find_response responses id =
+  match
+    List.find_opt
+      (fun l -> Json.member "id" (Json.of_string l) = Some (Json.Int id))
+      responses
+  with
+  | Some l -> Json.of_string l
+  | None -> Alcotest.failf "no response with id %d" id
+
+let test_dispatch_determinism () =
+  (* The same per-client request streams must produce byte-identical
+     response streams whatever the worker count: per-client FIFO order
+     is part of the dispatch contract, not a scheduling accident. *)
+  let client_sources =
+    List.map
+      (fun (cl, seed) ->
+        ( cl,
+          (Gen.Generator.generate ~size:1 seed).Gen.Generator.source,
+          (Gen.Generator.generate ~size:1 (seed + 20)).Gen.Generator.source ))
+      [ ("a", 3); ("b", 5); ("c", 7) ]
+  in
+  let lines_for cl source source' =
+    let edited = [ diff_edit source source' ] in
+    [ rpc_line 1 "open"
+        [ ("name", Json.String cl); ("source", Json.String source) ];
+      rpc_line 2 "alias"
+        [ ("doc", Json.String cl);
+          ( "pairs",
+            Json.List
+              (List.init 9 (fun k ->
+                   Json.List [ Json.Int (k / 3); Json.Int (k mod 3) ])) ) ];
+      rpc_line 3 "change"
+        [ ("name", Json.String cl);
+          ( "edits",
+            Json.List
+              (List.map
+                 (fun (s, e, t) ->
+                   Json.Obj
+                     [ ("start", Json.Int s); ("end", Json.Int e);
+                       ("text", Json.String t) ])
+                 edited) ) ];
+      rpc_line 4 "paths" [ ("doc", Json.String cl) ];
+      rpc_line 5 "close" [ ("name", Json.String cl) ] ]
+  in
+  let run workers =
+    let config = { Dispatch.default_config with Dispatch.workers } in
+    let srv = Dispatch.create ~config () in
+    let per_client =
+      List.map
+        (fun (cl, src, src') -> (cl, collector (), lines_for cl src src'))
+        client_sources
+    in
+    (* Interleave submissions round-robin across clients. *)
+    let rec go streams =
+      let advanced =
+        List.filter_map
+          (fun (cl, co, ls) ->
+            match ls with
+            | [] -> None
+            | l :: rest ->
+              Dispatch.submit srv ~client:cl l ~respond:(respond_to co);
+              Some (cl, co, rest))
+          streams
+      in
+      if advanced <> [] then go advanced
+    in
+    go per_client;
+    Dispatch.stop srv;
+    List.map
+      (fun (cl, co, _) -> (cl, wait_for co 5))
+      per_client
+  in
+  let show streams =
+    String.concat "\n"
+      (List.concat_map (fun (cl, rs) -> List.map (fun r -> cl ^ " " ^ r) rs)
+         streams)
+  in
+  let base = run 0 in
+  List.iter
+    (fun w ->
+      Alcotest.(check string)
+        (Printf.sprintf "workers=%d matches serialized" w)
+        (show base) (show (run w)))
+    [ 1; 2; 4 ]
+
+let slow_inject ms =
+  [ Json.Obj [ ("kind", Json.String "slow"); ("ms", Json.Float ms) ] ]
+
+let cancel_line id target =
+  rpc_line id "cancel" [ ("id", Json.Int target) ]
+
+let test_cancel_inflight () =
+  let config =
+    { Dispatch.default_config with
+      Dispatch.allow_inject = true; workers = 1;
+      default_deadline_ms = 60_000.0 }
+  in
+  let srv = Dispatch.create ~config () in
+  let n = memrefs_of (open_doc ~inject:(slow_inject 25.0) srv "d" small_source) in
+  ignore n;
+  let co = collector () in
+  let pairs =
+    Json.List (List.init 16 (fun _ -> Json.List [ Json.Int 0; Json.Int 0 ]))
+  in
+  Dispatch.submit srv ~client:"c"
+    (rpc_line 42 "alias" [ ("doc", Json.String "d"); ("pairs", pairs) ])
+    ~respond:(respond_to co);
+  (* Give the worker time to be genuinely in-flight (16 pairs x 25 ms
+     leaves ~400 ms of runway), then cancel from the same client. The
+     cancel must overtake the queued/running alias. *)
+  Unix.sleepf 0.05;
+  Dispatch.submit srv ~client:"c" (cancel_line 99 42) ~respond:(respond_to co);
+  let responses = wait_for co 2 in
+  let cancel_resp = find_response responses 99 in
+  Alcotest.(check bool) "cancel acknowledged" true
+    (member_exn "cancelled" (result_of cancel_resp) = Json.Bool true);
+  let alias_resp = find_response responses 42 in
+  check_code "alias cancelled" Rpc.Cancelled alias_resp;
+  (match Json.member "data" (member_exn "error" alias_resp) with
+  | Some data -> (
+    match member_exn "completed" data with
+    | Json.Int k ->
+      Alcotest.(check bool) "partial completed count" true (k >= 0 && k < 16)
+    | _ -> Alcotest.fail "completed is not an int")
+  | None -> Alcotest.fail "cancelled without data");
+  Dispatch.quiesce srv;
+  (* Cancellation is not a failure: the document must still answer, at
+     full freshness, through the serialized path. *)
+  let after = alias srv "d" [ (0, 0) ] in
+  Alcotest.(check string) "doc still fresh" "fresh" (mode_of after);
+  Alcotest.(check int) "doc still answers" 1
+    (List.length (answers_of after));
+  Dispatch.stop srv
+
+let test_cancel_queued () =
+  let config =
+    { Dispatch.default_config with
+      Dispatch.allow_inject = true; workers = 1;
+      default_deadline_ms = 60_000.0 }
+  in
+  let srv = Dispatch.create ~config () in
+  ignore (memrefs_of (open_doc ~inject:(slow_inject 10.0) srv "d" small_source));
+  let co = collector () in
+  let pairs k =
+    Json.List (List.init k (fun _ -> Json.List [ Json.Int 0; Json.Int 0 ]))
+  in
+  (* One slow alias occupies the single worker; a second one queues
+     behind it on the same client's FIFO; the cancel targets the queued
+     one, which must come back Cancelled with zero progress. *)
+  Dispatch.submit srv ~client:"c"
+    (rpc_line 1 "alias" [ ("doc", Json.String "d"); ("pairs", pairs 12) ])
+    ~respond:(respond_to co);
+  Dispatch.submit srv ~client:"c"
+    (rpc_line 2 "alias" [ ("doc", Json.String "d"); ("pairs", pairs 12) ])
+    ~respond:(respond_to co);
+  Dispatch.submit srv ~client:"c" (cancel_line 3 2) ~respond:(respond_to co);
+  let responses = wait_for co 3 in
+  ignore (result_of (find_response responses 1));
+  let queued = find_response responses 2 in
+  check_code "queued request cancelled" Rpc.Cancelled queued;
+  (match Json.member "data" (member_exn "error" queued) with
+  | Some data ->
+    Alcotest.(check bool) "no progress before start" true
+      (member_exn "completed" data = Json.Int 0)
+  | None -> Alcotest.fail "cancelled without data");
+  Dispatch.stop srv
+
+let test_cancel_unknown_target () =
+  let config = { Dispatch.default_config with Dispatch.workers = 1 } in
+  let srv = Dispatch.create ~config () in
+  let co = collector () in
+  Dispatch.submit srv ~client:"c" (cancel_line 1 777) ~respond:(respond_to co);
+  let responses = wait_for co 1 in
+  Alcotest.(check bool) "unknown target reported un-cancelled" true
+    (member_exn "cancelled" (result_of (find_response responses 1))
+    = Json.Bool false);
+  Dispatch.stop srv
 
 (* ------------------------------------------------------------------ *)
 (* Engine.update exception-safety (the contract the store's rollback    *)
@@ -465,6 +798,87 @@ let test_tbaad_stdio_session () =
   | other ->
     Alcotest.failf "expected 4 response lines, got %d" (List.length other)
 
+(* A client that dies mid-batch (socket torn down with responses still
+   owed) must cost the server nothing but that client: workers hit
+   EPIPE/ECONNRESET writing to it, tear the one client down, and keep
+   serving everyone else. *)
+let test_socket_kill_client_mid_batch () =
+  let dir = Filename.temp_file "tbaad_sock" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let path = Filename.concat dir "d.sock" in
+  let devnull_in = Unix.openfile "/dev/null" [ Unix.O_RDONLY ] 0 in
+  let devnull_out = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+  let pid =
+    Unix.create_process tbaad
+      [| tbaad; "--socket"; path; "--workers"; "2" |]
+      devnull_in devnull_out Unix.stderr
+  in
+  Unix.close devnull_in;
+  Unix.close devnull_out;
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  let rec connect () =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    try
+      Unix.connect fd (Unix.ADDR_UNIX path);
+      fd
+    with Unix.Unix_error ((ECONNREFUSED | ENOENT), _, _)
+      when Unix.gettimeofday () < deadline ->
+      Unix.close fd;
+      Unix.sleepf 0.05;
+      connect ()
+  in
+  let send_line fd line =
+    let bytes = Bytes.of_string (line ^ "\n") in
+    ignore (Unix.write fd bytes 0 (Bytes.length bytes))
+  in
+  let recv_line fd =
+    let buf = Buffer.create 256 in
+    let one = Bytes.create 1 in
+    let rec go () =
+      match Unix.read fd one 0 1 with
+      | 0 -> Alcotest.fail "daemon closed the connection unexpectedly"
+      | _ ->
+        if Bytes.get one 0 = '\n' then Buffer.contents buf
+        else begin
+          Buffer.add_char buf (Bytes.get one 0);
+          go ()
+        end
+    in
+    go ()
+  in
+  (* Victim: open a document and fire a batch of requests, then die
+     without reading a single response. *)
+  let victim = connect () in
+  send_line victim
+    (rpc_line 1 "open"
+       [ ("name", Json.String "v"); ("source", Json.String small_source) ]);
+  for i = 2 to 9 do
+    send_line victim (rpc_line i "ping" [])
+  done;
+  Unix.close victim;
+  (* Survivor: the server must still be there and fully functional. *)
+  let survivor = connect () in
+  send_line survivor
+    (rpc_line 1 "open"
+       [ ("name", Json.String "s"); ("source", Json.String small_source) ]);
+  let opened = Json.of_string (recv_line survivor) in
+  Alcotest.(check string) "survivor opens fresh" "fresh" (mode_of opened);
+  send_line survivor
+    (rpc_line 2 "alias"
+       [ ("doc", Json.String "s");
+         ("pairs", Json.List [ Json.List [ Json.Int 0; Json.Int 0 ] ]) ]);
+  Alcotest.(check int) "survivor queries" 1
+    (List.length (answers_of (Json.of_string (recv_line survivor))));
+  send_line survivor (rpc_line 3 "shutdown" []);
+  ignore (result_of (Json.of_string (recv_line survivor)));
+  Unix.close survivor;
+  let _, status = Unix.waitpid [] pid in
+  Alcotest.(check bool) "daemon exited cleanly" true
+    (status = Unix.WEXITED 0);
+  (try Sys.remove path with Sys_error _ -> ());
+  (try Unix.rmdir dir with Unix.Unix_error _ -> ())
+
 let () =
   Alcotest.run "server"
     [ ( "rpc",
@@ -479,6 +893,24 @@ let () =
             test_quarantine_conservative;
           Alcotest.test_case "deadline timeout" `Quick test_deadline_timeout;
           Alcotest.test_case "shedding" `Quick test_shedding ] );
+      ( "clock",
+        [ Alcotest.test_case "monotonic clamp" `Quick test_clock_monotonic ]
+      );
+      ( "didchange",
+        [ Alcotest.test_case "splice" `Quick test_splice;
+          Alcotest.test_case "equivalent to whole-source (fuzz)" `Quick
+            test_didchange_equiv_fuzz;
+          Alcotest.test_case "errors leave doc untouched" `Quick
+            test_didchange_errors ] );
+      ( "concurrent",
+        [ Alcotest.test_case "deterministic across worker counts" `Quick
+            test_dispatch_determinism;
+          Alcotest.test_case "cancel in-flight request" `Quick
+            test_cancel_inflight;
+          Alcotest.test_case "cancel queued request" `Quick
+            test_cancel_queued;
+          Alcotest.test_case "cancel unknown target" `Quick
+            test_cancel_unknown_target ] );
       ( "engine",
         [ Alcotest.test_case "update exception-safety" `Quick
             test_engine_update_exception_safety ] );
@@ -490,4 +922,6 @@ let () =
           Alcotest.test_case "tbaad usage errors" `Quick
             test_tbaad_usage_errors;
           Alcotest.test_case "tbaad stdio session" `Quick
-            test_tbaad_stdio_session ] ) ]
+            test_tbaad_stdio_session;
+          Alcotest.test_case "socket kill client mid-batch" `Quick
+            test_socket_kill_client_mid_batch ] ) ]
